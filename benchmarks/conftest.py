@@ -1,0 +1,31 @@
+"""Shared helpers of the benchmark harness.
+
+Every figure of the paper has one benchmark module.  Each benchmark runs the
+corresponding experiment driver once (``rounds=1``: these are reproduction
+runs, not micro-benchmarks), attaches the paper-comparable summary rows to
+``benchmark.extra_info`` and prints the same text table the driver's
+``main()`` would print, so ``pytest benchmarks/ --benchmark-only -s`` shows
+the regenerated figures inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def record_rows():
+    """Attach experiment rows to the benchmark record and echo them."""
+
+    def _record(benchmark, title, rows, report=None):
+        benchmark.extra_info["title"] = title
+        benchmark.extra_info["rows"] = rows
+        if report:
+            print("\n" + report + "\n")
+
+    return _record

@@ -1,0 +1,107 @@
+"""Benchmarks of the ablation studies (design-choice sensitivity).
+
+These are not paper figures: they quantify, on the Figure 4 workload, the
+design decisions DESIGN.md calls out -- the adaptive trigger, the gossip
+dissemination of the WIR database, the z-score threshold, the LB-cost regime
+and the fixed-vs-dynamic ``alpha`` policy -- so that changes to any of those
+pieces show up as a measurable shift in these tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    ErosionScenario,
+    run_alpha_policy_comparison,
+    run_dissemination_ablation,
+    run_lb_cost_sensitivity,
+    run_threshold_ablation,
+    run_trigger_ablation,
+)
+
+#: The Figure 4 reproduction workload (32 PEs, 1 strong rock, 80 iterations).
+SCENARIO = ErosionScenario(seed=7)
+
+
+def test_ablation_trigger_policy(benchmark, record_rows):
+    """Static vs. periodic vs. Menon vs. Zhai-degradation triggers."""
+    result = run_once(benchmark, run_trigger_ablation, SCENARIO)
+    record_rows(benchmark, result.title, result.rows(), report=result.format_report())
+
+    # The adaptive (degradation) trigger must beat static partitioning on the
+    # growing-imbalance workload, and must not lose badly to any alternative.
+    assert result.gain_of("degradation (Zhai)") > 0.0
+    best = result.best_case()
+    degradation_time = result.case("degradation (Zhai)").run.total_time
+    assert degradation_time <= best.run.total_time * 1.10
+
+
+def test_ablation_wir_dissemination(benchmark, record_rows):
+    """Gossip (stale) vs. instant (allgather) WIR dissemination under ULBA."""
+    result = run_once(benchmark, run_dissemination_ablation, SCENARIO)
+    record_rows(benchmark, result.title, result.rows(), report=result.format_report())
+
+    # The paper's claim: one gossip step per iteration is enough -- the stale
+    # views cost at most a few percent against an idealised allgather.
+    assert abs(result.gain_of("instant (allgather)")) < 0.05
+
+
+def test_ablation_overload_threshold(benchmark, record_rows):
+    """Sensitivity of ULBA to the z-score overload threshold."""
+    result = run_once(benchmark, run_threshold_ablation, SCENARIO)
+    record_rows(benchmark, result.title, result.rows(), report=result.format_report())
+
+    times = [c.run.total_time for c in result.cases]
+    # The paper's threshold (3.0) is competitive: within 10 % of the best
+    # threshold tried.
+    paper_time = result.case("z-score >= 3.0").run.total_time
+    assert paper_time <= min(times) * 1.10
+
+
+def test_ablation_lb_cost_sensitivity(benchmark, record_rows):
+    """ULBA gain over the standard method vs. the LB (migration) cost."""
+    results = run_once(
+        benchmark,
+        run_lb_cost_sensitivity,
+        SCENARIO,
+        bytes_per_load_unit=(300.0, 1200.0, 4800.0),
+    )
+    rows = []
+    reports = []
+    gains = []
+    for result in results:
+        gain = result.gain_of("ulba (alpha=0.4)")
+        gains.append(gain)
+        rows.append({"setting": result.title, "ulba gain": f"{gain * 100:+.2f}%"})
+        reports.append(result.format_report())
+    record_rows(
+        benchmark,
+        "Ablation -- ULBA gain vs. LB cost",
+        rows,
+        report="\n\n".join(reports),
+    )
+
+    # Anticipation pays more when rebalancing is more expensive -- up to the
+    # point where the LB is so costly it is invoked at most once and ULBA's
+    # larger migration volumes dominate.  The reproduction's default setting
+    # (the middle one, 1200 B/unit) must therefore show a clearly larger gain
+    # than the cheap-LB setting, and the cheap setting must not be negative.
+    assert gains[1] > gains[0]
+    assert gains[1] > 0.05
+    assert gains[0] > -0.02
+
+
+def test_ablation_alpha_policy(benchmark, record_rows):
+    """Standard vs. fixed-alpha ULBA vs. runtime-adaptive alpha."""
+    result = run_once(benchmark, run_alpha_policy_comparison, SCENARIO)
+    record_rows(benchmark, result.title, result.rows(), report=result.format_report())
+
+    fixed_gain = result.gain_of("ulba (alpha=0.4)")
+    dynamic_gain = result.gain_of("ulba (dynamic alpha)")
+    # Both ULBA variants beat the standard method; the runtime-adaptive alpha
+    # (no tuning required) lands within a few points of the hand-tuned value.
+    assert fixed_gain > 0.0
+    assert dynamic_gain > 0.0
+    assert dynamic_gain > fixed_gain - 0.06

@@ -1,0 +1,45 @@
+"""Benchmark regenerating Figure 3 (ULBA gain vs. % of overloading PEs).
+
+Paper series: box plots of the theoretical gain of best-``alpha`` ULBA over
+the standard LB method for ten overloading-PE percentages between 1 % and
+20 % (1000 Table II instances and 100 alpha values each), plus the average
+best ``alpha`` per percentage.  Headline numbers: gains up to ~21 %, ULBA
+never worse, best alpha decreasing with the overloading fraction.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3_gain_vs_overloading import (
+    PAPER_OVERLOADING_FRACTIONS,
+    Fig3Config,
+    run_fig3,
+)
+
+
+def test_fig3_gain_vs_overloading_fraction(benchmark, record_rows):
+    """Regenerate the Figure 3 box-plot series over the paper's x-axis."""
+    config = Fig3Config(
+        fractions=PAPER_OVERLOADING_FRACTIONS,
+        instances_per_fraction=100,
+        num_alphas=25,
+        seed=0,
+    )
+    result = run_once(benchmark, run_fig3, config)
+
+    record_rows(
+        benchmark,
+        "Figure 3 -- ULBA gain vs. % overloading PEs",
+        result.rows(),
+        report=result.format_report(),
+    )
+
+    # Paper shape: ULBA never loses, double-digit best gains at the low end,
+    # and both the gain and the best alpha decrease with the fraction of
+    # overloading PEs.
+    assert result.ulba_never_loses
+    assert result.max_gain > 0.10
+    means = result.mean_gains()
+    alphas = result.mean_best_alphas()
+    assert means[0] > means[-1]
+    assert alphas[0] > alphas[-1]

@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figure 5 (ULBA run time vs. alpha).
+
+Paper series: the running time of ULBA on the erosion application with one
+strongly erodible rock, for alpha in {0.1, 0.2, 0.3, 0.4, 0.5} and P in
+{32, 64, 128, 256}.  Headline: alpha changes the performance by up to ~14 %,
+with a plateau around 0.4 for the smaller PE counts.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5_alpha_tuning import PAPER_ALPHA_GRID, Fig5Config, run_fig5
+
+FIG5_CONFIG = Fig5Config(
+    pe_counts=(16, 32, 64),
+    alphas=PAPER_ALPHA_GRID,
+    num_strong_rocks=1,
+    iterations=80,
+    columns_per_pe=96,
+    rows=96,
+    seed=7,
+)
+
+
+def test_fig5_alpha_tuning(benchmark, record_rows):
+    """Regenerate the Figure 5 alpha-sensitivity curves."""
+    result = run_once(benchmark, run_fig5, FIG5_CONFIG)
+
+    record_rows(
+        benchmark,
+        "Figure 5 -- ULBA run time vs. alpha",
+        result.rows(),
+        report=result.format_report(),
+    )
+
+    # Paper shape: alpha matters (a few percent to ~14 % spread) and the best
+    # alpha is never the smallest value of the grid for the larger PE counts
+    # (under-loading too timidly leaves imbalance on the table).
+    assert result.max_sensitivity > 0.02
+    largest = result.series_for(max(FIG5_CONFIG.pe_counts))
+    assert largest.best_alpha >= 0.2

@@ -1,0 +1,99 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are conventional pytest-benchmark timings (many rounds) of the pieces
+the experiment drivers call millions of times: analytical schedule
+evaluation, the weighted stripe partitioner, one erosion step, one virtual
+cluster compute step and one gossip dissemination round.  They exist so
+performance regressions in the substrates are caught independently of the
+figure-level reproductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import TableIISampler
+from repro.core.schedule import evaluate_schedule, sigma_plus_schedule
+from repro.erosion.app import ErosionApplication, ErosionConfig
+from repro.optim.schedule_search import anneal_schedule
+from repro.partitioning.stripe import StripePartitioner
+from repro.simcluster.cluster import VirtualCluster
+from repro.simcluster.gossip import GossipBoard
+
+
+@pytest.fixture(scope="module")
+def table2_instance():
+    return TableIISampler().sample(seed=0)
+
+
+def test_bench_sigma_plus_schedule_evaluation(benchmark, table2_instance):
+    """Analytical cost of one sigma_plus schedule (the Fig. 3 inner loop)."""
+    schedule = sigma_plus_schedule(table2_instance, alpha=0.4)
+
+    def evaluate():
+        return evaluate_schedule(table2_instance, schedule, model="ulba", alpha=0.4)
+
+    result = benchmark(evaluate)
+    assert result.total_time > 0.0
+
+
+def test_bench_schedule_annealing_small(benchmark, table2_instance):
+    """One short simulated-annealing search (the Fig. 2 inner loop)."""
+    result = benchmark.pedantic(
+        anneal_schedule,
+        kwargs=dict(params=table2_instance, annealing_steps=500, seed=0),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.annealed.total_time > 0.0
+
+
+def test_bench_stripe_partitioner(benchmark):
+    """Weighted stripe partitioning of a 16k-column domain into 64 stripes."""
+    rng = np.random.default_rng(0)
+    loads = rng.random(16_384) * 100.0
+    partitioner = StripePartitioner(64)
+
+    partition = benchmark(partitioner.partition, loads)
+    assert partition.num_pes == 64
+
+
+def test_bench_erosion_step(benchmark):
+    """One probabilistic erosion + refinement step on a 128k-cell domain."""
+    config = ErosionConfig(num_pes=16, columns_per_pe=96, rows=96, seed=0)
+    app = ErosionApplication.from_config(config)
+
+    benchmark(app.advance)
+    assert app.total_load() > 0.0
+
+
+def test_bench_erosion_column_loads(benchmark):
+    """Per-column workload accounting on a 128k-cell domain."""
+    config = ErosionConfig(num_pes=16, columns_per_pe=96, rows=96, seed=0)
+    app = ErosionApplication.from_config(config)
+
+    loads = benchmark(app.column_loads)
+    assert loads.shape == (config.width,)
+
+
+def test_bench_cluster_compute_step(benchmark):
+    """One bulk-synchronous compute step on a 256-PE virtual cluster."""
+    cluster = VirtualCluster(256)
+    loads = np.full(256, 1.0e6)
+
+    def step():
+        return cluster.compute_step(loads)
+
+    result = benchmark(step)
+    assert result.elapsed > 0.0
+
+
+def test_bench_gossip_round(benchmark):
+    """One push-gossip dissemination round across 256 ranks."""
+    board = GossipBoard(256, seed=0)
+    for rank in range(256):
+        board.publish(rank, float(rank))
+
+    benchmark(board.step)
+    assert board.steps >= 1

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Tune the ULBA underloading fraction ``alpha`` (Figure 5 style).
+
+Two tuning modes are demonstrated:
+
+* **analytical** -- for a Table II instance, sweep the full 100-value grid
+  of the paper and plot (as text) the total time versus ``alpha``;
+* **erosion** -- for the erosion application on the virtual cluster, sweep
+  the paper's Figure 5 grid {0.1 .. 0.5} and report the best value per PE
+  count.
+
+Run with::
+
+    python examples/alpha_tuning.py [--mode analytical|erosion]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import TableIISampler
+from repro.core.schedule import evaluate_schedule, sigma_plus_schedule
+from repro.experiments.fig4_erosion import run_erosion_case
+from repro.optim.alpha_search import sweep_alpha
+
+
+def text_curve(alphas, times, width=50) -> str:
+    """Plot a curve as text bars (shorter bar = faster run)."""
+    lines = []
+    t_min, t_max = min(times), max(times)
+    span = (t_max - t_min) or 1.0
+    for alpha, time in zip(alphas, times):
+        bar = "#" * int(1 + (time - t_min) / span * (width - 1))
+        marker = "  <-- best" if time == t_min else ""
+        lines.append(f"  alpha={alpha:4.2f} | {bar:<{width}} {time:.5f} s{marker}")
+    return "\n".join(lines)
+
+
+def analytical_mode(seed: int) -> None:
+    params = TableIISampler().sample(seed=seed)
+    alphas = np.linspace(0.0, 1.0, 21)
+
+    def evaluate(alpha: float) -> float:
+        schedule = sigma_plus_schedule(params, alpha=alpha)
+        return evaluate_schedule(params, schedule, model="ulba", alpha=alpha).total_time
+
+    result = sweep_alpha(evaluate, alphas)
+    print(f"Analytical instance (P={params.P}, N={params.N}, N/P={params.overloading_fraction:.1%})")
+    print(text_curve([p.alpha for p in result.points], [p.total_time for p in result.points]))
+    print(
+        f"\n  best alpha = {result.best_alpha:.2f}, sensitivity across the sweep = "
+        f"{result.sensitivity * 100:.1f}%"
+    )
+
+
+def erosion_mode(seed: int) -> None:
+    alphas = (0.1, 0.2, 0.3, 0.4, 0.5)
+    for num_pes in (16, 32):
+        def evaluate(alpha: float, *, _p: int = num_pes) -> float:
+            return run_erosion_case(
+                num_pes=_p,
+                num_strong_rocks=1,
+                iterations=80,
+                policy="ulba",
+                alpha=alpha,
+                columns_per_pe=96,
+                rows=96,
+                seed=seed,
+            ).total_time
+
+        result = sweep_alpha(evaluate, alphas)
+        print(f"\nErosion application, {num_pes} PEs, 1 strongly erodible rock")
+        print(text_curve([p.alpha for p in result.points], [p.total_time for p in result.points]))
+        print(
+            f"  best alpha = {result.best_alpha:.2f}, sensitivity = "
+            f"{result.sensitivity * 100:.1f}%"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", choices=("analytical", "erosion", "both"), default="both")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    if args.mode in ("analytical", "both"):
+        analytical_mode(args.seed)
+    if args.mode in ("erosion", "both"):
+        erosion_mode(args.seed)
+
+
+if __name__ == "__main__":
+    main()

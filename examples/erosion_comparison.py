@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Erosion application: run the paper's numerical study at laptop scale.
+
+Reproduces the Figure 4 comparison for one configuration: the fluid model
+with non-uniform erosion is executed on the virtual cluster twice -- once
+under the standard adaptive LB method (even redistribution, Zhai-style
+degradation trigger) and once under ULBA (underloading of the PEs the WIR
+database flags as overloading, ULBA-aware trigger) -- and the run times,
+LB-call counts and PE-utilization traces are compared.
+
+Run with::
+
+    python examples/erosion_comparison.py [--pes 32] [--strong-rocks 1]
+                                          [--iterations 80] [--alpha 0.4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.fig4_erosion import run_erosion_case
+from repro.runtime.report import compare_runs
+
+
+def ascii_sparkline(values, width=60) -> str:
+    """Render a utilization series as a coarse ASCII sparkline."""
+    if len(values) == 0:
+        return ""
+    blocks = " .:-=+*#%@"
+    step = max(1, len(values) // width)
+    sampled = values[::step][:width]
+    return "".join(blocks[min(len(blocks) - 1, int(v * (len(blocks) - 1)))] for v in sampled)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pes", type=int, default=32)
+    parser.add_argument("--strong-rocks", type=int, default=1)
+    parser.add_argument("--iterations", type=int, default=80)
+    parser.add_argument("--alpha", type=float, default=0.4)
+    parser.add_argument("--columns-per-pe", type=int, default=96)
+    parser.add_argument("--rows", type=int, default=96)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    common = dict(
+        num_pes=args.pes,
+        num_strong_rocks=args.strong_rocks,
+        iterations=args.iterations,
+        columns_per_pe=args.columns_per_pe,
+        rows=args.rows,
+        seed=args.seed,
+    )
+
+    print(
+        f"Erosion application: {args.pes} PEs, {args.strong_rocks} strongly erodible "
+        f"rock(s), {args.iterations} iterations, alpha = {args.alpha}"
+    )
+    print("Running the standard adaptive LB method ...")
+    standard = run_erosion_case(policy="standard", **common)
+    print("Running ULBA ...")
+    ulba = run_erosion_case(policy="ulba", alpha=args.alpha, **common)
+
+    comparison = compare_runs(standard, ulba)
+    print()
+    print("Results (virtual time)")
+    print("----------------------")
+    print(
+        f"  standard : {standard.total_time:9.5f} s, {standard.num_lb_calls:2d} LB calls, "
+        f"mean utilization {standard.mean_utilization * 100:5.1f}%"
+    )
+    print(
+        f"  ULBA     : {ulba.total_time:9.5f} s, {ulba.num_lb_calls:2d} LB calls, "
+        f"mean utilization {ulba.mean_utilization * 100:5.1f}%"
+    )
+    print(f"  gain                 : {comparison.gain * 100:+.2f}%")
+    print(f"  LB-call reduction    : {comparison.lb_call_reduction * 100:+.2f}%")
+    print(f"  utilization gain     : {comparison.utilization_gain * 100:+.2f} points")
+    print()
+    print("Per-iteration average PE utilization (Figure 4b style)")
+    print("  standard |", ascii_sparkline(standard.utilization_series()))
+    print("  ULBA     |", ascii_sparkline(ulba.utilization_series()))
+    print()
+    print("ULBA LB decisions")
+    for report in ulba.lb_reports:
+        decision = report.decision
+        print(
+            f"  iteration {report.iteration:3d}: overloading PEs {list(decision.overloading_ranks)}"
+            f"{' (downgraded to even split)' if decision.downgraded_to_standard else ''}, "
+            f"cost {report.cost:.6f} s"
+        )
+
+
+if __name__ == "__main__":
+    main()

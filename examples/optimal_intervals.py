@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Validate the closed-form LB interval against simulated annealing (Fig. 2).
+
+For a handful of random Table II instances this example:
+
+1. builds the ``sigma_plus`` schedule (balance every ``sigma_plus``
+   iterations, the rule the paper recommends);
+2. searches for a better schedule with the library's simulated-annealing
+   engine over the space of boolean LB-schedule vectors;
+3. reports how close the closed form gets to the annealed optimum (the
+   paper finds it within a few percent on average).
+
+Run with::
+
+    python examples/optimal_intervals.py [--instances 10] [--annealing-steps 3000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import TableIISampler
+from repro.optim.schedule_search import anneal_schedule
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instances", type=int, default=10)
+    parser.add_argument("--annealing-steps", type=int, default=3000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    sampler = TableIISampler()
+    gains = []
+    print(
+        f"{'instance':>8} | {'P':>5} | {'alpha':>5} | {'sigma+ time [s]':>16} | "
+        f"{'annealed time [s]':>18} | {'gain vs annealed':>16}"
+    )
+    print("-" * 85)
+    for index in range(args.instances):
+        params = sampler.sample(seed=args.seed + index)
+        result = anneal_schedule(
+            params, annealing_steps=args.annealing_steps, seed=args.seed + index
+        )
+        gains.append(result.gain_vs_heuristic)
+        print(
+            f"{index:>8} | {params.P:>5} | {params.alpha:>5.2f} | "
+            f"{result.sigma_plus.total_time:>16.4f} | {result.annealed.total_time:>18.4f} | "
+            f"{result.gain_vs_heuristic * 100:>+15.2f}%"
+        )
+
+    gains = np.asarray(gains)
+    print("-" * 85)
+    print(
+        f"mean gain {gains.mean() * 100:+.2f}%  "
+        f"(paper: -0.83%), best {gains.max() * 100:+.2f}% (paper: +1.57%), "
+        f"worst {gains.min() * 100:+.2f}% (paper: -5.58%)"
+    )
+    print(
+        "The closed-form sigma_plus rule stays within a few percent of the "
+        "numerically optimised schedule, as reported in Figure 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the standard LB method and ULBA on one instance.
+
+This example uses only the analytical layer of the library (no simulator):
+
+1. draw a random application instance from the paper's Table II
+   distribution;
+2. compute the LB interval bounds ``sigma_minus`` / ``sigma_plus`` and
+   Menon's ``tau``;
+3. evaluate the standard method (sigma_plus schedule with ``alpha = 0``,
+   i.e. Menon's adaptive interval) and ULBA with the best ``alpha`` found on
+   a grid;
+4. print the resulting schedules, times and the relative gain.
+
+Run with::
+
+    python examples/quickstart.py [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import (
+    TableIISampler,
+    compare_policies,
+    interval_bounds,
+    menon_tau,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0, help="instance seed")
+    args = parser.parse_args()
+
+    # 1. One random application instance (Table II distribution).
+    params = TableIISampler().sample(seed=args.seed)
+    print("Application instance")
+    print("--------------------")
+    for key, value in params.as_dict().items():
+        print(f"  {key:>22}: {value:,.6g}")
+    print()
+
+    # 2. Closed-form LB interval bounds right after iteration 0.
+    bounds = interval_bounds(params, 0, alpha=params.alpha)
+    print("LB interval bounds at iteration 0")
+    print("---------------------------------")
+    print(f"  Menon tau (alpha=0)   : {menon_tau(params):8.2f} iterations")
+    print(f"  sigma_minus (alpha={params.alpha:.2f}): {bounds.sigma_minus:8.2f} iterations")
+    print(f"  sigma_plus  (alpha={params.alpha:.2f}): {bounds.sigma_plus:8.2f} iterations")
+    print()
+
+    # 3. Standard method vs. best-alpha ULBA.
+    report = compare_policies(params)
+    print("Standard LB method vs. ULBA")
+    print("---------------------------")
+    print(
+        f"  standard : {report.standard.total_time:10.4f} s "
+        f"({report.standard.num_lb_calls} LB calls at iterations "
+        f"{list(report.standard.schedule.lb_iterations)})"
+    )
+    print(
+        f"  ULBA     : {report.ulba.total_time:10.4f} s "
+        f"({report.ulba.num_lb_calls} LB calls at iterations "
+        f"{list(report.ulba.schedule.lb_iterations)}, "
+        f"best alpha = {report.best_alpha:.2f})"
+    )
+    print(f"  gain     : {report.gain * 100.0:+.2f}% (ULBA wins: {report.ulba_wins})")
+
+
+if __name__ == "__main__":
+    main()

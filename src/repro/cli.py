@@ -1,0 +1,205 @@
+"""Command-line interface of the reproduction.
+
+``python -m repro <command>`` regenerates the paper's figures and the
+ablation studies without writing any Python:
+
+========================  ====================================================
+``fig2``                  sigma_plus vs. simulated annealing (Figure 2)
+``fig3``                  ULBA gain vs. % overloading PEs (Figure 3)
+``fig4``                  erosion application run times / utilization (Figure 4)
+``fig5``                  alpha sensitivity on the erosion application (Figure 5)
+``ablations``             trigger / dissemination / threshold / alpha-policy
+                          ablations of the reproduction's design choices
+``all``                   everything above, at reduced scale
+========================  ====================================================
+
+Each command accepts ``--scale`` to trade fidelity for speed: ``smoke`` (a
+few seconds, structural check), ``default`` (the scale used by the benchmark
+harness) and ``paper`` (closest to the paper's sample sizes; minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.ablations import (
+    ErosionScenario,
+    run_alpha_policy_comparison,
+    run_dissemination_ablation,
+    run_threshold_ablation,
+    run_trigger_ablation,
+)
+from repro.experiments.fig2_upperbound import Fig2Config, run_fig2
+from repro.experiments.fig3_gain_vs_overloading import Fig3Config, run_fig3
+from repro.experiments.fig4_erosion import Fig4Config, run_fig4
+from repro.experiments.fig5_alpha_tuning import Fig5Config, run_fig5
+
+__all__ = ["main", "build_parser", "SCALES"]
+
+#: Recognised values of the ``--scale`` option.
+SCALES = ("smoke", "default", "paper")
+
+
+# ----------------------------------------------------------------------
+# Per-scale experiment configurations.
+# ----------------------------------------------------------------------
+def _fig2_config(scale: str, seed: int) -> Fig2Config:
+    if scale == "smoke":
+        return Fig2Config(num_instances=10, annealing_steps=500, seed=seed)
+    if scale == "paper":
+        return Fig2Config(num_instances=1000, annealing_steps=4000, seed=seed)
+    return Fig2Config(num_instances=60, annealing_steps=2000, seed=seed)
+
+
+def _fig3_config(scale: str, seed: int) -> Fig3Config:
+    if scale == "smoke":
+        return Fig3Config(
+            fractions=(0.01, 0.065, 0.2), instances_per_fraction=20, num_alphas=15, seed=seed
+        )
+    if scale == "paper":
+        return Fig3Config(instances_per_fraction=1000, num_alphas=100, seed=seed)
+    return Fig3Config(instances_per_fraction=100, num_alphas=25, seed=seed)
+
+
+def _fig4_config(scale: str, seed: int) -> Fig4Config:
+    if scale == "smoke":
+        return Fig4Config(
+            pe_counts=(16,),
+            strong_rock_counts=(1,),
+            iterations=40,
+            columns_per_pe=48,
+            rows=48,
+            usage_case=(16, 1),
+            seed=seed,
+        )
+    if scale == "paper":
+        return Fig4Config(
+            pe_counts=(32, 64, 128),
+            strong_rock_counts=(1, 2, 3),
+            iterations=160,
+            columns_per_pe=128,
+            rows=128,
+            repetitions=5,
+            seed=seed,
+        )
+    return Fig4Config(repetitions=3, seed=seed)
+
+
+def _fig5_config(scale: str, seed: int) -> Fig5Config:
+    if scale == "smoke":
+        return Fig5Config(
+            pe_counts=(16,), alphas=(0.2, 0.4), iterations=40, columns_per_pe=48, rows=48, seed=seed
+        )
+    if scale == "paper":
+        return Fig5Config(
+            pe_counts=(32, 64, 128), iterations=160, columns_per_pe=128, rows=128, seed=seed
+        )
+    return Fig5Config(seed=seed)
+
+
+def _ablation_scenario(scale: str, seed: int) -> ErosionScenario:
+    if scale == "smoke":
+        return ErosionScenario(
+            num_pes=16, iterations=40, columns_per_pe=48, rows=48, seed=seed
+        )
+    if scale == "paper":
+        return ErosionScenario(
+            num_pes=64, iterations=160, columns_per_pe=128, rows=128, seed=seed
+        )
+    return ErosionScenario(seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Commands.
+# ----------------------------------------------------------------------
+def _cmd_fig2(scale: str, seed: int) -> str:
+    return run_fig2(_fig2_config(scale, seed)).format_report()
+
+
+def _cmd_fig3(scale: str, seed: int) -> str:
+    return run_fig3(_fig3_config(scale, seed)).format_report()
+
+
+def _cmd_fig4(scale: str, seed: int) -> str:
+    return run_fig4(_fig4_config(scale, seed)).format_report(include_usage=True)
+
+
+def _cmd_fig5(scale: str, seed: int) -> str:
+    return run_fig5(_fig5_config(scale, seed)).format_report()
+
+
+def _cmd_ablations(scale: str, seed: int) -> str:
+    scenario = _ablation_scenario(scale, seed)
+    reports = [
+        run_trigger_ablation(scenario).format_report(),
+        run_dissemination_ablation(scenario).format_report(),
+        run_threshold_ablation(scenario).format_report(),
+        run_alpha_policy_comparison(scenario).format_report(),
+    ]
+    return "\n\n".join(reports)
+
+
+def _cmd_all(scale: str, seed: int) -> str:
+    # "all" always runs at the requested scale but defaults to smoke-friendly
+    # sizes through the per-command configs.
+    sections = [
+        ("Figure 2", _cmd_fig2(scale, seed)),
+        ("Figure 3", _cmd_fig3(scale, seed)),
+        ("Figure 4", _cmd_fig4(scale, seed)),
+        ("Figure 5", _cmd_fig5(scale, seed)),
+        ("Ablations", _cmd_ablations(scale, seed)),
+    ]
+    banner = "=" * 72
+    parts = []
+    for title, body in sections:
+        parts.append(f"{banner}\n{title}\n{banner}\n{body}")
+    return "\n\n".join(parts)
+
+
+COMMANDS: Dict[str, Callable[[str, int], str]] = {
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "ablations": _cmd_ablations,
+    "all": _cmd_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the figures of 'On the Benefits of Anticipating "
+        "Load Imbalance for Performance Optimization of Parallel Applications' "
+        "(Boulmier et al., CLUSTER 2019).",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(COMMANDS),
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="default",
+        help="experiment scale: smoke (seconds), default (benchmark scale), "
+        "paper (closest to the paper's sample sizes)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    report = COMMANDS[args.command](args.scale, args.seed)
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

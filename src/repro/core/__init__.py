@@ -1,0 +1,80 @@
+"""Analytical core of the ULBA reproduction.
+
+This package implements the paper's primary analytical contribution:
+
+* :mod:`repro.core.parameters` -- the application parameter set used
+  throughout Section II/III (Table I) and the random instance sampler of
+  Table II.
+* :mod:`repro.core.workload` -- the linear workload-evolution model
+  ``Wtot(i) = Wtot(0) + i * dW`` (Eq. 1) and the decomposition of the
+  per-iteration increase into the average rate ``a`` and the extra rate ``m``
+  of the overloading processing elements (and the Menon-style ``a_hat`` /
+  ``m_hat`` rates).
+* :mod:`repro.core.standard_model` -- the discrete standard-LB-method cost
+  model (Eq. 2-4).
+* :mod:`repro.core.ulba_model` -- the ULBA cost model (Eq. 5-6).
+* :mod:`repro.core.intervals` -- closed forms of the LB-interval bounds:
+  ``sigma_minus`` (Eq. 8), ``sigma_plus`` (Eq. 9-12) and Menon's
+  ``tau = sqrt(2 C omega / m_hat)``.
+* :mod:`repro.core.schedule` -- explicit LB schedules (boolean vectors over
+  iterations) and their evaluation under either cost model (Eq. 3-4), which
+  is the objective function minimised by the simulated-annealing search of
+  Figure 2.
+* :mod:`repro.core.gains` -- gain metrics comparing two policies on the same
+  application instance.
+"""
+
+from repro.core.parameters import (
+    ApplicationParameters,
+    TableIISampler,
+    make_parameters,
+)
+from repro.core.workload import (
+    RateDecomposition,
+    WorkloadModel,
+    menon_rates,
+    per_pe_rates,
+)
+from repro.core.standard_model import StandardLBModel
+from repro.core.ulba_model import ULBAModel
+from repro.core.intervals import (
+    IntervalBounds,
+    interval_bounds,
+    menon_tau,
+    sigma_minus,
+    sigma_plus,
+)
+from repro.core.schedule import (
+    LBSchedule,
+    ScheduleEvaluation,
+    evaluate_schedule,
+    periodic_schedule,
+    sigma_plus_schedule,
+    single_interval_schedule,
+)
+from repro.core.gains import GainReport, compare_policies
+
+__all__ = [
+    "ApplicationParameters",
+    "GainReport",
+    "IntervalBounds",
+    "LBSchedule",
+    "RateDecomposition",
+    "ScheduleEvaluation",
+    "StandardLBModel",
+    "TableIISampler",
+    "ULBAModel",
+    "WorkloadModel",
+    "compare_policies",
+    "evaluate_schedule",
+    "interval_bounds",
+    "make_parameters",
+    "menon_rates",
+    "menon_tau",
+    "per_pe_rates",
+    "periodic_schedule",
+    "sigma_minus",
+    "sigma_plus",
+    "sigma_plus_schedule",
+    "single_interval_schedule",
+]

@@ -1,0 +1,187 @@
+"""Closed-form load-balancing interval bounds (Section III-B, Eq. 8-12).
+
+The paper does not compute the truly optimal LB schedule analytically
+(early LB decisions influence later ones); instead it derives a range
+``[sigma_minus, sigma_plus]`` of iterations after each LB step within which
+the next LB call should fall:
+
+* ``sigma_minus`` (Eq. 8) -- the *catch-up length*: until the overloading
+  PEs climb back to the workload level of the other PEs there is no
+  imbalance-induced degradation, so calling the load balancer earlier can
+  only waste the LB cost.
+* ``sigma_plus`` (Eq. 9-12) -- the Menon-style break-even point, extended
+  with the ULBA overhead (Eq. 11): the imbalance cost accumulated since
+  ``sigma_minus`` equals the LB cost plus the overhead of underloading at
+  the next LB step.  Solving the quadratic Eq. 12 and adding ``sigma_minus``
+  gives the recommended LB period.
+
+With ``alpha = 0`` these degenerate to ``sigma_minus = 0`` and
+``sigma_plus = sqrt(2 C omega / m_hat)``, Menon et al.'s optimal interval
+(the paper writes ``sqrt(2C/m_hat)`` because its simulations fix
+``omega = 1`` GFLOPS and express workloads in GFLOP).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.parameters import ApplicationParameters
+from repro.core.ulba_model import ULBAModel
+from repro.core.workload import WorkloadModel
+
+__all__ = [
+    "menon_tau",
+    "sigma_minus",
+    "sigma_plus",
+    "interval_bounds",
+    "IntervalBounds",
+    "solve_sigma_plus_quadratic",
+]
+
+#: Sentinel meaning "never call the load balancer again".
+NEVER: float = math.inf
+
+
+def menon_tau(params: ApplicationParameters) -> float:
+    """Menon et al.'s optimal LB interval ``tau = sqrt(2 C omega / m_hat)``.
+
+    Returns ``math.inf`` when the instance creates no imbalance
+    (``m_hat == 0``): without imbalance growth the load balancer should never
+    be called again.
+    """
+    m_hat = params.m_hat
+    if m_hat <= 0.0:
+        return NEVER
+    return math.sqrt(2.0 * params.lb_cost * params.omega / m_hat)
+
+
+def sigma_minus(
+    params: ApplicationParameters, lb_prev: int, *, alpha: Optional[float] = None
+) -> int | float:
+    """Lower bound ``sigma_minus(lb_prev)`` on the next LB interval (Eq. 8).
+
+    Thin wrapper around :meth:`repro.core.ulba_model.ULBAModel.sigma_minus`
+    that returns ``math.inf`` instead of the integer sentinel when the
+    overloading PEs can never catch up.
+    """
+    value = ULBAModel(params).sigma_minus(lb_prev, alpha=alpha)
+    if value >= 10**17:
+        return NEVER
+    return value
+
+
+def solve_sigma_plus_quadratic(
+    params: ApplicationParameters, lb_prev: int, *, alpha: Optional[float] = None
+) -> Tuple[float, float]:
+    """Roots ``(tau1, tau2)`` of the quadratic Eq. 12.
+
+    The quadratic balances the imbalance cost accumulated over ``tau``
+    iterations after ``sigma_minus`` against the LB cost plus the ULBA
+    overhead:
+
+    .. math::
+
+       \\frac{\\hat m}{2\\omega} \\tau^2
+       - \\frac{\\alpha N \\Delta W}{(P-N)\\,\\omega P} \\tau
+       - \\Big[ \\frac{\\alpha N}{P-N}
+                \\frac{W_{tot}(LB_p) + \\sigma^-(LB_p)\\Delta W}{\\omega P}
+                + C \\Big] = 0.
+
+    Returns the two real roots (possibly equal); ``(inf, inf)`` when the
+    instance creates no imbalance.
+    """
+    p = params
+    a = p.alpha if alpha is None else float(alpha)
+    if not 0.0 <= a <= 1.0:
+        raise ValueError(f"alpha must be within [0, 1], got {a}")
+    if lb_prev < 0:
+        raise ValueError(f"lb_prev must be >= 0, got {lb_prev}")
+
+    m_hat = p.m_hat
+    if m_hat <= 0.0:
+        return NEVER, NEVER
+
+    model = ULBAModel(p)
+    sig_minus = model.sigma_minus(lb_prev, alpha=a)
+    workload = WorkloadModel(p)
+    wtot_prev = workload.total_workload(lb_prev)
+
+    if p.num_overloading > 0:
+        ratio = a * p.num_overloading / (p.num_pes - p.num_overloading)
+    else:
+        ratio = 0.0
+
+    quad_a = m_hat / (2.0 * p.omega)
+    quad_b = -ratio * p.delta_w / (p.omega * p.num_pes)
+    quad_c = -(
+        ratio * (wtot_prev + sig_minus * p.delta_w) / (p.omega * p.num_pes)
+        + p.lb_cost
+    )
+
+    discriminant = quad_b * quad_b - 4.0 * quad_a * quad_c
+    if discriminant < 0.0:  # pragma: no cover - cannot happen: quad_c <= 0
+        discriminant = 0.0
+    sqrt_disc = math.sqrt(discriminant)
+    tau1 = (-quad_b - sqrt_disc) / (2.0 * quad_a)
+    tau2 = (-quad_b + sqrt_disc) / (2.0 * quad_a)
+    return tau1, tau2
+
+
+def sigma_plus(
+    params: ApplicationParameters, lb_prev: int, *, alpha: Optional[float] = None
+) -> float:
+    """Upper bound ``sigma_plus(lb_prev)`` on the next LB interval (Eq. 9-12).
+
+    ``sigma_plus = sigma_minus + max(tau1, tau2)`` where the ``tau`` are the
+    roots of Eq. 12.  Returns ``math.inf`` for imbalance-free instances.
+    """
+    sig_minus = sigma_minus(params, lb_prev, alpha=alpha)
+    if math.isinf(sig_minus):
+        return NEVER
+    tau1, tau2 = solve_sigma_plus_quadratic(params, lb_prev, alpha=alpha)
+    tau = max(tau1, tau2)
+    if math.isinf(tau):
+        return NEVER
+    return float(sig_minus) + tau
+
+
+@dataclass(frozen=True)
+class IntervalBounds:
+    """The pair ``(sigma_minus, sigma_plus)`` for one LB step.
+
+    ``sigma_plus`` is a real number (the paper floors it only implicitly when
+    scheduling); :meth:`next_lb_iteration` converts it into the concrete
+    iteration index of the next LB call.
+    """
+
+    lb_prev: int
+    sigma_minus: float
+    sigma_plus: float
+    alpha: float
+
+    def next_lb_iteration(self, *, minimum_interval: int = 1) -> float:
+        """Iteration at which the next LB call should occur.
+
+        The paper proposes to balance every ``sigma_plus`` iterations; the
+        interval is floored and clamped to at least ``minimum_interval`` so
+        the schedule always advances.
+        """
+        if math.isinf(self.sigma_plus):
+            return NEVER
+        step = max(minimum_interval, int(math.floor(self.sigma_plus)))
+        return self.lb_prev + step
+
+
+def interval_bounds(
+    params: ApplicationParameters, lb_prev: int, *, alpha: Optional[float] = None
+) -> IntervalBounds:
+    """Compute both bounds for the LB step at ``lb_prev``."""
+    a = params.alpha if alpha is None else float(alpha)
+    return IntervalBounds(
+        lb_prev=lb_prev,
+        sigma_minus=sigma_minus(params, lb_prev, alpha=a),
+        sigma_plus=sigma_plus(params, lb_prev, alpha=a),
+        alpha=a,
+    )

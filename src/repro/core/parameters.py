@@ -1,0 +1,395 @@
+"""Application parameters of the analytical model (Table I) and the random
+instance sampler of Table II.
+
+The paper models a parallel iterative application by a small set of scalar
+parameters (Table I):
+
+========  =====================================================================
+``P``     number of processing elements (PEs)
+``N``     number of *overloading* PEs (the ones whose workload grows fastest)
+``gamma`` number of iterations the application runs
+``W0``    initial total workload, in FLOP
+``a``     workload added to *every* PE at each iteration, in FLOP
+``m``     workload added, in addition to ``a``, to each overloading PE
+``dW``    total workload increase per iteration: ``dW = a * P + m * N``
+``alpha`` fraction of the perfectly balanced workload removed from each
+          overloading PE at a ULBA load-balancing step
+``omega`` speed of every PE, in FLOP per second
+``C``     cost of one load-balancing step, in seconds
+========  =====================================================================
+
+The derived Menon-style rates are ``a_hat = a + m N / P`` (average workload
+increase rate) and ``m_hat = m (P - N) / P`` (increase rate, additional to
+``a_hat``, of the most loaded PEs).
+
+:class:`TableIISampler` reproduces the random distribution of Table II used
+for the Monte-Carlo studies of Figures 2 and 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "ApplicationParameters",
+    "make_parameters",
+    "TableIISampler",
+    "TABLE_II_PE_CHOICES",
+    "TABLE_II_DEFAULTS",
+]
+
+
+#: Values of ``P`` sampled uniformly in Table II.
+TABLE_II_PE_CHOICES: Tuple[int, ...] = (256, 512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class ApplicationParameters:
+    """Immutable parameter set of one application instance (Table I).
+
+    Instances are cheap to copy with :meth:`with_alpha` /
+    :meth:`dataclasses.replace`, which the α-sweep of Figure 3/5 relies on.
+    """
+
+    #: Number of processing elements.
+    num_pes: int
+    #: Number of overloading processing elements (``0 <= N < P``).
+    num_overloading: int
+    #: Number of application iterations.
+    iterations: int
+    #: Initial total workload, in FLOP.
+    initial_workload: float
+    #: Workload added to every PE at each iteration, in FLOP.
+    uniform_rate: float
+    #: Additional workload added to each overloading PE at each iteration.
+    overload_rate: float
+    #: ULBA underloading fraction in ``[0, 1]``; 0 recovers the standard LB.
+    alpha: float = 0.0
+    #: Processing speed of every PE, in FLOP per second.
+    pe_speed: float = 1.0e9
+    #: Cost of one load-balancing step, in seconds.
+    lb_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_pes, "num_pes")
+        if not isinstance(self.num_overloading, (int, np.integer)) or isinstance(
+            self.num_overloading, bool
+        ):
+            raise TypeError("num_overloading must be an integer")
+        if not 0 <= self.num_overloading < self.num_pes:
+            raise ValueError(
+                "num_overloading must satisfy 0 <= N < P, got "
+                f"N={self.num_overloading}, P={self.num_pes}"
+            )
+        check_positive_int(self.iterations, "iterations")
+        check_positive(self.initial_workload, "initial_workload")
+        check_non_negative(self.uniform_rate, "uniform_rate")
+        check_non_negative(self.overload_rate, "overload_rate")
+        check_fraction(self.alpha, "alpha")
+        check_positive(self.pe_speed, "pe_speed")
+        check_non_negative(self.lb_cost, "lb_cost")
+
+    # ------------------------------------------------------------------
+    # Short aliases matching the paper's notation.
+    # ------------------------------------------------------------------
+    @property
+    def P(self) -> int:  # noqa: N802 - paper notation
+        """Number of PEs (paper: ``P``)."""
+        return self.num_pes
+
+    @property
+    def N(self) -> int:  # noqa: N802 - paper notation
+        """Number of overloading PEs (paper: ``N``)."""
+        return self.num_overloading
+
+    @property
+    def gamma(self) -> int:
+        """Number of iterations (paper: ``gamma``)."""
+        return self.iterations
+
+    @property
+    def W0(self) -> float:  # noqa: N802 - paper notation
+        """Initial total workload (paper: ``Wtot(0)``)."""
+        return self.initial_workload
+
+    @property
+    def a(self) -> float:
+        """Per-PE uniform workload increase rate (paper: ``a``)."""
+        return self.uniform_rate
+
+    @property
+    def m(self) -> float:
+        """Extra workload increase rate of overloading PEs (paper: ``m``)."""
+        return self.overload_rate
+
+    @property
+    def omega(self) -> float:
+        """PE speed in FLOP/s (paper: ``omega``)."""
+        return self.pe_speed
+
+    @property
+    def C(self) -> float:  # noqa: N802 - paper notation
+        """Load-balancing cost in seconds (paper: ``C``)."""
+        return self.lb_cost
+
+    # ------------------------------------------------------------------
+    # Derived quantities.
+    # ------------------------------------------------------------------
+    @property
+    def delta_w(self) -> float:
+        """Total workload increase per iteration ``dW = a P + m N`` (Table I)."""
+        return self.uniform_rate * self.num_pes + self.overload_rate * self.num_overloading
+
+    @property
+    def a_hat(self) -> float:
+        """Menon's average workload increase rate ``a_hat = a + m N / P``."""
+        return self.uniform_rate + self.overload_rate * self.num_overloading / self.num_pes
+
+    @property
+    def m_hat(self) -> float:
+        """Menon's extra rate of the most loaded PEs ``m_hat = m (P - N) / P``."""
+        return (
+            self.overload_rate
+            * (self.num_pes - self.num_overloading)
+            / self.num_pes
+        )
+
+    @property
+    def overloading_fraction(self) -> float:
+        """Fraction of overloading PEs ``N / P`` (x-axis of Figure 3)."""
+        return self.num_overloading / self.num_pes
+
+    @property
+    def has_imbalance(self) -> bool:
+        """True when the instance actually creates imbalance (``m N > 0``)."""
+        return self.overload_rate > 0.0 and self.num_overloading > 0
+
+    # ------------------------------------------------------------------
+    # Convenience constructors / transformations.
+    # ------------------------------------------------------------------
+    def with_alpha(self, alpha: float) -> "ApplicationParameters":
+        """Return a copy of the parameters with a different ``alpha``."""
+        return replace(self, alpha=alpha)
+
+    def with_lb_cost(self, lb_cost: float) -> "ApplicationParameters":
+        """Return a copy of the parameters with a different LB cost."""
+        return replace(self, lb_cost=lb_cost)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a plain dictionary of both raw and derived parameters."""
+        return {
+            "P": self.num_pes,
+            "N": self.num_overloading,
+            "gamma": self.iterations,
+            "W0": self.initial_workload,
+            "a": self.uniform_rate,
+            "m": self.overload_rate,
+            "alpha": self.alpha,
+            "omega": self.pe_speed,
+            "C": self.lb_cost,
+            "dW": self.delta_w,
+            "a_hat": self.a_hat,
+            "m_hat": self.m_hat,
+            "overloading_fraction": self.overloading_fraction,
+        }
+
+
+def make_parameters(
+    *,
+    num_pes: int,
+    num_overloading: int,
+    iterations: int,
+    initial_workload: float,
+    uniform_rate: float,
+    overload_rate: float,
+    alpha: float = 0.0,
+    pe_speed: float = 1.0e9,
+    lb_cost: float = 0.0,
+) -> ApplicationParameters:
+    """Keyword-only convenience constructor for :class:`ApplicationParameters`."""
+    return ApplicationParameters(
+        num_pes=num_pes,
+        num_overloading=num_overloading,
+        iterations=iterations,
+        initial_workload=initial_workload,
+        uniform_rate=uniform_rate,
+        overload_rate=overload_rate,
+        alpha=alpha,
+        pe_speed=pe_speed,
+        lb_cost=lb_cost,
+    )
+
+
+@dataclass(frozen=True)
+class TableIIDefaults:
+    """Numerical constants of the Table II sampling distribution."""
+
+    #: Candidate PE counts (uniformly sampled).
+    pe_choices: Tuple[int, ...] = TABLE_II_PE_CHOICES
+    #: Range of the overloading fraction ``v`` with ``N = P * v``.
+    overloading_fraction_range: Tuple[float, float] = (0.01, 0.2)
+    #: Number of iterations (fixed in the paper).
+    iterations: int = 100
+    #: Per-PE initial workload range in FLOP (52e7 .. 1165e7 FLOP per PE,
+    #: i.e. 1e7 cells per PE at 52..1165 FLOP per cell).
+    per_pe_workload_range: Tuple[float, float] = (52.0e7, 1165.0e7)
+    #: ``dW = Wtot(0)/P * x`` with ``x`` in this range (1 % .. 30 % of the
+    #: per-PE workload).
+    wir_fraction_range: Tuple[float, float] = (0.01, 0.3)
+    #: ``y`` range: fraction of ``dW`` routed to overloading PEs
+    #: (``a = dW/P * (1 - y)``, ``m = dW/N * y``).
+    overload_share_range: Tuple[float, float] = (0.8, 1.0)
+    #: Range of the ULBA underloading fraction ``alpha``.
+    alpha_range: Tuple[float, float] = (0.0, 1.0)
+    #: ``C = Wtot(0)/P * z`` with ``z`` in this range -- note that the paper
+    #: expresses the LB cost as a multiple of the time to compute one
+    #: iteration (10 % .. 300 %), hence the division by ``omega`` in the
+    #: sampler.
+    lb_cost_fraction_range: Tuple[float, float] = (0.1, 3.0)
+    #: PE speed, fixed to 1 GFLOPS in the paper's simulations.
+    pe_speed: float = 1.0e9
+
+
+#: Default Table II constants (module-level singleton).
+TABLE_II_DEFAULTS = TableIIDefaults()
+
+
+class TableIISampler:
+    """Random application-instance sampler reproducing Table II.
+
+    Each call to :meth:`sample` draws one :class:`ApplicationParameters`
+    instance with:
+
+    * ``P`` uniform over ``{256, 512, 1024, 2048}``;
+    * ``N = round(P * v)``, ``v ~ U(0.01, 0.2)`` (at least one overloading PE);
+    * ``gamma = 100``;
+    * ``Wtot(0) ~ U(52e7 * P, 1165e7 * P)`` FLOP;
+    * ``dW = Wtot(0)/P * x``, ``x ~ U(0.01, 0.3)``;
+    * ``a = dW/P * (1 - y)`` and ``m = dW/N * y``, ``y ~ U(0.8, 1.0)``;
+    * ``alpha ~ U(0, 1)``;
+    * ``C = (Wtot(0)/P) / omega * z``, ``z ~ U(0.1, 3.0)`` seconds, i.e. the
+      LB cost is 10 %-300 % of the time to compute one iteration right after
+      a perfect balance;
+    * ``omega = 1`` GFLOPS.
+
+    Parameters
+    ----------
+    defaults:
+        Distribution constants; override to explore other input spaces.
+    overloading_fraction:
+        When given, pins ``N / P`` instead of sampling ``v`` (used by the
+        Figure 3 sweep over the percentage of overloading PEs).
+    num_pes:
+        When given, pins ``P`` instead of sampling it.
+    alpha:
+        When given, pins ``alpha`` instead of sampling it.
+    """
+
+    def __init__(
+        self,
+        defaults: TableIIDefaults = TABLE_II_DEFAULTS,
+        *,
+        overloading_fraction: Optional[float] = None,
+        num_pes: Optional[int] = None,
+        alpha: Optional[float] = None,
+    ) -> None:
+        self.defaults = defaults
+        if overloading_fraction is not None:
+            check_fraction(overloading_fraction, "overloading_fraction")
+        self.overloading_fraction = overloading_fraction
+        if num_pes is not None:
+            check_positive_int(num_pes, "num_pes")
+        self.num_pes = num_pes
+        if alpha is not None:
+            check_fraction(alpha, "alpha")
+        self.alpha = alpha
+
+    # ------------------------------------------------------------------
+    def sample(self, seed: SeedLike = None) -> ApplicationParameters:
+        """Draw a single random application instance."""
+        rng = ensure_rng(seed)
+        d = self.defaults
+
+        if self.num_pes is not None:
+            P = self.num_pes
+        else:
+            P = int(rng.choice(np.asarray(d.pe_choices)))
+
+        if self.overloading_fraction is not None:
+            v = self.overloading_fraction
+        else:
+            v = float(rng.uniform(*d.overloading_fraction_range))
+        N = max(1, int(round(P * v)))
+        N = min(N, P - 1)
+
+        W0 = float(rng.uniform(d.per_pe_workload_range[0] * P, d.per_pe_workload_range[1] * P))
+
+        x = float(rng.uniform(*d.wir_fraction_range))
+        dW = (W0 / P) * x
+
+        y = float(rng.uniform(*d.overload_share_range))
+        a = dW / P * (1.0 - y)
+        m = dW / N * y
+
+        if self.alpha is not None:
+            alpha = self.alpha
+        else:
+            alpha = float(rng.uniform(*d.alpha_range))
+
+        z = float(rng.uniform(*d.lb_cost_fraction_range))
+        per_pe_iteration_time = (W0 / P) / d.pe_speed
+        C = per_pe_iteration_time * z
+
+        return ApplicationParameters(
+            num_pes=P,
+            num_overloading=N,
+            iterations=d.iterations,
+            initial_workload=W0,
+            uniform_rate=a,
+            overload_rate=m,
+            alpha=alpha,
+            pe_speed=d.pe_speed,
+            lb_cost=C,
+        )
+
+    def sample_many(
+        self, count: int, seed: SeedLike = None
+    ) -> List[ApplicationParameters]:
+        """Draw ``count`` independent application instances."""
+        check_positive_int(count, "count")
+        rng = ensure_rng(seed)
+        return [self.sample(rng) for _ in range(count)]
+
+    def iter_samples(
+        self, count: int, seed: SeedLike = None
+    ) -> Iterator[ApplicationParameters]:
+        """Lazily yield ``count`` independent application instances."""
+        check_positive_int(count, "count")
+        rng = ensure_rng(seed)
+        for _ in range(count):
+            yield self.sample(rng)
+
+
+def alpha_grid(num_values: int = 100, *, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """Uniform grid of ``alpha`` values, as used by the Figure 3 sweep.
+
+    The paper tests "100 values of alpha uniformly distributed in [0, 1]" per
+    application instance and keeps the best.
+    """
+    check_positive_int(num_values, "num_values")
+    check_fraction(low, "low")
+    check_fraction(high, "high")
+    if high < low:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+    return np.linspace(low, high, num_values)

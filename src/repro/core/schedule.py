@@ -1,0 +1,306 @@
+"""Explicit load-balancing schedules and their evaluation (Eq. 3-4).
+
+A *schedule* is the set of iterations at which the load balancer is called
+during an application of ``gamma`` iterations.  The simulated-annealing
+search of Figure 2 optimises exactly this object (a boolean vector of length
+``gamma``), and both analytical cost models are evaluated by summing interval
+times over the schedule (Eq. 4 with either Eq. 2 or Eq. 5 inside Eq. 3).
+
+Conventions
+-----------
+* Iterations are numbered ``0 .. gamma - 1``.
+* The workload is evenly balanced at iteration 0 (paper assumption), so the
+  initial segment -- from iteration 0 up to the first LB call -- always
+  follows the *standard* per-iteration law and costs no LB time.
+* Every LB call costs ``C`` seconds and re-distributes the workload according
+  to the chosen model (evenly for the standard method; underloaded by
+  ``alpha`` for ULBA).  A call at iteration ``i`` takes effect for the
+  iterations ``i, i+1, ...`` up to the next call.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.intervals import interval_bounds, menon_tau
+from repro.core.parameters import ApplicationParameters
+from repro.core.standard_model import StandardLBModel
+from repro.core.ulba_model import ULBAModel
+
+__all__ = [
+    "LBSchedule",
+    "ScheduleEvaluation",
+    "evaluate_schedule",
+    "periodic_schedule",
+    "sigma_plus_schedule",
+    "menon_tau_schedule",
+    "single_interval_schedule",
+]
+
+ModelName = str  # "standard" | "ulba"
+
+
+@dataclass(frozen=True)
+class LBSchedule:
+    """Set of iterations at which the load balancer is invoked.
+
+    Attributes
+    ----------
+    iterations:
+        Application length ``gamma``.
+    lb_iterations:
+        Sorted tuple of distinct iteration indices in ``[0, gamma)`` at which
+        a LB step occurs.
+    """
+
+    iterations: int
+    lb_iterations: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ValueError(f"iterations must be > 0, got {self.iterations}")
+        events = tuple(sorted(set(int(i) for i in self.lb_iterations)))
+        for e in events:
+            if not 0 <= e < self.iterations:
+                raise ValueError(
+                    f"LB iteration {e} outside the application range "
+                    f"[0, {self.iterations})"
+                )
+        object.__setattr__(self, "lb_iterations", events)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bools(cls, flags: Sequence[Union[bool, int]]) -> "LBSchedule":
+        """Build a schedule from a boolean vector of length ``gamma``.
+
+        This is the state representation used by the simulated-annealing
+        search (Section III-B): ``flags[i]`` is true when the load balancer
+        is called at iteration ``i``.
+        """
+        flags = list(flags)
+        if not flags:
+            raise ValueError("flags must not be empty")
+        events = tuple(i for i, f in enumerate(flags) if bool(f))
+        return cls(iterations=len(flags), lb_iterations=events)
+
+    def to_bools(self) -> List[bool]:
+        """Return the boolean-vector representation of the schedule."""
+        flags = [False] * self.iterations
+        for e in self.lb_iterations:
+            flags[e] = True
+        return flags
+
+    # ------------------------------------------------------------------
+    @property
+    def num_lb_calls(self) -> int:
+        """Number of LB invocations in the schedule."""
+        return len(self.lb_iterations)
+
+    def intervals(self) -> List[Tuple[Optional[int], int, int]]:
+        """Decompose the run into intervals ``(lb_iteration, start, stop)``.
+
+        ``lb_iteration`` is ``None`` for the initial segment (evenly balanced
+        start, no LB cost); otherwise it equals ``start``.  ``stop`` is
+        exclusive.  Empty intervals (two LB calls at consecutive iterations
+        still produce a one-iteration interval; a call at the very last
+        iteration produces a single-iteration interval) are preserved so the
+        LB cost accounting stays exact.
+        """
+        result: List[Tuple[Optional[int], int, int]] = []
+        events = list(self.lb_iterations)
+        first = events[0] if events else self.iterations
+        if first > 0:
+            result.append((None, 0, first))
+        for idx, e in enumerate(events):
+            stop = events[idx + 1] if idx + 1 < len(events) else self.iterations
+            result.append((e, e, stop))
+        return result
+
+    def with_event(self, iteration: int) -> "LBSchedule":
+        """Return a copy with an additional LB call at ``iteration``."""
+        return LBSchedule(self.iterations, self.lb_iterations + (iteration,))
+
+    def without_event(self, iteration: int) -> "LBSchedule":
+        """Return a copy with the LB call at ``iteration`` removed (if any)."""
+        return LBSchedule(
+            self.iterations,
+            tuple(e for e in self.lb_iterations if e != iteration),
+        )
+
+    def toggled(self, iteration: int) -> "LBSchedule":
+        """Return a copy with the LB call at ``iteration`` toggled."""
+        if iteration in self.lb_iterations:
+            return self.without_event(iteration)
+        return self.with_event(iteration)
+
+
+@dataclass(frozen=True)
+class ScheduleEvaluation:
+    """Result of evaluating a schedule under a cost model (Eq. 4)."""
+
+    #: Total parallel time in seconds (compute + LB costs).
+    total_time: float
+    #: Compute-only time in seconds.
+    compute_time: float
+    #: Total time spent in LB steps (``num_lb_calls * C``).
+    lb_time: float
+    #: Number of LB invocations.
+    num_lb_calls: int
+    #: Time of each interval, in schedule order (including the LB cost of the
+    #: interval when applicable).
+    interval_times: Tuple[float, ...]
+    #: Name of the cost model used ("standard" or "ulba").
+    model: ModelName
+    #: The evaluated schedule.
+    schedule: LBSchedule
+    #: The underloading fraction used for ULBA intervals.
+    alpha: float
+
+
+def evaluate_schedule(
+    params: ApplicationParameters,
+    schedule: LBSchedule,
+    *,
+    model: ModelName = "standard",
+    alpha: Optional[float] = None,
+) -> ScheduleEvaluation:
+    """Evaluate ``schedule`` for ``params`` under the requested cost model.
+
+    Parameters
+    ----------
+    params:
+        Application instance.
+    schedule:
+        LB schedule to evaluate; its ``iterations`` must match
+        ``params.iterations``.
+    model:
+        ``"standard"`` uses Eq. 2 inside every post-LB interval, ``"ulba"``
+        uses Eq. 5.  The initial, evenly balanced segment always follows
+        Eq. 2 (with no LB cost) under both models.
+    alpha:
+        ULBA underloading fraction; defaults to ``params.alpha``.  Ignored by
+        the standard model.
+
+    Returns
+    -------
+    ScheduleEvaluation
+    """
+    if schedule.iterations != params.iterations:
+        raise ValueError(
+            f"schedule covers {schedule.iterations} iterations but the "
+            f"application has {params.iterations}"
+        )
+    if model not in ("standard", "ulba"):
+        raise ValueError(f"model must be 'standard' or 'ulba', got {model!r}")
+
+    std = StandardLBModel(params)
+    ulba = ULBAModel(params) if model == "ulba" else None
+    effective_alpha = params.alpha if alpha is None else float(alpha)
+
+    interval_times: List[float] = []
+    compute_time = 0.0
+    lb_time = 0.0
+
+    for lb_iter, start, stop in schedule.intervals():
+        if lb_iter is None:
+            t = std.interval_compute_time(start, stop)
+            interval_times.append(t)
+            compute_time += t
+            continue
+        if model == "standard":
+            t_compute = std.interval_compute_time(start, stop)
+        else:
+            assert ulba is not None
+            t_compute = ulba.interval_compute_time(start, stop, alpha=effective_alpha)
+        interval_times.append(params.lb_cost + t_compute)
+        compute_time += t_compute
+        lb_time += params.lb_cost
+
+    return ScheduleEvaluation(
+        total_time=compute_time + lb_time,
+        compute_time=compute_time,
+        lb_time=lb_time,
+        num_lb_calls=schedule.num_lb_calls,
+        interval_times=tuple(interval_times),
+        model=model,
+        schedule=schedule,
+        alpha=effective_alpha if model == "ulba" else 0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Schedule generators.
+# ----------------------------------------------------------------------
+def single_interval_schedule(iterations: int) -> LBSchedule:
+    """Schedule with no LB call at all (static partitioning baseline)."""
+    return LBSchedule(iterations=iterations, lb_iterations=())
+
+
+def periodic_schedule(iterations: int, period: int, *, start: Optional[int] = None) -> LBSchedule:
+    """Schedule calling the load balancer every ``period`` iterations.
+
+    ``start`` defaults to ``period`` (the workload is balanced at iteration 0
+    so an immediate call would be wasted).
+    """
+    if period <= 0:
+        raise ValueError(f"period must be > 0, got {period}")
+    first = period if start is None else start
+    events = list(range(first, iterations, period))
+    return LBSchedule(iterations=iterations, lb_iterations=tuple(events))
+
+
+def menon_tau_schedule(params: ApplicationParameters) -> LBSchedule:
+    """Periodic schedule at Menon's interval ``tau = sqrt(2 C omega / m_hat)``."""
+    tau = menon_tau(params)
+    if math.isinf(tau):
+        return single_interval_schedule(params.iterations)
+    period = max(1, int(math.floor(tau)))
+    return periodic_schedule(params.iterations, period)
+
+
+def sigma_plus_schedule(
+    params: ApplicationParameters,
+    *,
+    alpha: Optional[float] = None,
+    first_interval_alpha: float = 0.0,
+    minimum_interval: int = 1,
+) -> LBSchedule:
+    """Schedule produced by repeatedly applying the ``sigma_plus`` rule.
+
+    Starting from the evenly balanced iteration 0, the next LB call is placed
+    ``sigma_plus`` iterations later; each subsequent call is placed
+    ``sigma_plus(lb_prev)`` iterations after the previous one (Section III-B:
+    "we propose to use sigma_plus as the LB steps").
+
+    Parameters
+    ----------
+    alpha:
+        Underloading fraction used from the first LB call onwards; defaults
+        to ``params.alpha``.  With ``alpha = 0`` this degenerates to Menon's
+        periodic-in-closed-form schedule (the standard adaptive method).
+    first_interval_alpha:
+        Underloading fraction assumed for the *initial* segment when
+        computing the first call location.  The initial distribution is even,
+        so the default of 0 applies Menon's break-even rule to the first
+        segment.
+    minimum_interval:
+        Lower clamp on the distance between consecutive LB calls; guards
+        against degenerate parameter sets where ``sigma_plus < 1``.
+    """
+    if minimum_interval <= 0:
+        raise ValueError(f"minimum_interval must be > 0, got {minimum_interval}")
+    effective_alpha = params.alpha if alpha is None else float(alpha)
+
+    events: List[int] = []
+    bounds = interval_bounds(params, 0, alpha=first_interval_alpha)
+    nxt = bounds.next_lb_iteration(minimum_interval=minimum_interval)
+    while not math.isinf(nxt) and nxt < params.iterations:
+        nxt_int = int(nxt)
+        events.append(nxt_int)
+        bounds = interval_bounds(params, nxt_int, alpha=effective_alpha)
+        nxt = bounds.next_lb_iteration(minimum_interval=minimum_interval)
+    return LBSchedule(iterations=params.iterations, lb_iterations=tuple(events))

@@ -1,0 +1,117 @@
+"""Discrete cost model of the *standard* load-balancing method (Eq. 2-4).
+
+The standard method redistributes the workload perfectly evenly at every LB
+step.  Right after a LB step at iteration ``LBp`` every PE holds
+``Wtot(LBp) / P`` FLOP; afterwards the most loaded PE (one of the ``N``
+overloading PEs) accumulates ``m + a`` FLOP per iteration, so the time of the
+``t``-th iteration after the LB step is (Eq. 2):
+
+.. math::
+
+   T^{std}_{par}(LB_p, t) = \\frac{1}{\\omega}
+       \\left[ \\frac{W_{tot}(LB_p)}{P} + (m + a)\\, t \\right].
+
+The time of a LB interval is the LB cost ``C`` plus the sum of its iteration
+times (Eq. 3) and the application time is the sum over all intervals (Eq. 4).
+This module implements the per-iteration and per-interval pieces; the
+composition over an arbitrary schedule of LB calls lives in
+:mod:`repro.core.schedule` so that the standard and ULBA models share one
+evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.parameters import ApplicationParameters
+from repro.core.workload import WorkloadModel
+
+__all__ = ["StandardLBModel"]
+
+
+class StandardLBModel:
+    """Analytical cost model of the standard LB method for one instance.
+
+    Parameters
+    ----------
+    params:
+        The application instance.  The instance's ``alpha`` is ignored: the
+        standard method always balances evenly.
+    """
+
+    #: Name used in reports and experiment tables.
+    name = "standard"
+
+    def __init__(self, params: ApplicationParameters) -> None:
+        self.params = params
+        self.workload = WorkloadModel(params)
+
+    # ------------------------------------------------------------------
+    def iteration_time(self, lb_prev: int, t: int) -> float:
+        """Time of the ``t``-th iteration after a LB step at ``lb_prev`` (Eq. 2)."""
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        p = self.params
+        share = self.workload.balanced_share(lb_prev)
+        return (share + (p.m + p.a) * t) / p.omega
+
+    def iteration_times(self, lb_prev: int, ts: Sequence[int]) -> np.ndarray:
+        """Vectorised :meth:`iteration_time` over iteration offsets ``ts``."""
+        offsets = np.asarray(list(ts), dtype=float)
+        if (offsets < 0).any():
+            raise ValueError("iteration offsets must all be >= 0")
+        p = self.params
+        share = self.workload.balanced_share(lb_prev)
+        return (share + (p.m + p.a) * offsets) / p.omega
+
+    # ------------------------------------------------------------------
+    def interval_compute_time(self, lb_prev: int, lb_next: int) -> float:
+        """Compute time of the interval ``[lb_prev, lb_next)`` (Eq. 3 without C).
+
+        The interval covers iterations ``lb_prev, ..., lb_next - 1``; offset
+        ``t`` ranges over ``0 .. lb_next - lb_prev - 1``.  The arithmetic sum
+        is evaluated in closed form so the schedule evaluator stays O(number
+        of intervals) instead of O(number of iterations).
+        """
+        if lb_next < lb_prev:
+            raise ValueError(
+                f"lb_next ({lb_next}) must be >= lb_prev ({lb_prev})"
+            )
+        n = lb_next - lb_prev
+        if n == 0:
+            return 0.0
+        p = self.params
+        share = self.workload.balanced_share(lb_prev)
+        # sum_{t=0}^{n-1} [share + (m + a) t] = n*share + (m+a) * n(n-1)/2
+        total_flop = n * share + (p.m + p.a) * n * (n - 1) / 2.0
+        return total_flop / p.omega
+
+    def interval_time(self, lb_prev: int, lb_next: int, *, charge_lb_cost: bool = True) -> float:
+        """Time of the interval ``[lb_prev, lb_next)`` including the LB cost (Eq. 3)."""
+        cost = self.params.lb_cost if charge_lb_cost else 0.0
+        return cost + self.interval_compute_time(lb_prev, lb_next)
+
+    # ------------------------------------------------------------------
+    def first_interval_compute_time(self, lb_next: int) -> float:
+        """Compute time of the initial interval ``[0, lb_next)``.
+
+        The paper assumes the workload is balanced (evenly) at iteration 0,
+        so the first interval behaves exactly like an interval following a
+        standard LB step but without paying ``C``.
+        """
+        return self.interval_compute_time(0, lb_next)
+
+    # ------------------------------------------------------------------
+    def imbalance_cost(self, tau: int | float) -> float:
+        """Load-imbalance cost accumulated over ``tau`` iterations (Eq. 10).
+
+        ``Cost_imbalance(tau) = (1/omega) * integral_0^tau m_hat t dt``,
+        i.e. the time wasted by the most loaded PE above the average since
+        the last LB step.
+        """
+        if tau < 0:
+            raise ValueError(f"tau must be >= 0, got {tau}")
+        p = self.params
+        return p.m_hat * float(tau) ** 2 / (2.0 * p.omega)

@@ -1,0 +1,202 @@
+"""Discrete cost model of the Underloading Load Balancing Approach (Eq. 5-6).
+
+At a ULBA load-balancing step at iteration ``LBp`` each of the ``N``
+overloading PEs gives away a fraction ``alpha`` of the perfectly balanced
+workload; the ``P - N`` other PEs absorb that work evenly (Fig. 1, Eq. 6):
+
+.. math::
+
+   W^* = (1 - \\alpha) \\frac{W_{tot}(LB_p)}{P}, \\qquad
+   W   = \\Big(1 + \\frac{\\alpha N}{P - N}\\Big) \\frac{W_{tot}(LB_p)}{P}.
+
+Immediately after the step the iteration time is dominated by the
+*non-overloading* PEs (they received extra work), which only grow at rate
+``a``.  After ``sigma_minus`` iterations the overloading PEs -- growing at
+``m + a`` -- catch up and dominate again.  The iteration time is therefore
+the two-branch expression of Eq. 5:
+
+.. math::
+
+   T^{ULBA}_{par}(LB_p, t) = \\frac{1}{\\omega} \\begin{cases}
+       W + a\\, t & t \\le \\sigma^-(LB_p) \\\\
+       W^* + (m + a)\\, t & \\text{otherwise.}
+   \\end{cases}
+
+Setting ``alpha = 0`` makes both branches coincide with the standard model,
+which is the degenerate case the paper uses to argue ULBA is never worse.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.parameters import ApplicationParameters
+from repro.core.workload import WorkloadModel
+
+__all__ = ["ULBAModel"]
+
+
+class ULBAModel:
+    """Analytical cost model of ULBA for one application instance.
+
+    Parameters
+    ----------
+    params:
+        The application instance.  ``params.alpha`` is the underloading
+        fraction applied at every LB step; pass ``alpha`` explicitly to the
+        methods to study a different value without rebuilding the model.
+    """
+
+    #: Name used in reports and experiment tables.
+    name = "ulba"
+
+    def __init__(self, params: ApplicationParameters) -> None:
+        self.params = params
+        self.workload = WorkloadModel(params)
+
+    # ------------------------------------------------------------------
+    def _alpha(self, alpha: float | None) -> float:
+        value = self.params.alpha if alpha is None else float(alpha)
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"alpha must be within [0, 1], got {value}")
+        return value
+
+    def post_lb_shares(self, lb_prev: int, *, alpha: float | None = None) -> Tuple[float, float]:
+        """Per-PE workloads right after a ULBA step at ``lb_prev`` (Eq. 6).
+
+        Returns
+        -------
+        (w_star, w):
+            ``w_star`` is the workload kept by each overloading PE and ``w``
+            the workload held by each non-overloading PE.
+        """
+        p = self.params
+        a = self._alpha(alpha)
+        share = self.workload.balanced_share(lb_prev)
+        if p.num_overloading == 0:
+            return share, share
+        w_star = (1.0 - a) * share
+        w = (1.0 + a * p.num_overloading / (p.num_pes - p.num_overloading)) * share
+        return w_star, w
+
+    def sigma_minus(self, lb_prev: int, *, alpha: float | None = None) -> int:
+        """Catch-up length ``sigma_minus(lb_prev)`` in iterations (Eq. 8).
+
+        Number of iterations the overloading PEs need to climb back to the
+        workload of the non-overloading PEs after a ULBA step at
+        ``lb_prev``.  Returns a very large value when ``m == 0`` (the
+        overloading PEs never catch up because they do not exist or do not
+        overload); callers treat anything beyond the application length as
+        "never".
+        """
+        p = self.params
+        a = self._alpha(alpha)
+        if a == 0.0 or p.num_overloading == 0:
+            return 0
+        if p.overload_rate == 0.0:
+            return int(10**18)
+        wtot = self.workload.total_workload(lb_prev)
+        factor = 1.0 + p.num_overloading / (p.num_pes - p.num_overloading)
+        value = factor * a * wtot / (p.overload_rate * p.num_pes)
+        return int(math.floor(value))
+
+    # ------------------------------------------------------------------
+    def iteration_time(self, lb_prev: int, t: int, *, alpha: float | None = None) -> float:
+        """Time of the ``t``-th iteration after a ULBA step at ``lb_prev`` (Eq. 5)."""
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        p = self.params
+        w_star, w = self.post_lb_shares(lb_prev, alpha=alpha)
+        sigma = self.sigma_minus(lb_prev, alpha=alpha)
+        if t <= sigma:
+            return (w + p.a * t) / p.omega
+        return (w_star + (p.m + p.a) * t) / p.omega
+
+    def iteration_times(
+        self, lb_prev: int, ts: Sequence[int], *, alpha: float | None = None
+    ) -> np.ndarray:
+        """Vectorised :meth:`iteration_time` over iteration offsets ``ts``."""
+        offsets = np.asarray(list(ts), dtype=float)
+        if (offsets < 0).any():
+            raise ValueError("iteration offsets must all be >= 0")
+        p = self.params
+        w_star, w = self.post_lb_shares(lb_prev, alpha=alpha)
+        sigma = self.sigma_minus(lb_prev, alpha=alpha)
+        under = (w + p.a * offsets) / p.omega
+        over = (w_star + (p.m + p.a) * offsets) / p.omega
+        return np.where(offsets <= sigma, under, over)
+
+    # ------------------------------------------------------------------
+    def interval_compute_time(
+        self, lb_prev: int, lb_next: int, *, alpha: float | None = None
+    ) -> float:
+        """Compute time of the interval ``[lb_prev, lb_next)`` under ULBA.
+
+        Closed-form sum of Eq. 5 over offsets ``0 .. lb_next - lb_prev - 1``,
+        split at the catch-up point ``sigma_minus``.
+        """
+        if lb_next < lb_prev:
+            raise ValueError(f"lb_next ({lb_next}) must be >= lb_prev ({lb_prev})")
+        n = lb_next - lb_prev
+        if n == 0:
+            return 0.0
+        p = self.params
+        w_star, w = self.post_lb_shares(lb_prev, alpha=alpha)
+        sigma = self.sigma_minus(lb_prev, alpha=alpha)
+
+        # Offsets 0 .. n-1; the first branch covers offsets <= sigma.
+        n_under = min(n, sigma + 1) if sigma >= 0 else 0
+        n_over = n - n_under
+
+        total_flop = 0.0
+        if n_under > 0:
+            # sum_{t=0}^{n_under-1} (w + a t)
+            total_flop += n_under * w + p.a * n_under * (n_under - 1) / 2.0
+        if n_over > 0:
+            # offsets t = n_under .. n-1
+            t_lo = n_under
+            t_hi = n - 1
+            count = n_over
+            sum_t = (t_lo + t_hi) * count / 2.0
+            total_flop += count * w_star + (p.m + p.a) * sum_t
+        return total_flop / p.omega
+
+    def interval_time(
+        self,
+        lb_prev: int,
+        lb_next: int,
+        *,
+        alpha: float | None = None,
+        charge_lb_cost: bool = True,
+    ) -> float:
+        """Time of the interval ``[lb_prev, lb_next)`` including the LB cost."""
+        cost = self.params.lb_cost if charge_lb_cost else 0.0
+        return cost + self.interval_compute_time(lb_prev, lb_next, alpha=alpha)
+
+    # ------------------------------------------------------------------
+    def overhead_cost(self, lb_prev: int, tau: int | float, *, alpha: float | None = None) -> float:
+        """ULBA overhead accumulated by a non-overloading PE (Eq. 11).
+
+        The overhead is the amount of extra work one non-overloading PE will
+        receive from the overloading PEs at the *next* LB step, i.e. at
+        iteration ``lb_prev + sigma_minus(lb_prev) + tau``, divided by the PE
+        speed.
+        """
+        if tau < 0:
+            raise ValueError(f"tau must be >= 0, got {tau}")
+        p = self.params
+        a = self._alpha(alpha)
+        if p.num_overloading == 0 or a == 0.0:
+            return 0.0
+        sigma = self.sigma_minus(lb_prev, alpha=alpha)
+        wtot_next = self.workload.total_workload(lb_prev) + (sigma + float(tau)) * p.delta_w
+        return (
+            a
+            * p.num_overloading
+            / (p.num_pes - p.num_overloading)
+            * wtot_next
+            / (p.omega * p.num_pes)
+        )

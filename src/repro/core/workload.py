@@ -1,0 +1,207 @@
+"""Workload-evolution model of the paper (Eq. 1) and rate decompositions.
+
+The paper models a dynamic iterative application whose total workload grows
+linearly with the iteration number:
+
+.. math::
+
+    W_{tot}(i) = W_{tot}(0) + i \\, \\Delta W
+
+with :math:`\\Delta W = a P + m N`: at every iteration each of the :math:`P`
+processing elements receives :math:`a` FLOP of new work and each of the
+:math:`N` *overloading* PEs additionally receives :math:`m` FLOP.
+
+Two equivalent decompositions of the per-iteration increase are used:
+
+* the *per-PE* view ``(a, m)`` of this paper, and
+* the *Menon* view ``(a_hat, m_hat)`` of Menon et al. 2012, with
+  ``a_hat = a + m N / P`` (growth of the average load) and
+  ``m_hat = m (P - N) / P`` (growth of the most loaded PE's excess over the
+  average).
+
+This module provides conversions between the two and per-PE workload
+trajectories used by the tests and the schedule evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.parameters import ApplicationParameters
+from repro.utils.validation import check_non_negative, check_positive_int
+
+__all__ = [
+    "WorkloadModel",
+    "RateDecomposition",
+    "menon_rates",
+    "per_pe_rates",
+    "per_pe_increase_rates",
+]
+
+
+@dataclass(frozen=True)
+class RateDecomposition:
+    """Pair of workload-increase-rate decompositions for one instance.
+
+    Attributes
+    ----------
+    a, m:
+        Per-PE rates of this paper (uniform rate and extra rate of the
+        overloading PEs).
+    a_hat, m_hat:
+        Menon's rates (average rate and extra rate of the most loaded PE).
+    """
+
+    a: float
+    m: float
+    a_hat: float
+    m_hat: float
+
+
+def menon_rates(a: float, m: float, num_pes: int, num_overloading: int) -> Tuple[float, float]:
+    """Convert per-PE rates ``(a, m)`` to Menon rates ``(a_hat, m_hat)``.
+
+    ``a_hat = a + m N / P`` and ``m_hat = m (P - N) / P`` (Section II-C).
+    """
+    check_non_negative(a, "a")
+    check_non_negative(m, "m")
+    check_positive_int(num_pes, "num_pes")
+    if not 0 <= num_overloading <= num_pes:
+        raise ValueError("num_overloading must satisfy 0 <= N <= P")
+    a_hat = a + m * num_overloading / num_pes
+    m_hat = m * (num_pes - num_overloading) / num_pes
+    return a_hat, m_hat
+
+
+def per_pe_rates(
+    a_hat: float, m_hat: float, num_pes: int, num_overloading: int
+) -> Tuple[float, float]:
+    """Convert Menon rates ``(a_hat, m_hat)`` back to per-PE rates ``(a, m)``.
+
+    Inverse of :func:`menon_rates`; requires ``N < P`` (otherwise ``m`` is
+    undetermined).
+    """
+    check_non_negative(a_hat, "a_hat")
+    check_non_negative(m_hat, "m_hat")
+    check_positive_int(num_pes, "num_pes")
+    if not 0 <= num_overloading < num_pes:
+        raise ValueError("num_overloading must satisfy 0 <= N < P")
+    m = m_hat * num_pes / (num_pes - num_overloading)
+    a = a_hat - m * num_overloading / num_pes
+    if a < 0 and a > -1e-9:  # numerical round-off
+        a = 0.0
+    if a < 0:
+        raise ValueError(
+            "inconsistent Menon rates: they imply a negative uniform rate a"
+        )
+    return a, m
+
+
+def per_pe_increase_rates(params: ApplicationParameters) -> np.ndarray:
+    """Per-PE workload increase rates as a vector of length ``P``.
+
+    The first ``N`` entries are the overloading PEs (rate ``a + m``), the
+    remaining ``P - N`` entries are the regular PEs (rate ``a``).  The
+    ordering convention (overloading PEs first) is shared with the
+    schedule evaluator and the virtual-cluster experiments.
+    """
+    rates = np.full(params.num_pes, params.uniform_rate, dtype=float)
+    rates[: params.num_overloading] += params.overload_rate
+    return rates
+
+
+class WorkloadModel:
+    """Total and per-PE workload trajectories of one application instance.
+
+    The model is intentionally tiny -- it exists so that the analytical
+    formulas, the simulated-annealing objective and the virtual-cluster
+    simulator all derive workloads from a single, well-tested source.
+    """
+
+    def __init__(self, params: ApplicationParameters) -> None:
+        self.params = params
+
+    # ------------------------------------------------------------------
+    def total_workload(self, iteration: int) -> float:
+        """Total workload ``Wtot(i)`` at ``iteration`` (Eq. 1)."""
+        if iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {iteration}")
+        return self.params.initial_workload + iteration * self.params.delta_w
+
+    def total_workloads(self, iterations: Sequence[int]) -> np.ndarray:
+        """Vectorised :meth:`total_workload`."""
+        its = np.asarray(list(iterations), dtype=float)
+        if (its < 0).any():
+            raise ValueError("iterations must all be >= 0")
+        return self.params.initial_workload + its * self.params.delta_w
+
+    def balanced_share(self, iteration: int) -> float:
+        """Perfectly balanced per-PE workload ``Wtot(i) / P`` at ``iteration``."""
+        return self.total_workload(iteration) / self.params.num_pes
+
+    # ------------------------------------------------------------------
+    def decomposition(self) -> RateDecomposition:
+        """Return both rate decompositions of the instance."""
+        p = self.params
+        return RateDecomposition(a=p.a, m=p.m, a_hat=p.a_hat, m_hat=p.m_hat)
+
+    def increase_rates(self) -> np.ndarray:
+        """Per-PE increase rates (overloading PEs first)."""
+        return per_pe_increase_rates(self.params)
+
+    # ------------------------------------------------------------------
+    def per_pe_workloads(
+        self, iteration: int, *, balanced_at: int = 0, alpha: float | None = None
+    ) -> np.ndarray:
+        """Per-PE workloads ``iteration - balanced_at`` steps after a LB step.
+
+        Parameters
+        ----------
+        iteration:
+            Target iteration (``>= balanced_at``).
+        balanced_at:
+            Iteration at which the last load-balancing step happened.
+        alpha:
+            ULBA underloading fraction applied at that LB step.  ``None`` or
+            ``0.0`` means an even (standard) distribution.
+
+        Returns
+        -------
+        numpy.ndarray of shape ``(P,)``
+            Workload of each PE, overloading PEs first.  The sum always
+            equals ``Wtot(iteration)`` (workload conservation), which the
+            property-based tests assert.
+        """
+        p = self.params
+        if iteration < balanced_at:
+            raise ValueError(
+                f"iteration ({iteration}) must be >= balanced_at ({balanced_at})"
+            )
+        steps = iteration - balanced_at
+        share = self.balanced_share(balanced_at)
+        alpha = p.alpha if alpha is None else alpha
+        if alpha < 0.0 or alpha > 1.0:
+            raise ValueError(f"alpha must be within [0, 1], got {alpha}")
+        loads = np.empty(p.num_pes, dtype=float)
+        if p.num_overloading > 0 and alpha > 0.0:
+            over_start = (1.0 - alpha) * share
+            under_start = (
+                1.0 + alpha * p.num_overloading / (p.num_pes - p.num_overloading)
+            ) * share
+        else:
+            over_start = share
+            under_start = share
+        loads[: p.num_overloading] = over_start
+        loads[p.num_overloading :] = under_start
+        rates = self.increase_rates()
+        loads += rates * steps
+        return loads
+
+    def max_load(self, iteration: int, *, balanced_at: int = 0, alpha: float | None = None) -> float:
+        """Maximum per-PE workload; the iteration time is ``max_load / omega``."""
+        return float(
+            self.per_pe_workloads(iteration, balanced_at=balanced_at, alpha=alpha).max()
+        )

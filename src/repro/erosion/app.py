@@ -1,0 +1,171 @@
+"""The erosion application packaged for the runtime skeleton.
+
+:class:`ErosionApplication` exposes the erosion domain as a
+:class:`repro.runtime.skeleton.StripedApplication`: per-column fluid
+workloads plus a stochastic dynamics step.  :class:`ErosionConfig` captures
+the scaled-down analogue of the paper's experimental setup (Section IV-B):
+
+* paper: domain of ``(P * 1000) x 1000`` cells (one million cells per PE),
+  ``P`` rock discs of radius 250, one per PE, 1-3 of them strongly erodible;
+* here: ``(P * columns_per_pe) x rows`` cells with the same *structure*
+  (one disc per PE, disc radius = rows / 4, same erosion probabilities and
+  refinement factor), defaulting to 48 x 48 cells per PE so the experiments
+  run in seconds while preserving the imbalance dynamics that drive the
+  result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.erosion.domain import ErosionDomain
+from repro.erosion.dynamics import ErosionDynamics, ErosionStepStats
+from repro.erosion.rocks import (
+    STRONG_EROSION_PROBABILITY,
+    WEAK_EROSION_PROBABILITY,
+    RockDisc,
+    place_rocks,
+)
+from repro.utils.rng import SeedLike, derive_rng, ensure_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["ErosionConfig", "ErosionApplication"]
+
+
+@dataclass(frozen=True)
+class ErosionConfig:
+    """Configuration of one erosion-application instance.
+
+    Attributes mirror the knobs of the paper's Section IV-B setup; the
+    defaults are the scaled-down values used by the reproduction experiments.
+    """
+
+    #: Number of PEs (and of rock discs: one disc per PE).
+    num_pes: int
+    #: Domain columns per PE (paper: 1000).
+    columns_per_pe: int = 48
+    #: Domain rows (paper: 1000).
+    rows: int = 48
+    #: Number of strongly erodible rocks (1-3 in Figure 4).
+    num_strong_rocks: int = 1
+    #: Indices of the strong rocks; random when None ("not known in advance").
+    strong_rock_indices: Optional[Sequence[int]] = None
+    #: Rock disc radius in cells; defaults to ``rows / 4`` (paper: 250/1000).
+    rock_radius: Optional[float] = None
+    #: Erosion probability of weakly erodible rocks.
+    weak_probability: float = WEAK_EROSION_PROBABILITY
+    #: Erosion probability of strongly erodible rocks.
+    strong_probability: float = STRONG_EROSION_PROBABILITY
+    #: Workload weight of refined fluid cells (4 small cells per eroded rock).
+    refinement_factor: float = 4.0
+    #: FLOP charged per unit of fluid workload weight.
+    flop_per_load_unit: float = 100.0
+    #: Seed controlling rock selection and erosion randomness.
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_pes, "num_pes")
+        check_positive_int(self.columns_per_pe, "columns_per_pe")
+        check_positive_int(self.rows, "rows")
+        if not 0 <= self.num_strong_rocks <= self.num_pes:
+            raise ValueError(
+                "num_strong_rocks must lie in [0, num_pes], got "
+                f"{self.num_strong_rocks}"
+            )
+        check_positive(self.refinement_factor, "refinement_factor")
+        check_positive(self.flop_per_load_unit, "flop_per_load_unit")
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Total number of domain columns."""
+        return self.num_pes * self.columns_per_pe
+
+    @property
+    def cells_per_pe(self) -> int:
+        """Number of grid cells per PE (paper: one million)."""
+        return self.columns_per_pe * self.rows
+
+
+class ErosionApplication:
+    """The erosion application as a striped iterative workload.
+
+    Build either from a :class:`ErosionConfig` (recommended,
+    :meth:`from_config`) or from an existing domain for fine-grained tests.
+    """
+
+    def __init__(
+        self,
+        domain: ErosionDomain,
+        *,
+        discs: Optional[List[RockDisc]] = None,
+        flop_per_load_unit: float = 100.0,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(flop_per_load_unit, "flop_per_load_unit")
+        self.domain = domain
+        self.discs = list(discs) if discs else []
+        self.flop_per_load_unit = float(flop_per_load_unit)
+        self.dynamics = ErosionDynamics(domain, seed=seed)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: ErosionConfig) -> "ErosionApplication":
+        """Build the domain, place the rocks and wrap everything up."""
+        rng = ensure_rng(config.seed)
+        domain = ErosionDomain(
+            config.width,
+            config.rows,
+            refinement_factor=config.refinement_factor,
+        )
+        discs = place_rocks(
+            domain,
+            config.num_pes,
+            radius=config.rock_radius,
+            num_strong=config.num_strong_rocks,
+            strong_indices=config.strong_rock_indices,
+            weak_probability=config.weak_probability,
+            strong_probability=config.strong_probability,
+            seed=derive_rng(rng, 0),
+        )
+        return cls(
+            domain,
+            discs=discs,
+            flop_per_load_unit=config.flop_per_load_unit,
+            seed=derive_rng(rng, 1),
+        )
+
+    # ------------------------------------------------------------------
+    # StripedApplication protocol.
+    # ------------------------------------------------------------------
+    @property
+    def num_columns(self) -> int:
+        """Number of domain columns."""
+        return self.domain.width
+
+    def column_loads(self) -> np.ndarray:
+        """Current per-column fluid workload."""
+        return self.domain.column_loads()
+
+    def advance(self) -> None:
+        """Run one probabilistic erosion + refinement step."""
+        self.dynamics.advance()
+
+    # ------------------------------------------------------------------
+    # Extra introspection used by experiments and tests.
+    # ------------------------------------------------------------------
+    @property
+    def strong_rocks(self) -> List[RockDisc]:
+        """The strongly erodible discs."""
+        return [d for d in self.discs if d.is_strong]
+
+    def total_load(self) -> float:
+        """Total fluid workload of the domain."""
+        return self.domain.total_load
+
+    def last_step_stats(self) -> Optional[ErosionStepStats]:
+        """Statistics of the most recent erosion step, if any."""
+        return self.dynamics.history[-1] if self.dynamics.history else None

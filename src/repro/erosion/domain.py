@@ -1,0 +1,207 @@
+"""The 2-D erosion domain: cell grid, workload weights, column accounting.
+
+The domain is a ``width x height`` grid (x = column index, y = row index).
+Each cell is either *fluid* or *rock*:
+
+* fluid cells carry a workload weight (1.0 for original fluid cells, higher
+  for cells produced by mesh refinement when a rock cell is eroded);
+* rock cells carry no workload but have an erosion probability inherited
+  from the rock disc they belong to.
+
+The stripe decomposition partitions *columns*, so the quantity every other
+component consumes is the per-column fluid workload
+(:meth:`ErosionDomain.column_loads`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["CellType", "ErosionDomain"]
+
+
+class CellType(enum.IntEnum):
+    """Type of one domain cell."""
+
+    FLUID = 0
+    ROCK = 1
+
+
+class ErosionDomain:
+    """Mutable state of the erosion application's computational domain.
+
+    Parameters
+    ----------
+    width, height:
+        Grid dimensions (columns x rows).
+    refinement_factor:
+        Workload weight given to the fluid produced by eroding one rock cell
+        (the paper converts one rock cell into four smaller fluid cells,
+        hence the default of 4.0).
+    fluid_weight:
+        Workload weight of an original fluid cell (1.0).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        *,
+        refinement_factor: float = 4.0,
+        fluid_weight: float = 1.0,
+    ) -> None:
+        check_positive_int(width, "width")
+        check_positive_int(height, "height")
+        check_positive(refinement_factor, "refinement_factor")
+        check_positive(fluid_weight, "fluid_weight")
+        self.width = width
+        self.height = height
+        self.refinement_factor = refinement_factor
+        self.fluid_weight = fluid_weight
+
+        #: Cell types, shape ``(width, height)``.
+        self.cell_type = np.full((width, height), CellType.FLUID, dtype=np.int8)
+        #: Per-cell workload weight (0 for rock cells).
+        self.weight = np.full((width, height), fluid_weight, dtype=float)
+        #: Per-cell erosion probability (0 for fluid cells).
+        self.erosion_probability = np.zeros((width, height), dtype=float)
+        #: Identifier of the rock disc each rock cell belongs to (-1 = none).
+        self.rock_id = np.full((width, height), -1, dtype=np.int32)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Grid shape ``(width, height)``."""
+        return (self.width, self.height)
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of grid positions."""
+        return self.width * self.height
+
+    def fluid_mask(self) -> np.ndarray:
+        """Boolean mask of fluid cells."""
+        return self.cell_type == CellType.FLUID
+
+    def rock_mask(self) -> np.ndarray:
+        """Boolean mask of rock cells."""
+        return self.cell_type == CellType.ROCK
+
+    @property
+    def num_fluid_cells(self) -> int:
+        """Number of fluid grid positions."""
+        return int(self.fluid_mask().sum())
+
+    @property
+    def num_rock_cells(self) -> int:
+        """Number of rock grid positions."""
+        return int(self.rock_mask().sum())
+
+    @property
+    def total_load(self) -> float:
+        """Total fluid workload weight of the domain."""
+        return float(self.weight.sum())
+
+    # ------------------------------------------------------------------
+    # Rock placement / erosion mutations.
+    # ------------------------------------------------------------------
+    def set_rock(self, mask: np.ndarray, probability: float, rock_id: int) -> int:
+        """Turn the cells selected by ``mask`` into rock.
+
+        Returns the number of cells converted.  Cells already belonging to a
+        rock keep their original rock id (discs do not overlap in the
+        paper's setup, but the guard keeps the invariant simple).
+        """
+        if mask.shape != self.cell_type.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match the domain {self.shape}"
+            )
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"probability must lie within [0, 1], got {probability}"
+            )
+        fresh = mask & self.fluid_mask()
+        self.cell_type[fresh] = CellType.ROCK
+        self.weight[fresh] = 0.0
+        self.erosion_probability[fresh] = probability
+        self.rock_id[fresh] = rock_id
+        return int(fresh.sum())
+
+    def erode(self, mask: np.ndarray) -> int:
+        """Erode the rock cells selected by ``mask``.
+
+        Each eroded rock cell becomes fluid with weight ``refinement_factor``
+        (four smaller fluid cells in the paper).  Returns the number of
+        eroded cells; fluid cells in the mask are ignored.
+        """
+        if mask.shape != self.cell_type.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match the domain {self.shape}"
+            )
+        target = mask & self.rock_mask()
+        self.cell_type[target] = CellType.FLUID
+        self.weight[target] = self.refinement_factor * self.fluid_weight
+        self.erosion_probability[target] = 0.0
+        self.rock_id[target] = -1
+        return int(target.sum())
+
+    # ------------------------------------------------------------------
+    # Workload accounting.
+    # ------------------------------------------------------------------
+    def column_loads(self) -> np.ndarray:
+        """Fluid workload per column (the stripe partitioner's input)."""
+        return self.weight.sum(axis=1)
+
+    def stripe_loads(self, boundaries: np.ndarray | Tuple[int, ...]) -> np.ndarray:
+        """Workload per stripe for the given column ``boundaries``."""
+        cols = self.column_loads()
+        bounds = np.asarray(boundaries, dtype=int)
+        if bounds[0] != 0 or bounds[-1] != self.width:
+            raise ValueError(
+                "boundaries must start at 0 and end at the domain width"
+            )
+        return np.asarray(
+            [cols[bounds[i] : bounds[i + 1]].sum() for i in range(len(bounds) - 1)]
+        )
+
+    def boundary_rock_mask(self) -> np.ndarray:
+        """Rock cells with at least one fluid 4-neighbour (erodible this step).
+
+        Rocks on the domain border count the outside as fluid, matching a
+        domain immersed in fluid.
+        """
+        fluid = self.fluid_mask()
+        neighbour_fluid = np.zeros_like(fluid)
+        # Left/right neighbours (domain border treated as fluid).
+        neighbour_fluid[1:, :] |= fluid[:-1, :]
+        neighbour_fluid[0, :] = True
+        neighbour_fluid[:-1, :] |= fluid[1:, :]
+        neighbour_fluid[-1, :] = True
+        # Up/down neighbours.
+        neighbour_fluid[:, 1:] |= fluid[:, :-1]
+        neighbour_fluid[:, 0] = True
+        neighbour_fluid[:, :-1] |= fluid[:, 1:]
+        neighbour_fluid[:, -1] = True
+        return self.rock_mask() & neighbour_fluid
+
+    def copy(self) -> "ErosionDomain":
+        """Deep copy of the domain (used by deterministic replays in tests)."""
+        clone = ErosionDomain(
+            self.width,
+            self.height,
+            refinement_factor=self.refinement_factor,
+            fluid_weight=self.fluid_weight,
+        )
+        clone.cell_type = self.cell_type.copy()
+        clone.weight = self.weight.copy()
+        clone.erosion_probability = self.erosion_probability.copy()
+        clone.rock_id = self.rock_id.copy()
+        return clone

@@ -1,0 +1,87 @@
+"""Experiment drivers regenerating every figure of the paper's evaluation.
+
+Each module reproduces one figure and exposes (i) a ``run_figN`` function
+returning a structured result object with the same series the paper plots,
+(ii) a ``FigNConfig`` dataclass of experiment knobs with fast, scaled-down
+defaults, and (iii) a ``main()`` command-line entry point that prints the
+series as a text table:
+
+======================================  =======================================
+:mod:`repro.experiments.fig2_upperbound`  Fig. 2 -- sigma_plus vs. simulated
+                                          annealing on 1000 Table II instances.
+:mod:`repro.experiments.fig3_gain_vs_overloading`  Fig. 3 -- theoretical ULBA
+                                          gain vs. % of overloading PEs.
+:mod:`repro.experiments.fig4_erosion`     Fig. 4a/4b -- erosion application:
+                                          run time, LB calls, PE utilization.
+:mod:`repro.experiments.fig5_alpha_tuning`  Fig. 5 -- ULBA run time vs. alpha.
+======================================  =======================================
+
+The benchmark harness (``benchmarks/``) wraps these drivers so that
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure.
+"""
+
+from repro.experiments.ablations import (
+    AblationCase,
+    AblationResult,
+    ErosionScenario,
+    run_alpha_policy_comparison,
+    run_dissemination_ablation,
+    run_lb_cost_sensitivity,
+    run_threshold_ablation,
+    run_trigger_ablation,
+)
+from repro.experiments.common import ExperimentSeeds, format_percentage, format_table
+from repro.experiments.fig2_upperbound import Fig2Config, Fig2Result, run_fig2
+from repro.experiments.fig3_gain_vs_overloading import (
+    PAPER_OVERLOADING_FRACTIONS,
+    Fig3Config,
+    Fig3FractionResult,
+    Fig3Result,
+    run_fig3,
+)
+from repro.experiments.fig4_erosion import (
+    Fig4Case,
+    Fig4Config,
+    Fig4Result,
+    run_erosion_case,
+    run_fig4,
+)
+from repro.experiments.fig5_alpha_tuning import (
+    PAPER_ALPHA_GRID,
+    Fig5Config,
+    Fig5Result,
+    Fig5Series,
+    run_fig5,
+)
+
+__all__ = [
+    "AblationCase",
+    "AblationResult",
+    "ErosionScenario",
+    "ExperimentSeeds",
+    "Fig2Config",
+    "Fig2Result",
+    "Fig3Config",
+    "Fig3FractionResult",
+    "Fig3Result",
+    "Fig4Case",
+    "Fig4Config",
+    "Fig4Result",
+    "Fig5Config",
+    "Fig5Result",
+    "Fig5Series",
+    "PAPER_ALPHA_GRID",
+    "PAPER_OVERLOADING_FRACTIONS",
+    "format_percentage",
+    "format_table",
+    "run_alpha_policy_comparison",
+    "run_dissemination_ablation",
+    "run_erosion_case",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_lb_cost_sensitivity",
+    "run_threshold_ablation",
+    "run_trigger_ablation",
+]

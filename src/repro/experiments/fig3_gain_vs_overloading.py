@@ -1,0 +1,215 @@
+"""Figure 3 -- theoretical gain of ULBA vs. the percentage of overloading PEs.
+
+Paper setup (Section IV-A): the percentage of overloading PEs ``N / P`` is
+varied over a log-spaced grid from 1 % to 20 %; for each percentage, 1000
+random application instances are drawn from Table II (``P``, ``N`` and
+``alpha`` pinned per the sweep), 100 values of ``alpha`` uniformly spread in
+``[0, 1]`` are tested per instance and the best one is kept.  Figure 3 shows
+box plots of the relative gain of ULBA over the standard LB method per
+percentage, plus the average best ``alpha``.
+
+Paper claims reproduced here:
+
+* ULBA is **never worse** than the standard method (``alpha = 0`` is always a
+  candidate);
+* the gain reaches up to ~21 % and decreases as the overloading fraction
+  grows;
+* the best ``alpha`` decreases as the overloading fraction grows.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.gains import GainReport, compare_policies
+from repro.core.parameters import TableIISampler, alpha_grid
+from repro.experiments.common import ExperimentSeeds, format_percentage, format_table
+from repro.utils.stats import BoxPlotSummary, box_plot_summary
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "PAPER_OVERLOADING_FRACTIONS",
+    "Fig3Config",
+    "Fig3FractionResult",
+    "Fig3Result",
+    "run_fig3",
+    "main",
+]
+
+#: The x-axis of Figure 3: ten log-spaced percentages from 1 % to 20 %.
+PAPER_OVERLOADING_FRACTIONS: Tuple[float, ...] = (
+    0.010,
+    0.016,
+    0.024,
+    0.034,
+    0.048,
+    0.065,
+    0.087,
+    0.115,
+    0.152,
+    0.200,
+)
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    """Knobs of the Figure 3 reproduction."""
+
+    #: Overloading fractions to sweep (Figure 3 x-axis).
+    fractions: Tuple[float, ...] = PAPER_OVERLOADING_FRACTIONS
+    #: Random instances per fraction (paper: 1000).
+    instances_per_fraction: int = 100
+    #: Number of candidate ``alpha`` values per instance (paper: 100).
+    num_alphas: int = 25
+    #: Master seed.
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if not self.fractions:
+            raise ValueError("fractions must not be empty")
+        for f in self.fractions:
+            if not 0.0 < f < 1.0:
+                raise ValueError(f"overloading fractions must lie in (0, 1), got {f}")
+        check_positive_int(self.instances_per_fraction, "instances_per_fraction")
+        check_positive_int(self.num_alphas, "num_alphas")
+
+
+@dataclass(frozen=True)
+class Fig3FractionResult:
+    """Aggregated results for one overloading fraction (one box plot)."""
+
+    #: Overloading fraction ``N / P``.
+    fraction: float
+    #: Per-instance gain of best-``alpha`` ULBA over the standard method.
+    gains: Tuple[float, ...]
+    #: Per-instance best ``alpha``.
+    best_alphas: Tuple[float, ...]
+    #: Box-plot summary of the gains (the Figure 3 box).
+    gain_summary: BoxPlotSummary
+    #: Average best ``alpha`` (the Figure 3 secondary axis).
+    mean_best_alpha: float
+
+    @property
+    def ulba_never_loses(self) -> bool:
+        """True when every instance had a non-negative gain."""
+        return all(g >= -1e-12 for g in self.gains)
+
+    def as_row(self) -> Dict[str, object]:
+        """One table row comparable to a Figure 3 box."""
+        return {
+            "overloading PEs": format_percentage(self.fraction, digits=1),
+            "median gain": format_percentage(self.gain_summary.median),
+            "mean gain": format_percentage(self.gain_summary.mean),
+            "max gain": format_percentage(self.gain_summary.maximum),
+            "min gain": format_percentage(self.gain_summary.minimum),
+            "mean best alpha": round(self.mean_best_alpha, 3),
+        }
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Outcome of the Figure 3 experiment."""
+
+    per_fraction: Tuple[Fig3FractionResult, ...]
+    config: Fig3Config
+
+    # ------------------------------------------------------------------
+    @property
+    def max_gain(self) -> float:
+        """Largest gain observed across all fractions (paper: ~21 %)."""
+        return max(r.gain_summary.maximum for r in self.per_fraction)
+
+    @property
+    def ulba_never_loses(self) -> bool:
+        """True when ULBA never lost on any instance of any fraction."""
+        return all(r.ulba_never_loses for r in self.per_fraction)
+
+    def mean_gains(self) -> np.ndarray:
+        """Mean gain per fraction, in sweep order."""
+        return np.asarray([r.gain_summary.mean for r in self.per_fraction])
+
+    def mean_best_alphas(self) -> np.ndarray:
+        """Mean best ``alpha`` per fraction, in sweep order."""
+        return np.asarray([r.mean_best_alpha for r in self.per_fraction])
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All table rows (one per overloading fraction)."""
+        return [r.as_row() for r in self.per_fraction]
+
+    def format_report(self) -> str:
+        """Human-readable report printed by ``main()`` and the benchmark."""
+        return format_table(
+            self.rows(),
+            title="Figure 3 -- ULBA gain over the standard LB method vs. % overloading PEs",
+        )
+
+
+def _instances_for_fraction(
+    fraction: float, count: int, seeds: ExperimentSeeds, fraction_index: int
+):
+    sampler = TableIISampler(overloading_fraction=fraction)
+    for instance_index in range(count):
+        yield sampler.sample(seeds.rng_for(fraction_index, instance_index))
+
+
+def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
+    """Run the Figure 3 sweep.
+
+    For every overloading fraction, random Table II instances are compared
+    under the standard method (its own ``sigma_plus`` schedule with
+    ``alpha = 0``, i.e. Menon's adaptive interval) and under ULBA with the
+    best ``alpha`` of a uniform candidate grid.
+    """
+    cfg = config or Fig3Config()
+    seeds = ExperimentSeeds(cfg.seed)
+    alphas = alpha_grid(cfg.num_alphas)
+
+    per_fraction: List[Fig3FractionResult] = []
+    for fraction_index, fraction in enumerate(cfg.fractions):
+        gains: List[float] = []
+        best_alphas: List[float] = []
+        for params in _instances_for_fraction(
+            fraction, cfg.instances_per_fraction, seeds, fraction_index
+        ):
+            report: GainReport = compare_policies(params, alphas=alphas)
+            gains.append(report.gain)
+            best_alphas.append(report.best_alpha)
+        per_fraction.append(
+            Fig3FractionResult(
+                fraction=fraction,
+                gains=tuple(gains),
+                best_alphas=tuple(best_alphas),
+                gain_summary=box_plot_summary(gains),
+                mean_best_alpha=float(np.mean(best_alphas)),
+            )
+        )
+    return Fig3Result(per_fraction=tuple(per_fraction), config=cfg)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> Fig3Result:
+    """Command-line entry point: ``python -m repro.experiments.fig3_gain_vs_overloading``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--instances", type=int, default=Fig3Config.instances_per_fraction
+    )
+    parser.add_argument("--alphas", type=int, default=Fig3Config.num_alphas)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    result = run_fig3(
+        Fig3Config(
+            instances_per_fraction=args.instances,
+            num_alphas=args.alphas,
+            seed=args.seed,
+        )
+    )
+    print(result.format_report())
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    main()

@@ -1,0 +1,238 @@
+"""Figure 5 -- sensitivity of ULBA to the underloading fraction ``alpha``.
+
+Paper setup (Section IV-B, hyper-parameter tuning): the erosion application
+with exactly one strongly erodible rock among ``P`` rocks, ``P`` in
+{32, 64, 128, 256}, ULBA executed with ``alpha`` in {0.1, 0.2, 0.3, 0.4,
+0.5}.  Figure 5 plots the running time against ``alpha`` for each PE count.
+
+Paper claims reproduced here:
+
+* ``alpha`` has a strong impact on the performance (up to ~14 % spread);
+* the curves flatten around ``alpha = 0.4`` for the smaller PE counts, while
+  the largest configuration still benefits from raising ``alpha`` to 0.5
+  (the overhead scales with ``alpha N / (P - N)``, which shrinks as ``P``
+  grows for a fixed number of strong rocks).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import ExperimentSeeds, format_percentage, format_table
+from repro.experiments.fig4_erosion import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_BYTES_PER_LOAD_UNIT,
+    DEFAULT_LATENCY,
+    run_erosion_case,
+)
+from repro.optim.alpha_search import AlphaSearchResult, sweep_alpha
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "PAPER_ALPHA_GRID",
+    "Fig5Config",
+    "Fig5Series",
+    "Fig5Result",
+    "run_fig5",
+    "main",
+]
+
+#: The alpha values of Figure 5.
+PAPER_ALPHA_GRID: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    """Knobs of the Figure 5 reproduction (scaled-down defaults)."""
+
+    #: PE counts to sweep (paper: 32, 64, 128, 256).
+    pe_counts: Tuple[int, ...] = (16, 32, 64)
+    #: Candidate underloading fractions (paper grid).
+    alphas: Tuple[float, ...] = PAPER_ALPHA_GRID
+    #: Number of strongly erodible rocks (1 in Figure 5).
+    num_strong_rocks: int = 1
+    #: Application iterations.
+    iterations: int = 80
+    #: Domain columns per PE.
+    columns_per_pe: int = 96
+    #: Domain rows.
+    rows: int = 96
+    #: Interconnect latency in seconds.
+    latency: float = DEFAULT_LATENCY
+    #: Interconnect bandwidth in bytes per second.
+    bandwidth: float = DEFAULT_BANDWIDTH
+    #: Migration bytes charged per unit of cell workload.
+    bytes_per_load_unit: float = DEFAULT_BYTES_PER_LOAD_UNIT
+    #: Master seed.
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if not self.pe_counts:
+            raise ValueError("pe_counts must not be empty")
+        if not self.alphas:
+            raise ValueError("alphas must not be empty")
+        for a in self.alphas:
+            if not 0.0 <= a <= 1.0:
+                raise ValueError(f"alpha values must lie in [0, 1], got {a}")
+        check_positive_int(self.num_strong_rocks, "num_strong_rocks")
+        check_positive_int(self.iterations, "iterations")
+        check_positive_int(self.columns_per_pe, "columns_per_pe")
+        check_positive_int(self.rows, "rows")
+        check_positive(self.bandwidth, "bandwidth")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.bytes_per_load_unit < 0:
+            raise ValueError(
+                f"bytes_per_load_unit must be >= 0, got {self.bytes_per_load_unit}"
+            )
+
+
+@dataclass(frozen=True)
+class Fig5Series:
+    """One Figure 5 curve: ULBA time vs. ``alpha`` for a fixed PE count."""
+
+    num_pes: int
+    sweep: AlphaSearchResult
+
+    # ------------------------------------------------------------------
+    @property
+    def best_alpha(self) -> float:
+        """The ``alpha`` minimising the run time for this PE count."""
+        return self.sweep.best_alpha
+
+    @property
+    def sensitivity(self) -> float:
+        """Relative spread of the run time across the sweep (paper: up to ~14 %)."""
+        return self.sweep.sensitivity
+
+    def times(self) -> Dict[float, float]:
+        """Mapping ``alpha -> total virtual time``."""
+        return {p.alpha: p.total_time for p in self.sweep.points}
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Table rows of this curve."""
+        return [
+            {
+                "PEs": self.num_pes,
+                "alpha": p.alpha,
+                "time [s]": round(p.total_time, 4),
+                "best": "*" if p.alpha == self.best_alpha else "",
+            }
+            for p in self.sweep.points
+        ]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Outcome of the Figure 5 experiment."""
+
+    series: Tuple[Fig5Series, ...]
+    config: Fig5Config
+
+    # ------------------------------------------------------------------
+    def series_for(self, num_pes: int) -> Fig5Series:
+        """The curve of a given PE count."""
+        for s in self.series:
+            if s.num_pes == num_pes:
+                return s
+        raise KeyError(f"no series for {num_pes} PEs")
+
+    @property
+    def max_sensitivity(self) -> float:
+        """Largest alpha-induced spread across the PE counts."""
+        return max(s.sensitivity for s in self.series)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All table rows, grouped by PE count."""
+        rows: List[Dict[str, object]] = []
+        for s in self.series:
+            rows.extend(s.as_rows())
+        return rows
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per PE count: best alpha and sensitivity."""
+        return [
+            {
+                "PEs": s.num_pes,
+                "best alpha": s.best_alpha,
+                "best time [s]": round(s.sweep.best_time, 4),
+                "worst time [s]": round(s.sweep.worst_time, 4),
+                "sensitivity": format_percentage(s.sensitivity),
+            }
+            for s in self.series
+        ]
+
+    def format_report(self) -> str:
+        """Human-readable report printed by ``main()`` and the benchmark."""
+        detail = format_table(
+            self.rows(), title="Figure 5 -- ULBA run time vs. alpha (1 strong rock)"
+        )
+        summary = format_table(self.summary_rows(), title="Per-PE-count summary")
+        return detail + "\n\n" + summary
+
+
+def run_fig5(config: Fig5Config | None = None) -> Fig5Result:
+    """Run the Figure 5 alpha sweep on the erosion application."""
+    cfg = config or Fig5Config()
+    seeds = ExperimentSeeds(cfg.seed)
+
+    series: List[Fig5Series] = []
+    for pe_index, num_pes in enumerate(cfg.pe_counts):
+        if cfg.num_strong_rocks > num_pes:
+            continue
+        case_seed = int(seeds.rng_for(pe_index).integers(0, 2**31 - 1))
+
+        def evaluate(alpha: float, *, _num_pes: int = num_pes, _seed: int = case_seed) -> float:
+            result = run_erosion_case(
+                num_pes=_num_pes,
+                num_strong_rocks=cfg.num_strong_rocks,
+                iterations=cfg.iterations,
+                policy="ulba",
+                alpha=alpha,
+                columns_per_pe=cfg.columns_per_pe,
+                rows=cfg.rows,
+                seed=_seed,
+                latency=cfg.latency,
+                bandwidth=cfg.bandwidth,
+                bytes_per_load_unit=cfg.bytes_per_load_unit,
+            )
+            return result.total_time
+
+        sweep = sweep_alpha(evaluate, cfg.alphas)
+        series.append(Fig5Series(num_pes=num_pes, sweep=sweep))
+    return Fig5Result(series=tuple(series), config=cfg)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> Fig5Result:
+    """Command-line entry point: ``python -m repro.experiments.fig5_alpha_tuning``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pes", type=int, nargs="+", default=list(Fig5Config.pe_counts))
+    parser.add_argument(
+        "--alphas", type=float, nargs="+", default=list(PAPER_ALPHA_GRID)
+    )
+    parser.add_argument("--iterations", type=int, default=Fig5Config.iterations)
+    parser.add_argument("--columns-per-pe", type=int, default=Fig5Config.columns_per_pe)
+    parser.add_argument("--rows", type=int, default=Fig5Config.rows)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    result = run_fig5(
+        Fig5Config(
+            pe_counts=tuple(args.pes),
+            alphas=tuple(args.alphas),
+            iterations=args.iterations,
+            columns_per_pe=args.columns_per_pe,
+            rows=args.rows,
+            seed=args.seed,
+        )
+    )
+    print(result.format_report())
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    main()

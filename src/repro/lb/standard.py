@@ -1,0 +1,31 @@
+"""The standard workload policy: perfectly even redistribution.
+
+This is the baseline of the whole paper ("the standard load balancing
+method"): whenever the load balancer runs, every PE receives exactly
+``Wtot(i) / P`` of the workload, regardless of how the imbalance has been
+growing.
+"""
+
+from __future__ import annotations
+
+from repro.lb.base import LBContext, LBDecision, WorkloadPolicy
+
+__all__ = ["StandardPolicy"]
+
+
+class StandardPolicy(WorkloadPolicy):
+    """Even-split workload policy (the paper's standard LB method)."""
+
+    name = "standard"
+
+    def decide(self, context: LBContext) -> LBDecision:
+        """Give every PE the same target share ``1 / P``."""
+        num_pes = context.num_pes
+        share = 1.0 / num_pes
+        return LBDecision(
+            target_shares=tuple(share for _ in range(num_pes)),
+            alphas=tuple(0.0 for _ in range(num_pes)),
+            overloading_ranks=(),
+            downgraded_to_standard=False,
+            policy=self.name,
+        )

@@ -1,0 +1,194 @@
+"""Workload-increase-rate (WIR) estimation and the replicated WIR database.
+
+Section III-C: "each PE keeps a database that stores the WIR of every PE.
+Each PE evaluates its WIR and propagates it (as well as the most recent WIRs
+in its database) to the other PEs using a dissemination algorithm".  A PE is
+considered *overloading* when the z-score of its WIR within the distribution
+of all known WIRs exceeds a threshold (3.0 in the paper).
+
+Three pieces live here:
+
+* :class:`WIREstimate` -- per-PE online estimation of the WIR from observed
+  per-iteration workloads (simple finite differences with an exponential
+  moving average, honouring the principle of persistence).
+* :class:`WIRDatabase` -- the replicated board of WIR values, built on the
+  gossip substrate (:class:`repro.simcluster.gossip.GossipBoard`) or fed
+  directly when gossip is not simulated.
+* :class:`OverloadDetector` -- the z-score rule of Algorithm 1 (line 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simcluster.gossip import GossipBoard, GossipConfig
+from repro.utils.rng import SeedLike
+from repro.utils.stats import zscore
+from repro.utils.validation import check_fraction, check_positive, check_positive_int
+
+__all__ = ["WIREstimate", "WIRDatabase", "OverloadDetector"]
+
+
+@dataclass
+class WIREstimate:
+    """Online estimate of one PE's workload increase rate.
+
+    The WIR is the per-iteration increase of the PE's workload (FLOP per
+    iteration).  The estimator keeps an exponential moving average of the
+    finite differences of the observed workloads, which smooths the
+    stochastic erosion dynamics while staying responsive; the principle of
+    persistence (Kale, 2002) justifies using a smoothed recent history as a
+    prediction of the near future.
+    """
+
+    #: Smoothing factor of the exponential moving average (1 = last diff only).
+    smoothing: float = 0.5
+    _last_workload: Optional[float] = field(default=None, repr=False)
+    _rate: float = field(default=0.0, repr=False)
+    _num_observations: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_fraction(self.smoothing, "smoothing")
+        if self.smoothing == 0.0:
+            raise ValueError("smoothing must be > 0 (0 would never update)")
+
+    # ------------------------------------------------------------------
+    def observe(self, workload: float) -> float:
+        """Record the PE's workload at the current iteration; returns the WIR."""
+        if workload < 0:
+            raise ValueError(f"workload must be >= 0, got {workload}")
+        if self._last_workload is not None:
+            diff = workload - self._last_workload
+            if self._num_observations <= 1:
+                self._rate = diff
+            else:
+                self._rate = (
+                    self.smoothing * diff + (1.0 - self.smoothing) * self._rate
+                )
+        self._last_workload = float(workload)
+        self._num_observations += 1
+        return self._rate
+
+    def reset_after_migration(self, workload: float) -> None:
+        """Re-anchor the estimator after a LB step moved work around.
+
+        The jump in workload caused by migration is not application dynamics
+        and must not pollute the WIR; the rate estimate itself is kept
+        (persistence), only the anchor workload is replaced.
+        """
+        if workload < 0:
+            raise ValueError(f"workload must be >= 0, got {workload}")
+        self._last_workload = float(workload)
+
+    @property
+    def rate(self) -> float:
+        """Current WIR estimate (FLOP per iteration)."""
+        return self._rate
+
+    @property
+    def num_observations(self) -> int:
+        """Number of workload observations seen so far."""
+        return self._num_observations
+
+
+class WIRDatabase:
+    """Replicated ``rank -> WIR`` database.
+
+    The database can operate in two modes:
+
+    * **gossip mode** (default): values propagate through a
+      :class:`GossipBoard`, one dissemination step per application
+      iteration, so each rank's view may be slightly stale -- exactly the
+      mechanism of Section III-C;
+    * **instant mode** (``use_gossip=False``): every publish is immediately
+      visible to all ranks, modelling an allgather-based implementation and
+      convenient for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        *,
+        use_gossip: bool = True,
+        gossip_config: Optional[GossipConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive_int(num_ranks, "num_ranks")
+        self.num_ranks = num_ranks
+        self.use_gossip = use_gossip
+        self._board = (
+            GossipBoard(num_ranks, config=gossip_config, seed=seed)
+            if use_gossip
+            else None
+        )
+        self._instant: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def publish(self, rank: int, wir: float) -> None:
+        """Rank ``rank`` publishes its current WIR."""
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")
+        if self._board is not None:
+            self._board.publish(rank, wir)
+        else:
+            self._instant[rank] = float(wir)
+
+    def disseminate(self) -> None:
+        """Perform one gossip dissemination step (no-op in instant mode)."""
+        if self._board is not None:
+            self._board.step()
+
+    def view(self, rank: int) -> Dict[int, float]:
+        """WIR values known by ``rank`` (may be partial in gossip mode)."""
+        if self._board is not None:
+            return self._board.local_view(rank)
+        return dict(self._instant)
+
+    def values(self, rank: int) -> List[float]:
+        """Known WIR values as a list (order unspecified)."""
+        return list(self.view(rank).values())
+
+    def own_rate(self, rank: int) -> Optional[float]:
+        """The WIR rank ``rank`` published for itself, if any."""
+        return self.view(rank).get(rank)
+
+    def coverage(self, rank: int) -> float:
+        """Fraction of ranks whose WIR is known by ``rank``."""
+        return len(self.view(rank)) / self.num_ranks
+
+
+@dataclass(frozen=True)
+class OverloadDetector:
+    """z-score outlier rule deciding whether a PE is overloading.
+
+    Algorithm 1, line 19: a PE is overloading when the z-score of its WIR in
+    the distribution of all known WIRs exceeds ``threshold`` (3.0 in the
+    paper).  With fewer than ``min_population`` known values the detector
+    reports "not overloading" (not enough evidence).
+    """
+
+    threshold: float = 3.0
+    min_population: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive(self.threshold, "threshold")
+        check_positive_int(self.min_population, "min_population")
+
+    def is_overloading(self, own_rate: float, all_rates: Sequence[float]) -> bool:
+        """Apply the z-score rule to one PE."""
+        rates = list(all_rates)
+        if len(rates) < self.min_population:
+            return False
+        return zscore(own_rate, rates) >= self.threshold
+
+    def overloading_ranks(self, rates_by_rank: Dict[int, float]) -> List[int]:
+        """All ranks flagged as overloading within a common view."""
+        values = list(rates_by_rank.values())
+        return [
+            rank
+            for rank, rate in sorted(rates_by_rank.items())
+            if self.is_overloading(rate, values)
+        ]

@@ -1,0 +1,44 @@
+"""Optimization substrate: simulated annealing and policy-parameter searches.
+
+The paper validates its closed-form ``sigma_plus`` rule by comparing against
+LB schedules found with a heuristic search (the ``simanneal`` Python package)
+over the space of boolean LB-schedule vectors (Section III-B, Figure 2), and
+selects the best ULBA ``alpha`` per instance by grid search (Figure 3) or
+sweeps it on the erosion application (Figure 5).
+
+* :mod:`repro.optim.annealing` -- a self-contained simulated-annealing
+  engine with the same ergonomics as ``simanneal`` (subclass, implement
+  ``move`` and ``energy``, call ``anneal``); provided because the original
+  package cannot be installed offline.
+* :mod:`repro.optim.schedule_search` -- the annealer specialised to LB
+  schedules, used to reproduce Figure 2.
+* :mod:`repro.optim.alpha_search` -- grid search over the underloading
+  fraction ``alpha``, for the analytical model (Figure 3) and for arbitrary
+  callables (Figure 5 on the erosion application).
+"""
+
+from repro.optim.annealing import Annealer, AnnealingResult, AnnealingSchedule
+from repro.optim.schedule_search import (
+    ScheduleAnnealer,
+    ScheduleSearchResult,
+    anneal_schedule,
+)
+from repro.optim.alpha_search import (
+    AlphaSearchResult,
+    AlphaSweepPoint,
+    search_best_alpha,
+    sweep_alpha,
+)
+
+__all__ = [
+    "AlphaSearchResult",
+    "AlphaSweepPoint",
+    "Annealer",
+    "AnnealingResult",
+    "AnnealingSchedule",
+    "ScheduleAnnealer",
+    "ScheduleSearchResult",
+    "anneal_schedule",
+    "search_best_alpha",
+    "sweep_alpha",
+]

@@ -1,0 +1,132 @@
+"""Grid search and sweeps over the ULBA underloading fraction ``alpha``.
+
+The paper treats ``alpha`` as a user-defined constant and repeatedly notes
+that its best value depends on the instance (in particular on the fraction
+of overloading PEs).  Two flavours of search are needed:
+
+* an *analytical* search on :class:`~repro.core.parameters.ApplicationParameters`
+  instances, used by the Figure 3 study ("for each application instance, we
+  tested 100 values of alpha ... and we kept the value that maximizes the
+  performance");
+* a *black-box* sweep over an arbitrary ``alpha -> time`` callable, used by
+  the Figure 5 study on the erosion application (and usable on any
+  user-provided application).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.gains import best_alpha_for_instance
+from repro.core.parameters import ApplicationParameters, alpha_grid
+from repro.core.schedule import ScheduleEvaluation
+
+__all__ = [
+    "AlphaSearchResult",
+    "AlphaSweepPoint",
+    "search_best_alpha",
+    "sweep_alpha",
+]
+
+
+@dataclass(frozen=True)
+class AlphaSweepPoint:
+    """One evaluated point of an ``alpha`` sweep."""
+
+    alpha: float
+    total_time: float
+
+    def as_row(self) -> Tuple[float, float]:
+        """The ``(alpha, total_time)`` pair as a plain tuple (table printing)."""
+        return (self.alpha, self.total_time)
+
+
+@dataclass(frozen=True)
+class AlphaSearchResult:
+    """Outcome of an ``alpha`` search/sweep."""
+
+    points: Tuple[AlphaSweepPoint, ...]
+    best_alpha: float
+    best_time: float
+
+    @property
+    def worst_time(self) -> float:
+        """Largest total time observed over the sweep."""
+        return max(p.total_time for p in self.points)
+
+    @property
+    def sensitivity(self) -> float:
+        """Relative spread ``(worst - best) / worst`` of the sweep.
+
+        Figure 5 reports up to ~14 % performance difference across ``alpha``
+        values; this property is the matching scalar.
+        """
+        worst = self.worst_time
+        if worst == 0.0:
+            return 0.0
+        return (worst - self.best_time) / worst
+
+
+def search_best_alpha(
+    params: ApplicationParameters,
+    alphas: Optional[Sequence[float]] = None,
+) -> Tuple[float, ScheduleEvaluation]:
+    """Best ``alpha`` for an analytical instance (thin re-export).
+
+    Provided here so experiment code can import every ``alpha``-related
+    search from one module; delegates to
+    :func:`repro.core.gains.best_alpha_for_instance`.
+    """
+    return best_alpha_for_instance(params, alphas)
+
+
+def sweep_alpha(
+    evaluate: Callable[[float], float],
+    alphas: Optional[Sequence[float]] = None,
+) -> AlphaSearchResult:
+    """Sweep ``alpha`` over a black-box ``alpha -> total time`` callable.
+
+    Parameters
+    ----------
+    evaluate:
+        Callable returning the total (virtual or wall-clock) time of the
+        application when run with the given underloading fraction.
+    alphas:
+        Candidate values; defaults to the paper's Figure 5 grid
+        ``{0.1, 0.2, 0.3, 0.4, 0.5}``.
+
+    Returns
+    -------
+    AlphaSearchResult
+        All evaluated points plus the argmin.
+    """
+    if alphas is None:
+        candidates = np.asarray([0.1, 0.2, 0.3, 0.4, 0.5], dtype=float)
+    else:
+        candidates = np.asarray(list(alphas), dtype=float)
+    if candidates.size == 0:
+        raise ValueError("alphas must not be empty")
+    if np.any((candidates < 0.0) | (candidates > 1.0)):
+        raise ValueError("all alpha values must lie within [0, 1]")
+
+    points = []
+    for alpha in candidates:
+        total_time = float(evaluate(float(alpha)))
+        if total_time < 0.0:
+            raise ValueError(
+                f"evaluate({alpha}) returned a negative time ({total_time})"
+            )
+        points.append(AlphaSweepPoint(alpha=float(alpha), total_time=total_time))
+
+    best = min(points, key=lambda p: p.total_time)
+    return AlphaSearchResult(
+        points=tuple(points), best_alpha=best.alpha, best_time=best.total_time
+    )
+
+
+def default_alpha_grid(num_values: int = 100) -> np.ndarray:
+    """The paper's 100-value uniform grid on ``[0, 1]`` (re-export)."""
+    return alpha_grid(num_values)

@@ -1,0 +1,232 @@
+"""A self-contained simulated-annealing engine.
+
+The paper uses Matthew Perry's ``simanneal`` package to search for
+near-optimal load-balancing schedules.  That package is a ~200-line generic
+annealer; this module re-implements the same algorithm (exponential cooling
+between ``t_max`` and ``t_min``, Metropolis acceptance, best-state tracking,
+optional automatic temperature calibration) so the reproduction has no
+unavailable dependency, and adds deterministic seeding.
+
+Usage mirrors ``simanneal``::
+
+    class MyProblem(Annealer):
+        def move(self):        # mutate self.state in place (or return new)
+            ...
+        def energy(self):      # return the scalar objective to minimise
+            ...
+
+    result = MyProblem(initial_state).anneal()
+    result.best_state, result.best_energy
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass, field
+from typing import Any, Generic, List, Optional, Tuple, TypeVar
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["AnnealingSchedule", "AnnealingResult", "Annealer"]
+
+StateT = TypeVar("StateT")
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Cooling schedule of the annealer.
+
+    Attributes
+    ----------
+    t_max, t_min:
+        Initial and final temperatures (must satisfy ``t_max >= t_min > 0``).
+    steps:
+        Number of candidate moves evaluated.
+    updates:
+        Number of progress snapshots recorded in the result history.
+    """
+
+    t_max: float = 25_000.0
+    t_min: float = 2.5
+    steps: int = 50_000
+    updates: int = 100
+
+    def __post_init__(self) -> None:
+        check_positive(self.t_max, "t_max")
+        check_positive(self.t_min, "t_min")
+        if self.t_min > self.t_max:
+            raise ValueError(
+                f"t_min ({self.t_min}) must not exceed t_max ({self.t_max})"
+            )
+        check_positive_int(self.steps, "steps")
+        if self.updates < 0:
+            raise ValueError(f"updates must be >= 0, got {self.updates}")
+
+    def temperature(self, step: int) -> float:
+        """Exponentially interpolated temperature at ``step``."""
+        if self.steps == 1:
+            return self.t_max
+        t_factor = -math.log(self.t_max / self.t_min)
+        return self.t_max * math.exp(t_factor * step / (self.steps - 1))
+
+
+@dataclass
+class AnnealingResult(Generic[StateT]):
+    """Outcome of one :meth:`Annealer.anneal` run."""
+
+    best_state: StateT
+    best_energy: float
+    initial_energy: float
+    final_energy: float
+    steps: int
+    accepted: int
+    improved: int
+    #: ``(step, temperature, current_energy, best_energy)`` snapshots.
+    history: List[Tuple[int, float, float, float]] = field(default_factory=list)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of proposed moves that were accepted."""
+        return self.accepted / self.steps if self.steps else 0.0
+
+    @property
+    def improvement(self) -> float:
+        """Absolute energy improvement over the initial state."""
+        return self.initial_energy - self.best_energy
+
+
+class Annealer(Generic[StateT]):
+    """Generic simulated-annealing optimiser (minimisation).
+
+    Subclasses must implement :meth:`move` (propose a neighbouring state,
+    either by mutating ``self.state`` in place or by returning a new state)
+    and :meth:`energy` (the objective).  States are deep-copied when
+    snapshots are taken; override :meth:`copy_state` for cheaper copies.
+    """
+
+    #: Default cooling schedule; subclasses may override.
+    schedule = AnnealingSchedule()
+
+    def __init__(
+        self,
+        initial_state: StateT,
+        *,
+        schedule: Optional[AnnealingSchedule] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.state: StateT = self.copy_state(initial_state)
+        if schedule is not None:
+            self.schedule = schedule
+        self.rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Problem definition (to be provided by subclasses).
+    # ------------------------------------------------------------------
+    def move(self) -> Optional[StateT]:
+        """Propose a neighbouring state.
+
+        Either mutate ``self.state`` in place and return ``None`` or return
+        the new state.
+        """
+        raise NotImplementedError
+
+    def energy(self) -> float:
+        """Return the objective value of ``self.state`` (lower is better)."""
+        raise NotImplementedError
+
+    def copy_state(self, state: StateT) -> StateT:
+        """Return a copy of ``state``; override for performance."""
+        return copy.deepcopy(state)
+
+    # ------------------------------------------------------------------
+    # Annealing loop.
+    # ------------------------------------------------------------------
+    def anneal(self) -> AnnealingResult[StateT]:
+        """Run the annealing loop and return the best state found."""
+        sched = self.schedule
+        current_energy = self.energy()
+        initial_energy = current_energy
+        best_state = self.copy_state(self.state)
+        best_energy = current_energy
+
+        accepted = 0
+        improved = 0
+        history: List[Tuple[int, float, float, float]] = []
+        snapshot_every = (
+            max(1, sched.steps // sched.updates) if sched.updates else 0
+        )
+
+        for step in range(sched.steps):
+            temperature = sched.temperature(step)
+            previous_state = self.copy_state(self.state)
+            previous_energy = current_energy
+
+            proposed = self.move()
+            if proposed is not None:
+                self.state = proposed
+            candidate_energy = self.energy()
+            delta = candidate_energy - previous_energy
+
+            if delta <= 0.0 or self.rng.random() < math.exp(-delta / temperature):
+                accepted += 1
+                current_energy = candidate_energy
+                if candidate_energy < best_energy:
+                    improved += 1
+                    best_energy = candidate_energy
+                    best_state = self.copy_state(self.state)
+            else:
+                self.state = previous_state
+                current_energy = previous_energy
+
+            if snapshot_every and (step % snapshot_every == 0 or step == sched.steps - 1):
+                history.append((step, temperature, current_energy, best_energy))
+
+        # Leave the annealer holding the best state, like simanneal does.
+        self.state = self.copy_state(best_state)
+        return AnnealingResult(
+            best_state=best_state,
+            best_energy=best_energy,
+            initial_energy=initial_energy,
+            final_energy=current_energy,
+            steps=sched.steps,
+            accepted=accepted,
+            improved=improved,
+            history=history,
+        )
+
+    # ------------------------------------------------------------------
+    def auto_schedule(
+        self, *, minutes_equivalent_steps: int = 2_000, target_acceptance: float = 0.98
+    ) -> AnnealingSchedule:
+        """Heuristically calibrate a cooling schedule from random probing.
+
+        A lightweight analogue of ``simanneal``'s ``auto`` method: sample
+        random moves from the initial state, estimate the energy-change
+        scale, and choose ``t_max`` so that roughly ``target_acceptance`` of
+        uphill moves would be accepted initially and ``t_min`` three orders
+        of magnitude below ``t_max``.
+        """
+        check_positive_int(minutes_equivalent_steps, "minutes_equivalent_steps")
+        if not 0.0 < target_acceptance < 1.0:
+            raise ValueError("target_acceptance must lie in (0, 1)")
+
+        original_state = self.copy_state(self.state)
+        deltas: List[float] = []
+        current = self.energy()
+        for _ in range(64):
+            proposed = self.move()
+            if proposed is not None:
+                self.state = proposed
+            candidate = self.energy()
+            deltas.append(abs(candidate - current))
+            current = candidate
+        self.state = original_state
+
+        scale = max(max(deltas), 1e-12)
+        t_max = -scale / math.log(target_acceptance)
+        t_min = max(t_max * 1e-3, 1e-12)
+        return AnnealingSchedule(
+            t_max=t_max, t_min=t_min, steps=minutes_equivalent_steps, updates=50
+        )

@@ -1,0 +1,27 @@
+"""Particle-drift workload: a second domain application for the LB framework.
+
+The paper's introduction motivates load balancing with particle methods
+(molecular dynamics, short-range interaction codes); its evaluation uses the
+fluid-with-erosion application instead.  This package provides a small
+particle-in-cell style workload so the library's load-balancing machinery is
+exercised by a second, structurally different application:
+
+* particles move inside a 2-D box with individual velocities;
+* an optional attractor pulls them towards a region of the domain, so the
+  columns near the attractor accumulate particles -- and hence workload --
+  iteration after iteration (persistent, localised imbalance growth, the
+  regime ULBA targets);
+* the compute cost of a column is proportional to the number of particles in
+  it (plus a near-neighbour interaction term), so the per-column loads feed
+  the same stripe decomposition used by the erosion application.
+
+:class:`ParticleApplication` implements the
+:class:`repro.runtime.skeleton.StripedApplication` protocol and can be run
+by :class:`repro.runtime.skeleton.IterativeRunner` under any workload/trigger
+policy, exactly like the erosion application.
+"""
+
+from repro.particles.app import ParticleApplication, ParticleConfig
+from repro.particles.system import ParticleSystem
+
+__all__ = ["ParticleApplication", "ParticleConfig", "ParticleSystem"]

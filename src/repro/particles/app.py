@@ -1,0 +1,170 @@
+"""The particle workload packaged as a :class:`StripedApplication`.
+
+Per-column workload model: each particle costs ``flop_per_particle`` FLOP
+per iteration (force evaluation, integration), plus a quadratic
+near-neighbour term within the column (``flop_per_pair`` per intra-column
+pair) that makes crowded columns super-linearly expensive -- the usual cost
+profile of short-range interaction codes, and the reason particle clustering
+causes severe load imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.particles.system import ParticleSystem
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+__all__ = ["ParticleConfig", "ParticleApplication"]
+
+
+@dataclass(frozen=True)
+class ParticleConfig:
+    """Configuration of one particle-drift workload instance."""
+
+    #: Number of PEs (stripes) the workload will be decomposed into.
+    num_pes: int
+    #: Domain columns per PE.
+    columns_per_pe: int = 64
+    #: Domain rows (only affects the box geometry, not the cost model).
+    rows: int = 64
+    #: Particles per PE (uniformly placed at start, i.e. balanced).
+    particles_per_pe: int = 2_000
+    #: Mean-flow velocity in cells per iteration.
+    drift_velocity: Tuple[float, float] = (0.0, 0.0)
+    #: Thermal displacement per iteration (standard deviation, in cells).
+    thermal_speed: float = 0.25
+    #: Fraction of the distance to the attractor covered per iteration.
+    #: The default concentrates particles slowly enough that the imbalance
+    #: grows over tens of iterations (the persistent regime ULBA targets).
+    attractor_strength: float = 0.01
+    #: Attractor position as a fraction of the domain width/height; ``None``
+    #: disables the attractor (the workload then stays balanced).
+    attractor_position: Optional[Tuple[float, float]] = (0.5, 0.5)
+    #: FLOP charged per particle per iteration.
+    flop_per_particle: float = 200.0
+    #: FLOP charged per intra-column particle pair (crowding penalty).
+    flop_per_pair: float = 0.02
+    #: Randomness of the initial placement and the thermal motion.
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_pes, "num_pes")
+        check_positive_int(self.columns_per_pe, "columns_per_pe")
+        check_positive_int(self.rows, "rows")
+        check_positive_int(self.particles_per_pe, "particles_per_pe")
+        check_non_negative(self.thermal_speed, "thermal_speed")
+        check_non_negative(self.attractor_strength, "attractor_strength")
+        check_positive(self.flop_per_particle, "flop_per_particle")
+        check_non_negative(self.flop_per_pair, "flop_per_pair")
+        if self.attractor_position is not None:
+            fx, fy = self.attractor_position
+            if not (0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0):
+                raise ValueError(
+                    "attractor_position must be expressed as fractions in [0, 1]"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Total number of domain columns."""
+        return self.num_pes * self.columns_per_pe
+
+    @property
+    def num_particles(self) -> int:
+        """Total number of particles."""
+        return self.num_pes * self.particles_per_pe
+
+
+class ParticleApplication:
+    """Particle-drift workload exposing the ``StripedApplication`` protocol.
+
+    The workload unit of this application is "one particle-equivalent of
+    work" (mirroring the erosion application, whose unit is one cell):
+    ``flop_per_load_unit`` equals ``flop_per_particle`` and the per-column
+    loads are ``count + pairs * flop_per_pair / flop_per_particle``.  Keeping
+    the load unit tied to a migratable object means the runner's default
+    migration cost (bytes per load unit) has the same meaning for both
+    applications.
+    """
+
+    def __init__(self, config: ParticleConfig) -> None:
+        self.config = config
+        #: Conversion factor required by the StripedApplication protocol.
+        self.flop_per_load_unit: float = config.flop_per_particle
+        attractor = None
+        if config.attractor_position is not None:
+            attractor = (
+                config.attractor_position[0] * (config.width - 1),
+                config.attractor_position[1] * (config.rows - 1),
+            )
+        self.system = ParticleSystem(
+            config.num_particles,
+            width=config.width,
+            height=config.rows,
+            drift_velocity=config.drift_velocity,
+            thermal_speed=config.thermal_speed,
+            attractor=attractor,
+            attractor_strength=config.attractor_strength,
+            seed=config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: ParticleConfig) -> "ParticleApplication":
+        """Symmetry with :class:`repro.erosion.app.ErosionApplication`."""
+        return cls(config)
+
+    # ------------------------------------------------------------------
+    # StripedApplication protocol.
+    # ------------------------------------------------------------------
+    @property
+    def num_columns(self) -> int:
+        """Number of domain columns."""
+        return self.config.width
+
+    def column_loads(self) -> np.ndarray:
+        """Per-column workload in particle-equivalents.
+
+        The linear term is the particle count; the intra-column pair term is
+        converted into particle-equivalents via the FLOP ratio so that crowded
+        columns cost super-linearly more.
+        """
+        counts = self.system.column_counts()
+        pairs = counts * (counts - 1.0) / 2.0
+        return counts + pairs * (
+            self.config.flop_per_pair / self.config.flop_per_particle
+        )
+
+    def advance(self) -> None:
+        """Advance the particle dynamics by one iteration."""
+        self.system.advance()
+
+    # ------------------------------------------------------------------
+    # Extra introspection used by tests and examples.
+    # ------------------------------------------------------------------
+    def total_load(self) -> float:
+        """Total workload of the domain, in particle-equivalents."""
+        return float(self.column_loads().sum())
+
+    def total_flop(self) -> float:
+        """Total workload of the domain, in FLOP."""
+        return self.total_load() * self.flop_per_load_unit
+
+    def concentration(self) -> float:
+        """Max/mean per-column occupancy (grows as the attractor acts)."""
+        return self.system.concentration()
+
+    def particles_per_stripe(self, boundaries: np.ndarray) -> np.ndarray:
+        """Particle counts per stripe for the given column ``boundaries``."""
+        counts = self.system.column_counts()
+        bounds = np.asarray(boundaries, dtype=int)
+        if bounds[0] != 0 or bounds[-1] != self.config.width:
+            raise ValueError("boundaries must start at 0 and end at the domain width")
+        return np.asarray(
+            [counts[bounds[i] : bounds[i + 1]].sum() for i in range(len(bounds) - 1)]
+        )

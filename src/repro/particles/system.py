@@ -1,0 +1,151 @@
+"""Minimal 2-D particle system with drift, thermal noise and an attractor.
+
+The system is deliberately simple -- it is a workload generator for the
+load-balancing framework, not a physics engine -- but it keeps the features
+that matter for load balancing:
+
+* particle positions evolve continuously, so per-column occupancy (and hence
+  workload) changes gradually from one iteration to the next (principle of
+  persistence);
+* an optional attractor produces *sustained, localised* concentration, which
+  is the imbalance pattern ULBA anticipates;
+* reflective boundaries keep every particle inside the domain so workload is
+  conserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+__all__ = ["ParticleSystem"]
+
+
+class ParticleSystem:
+    """A set of point particles in the box ``[0, width) x [0, height)``.
+
+    Parameters
+    ----------
+    num_particles:
+        Number of particles.
+    width, height:
+        Box dimensions, in cell units (column index = ``floor(x)``).
+    drift_velocity:
+        Constant velocity added to every particle, in cells per iteration
+        (models a mean flow).
+    thermal_speed:
+        Standard deviation of the random per-iteration displacement.
+    attractor:
+        Optional ``(x, y)`` position particles are pulled towards.
+    attractor_strength:
+        Fraction of the distance to the attractor covered per iteration
+        (0 disables the pull even when an attractor position is given).
+    seed:
+        Randomness for the initial placement and the thermal motion.
+    """
+
+    def __init__(
+        self,
+        num_particles: int,
+        *,
+        width: int,
+        height: int,
+        drift_velocity: Tuple[float, float] = (0.0, 0.0),
+        thermal_speed: float = 0.1,
+        attractor: Optional[Tuple[float, float]] = None,
+        attractor_strength: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive_int(num_particles, "num_particles")
+        check_positive_int(width, "width")
+        check_positive_int(height, "height")
+        check_non_negative(thermal_speed, "thermal_speed")
+        check_non_negative(attractor_strength, "attractor_strength")
+        if attractor_strength > 1.0:
+            raise ValueError(
+                f"attractor_strength must be <= 1, got {attractor_strength}"
+            )
+        if attractor is not None:
+            ax, ay = attractor
+            if not (0.0 <= ax < width and 0.0 <= ay < height):
+                raise ValueError(
+                    f"attractor {attractor} lies outside the {width}x{height} box"
+                )
+
+        self.width = width
+        self.height = height
+        self.drift_velocity = (float(drift_velocity[0]), float(drift_velocity[1]))
+        self.thermal_speed = float(thermal_speed)
+        self.attractor = attractor
+        self.attractor_strength = float(attractor_strength)
+        self._rng = ensure_rng(seed)
+        #: Particle positions, shape ``(num_particles, 2)``: columns (x), rows (y).
+        self.positions = np.column_stack(
+            [
+                self._rng.uniform(0.0, width, num_particles),
+                self._rng.uniform(0.0, height, num_particles),
+            ]
+        )
+        self._step = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_particles(self) -> int:
+        """Number of particles (constant)."""
+        return self.positions.shape[0]
+
+    @property
+    def step_count(self) -> int:
+        """Number of dynamics steps performed so far."""
+        return self._step
+
+    # ------------------------------------------------------------------
+    def advance(self) -> None:
+        """Move every particle by drift + thermal noise + attractor pull."""
+        displacement = np.empty_like(self.positions)
+        displacement[:, 0] = self.drift_velocity[0]
+        displacement[:, 1] = self.drift_velocity[1]
+        if self.thermal_speed > 0.0:
+            displacement += self._rng.normal(
+                0.0, self.thermal_speed, self.positions.shape
+            )
+        if self.attractor is not None and self.attractor_strength > 0.0:
+            target = np.asarray(self.attractor, dtype=float)
+            displacement += self.attractor_strength * (target - self.positions)
+        self.positions += displacement
+        self._reflect()
+        self._step += 1
+
+    def _reflect(self) -> None:
+        """Reflect positions back into the box (conserves the particle count)."""
+        for axis, extent in ((0, self.width), (1, self.height)):
+            coords = self.positions[:, axis]
+            # Fold the coordinate into [0, 2*extent) then mirror the upper half.
+            coords = np.mod(coords, 2.0 * extent)
+            over = coords >= extent
+            coords[over] = 2.0 * extent - coords[over]
+            # Guard against landing exactly on the upper boundary.
+            np.clip(coords, 0.0, np.nextafter(float(extent), 0.0), out=coords)
+            self.positions[:, axis] = coords
+
+    # ------------------------------------------------------------------
+    def column_indices(self) -> np.ndarray:
+        """Column index of every particle."""
+        return np.floor(self.positions[:, 0]).astype(np.int64)
+
+    def column_counts(self) -> np.ndarray:
+        """Number of particles per column (length ``width``)."""
+        return np.bincount(self.column_indices(), minlength=self.width).astype(float)
+
+    def concentration(self) -> float:
+        """Max/mean ratio of the per-column occupancy (imbalance indicator)."""
+        counts = self.column_counts()
+        mean = counts.mean()
+        if mean <= 0.0:
+            return 0.0
+        return float(counts.max() / mean)

@@ -1,0 +1,51 @@
+"""Domain-partitioning substrate.
+
+The paper's evaluation application decomposes its 2-D domain into vertical
+*stripes* (consecutive columns of cells) such that every stripe holds roughly
+the same amount of fluid-cell workload; the stripe boundaries are recomputed
+at every load-balancing step on a single PE and broadcast (Algorithm 2), with
+ULBA simply changing the *target weights* of the stripes.
+
+* :mod:`repro.partitioning.weighted` -- the 1-D weighted prefix-sum
+  partitioner that underlies stripe decomposition: split an array of
+  per-column workloads into ``P`` contiguous chunks matching arbitrary
+  per-partition target fractions.
+* :mod:`repro.partitioning.stripe` -- the stripe decomposition of a 2-D
+  domain and the Algorithm 2 weight computation from per-PE ``alpha`` values.
+* :mod:`repro.partitioning.rcb` -- recursive coordinate bisection, one of
+  the classical geometric partitioners cited in the introduction; provided
+  as an alternative LB technique for the framework.
+* :mod:`repro.partitioning.sfc` -- Morton space-filling-curve partitioning,
+  the other classical family cited in the introduction.
+* :mod:`repro.partitioning.metrics` -- partition-quality metrics (imbalance,
+  migration volume between two partitions).
+"""
+
+from repro.partitioning.weighted import (
+    Partition1D,
+    partition_contiguous,
+    target_shares_from_alphas,
+)
+from repro.partitioning.stripe import StripePartition, StripePartitioner
+from repro.partitioning.rcb import RCBPartitioner, RCBRegion
+from repro.partitioning.sfc import MortonPartitioner, morton_key
+from repro.partitioning.metrics import (
+    migration_volume,
+    partition_imbalance,
+    partition_loads,
+)
+
+__all__ = [
+    "MortonPartitioner",
+    "Partition1D",
+    "RCBPartitioner",
+    "RCBRegion",
+    "StripePartition",
+    "StripePartitioner",
+    "migration_volume",
+    "morton_key",
+    "partition_contiguous",
+    "partition_imbalance",
+    "partition_loads",
+    "target_shares_from_alphas",
+]

@@ -1,0 +1,72 @@
+"""Partition-quality metrics.
+
+Used by the tests (to assert that partitions meet their target shares), by
+the LB framework (to estimate migration volumes and hence LB costs) and by
+the experiment reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["partition_loads", "partition_imbalance", "migration_volume"]
+
+
+def partition_loads(owners: Sequence[int], weights: Sequence[float], num_parts: int) -> np.ndarray:
+    """Total weight assigned to each part.
+
+    Parameters
+    ----------
+    owners:
+        Owning part per item.
+    weights:
+        Weight per item.
+    num_parts:
+        Number of parts (parts with no items get load 0).
+    """
+    own = np.asarray(list(owners), dtype=np.int64)
+    w = np.asarray(list(weights), dtype=float)
+    if own.shape != w.shape:
+        raise ValueError("owners and weights must have the same length")
+    if num_parts <= 0:
+        raise ValueError(f"num_parts must be > 0, got {num_parts}")
+    if own.size and (own.min() < 0 or own.max() >= num_parts):
+        raise ValueError("owner indices must lie in [0, num_parts)")
+    return np.bincount(own, weights=w, minlength=num_parts).astype(float)
+
+
+def partition_imbalance(
+    owners: Sequence[int], weights: Sequence[float], num_parts: int
+) -> float:
+    """Load imbalance ``max/mean - 1`` of a partition."""
+    loads = partition_loads(owners, weights, num_parts)
+    mean = loads.mean()
+    if mean <= 0.0:
+        return 0.0
+    return float(loads.max() / mean - 1.0)
+
+
+def migration_volume(
+    old_owners: Sequence[int],
+    new_owners: Sequence[int],
+    weights: Sequence[float] | None = None,
+) -> float:
+    """Total weight of the items that change owner between two partitions.
+
+    This is the quantity the LB cost model of the erosion experiments charges
+    as data-migration traffic.
+    """
+    old = np.asarray(list(old_owners), dtype=np.int64)
+    new = np.asarray(list(new_owners), dtype=np.int64)
+    if old.shape != new.shape:
+        raise ValueError("old_owners and new_owners must have the same length")
+    if weights is None:
+        w = np.ones(old.shape, dtype=float)
+    else:
+        w = np.asarray(list(weights), dtype=float)
+        if w.shape != old.shape:
+            raise ValueError("weights must have the same length as the owners")
+    moved = old != new
+    return float(w[moved].sum())

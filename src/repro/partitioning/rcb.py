@@ -1,0 +1,171 @@
+"""Recursive coordinate bisection (RCB).
+
+RCB is one of the classical geometric partitioners the paper cites as
+standard LB technology (Devine et al., the Zoltan toolkit).  It is provided
+here so the load-balancing framework has a second, 2-D partitioning backend
+besides the stripe decomposition: the framework's policies (standard vs.
+ULBA, adaptive triggering) are orthogonal to the partitioner and the tests
+exercise both.
+
+The implementation partitions a set of weighted points (cell centroids) into
+``2^k``-ary (actually arbitrary ``P``) regions by recursively splitting the
+longest axis at the weighted target fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["RCBRegion", "RCBPartitioner"]
+
+
+@dataclass(frozen=True)
+class RCBRegion:
+    """Axis-aligned region produced by RCB, with the point indices it owns."""
+
+    #: Inclusive lower corner of the bounding box.
+    lower: Tuple[float, float]
+    #: Inclusive upper corner of the bounding box.
+    upper: Tuple[float, float]
+    #: Indices (into the original point array) of the points in the region.
+    indices: Tuple[int, ...]
+    #: Total weight of the region.
+    weight: float
+
+
+class RCBPartitioner:
+    """Recursive coordinate bisection over weighted 2-D points."""
+
+    def __init__(self, num_parts: int) -> None:
+        check_positive_int(num_parts, "num_parts")
+        self.num_parts = num_parts
+
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        points: Sequence[Sequence[float]],
+        weights: Optional[Sequence[float]] = None,
+        *,
+        target_shares: Optional[Sequence[float]] = None,
+    ) -> List[RCBRegion]:
+        """Partition ``points`` into ``num_parts`` regions.
+
+        Parameters
+        ----------
+        points:
+            ``(n, 2)`` array-like of point coordinates.
+        weights:
+            Per-point weights (defaults to 1).
+        target_shares:
+            Desired weight fraction per part (defaults to the even split);
+            the ULBA weight vector of Algorithm 2 can be passed directly.
+
+        Returns
+        -------
+        list of RCBRegion
+            Exactly ``num_parts`` regions (possibly empty), ordered so that
+            region ``p`` corresponds to target share ``p``.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+        n = pts.shape[0]
+        if weights is None:
+            w = np.ones(n, dtype=float)
+        else:
+            w = np.asarray(list(weights), dtype=float)
+            if w.shape != (n,):
+                raise ValueError("weights must have one entry per point")
+            if np.any(w < 0.0):
+                raise ValueError("weights must all be >= 0")
+        if target_shares is None:
+            shares = np.full(self.num_parts, 1.0 / self.num_parts)
+        else:
+            shares = np.asarray(list(target_shares), dtype=float)
+            if shares.shape != (self.num_parts,):
+                raise ValueError(
+                    f"target_shares must have length {self.num_parts}"
+                )
+            if np.any(shares < 0.0) or shares.sum() <= 0.0:
+                raise ValueError("target_shares must be non-negative and sum > 0")
+            shares = shares / shares.sum()
+
+        indices = np.arange(n)
+        regions = self._bisect(pts, w, indices, shares)
+        assert len(regions) == self.num_parts
+        return regions
+
+    def owners(
+        self,
+        points: Sequence[Sequence[float]],
+        weights: Optional[Sequence[float]] = None,
+        *,
+        target_shares: Optional[Sequence[float]] = None,
+    ) -> np.ndarray:
+        """Return the owning part of every point (convenience wrapper)."""
+        pts = np.asarray(points, dtype=float)
+        regions = self.partition(pts, weights, target_shares=target_shares)
+        owners = np.empty(pts.shape[0], dtype=np.int64)
+        for part, region in enumerate(regions):
+            owners[list(region.indices)] = part
+        return owners
+
+    # ------------------------------------------------------------------
+    def _bisect(
+        self,
+        pts: np.ndarray,
+        w: np.ndarray,
+        indices: np.ndarray,
+        shares: np.ndarray,
+    ) -> List[RCBRegion]:
+        if shares.size == 1:
+            return [self._make_region(pts, w, indices)]
+
+        # Split the target shares into two halves as balanced as possible.
+        half = shares.size // 2
+        left_share = shares[:half].sum()
+        total_share = shares.sum()
+        fraction = left_share / total_share if total_share > 0 else 0.5
+
+        if indices.size == 0:
+            left_idx = indices
+            right_idx = indices
+        else:
+            local_pts = pts[indices]
+            local_w = w[indices]
+            extent = local_pts.max(axis=0) - local_pts.min(axis=0)
+            axis = int(np.argmax(extent))
+            order = np.argsort(local_pts[:, axis], kind="stable")
+            sorted_w = local_w[order]
+            cumulative = np.cumsum(sorted_w)
+            total_w = cumulative[-1] if cumulative.size else 0.0
+            if total_w <= 0.0:
+                cut = int(round(fraction * indices.size))
+            else:
+                cut = int(np.searchsorted(cumulative, fraction * total_w, side="left")) + 1
+            cut = min(max(cut, 0), indices.size)
+            left_idx = indices[order[:cut]]
+            right_idx = indices[order[cut:]]
+
+        left_regions = self._bisect(pts, w, left_idx, shares[:half])
+        right_regions = self._bisect(pts, w, right_idx, shares[half:])
+        return left_regions + right_regions
+
+    @staticmethod
+    def _make_region(pts: np.ndarray, w: np.ndarray, indices: np.ndarray) -> RCBRegion:
+        if indices.size == 0:
+            return RCBRegion(
+                lower=(0.0, 0.0), upper=(0.0, 0.0), indices=(), weight=0.0
+            )
+        local = pts[indices]
+        return RCBRegion(
+            lower=tuple(local.min(axis=0).tolist()),
+            upper=tuple(local.max(axis=0).tolist()),
+            indices=tuple(int(i) for i in indices),
+            weight=float(w[indices].sum()),
+        )

@@ -1,0 +1,215 @@
+"""Weighted contiguous 1-D partitioning.
+
+This is the computational core of the paper's centralized LB technique
+(Algorithm 2, ``PartitionAccordingToWeights``): given the per-column
+workload of the 2-D domain and a target share of the total workload for each
+PE, find contiguous column ranges (stripes) whose workloads match the target
+shares as closely as possible.
+
+Two pieces are provided:
+
+* :func:`target_shares_from_alphas` -- convert the per-PE ULBA ``alpha``
+  values gathered by the root into target workload shares (Algorithm 2,
+  lines 8-14): each overloading PE ``p`` receives ``(1 - alpha_p) / P`` of
+  the total, and the workload removed that way is divided evenly among the
+  non-overloading PEs.  With all ``alpha`` equal this reduces to the paper's
+  closed form ``(1 + alpha N / (P - N)) / P``; with every ``alpha = 0`` it
+  reduces to the even split of the standard method.
+* :func:`partition_contiguous` -- prefix-sum splitting of an item-weight
+  array into ``P`` contiguous chunks matching arbitrary target shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Partition1D", "partition_contiguous", "target_shares_from_alphas"]
+
+
+@dataclass(frozen=True)
+class Partition1D:
+    """A contiguous partition of ``num_items`` items into ``num_parts`` chunks.
+
+    ``boundaries`` has length ``num_parts + 1`` with ``boundaries[0] == 0``
+    and ``boundaries[-1] == num_items``; part ``p`` owns the half-open item
+    range ``[boundaries[p], boundaries[p + 1])``.
+    """
+
+    boundaries: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.boundaries) < 2:
+            raise ValueError("a partition needs at least 2 boundaries")
+        bounds = tuple(int(b) for b in self.boundaries)
+        if bounds[0] != 0:
+            raise ValueError("boundaries must start at 0")
+        if any(b2 < b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("boundaries must be non-decreasing")
+        object.__setattr__(self, "boundaries", bounds)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parts(self) -> int:
+        """Number of chunks."""
+        return len(self.boundaries) - 1
+
+    @property
+    def num_items(self) -> int:
+        """Number of partitioned items."""
+        return self.boundaries[-1]
+
+    def part_range(self, part: int) -> Tuple[int, int]:
+        """Half-open item range ``[start, stop)`` owned by ``part``."""
+        if not 0 <= part < self.num_parts:
+            raise ValueError(f"part {part} outside [0, {self.num_parts})")
+        return self.boundaries[part], self.boundaries[part + 1]
+
+    def part_sizes(self) -> np.ndarray:
+        """Number of items per part."""
+        bounds = np.asarray(self.boundaries)
+        return bounds[1:] - bounds[:-1]
+
+    def owner_of(self, item: int) -> int:
+        """Index of the part owning ``item``."""
+        if not 0 <= item < self.num_items:
+            raise ValueError(f"item {item} outside [0, {self.num_items})")
+        return int(np.searchsorted(np.asarray(self.boundaries), item, side="right") - 1)
+
+    def owners(self) -> np.ndarray:
+        """Array mapping every item index to its owning part."""
+        owners = np.empty(self.num_items, dtype=np.int64)
+        for part in range(self.num_parts):
+            start, stop = self.part_range(part)
+            owners[start:stop] = part
+        return owners
+
+
+def target_shares_from_alphas(alphas: Sequence[float]) -> np.ndarray:
+    """Convert per-PE ULBA ``alpha`` values into target workload shares.
+
+    Parameters
+    ----------
+    alphas:
+        One value per PE; ``alpha_p > 0`` marks PE ``p`` as overloading and
+        requests that it keep only ``(1 - alpha_p)`` of its perfectly
+        balanced share.  All values must lie in ``[0, 1]``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Target share per PE, summing to 1.
+
+    Notes
+    -----
+    If *every* PE is overloading the call degenerates to the even split
+    (there is nobody to absorb the surplus); the 50 %-majority guard of
+    Section III-C is implemented one level up, in
+    :class:`repro.lb.ulba.ULBAPolicy`.
+    """
+    shares = np.asarray(list(alphas), dtype=float)
+    if shares.ndim != 1 or shares.size == 0:
+        raise ValueError("alphas must be a non-empty 1-D sequence")
+    if np.any((shares < 0.0) | (shares > 1.0)):
+        raise ValueError("all alpha values must lie within [0, 1]")
+    num_pes = shares.size
+    overloading = shares > 0.0
+    num_overloading = int(overloading.sum())
+    if num_overloading == 0 or num_overloading == num_pes:
+        return np.full(num_pes, 1.0 / num_pes)
+    target = np.empty(num_pes, dtype=float)
+    target[overloading] = (1.0 - shares[overloading]) / num_pes
+    # The share removed from the overloading PEs is divided evenly among the
+    # non-overloading ones (the blue area of Fig. 1).
+    surplus = shares[overloading].sum() / num_pes
+    target[~overloading] = 1.0 / num_pes + surplus / (num_pes - num_overloading)
+    return target
+
+
+def partition_contiguous(
+    weights: Sequence[float],
+    num_parts: int,
+    target_shares: Optional[Sequence[float]] = None,
+) -> Partition1D:
+    """Split ``weights`` into ``num_parts`` contiguous chunks.
+
+    The split minimises (greedily, via prefix sums) the deviation between the
+    cumulative weight at each cut and the cumulative target share -- the same
+    strategy production stripe/1-D partitioners use, and exact up to the
+    granularity of individual items.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative per-item weights (per-column workloads for the stripe
+        decomposition).
+    num_parts:
+        Number of chunks ``P``.
+    target_shares:
+        Desired fraction of the total weight per chunk; defaults to the even
+        split.  Must be non-negative and sum to a positive value (they are
+        normalised internally).
+
+    Returns
+    -------
+    Partition1D
+    """
+    check_positive_int(num_parts, "num_parts")
+    w = np.asarray(list(weights), dtype=float)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("weights must be a non-empty 1-D sequence")
+    if np.any(w < 0.0):
+        raise ValueError("weights must all be >= 0")
+    if w.size < num_parts:
+        raise ValueError(
+            f"cannot split {w.size} items into {num_parts} non-empty parts; "
+            "reduce the number of parts or refine the items"
+        )
+
+    if target_shares is None:
+        shares = np.full(num_parts, 1.0 / num_parts)
+    else:
+        shares = np.asarray(list(target_shares), dtype=float)
+        if shares.shape != (num_parts,):
+            raise ValueError(
+                f"target_shares must have length {num_parts}, got {shares.shape}"
+            )
+        if np.any(shares < 0.0):
+            raise ValueError("target_shares must all be >= 0")
+        total_share = shares.sum()
+        if total_share <= 0.0:
+            raise ValueError("target_shares must sum to a positive value")
+        shares = shares / total_share
+
+    total = w.sum()
+    prefix = np.concatenate([[0.0], np.cumsum(w)])
+    if total <= 0.0:
+        # Degenerate: no workload at all -- split items evenly by count.
+        bounds = np.linspace(0, w.size, num_parts + 1).round().astype(int)
+        return Partition1D(boundaries=tuple(int(b) for b in bounds))
+
+    cumulative_targets = np.cumsum(shares) * total
+    boundaries = [0]
+    for part in range(num_parts - 1):
+        target = cumulative_targets[part]
+        # Cut at the item boundary whose prefix sum is closest to the target,
+        # while keeping at least (num_parts - part - 1) items for the rest
+        # and never moving backwards.
+        lo = boundaries[-1] + 1
+        hi = w.size - (num_parts - part - 1)
+        if lo > hi:
+            boundaries.append(boundaries[-1])
+            continue
+        idx = int(np.searchsorted(prefix, target, side="left"))
+        candidates = [c for c in (idx - 1, idx, idx + 1) if lo <= c <= hi]
+        if not candidates:
+            idx = min(max(idx, lo), hi)
+            candidates = [idx]
+        best = min(candidates, key=lambda c: abs(prefix[c] - target))
+        boundaries.append(int(best))
+    boundaries.append(int(w.size))
+    return Partition1D(boundaries=tuple(boundaries))

@@ -1,0 +1,69 @@
+"""Run reports comparing load-balancing policies.
+
+The paper's Figure 4 reports, per configuration, the running time of the
+standard method and of ULBA (4a), the per-iteration average PE utilization
+(4b), and in the text the reduction of the number of LB calls (62.5 % fewer
+for ULBA on the 32-PE case).  :class:`PolicyComparison` packages those
+numbers for a pair of runs of the same application under two policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.runtime.skeleton import RunResult
+from repro.utils.stats import relative_gain
+
+__all__ = ["PolicyComparison", "compare_runs"]
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """Comparison of a baseline run against a candidate run."""
+
+    baseline: RunResult
+    candidate: RunResult
+
+    # ------------------------------------------------------------------
+    @property
+    def gain(self) -> float:
+        """Relative time gain of the candidate (positive = faster)."""
+        return relative_gain(self.baseline.total_time, self.candidate.total_time)
+
+    @property
+    def lb_call_reduction(self) -> float:
+        """Relative reduction of LB calls (positive = fewer calls).
+
+        Defined as ``1 - candidate_calls / baseline_calls``; 0 when the
+        baseline performed no LB call.
+        """
+        if self.baseline.num_lb_calls == 0:
+            return 0.0
+        return 1.0 - self.candidate.num_lb_calls / self.baseline.num_lb_calls
+
+    @property
+    def utilization_gain(self) -> float:
+        """Absolute increase of the mean PE utilization."""
+        return self.candidate.mean_utilization - self.baseline.mean_utilization
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary dictionary used by experiment tables."""
+        return {
+            "baseline_policy": self.baseline.policy_name,
+            "candidate_policy": self.candidate.policy_name,
+            "baseline_time": self.baseline.total_time,
+            "candidate_time": self.candidate.total_time,
+            "gain": self.gain,
+            "baseline_lb_calls": self.baseline.num_lb_calls,
+            "candidate_lb_calls": self.candidate.num_lb_calls,
+            "lb_call_reduction": self.lb_call_reduction,
+            "baseline_utilization": self.baseline.mean_utilization,
+            "candidate_utilization": self.candidate.mean_utilization,
+            "utilization_gain": self.utilization_gain,
+        }
+
+
+def compare_runs(baseline: RunResult, candidate: RunResult) -> PolicyComparison:
+    """Build a :class:`PolicyComparison` (thin convenience constructor)."""
+    return PolicyComparison(baseline=baseline, candidate=candidate)

@@ -1,0 +1,200 @@
+"""The :class:`VirtualCluster` facade.
+
+A :class:`VirtualCluster` bundles the PEs, their communicator and the trace
+recorder, and offers the small amount of orchestration the SPMD-style
+applications of this repository need:
+
+* ``compute_step(loads)`` -- charge one bulk-synchronous compute phase where
+  PE ``p`` executes ``loads[p]`` FLOP and everyone then synchronises (the
+  iteration time is the maximum PE time, as in the paper's model);
+* ``charge_lb_step(...)`` -- charge the cost of a load-balancing step to all
+  PEs (partitioning at the root, broadcast, migration);
+* snapshots of per-PE busy time used by the utilization trace of Figure 4b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.simcluster.clock import synchronize
+from repro.simcluster.comm import CommCostModel, SimCommunicator
+from repro.simcluster.pe import ProcessingElement
+from repro.simcluster.tracing import ClusterTrace
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+__all__ = ["StepResult", "VirtualCluster"]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Timing of one bulk-synchronous compute step."""
+
+    #: Virtual duration of the step (time of the slowest PE + sync cost).
+    elapsed: float
+    #: Per-PE compute durations for the step.
+    pe_times: tuple
+    #: Timestamp at which the step completed (all PEs synchronised).
+    completed_at: float
+
+    @property
+    def average_utilization(self) -> float:
+        """Mean ratio of per-PE compute time to the step duration."""
+        if self.elapsed <= 0.0:
+            return 1.0
+        return float(np.mean(np.asarray(self.pe_times) / self.elapsed))
+
+
+class VirtualCluster:
+    """A fixed-size group of simulated PEs with a communicator and a trace."""
+
+    def __init__(
+        self,
+        num_pes: int,
+        *,
+        pe_speed: float = 1.0e9,
+        cost_model: Optional[CommCostModel] = None,
+    ) -> None:
+        check_positive_int(num_pes, "num_pes")
+        check_positive(pe_speed, "pe_speed")
+        self.pes: List[ProcessingElement] = [
+            ProcessingElement(rank=r, speed=pe_speed) for r in range(num_pes)
+        ]
+        self.comm = SimCommunicator(self.pes, cost_model)
+        self.trace = ClusterTrace(num_pes=num_pes)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of PEs."""
+        return len(self.pes)
+
+    @property
+    def pe_speed(self) -> float:
+        """Speed of the (homogeneous) PEs in FLOP/s."""
+        return self.pes[0].speed
+
+    @property
+    def now(self) -> float:
+        """Common virtual time (all clocks agree outside of a compute phase)."""
+        return max(pe.now for pe in self.pes)
+
+    def busy_times(self) -> np.ndarray:
+        """Cumulative per-PE busy time, in rank order."""
+        return np.asarray([pe.busy_time for pe in self.pes], dtype=float)
+
+    # ------------------------------------------------------------------
+    def compute_step(
+        self,
+        loads_flop: Sequence[float],
+        *,
+        iteration: Optional[int] = None,
+        sync_bytes: float = 8.0,
+    ) -> StepResult:
+        """Run one bulk-synchronous compute phase.
+
+        Parameters
+        ----------
+        loads_flop:
+            FLOP to execute on each PE (length ``P``).
+        iteration:
+            Iteration index recorded in the trace; omit to skip tracing.
+        sync_bytes:
+            Payload of the closing synchronisation collective (the erosion
+            application exchanges halo columns and per-stripe workloads at
+            the end of every iteration).
+        """
+        loads = np.asarray(list(loads_flop), dtype=float)
+        if loads.shape != (self.size,):
+            raise ValueError(
+                f"loads_flop must have length {self.size}, got {loads.shape}"
+            )
+        if (loads < 0).any():
+            raise ValueError("loads_flop must all be >= 0")
+
+        start = self.now
+        pe_times = []
+        for pe, flops in zip(self.pes, loads):
+            pe_times.append(pe.compute(float(flops)))
+        # Closing collective: every iteration of the paper's application ends
+        # with an exchange of boundary data / workload metrics.
+        self.comm._collective_sync(sync_bytes)
+        end = self.now
+        elapsed = end - start
+
+        result = StepResult(
+            elapsed=elapsed, pe_times=tuple(pe_times), completed_at=end
+        )
+        if iteration is not None:
+            self.trace.record_iteration(
+                iteration=iteration,
+                elapsed=elapsed,
+                pe_compute_times=pe_times,
+                timestamp=end,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def charge_lb_step(
+        self,
+        *,
+        iteration: int,
+        partition_seconds: float = 0.0,
+        migration_bytes_per_pe: Sequence[float] | float = 0.0,
+        root: int = 0,
+    ) -> float:
+        """Charge the virtual cost of one load-balancing step.
+
+        The centralized LB technique of Algorithm 2 consists of: gathering
+        the per-PE ``alpha`` values at the root, computing the partition on
+        the root (``partition_seconds``), broadcasting it, and migrating the
+        data.  Migration is modelled as a personalised exchange whose per-PE
+        volume is ``migration_bytes_per_pe``.
+
+        Returns the total virtual duration of the LB step (which is also the
+        amount added to every PE's ``lb_time``).
+        """
+        check_non_negative(partition_seconds, "partition_seconds")
+        start = self.now
+        # Gather alphas / workloads at the root.
+        self.comm.gather([0.0] * self.size, root=root)
+        # Root computes the partition.
+        self.pes[root].spend(partition_seconds)
+        # Broadcast the partition.
+        self.comm.bcast(None, root=root, nbytes=8.0 * self.size)
+        # Migrate data.
+        if np.isscalar(migration_bytes_per_pe):
+            volumes = np.full(self.size, float(migration_bytes_per_pe))
+        else:
+            volumes = np.asarray(list(migration_bytes_per_pe), dtype=float)
+            if volumes.shape != (self.size,):
+                raise ValueError(
+                    "migration_bytes_per_pe must be a scalar or have one "
+                    f"entry per PE ({self.size})"
+                )
+        if (volumes < 0).any():
+            raise ValueError("migration volumes must all be >= 0")
+        max_volume = float(volumes.max()) if volumes.size else 0.0
+        self.comm._collective_sync(max_volume)
+        end = self.now
+        elapsed = end - start
+        for pe in self.pes:
+            pe.lb_time += elapsed
+        self.trace.record_lb_event(iteration=iteration, cost=elapsed, timestamp=end)
+        return elapsed
+
+    # ------------------------------------------------------------------
+    def synchronize(self) -> float:
+        """Barrier: align every PE clock; returns the common timestamp."""
+        return synchronize(pe.clock for pe in self.pes)
+
+    def reset(self) -> None:
+        """Reset clocks, accounting and traces (between repetitions)."""
+        for pe in self.pes:
+            pe.reset()
+        self.trace = ClusterTrace(num_pes=self.size)
+        self.comm.num_collectives = 0
+        self.comm.num_messages = 0
+        self.comm.comm_time = 0.0

@@ -1,0 +1,247 @@
+"""MPI-like communicator for the virtual cluster.
+
+The communicator offers the subset of MPI used by the paper's application and
+by Algorithm 2 (broadcast of the partition, gather of the ``alpha`` values,
+allgather of workload metrics, point-to-point migration of cells).  It
+operates in the simulator's *global view*: a collective takes the vector of
+per-rank send values and returns the vector of per-rank receive values, while
+charging virtual time to every participating PE:
+
+* every collective is an implicit barrier -- all clocks synchronise to the
+  latest participant;
+* on top of the barrier, a latency/bandwidth cost is charged according to a
+  simple log-tree model (``ceil(log2 P) * (latency + bytes / bandwidth)``),
+  the standard first-order model of MPI collective implementations.
+
+Keeping the cost model explicit (rather than hiding it in the LB cost
+constant ``C``) lets the erosion experiments charge realistic, size-dependent
+costs for partition broadcasts and cell migration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+from repro.simcluster.clock import synchronize
+from repro.simcluster.pe import ProcessingElement
+from repro.utils.validation import check_non_negative
+
+__all__ = ["CommCostModel", "SimCommunicator"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """First-order latency/bandwidth model of the interconnect.
+
+    Parameters
+    ----------
+    latency:
+        Per-message latency in seconds (MPI ``alpha`` term).
+    bandwidth:
+        Link bandwidth in bytes per second (MPI ``1/beta`` term).
+    """
+
+    latency: float = 1.0e-6
+    bandwidth: float = 1.0e10
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.latency, "latency")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+
+    # ------------------------------------------------------------------
+    def point_to_point(self, nbytes: float) -> float:
+        """Cost of one point-to-point message of ``nbytes`` bytes."""
+        check_non_negative(nbytes, "nbytes")
+        return self.latency + nbytes / self.bandwidth
+
+    def collective(self, num_pes: int, nbytes: float) -> float:
+        """Cost of a tree-based collective over ``num_pes`` PEs.
+
+        ``ceil(log2 P)`` rounds, each paying one point-to-point message of
+        ``nbytes`` bytes.
+        """
+        if num_pes <= 0:
+            raise ValueError(f"num_pes must be > 0, got {num_pes}")
+        rounds = max(1, math.ceil(math.log2(num_pes))) if num_pes > 1 else 0
+        return rounds * self.point_to_point(nbytes)
+
+    @classmethod
+    def free(cls) -> "CommCostModel":
+        """A zero-cost interconnect (collectives only synchronise clocks)."""
+        return cls(latency=0.0, bandwidth=math.inf)
+
+
+class SimCommunicator:
+    """Simulated MPI communicator bound to a fixed group of PEs."""
+
+    def __init__(
+        self,
+        pes: Sequence[ProcessingElement],
+        cost_model: Optional[CommCostModel] = None,
+    ) -> None:
+        if not pes:
+            raise ValueError("a communicator needs at least one PE")
+        ranks = [pe.rank for pe in pes]
+        if ranks != list(range(len(pes))):
+            raise ValueError(
+                "PEs must be provided in rank order 0..P-1, got ranks "
+                f"{ranks}"
+            )
+        self._pes: List[ProcessingElement] = list(pes)
+        self.cost_model = cost_model or CommCostModel()
+        #: Number of collective operations performed (diagnostics).
+        self.num_collectives = 0
+        #: Number of point-to-point messages performed (diagnostics).
+        self.num_messages = 0
+        #: Total virtual seconds charged for communication (per-PE, i.e. the
+        #: synchronised overhead, not the sum over PEs).
+        self.comm_time = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of PEs in the communicator (MPI ``Comm.Get_size``)."""
+        return len(self._pes)
+
+    @property
+    def pes(self) -> List[ProcessingElement]:
+        """The participating PEs, in rank order."""
+        return list(self._pes)
+
+    def pe(self, rank: int) -> ProcessingElement:
+        """The PE with the given ``rank``."""
+        self._check_rank(rank)
+        return self._pes[rank]
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside [0, {self.size})")
+
+    def _check_vector(self, values: Sequence[Any], name: str) -> None:
+        if len(values) != self.size:
+            raise ValueError(
+                f"{name} must have one entry per rank ({self.size}), got "
+                f"{len(values)}"
+            )
+
+    # ------------------------------------------------------------------
+    def _collective_sync(self, nbytes: float) -> None:
+        cost = self.cost_model.collective(self.size, nbytes)
+        synchronize((pe.clock for pe in self._pes), extra_cost=cost)
+        self.num_collectives += 1
+        self.comm_time += cost
+
+    # ------------------------------------------------------------------
+    # Collectives (global view).
+    # ------------------------------------------------------------------
+    def barrier(self) -> float:
+        """Synchronise all PEs; returns the post-barrier timestamp."""
+        self._collective_sync(0.0)
+        return self._pes[0].now
+
+    def bcast(self, value: T, root: int = 0, *, nbytes: float = 8.0) -> List[T]:
+        """Broadcast ``value`` from ``root``; every rank receives it."""
+        self._check_rank(root)
+        self._collective_sync(nbytes)
+        return [value for _ in range(self.size)]
+
+    def gather(
+        self, values: Sequence[T], root: int = 0, *, nbytes: float = 8.0
+    ) -> List[Optional[List[T]]]:
+        """Gather per-rank ``values`` at ``root``.
+
+        Returns the per-rank receive vector: the root's entry is the full
+        list, every other entry is ``None`` (mirroring ``mpi4py``'s
+        lower-case ``gather``).
+        """
+        self._check_rank(root)
+        self._check_vector(values, "values")
+        self._collective_sync(nbytes)
+        out: List[Optional[List[T]]] = [None] * self.size
+        out[root] = list(values)
+        return out
+
+    def allgather(self, values: Sequence[T], *, nbytes: float = 8.0) -> List[List[T]]:
+        """All ranks receive the full vector of per-rank ``values``."""
+        self._check_vector(values, "values")
+        self._collective_sync(nbytes * self.size)
+        gathered = list(values)
+        return [list(gathered) for _ in range(self.size)]
+
+    def scatter(
+        self, values: Sequence[T], root: int = 0, *, nbytes: float = 8.0
+    ) -> List[T]:
+        """Scatter one entry of ``values`` (held at ``root``) to each rank."""
+        self._check_rank(root)
+        self._check_vector(values, "values")
+        self._collective_sync(nbytes)
+        return list(values)
+
+    def allreduce(
+        self,
+        values: Sequence[float],
+        op: Callable[[Sequence[float]], float] = sum,
+        *,
+        nbytes: float = 8.0,
+    ) -> List[float]:
+        """Reduce per-rank ``values`` with ``op``; every rank gets the result."""
+        self._check_vector(values, "values")
+        self._collective_sync(nbytes)
+        result = op(list(values))
+        return [result for _ in range(self.size)]
+
+    def reduce(
+        self,
+        values: Sequence[float],
+        op: Callable[[Sequence[float]], float] = sum,
+        root: int = 0,
+        *,
+        nbytes: float = 8.0,
+    ) -> List[Optional[float]]:
+        """Reduce per-rank ``values`` with ``op`` at ``root``."""
+        self._check_rank(root)
+        self._check_vector(values, "values")
+        self._collective_sync(nbytes)
+        out: List[Optional[float]] = [None] * self.size
+        out[root] = op(list(values))
+        return out
+
+    def alltoall(
+        self, matrix: Sequence[Sequence[T]], *, nbytes: float = 8.0
+    ) -> List[List[T]]:
+        """Personalised all-to-all: ``matrix[src][dst]`` is delivered to ``dst``.
+
+        Returns ``received`` with ``received[dst][src] = matrix[src][dst]``.
+        """
+        self._check_vector(matrix, "matrix")
+        for row in matrix:
+            self._check_vector(row, "matrix row")
+        self._collective_sync(nbytes * self.size)
+        return [
+            [matrix[src][dst] for src in range(self.size)] for dst in range(self.size)
+        ]
+
+    # ------------------------------------------------------------------
+    # Point-to-point.
+    # ------------------------------------------------------------------
+    def send_recv(self, source: int, dest: int, nbytes: float = 8.0) -> float:
+        """Charge a point-to-point message from ``source`` to ``dest``.
+
+        The receiver cannot complete before the sender has sent, so the
+        receiver's clock is advanced to ``max(sender, receiver) + cost`` and
+        the sender's by the injection cost only.  Returns the transfer cost.
+        """
+        self._check_rank(source)
+        self._check_rank(dest)
+        cost = self.cost_model.point_to_point(nbytes)
+        sender = self._pes[source]
+        receiver = self._pes[dest]
+        sender.clock.advance(cost)
+        receiver.clock.advance_to(max(sender.now, receiver.now + cost))
+        self.num_messages += 1
+        return cost

@@ -1,0 +1,148 @@
+"""Gossip-based dissemination of per-PE metrics (Section III-C).
+
+In the paper's implementation each PE keeps a database storing the workload
+increase rate (WIR) of every PE.  Each PE evaluates its own WIR and
+propagates it -- together with the most recent WIRs in its database -- to
+the other PEs using a dissemination (gossip) algorithm; one dissemination
+step is performed per application iteration, and the principle of
+persistence makes slightly stale values acceptable.
+
+:class:`GossipBoard` reproduces that mechanism: every rank holds a local view
+``rank -> (value, version)``; at every :meth:`step` each rank pushes its view
+to ``fanout`` random peers, and entries with higher versions overwrite older
+ones.  The board is deliberately independent of what the value means, so it
+is reused for the WIR database and tested on synthetic data (convergence in
+``O(log P)`` rounds with high probability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["GossipConfig", "GossipBoard"]
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Tuning knobs of the push-gossip dissemination."""
+
+    #: Number of random peers each rank pushes its view to per step.
+    fanout: int = 2
+    #: When True, every rank also pushes to rank 0 every step, mimicking
+    #: implementations that piggy-back metrics on an existing reduction tree.
+    include_root: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.fanout, "fanout")
+
+
+class GossipBoard:
+    """Replicated ``rank -> value`` board maintained by push gossip."""
+
+    def __init__(
+        self,
+        num_ranks: int,
+        *,
+        config: Optional[GossipConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive_int(num_ranks, "num_ranks")
+        self.num_ranks = num_ranks
+        self.config = config or GossipConfig()
+        self._rng = ensure_rng(seed)
+        #: ``views[r]`` maps source rank -> (value, version) as known by rank r.
+        self._views: List[Dict[int, Tuple[float, int]]] = [
+            {} for _ in range(num_ranks)
+        ]
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def steps(self) -> int:
+        """Number of dissemination steps performed so far."""
+        return self._steps
+
+    def publish(self, rank: int, value: float, *, version: Optional[int] = None) -> None:
+        """Rank ``rank`` publishes a new ``value`` for itself.
+
+        ``version`` defaults to the current step count, so values published
+        later always win over older ones when views merge.
+        """
+        self._check_rank(rank)
+        v = self._steps if version is None else int(version)
+        current = self._views[rank].get(rank)
+        if current is None or v >= current[1]:
+            self._views[rank][rank] = (float(value), v)
+
+    def local_view(self, rank: int) -> Dict[int, float]:
+        """The values rank ``rank`` currently knows, keyed by source rank."""
+        self._check_rank(rank)
+        return {src: value for src, (value, _version) in self._views[rank].items()}
+
+    def known_fraction(self, rank: int) -> float:
+        """Fraction of ranks whose value is known by ``rank``."""
+        self._check_rank(rank)
+        return len(self._views[rank]) / self.num_ranks
+
+    def is_complete(self) -> bool:
+        """True when every rank knows a value for every other rank."""
+        return all(len(view) == self.num_ranks for view in self._views)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Perform one push-gossip dissemination round.
+
+        Each rank selects ``fanout`` distinct random peers and pushes its
+        whole view; receivers keep the freshest version of each entry.  The
+        pushes of a round are based on the views at the *start* of the round
+        (synchronous gossip), matching one dissemination step per
+        application iteration.
+        """
+        snapshot = [dict(view) for view in self._views]
+        for src in range(self.num_ranks):
+            targets = self._select_targets(src)
+            for dst in targets:
+                self._merge_into(dst, snapshot[src])
+        self._steps += 1
+
+    def run_until_complete(self, max_steps: int = 1_000) -> int:
+        """Gossip until every rank knows every value; returns the step count."""
+        check_positive_int(max_steps, "max_steps")
+        initial = self._steps
+        while not self.is_complete():
+            if self._steps - initial >= max_steps:
+                raise RuntimeError(
+                    f"gossip did not converge within {max_steps} steps; "
+                    "did every rank publish a value?"
+                )
+            self.step()
+        return self._steps - initial
+
+    # ------------------------------------------------------------------
+    def _select_targets(self, src: int) -> List[int]:
+        if self.num_ranks == 1:
+            return []
+        fanout = min(self.config.fanout, self.num_ranks - 1)
+        candidates = [r for r in range(self.num_ranks) if r != src]
+        chosen = self._rng.choice(len(candidates), size=fanout, replace=False)
+        targets = [candidates[int(i)] for i in np.atleast_1d(chosen)]
+        if self.config.include_root and src != 0 and 0 not in targets:
+            targets.append(0)
+        return targets
+
+    def _merge_into(self, dst: int, incoming: Dict[int, Tuple[float, int]]) -> None:
+        view = self._views[dst]
+        for src, (value, version) in incoming.items():
+            current = view.get(src)
+            if current is None or version > current[1]:
+                view[src] = (value, version)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")

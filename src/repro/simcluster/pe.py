@@ -1,0 +1,99 @@
+"""Simulated processing elements (PEs).
+
+A :class:`ProcessingElement` models one MPI rank of the paper's experiments:
+it has a clock, a compute speed in FLOP/s, and accounting of how much of its
+virtual lifetime was spent computing (busy) versus waiting in collectives
+(idle).  The busy/total ratio per iteration is what Figure 4b plots as
+"average PE utilization".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.simcluster.clock import VirtualClock
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["ProcessingElement"]
+
+
+@dataclass
+class ProcessingElement:
+    """One simulated processing element.
+
+    Parameters
+    ----------
+    rank:
+        MPI-style rank identifier, ``0 <= rank < cluster size``.
+    speed:
+        Compute speed in FLOP per second (paper: ``omega``).
+    clock:
+        The PE's virtual clock; a fresh one is created when omitted.
+    """
+
+    rank: int
+    speed: float = 1.0e9
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    #: Cumulative virtual seconds spent computing.
+    busy_time: float = 0.0
+    #: Cumulative virtual seconds spent in load-balancing steps.
+    lb_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        check_positive(self.speed, "speed")
+        check_non_negative(self.busy_time, "busy_time")
+        check_non_negative(self.lb_time, "lb_time")
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time of this PE."""
+        return self.clock.now
+
+    def compute(self, flops: float) -> float:
+        """Execute ``flops`` FLOP of work; returns the elapsed virtual seconds."""
+        if flops < 0:
+            raise ValueError(f"flops must be >= 0, got {flops}")
+        elapsed = flops / self.speed
+        self.clock.advance(elapsed)
+        self.busy_time += elapsed
+        return elapsed
+
+    def spend(self, seconds: float, *, busy: bool = False, lb: bool = False) -> float:
+        """Advance the clock by ``seconds`` of non-compute activity.
+
+        ``busy=True`` counts the time towards the utilization numerator
+        (useful for modelling non-FLOP work such as data migration performed
+        by this PE); ``lb=True`` accounts it as load-balancing time.
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.clock.advance(seconds)
+        if busy:
+            self.busy_time += seconds
+        if lb:
+            self.lb_time += seconds
+        return seconds
+
+    def utilization(self, *, since: float = 0.0, until: Optional[float] = None) -> float:
+        """Busy fraction of the window ``[since, until]`` (``until`` = now).
+
+        Note: the PE does not keep a full activity timeline, so this is the
+        lifetime utilization when the window covers the whole run; windowed
+        per-iteration utilization is computed by
+        :class:`repro.simcluster.tracing.ClusterTrace` from snapshots.
+        """
+        end = self.now if until is None else until
+        window = end - since
+        if window <= 0:
+            return 1.0
+        return min(1.0, self.busy_time / window)
+
+    def reset(self) -> None:
+        """Reset clock and accounting (used between experiment repetitions)."""
+        self.clock.reset()
+        self.busy_time = 0.0
+        self.lb_time = 0.0

@@ -1,0 +1,48 @@
+"""Shared utilities for the ULBA reproduction library.
+
+This package hosts small, dependency-free helpers used across the whole
+library:
+
+* :mod:`repro.utils.rng` -- reproducible random-number-generator management.
+* :mod:`repro.utils.stats` -- statistical helpers (z-scores, robust medians,
+  box-plot summaries, histogram binning) shared by the load-balancing
+  framework and the experiment drivers.
+* :mod:`repro.utils.validation` -- argument validation helpers that raise
+  uniform, descriptive errors.
+"""
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+from repro.utils.stats import (
+    BoxPlotSummary,
+    HistogramSummary,
+    box_plot_summary,
+    histogram_summary,
+    relative_gain,
+    rolling_median,
+    zscore,
+    zscores,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "BoxPlotSummary",
+    "HistogramSummary",
+    "box_plot_summary",
+    "check_fraction",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+    "derive_rng",
+    "ensure_rng",
+    "histogram_summary",
+    "relative_gain",
+    "rolling_median",
+    "spawn_rngs",
+    "zscore",
+    "zscores",
+]

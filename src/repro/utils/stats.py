@@ -1,0 +1,195 @@
+"""Statistical helpers shared across the library.
+
+These helpers implement the small amount of statistics the paper relies on:
+
+* **z-scores** -- Algorithm 1 flags a processing element as *overloading*
+  when the z-score of its workload increase rate within the cluster-wide
+  distribution exceeds a threshold (3.0 in the paper).
+* **rolling medians** -- the application skeleton smooths iteration times
+  with the median over the last three iterations before accumulating the
+  performance degradation.
+* **box-plot and histogram summaries** -- Figures 2 and 3 report
+  distributions of gains; the experiment drivers reduce raw samples to the
+  same summaries so the benchmark harness can print paper-comparable rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "zscore",
+    "zscores",
+    "rolling_median",
+    "relative_gain",
+    "BoxPlotSummary",
+    "box_plot_summary",
+    "HistogramSummary",
+    "histogram_summary",
+    "weighted_imbalance",
+]
+
+
+def zscore(value: float, population: Sequence[float]) -> float:
+    """Return the z-score of ``value`` within ``population``.
+
+    If the population has zero standard deviation the z-score is defined as
+    0.0 (no element can be an outlier of a constant distribution), which is
+    the behaviour Algorithm 1 needs right after a perfectly balanced step.
+    """
+    pop = np.asarray(list(population), dtype=float)
+    if pop.size == 0:
+        raise ValueError("population must not be empty")
+    mean = float(pop.mean())
+    std = float(pop.std())
+    if std == 0.0:
+        return 0.0
+    return (float(value) - mean) / std
+
+
+def zscores(population: Sequence[float]) -> np.ndarray:
+    """Vectorised z-scores of every element of ``population``."""
+    pop = np.asarray(list(population), dtype=float)
+    if pop.size == 0:
+        raise ValueError("population must not be empty")
+    std = float(pop.std())
+    if std == 0.0:
+        return np.zeros_like(pop)
+    return (pop - pop.mean()) / std
+
+
+def rolling_median(values: Sequence[float], window: int = 3) -> float:
+    """Median of the last ``window`` entries of ``values``.
+
+    Mirrors line 14 of Algorithm 1 (median of the times of the current and
+    the two previous iterations).  If fewer than ``window`` samples exist the
+    median of the available ones is returned.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    vals = list(values)[-window:]
+    if not vals:
+        raise ValueError("values must not be empty")
+    return float(np.median(np.asarray(vals, dtype=float)))
+
+
+def relative_gain(baseline: float, candidate: float) -> float:
+    """Relative gain of ``candidate`` over ``baseline``.
+
+    Positive values mean the candidate is *faster* (smaller time).  This is
+    the quantity plotted in Figures 2 and 3:
+    ``gain = (baseline - candidate) / baseline``.
+    """
+    if baseline == 0.0:
+        raise ZeroDivisionError("baseline time must be non-zero")
+    return (baseline - candidate) / baseline
+
+
+def weighted_imbalance(loads: Sequence[float]) -> float:
+    """Classical load-imbalance metric ``max/mean - 1``.
+
+    Returns 0.0 for a perfectly balanced load vector and grows with the
+    excess load of the most loaded processing element.
+    """
+    arr = np.asarray(list(loads), dtype=float)
+    if arr.size == 0:
+        raise ValueError("loads must not be empty")
+    mean = float(arr.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(arr.max()) / mean - 1.0
+
+
+@dataclass(frozen=True)
+class BoxPlotSummary:
+    """Five-number summary (plus mean) of a sample, as used by Figure 3."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    count: int
+
+    def as_row(self) -> Tuple[float, float, float, float, float, float, int]:
+        """Return the summary as a plain tuple (useful for table printing)."""
+        return (
+            self.minimum,
+            self.q1,
+            self.median,
+            self.q3,
+            self.maximum,
+            self.mean,
+            self.count,
+        )
+
+
+def box_plot_summary(samples: Sequence[float]) -> BoxPlotSummary:
+    """Compute the :class:`BoxPlotSummary` of ``samples``."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("samples must not be empty")
+    q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return BoxPlotSummary(
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        count=int(arr.size),
+    )
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Histogram of a sample, as used by Figure 2.
+
+    Attributes
+    ----------
+    edges:
+        Bin edges (length ``len(densities) + 1``).
+    densities:
+        Probability mass per bin (sums to 1 over all bins).
+    mean, minimum, maximum:
+        Moments of the raw sample, reported in the paper's text
+        (average/best/worst gain).
+    """
+
+    edges: Tuple[float, ...]
+    densities: Tuple[float, ...]
+    mean: float
+    minimum: float
+    maximum: float
+    count: int
+    below_zero_fraction: float = field(default=0.0)
+
+    def as_series(self) -> List[Tuple[float, float]]:
+        """Return ``(bin_center, probability)`` pairs."""
+        centers = 0.5 * (np.asarray(self.edges[:-1]) + np.asarray(self.edges[1:]))
+        return list(zip(centers.tolist(), list(self.densities)))
+
+
+def histogram_summary(samples: Sequence[float], bins: int = 20) -> HistogramSummary:
+    """Compute a probability histogram of ``samples`` with ``bins`` bins."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("samples must not be empty")
+    if bins <= 0:
+        raise ValueError(f"bins must be positive, got {bins}")
+    counts, edges = np.histogram(arr, bins=bins)
+    total = counts.sum()
+    densities = counts / total if total > 0 else counts.astype(float)
+    return HistogramSummary(
+        edges=tuple(float(e) for e in edges),
+        densities=tuple(float(d) for d in densities),
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+        below_zero_fraction=float((arr < 0.0).mean()),
+    )

@@ -1,0 +1,95 @@
+"""Argument-validation helpers with uniform error messages.
+
+Model code in :mod:`repro.core` and the simulator in :mod:`repro.simcluster`
+validate their inputs aggressively: the analytical formulas of the paper are
+only meaningful on a constrained parameter domain (e.g. ``0 <= alpha <= 1``,
+``0 < N < P``) and silent acceptance of out-of-domain values would produce
+plausible-looking but wrong reproductions.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Optional
+
+__all__ = [
+    "check_positive",
+    "check_positive_int",
+    "check_non_negative",
+    "check_fraction",
+    "check_in_range",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Ensure ``value`` is a strictly positive real number and return it."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Ensure ``value`` is a non-negative real number and return it."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Ensure ``value`` is a strictly positive integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return int(value)
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Ensure ``value`` is a non-negative integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return int(value)
+
+
+def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Ensure ``value`` lies in ``[0, 1]`` (or ``(0, 1)`` if not inclusive)."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be within (0, 1), got {value!r}")
+    return float(value)
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    *,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Ensure ``value`` lies in the given (possibly half-open) interval."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if low is not None:
+        if low_inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value!r}")
+        if not low_inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value!r}")
+    if high is not None:
+        if high_inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value!r}")
+        if not high_inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value!r}")
+    return float(value)

@@ -1,0 +1,23 @@
+"""Plain-text visualisation helpers.
+
+The reproduction is dependency-light on purpose (NumPy only), so the figures
+the paper plots with matplotlib are rendered here as text: sparklines for the
+Figure 4b utilization traces, horizontal bar charts for the Figure 4a/5
+run-time comparisons and text histograms for Figure 2.  The examples and the
+command-line interface build their output from these helpers, and the
+benchmark harness prints the underlying tables directly.
+"""
+
+from repro.viz.ascii import (
+    bar_chart,
+    histogram_chart,
+    series_chart,
+    sparkline,
+)
+
+__all__ = [
+    "bar_chart",
+    "histogram_chart",
+    "series_chart",
+    "sparkline",
+]

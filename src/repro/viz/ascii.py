@@ -1,0 +1,171 @@
+"""ASCII rendering of the series the paper plots.
+
+All functions return strings (no printing, no terminal assumptions) so they
+are trivially testable and usable from scripts, notebooks and the CLI alike.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["sparkline", "bar_chart", "histogram_chart", "series_chart"]
+
+#: Character ramp used by :func:`sparkline`, from empty to full.
+_SPARK_RAMP = " .:-=+*#%@"
+
+
+def sparkline(
+    values: Sequence[float],
+    *,
+    width: int = 60,
+    lower: Optional[float] = None,
+    upper: Optional[float] = None,
+) -> str:
+    """Render ``values`` as a one-line character ramp.
+
+    Parameters
+    ----------
+    values:
+        The series to render (e.g. per-iteration PE utilization).
+    width:
+        Maximum number of output characters; the series is subsampled evenly
+        when longer.
+    lower, upper:
+        Value range mapped onto the ramp; defaults to the data range.  Useful
+        to render several series on a comparable scale (e.g. always 0..1 for
+        utilizations).
+    """
+    check_positive_int(width, "width")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    lo = float(arr.min()) if lower is None else float(lower)
+    hi = float(arr.max()) if upper is None else float(upper)
+    if hi <= lo:
+        hi = lo + 1.0
+    if arr.size > width:
+        idx = np.linspace(0, arr.size - 1, width).round().astype(int)
+        arr = arr[idx]
+    normalised = np.clip((arr - lo) / (hi - lo), 0.0, 1.0)
+    ramp_index = (normalised * (len(_SPARK_RAMP) - 1)).round().astype(int)
+    return "".join(_SPARK_RAMP[i] for i in ramp_index)
+
+
+def bar_chart(
+    entries: Mapping[str, float] | Sequence[Tuple[str, float]],
+    *,
+    width: int = 50,
+    unit: str = "",
+    highlight_minimum: bool = False,
+) -> str:
+    """Render labelled values as a horizontal bar chart.
+
+    Parameters
+    ----------
+    entries:
+        Mapping or sequence of ``(label, value)`` pairs; the order is
+        preserved for sequences and insertion order for mappings.
+    width:
+        Width, in characters, of the longest bar.
+    unit:
+        Unit string appended to each value (e.g. ``"s"``).
+    highlight_minimum:
+        Mark the smallest value with ``<-- best`` (run times: smaller is
+        better).
+    """
+    check_positive_int(width, "width")
+    pairs = list(entries.items()) if isinstance(entries, Mapping) else list(entries)
+    if not pairs:
+        return "(no data)"
+    labels = [str(label) for label, _ in pairs]
+    values = np.asarray([float(v) for _, v in pairs])
+    if np.any(values < 0):
+        raise ValueError("bar_chart only renders non-negative values")
+    label_width = max(len(l) for l in labels)
+    peak = values.max() if values.max() > 0 else 1.0
+    minimum = values.min()
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(value / peak * width))) if value > 0 else ""
+        marker = "  <-- best" if highlight_minimum and value == minimum else ""
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"{label:>{label_width}} | {bar:<{width}} {value:.6g}{suffix}{marker}")
+    return "\n".join(lines)
+
+
+def histogram_chart(
+    edges: Sequence[float],
+    densities: Sequence[float],
+    *,
+    width: int = 40,
+    percentage_axis: bool = True,
+) -> str:
+    """Render a histogram (e.g. the Figure 2 gain histogram) as text.
+
+    Parameters
+    ----------
+    edges:
+        Bin edges, one more than ``densities``.
+    densities:
+        Probability mass (or counts) per bin.
+    width:
+        Width of the longest bar.
+    percentage_axis:
+        Format the bin centres as percentages (the Figure 2 x-axis is a
+        relative gain).
+    """
+    check_positive_int(width, "width")
+    edges_arr = np.asarray(list(edges), dtype=float)
+    dens = np.asarray(list(densities), dtype=float)
+    if edges_arr.size != dens.size + 1:
+        raise ValueError("edges must have exactly one more entry than densities")
+    if dens.size == 0:
+        return "(no data)"
+    if np.any(dens < 0):
+        raise ValueError("densities must be non-negative")
+    centers = 0.5 * (edges_arr[:-1] + edges_arr[1:])
+    peak = dens.max() if dens.max() > 0 else 1.0
+    lines = []
+    for center, density in zip(centers, dens):
+        label = f"{center * 100:+7.2f}%" if percentage_axis else f"{center:10.4g}"
+        bar = "#" * int(round(density / peak * width))
+        lines.append(f"{label} | {bar:<{width}} {density:.3f}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    lower: Optional[float] = None,
+    upper: Optional[float] = None,
+    show_range: bool = True,
+) -> str:
+    """Render several named series as aligned sparklines on a shared scale.
+
+    Used for the Figure 4b comparison (standard vs. ULBA utilization over the
+    iterations): both curves share the same value range so their heights are
+    directly comparable.
+    """
+    check_positive_int(width, "width")
+    items = list(series.items())
+    if not items:
+        return "(no data)"
+    all_values = np.concatenate(
+        [np.asarray(list(v), dtype=float) for _, v in items if len(list(v))]
+        or [np.zeros(1)]
+    )
+    lo = float(all_values.min()) if lower is None else float(lower)
+    hi = float(all_values.max()) if upper is None else float(upper)
+    label_width = max(len(str(name)) for name, _ in items)
+    lines = []
+    for name, values in items:
+        line = sparkline(values, width=width, lower=lo, upper=hi)
+        lines.append(f"{str(name):>{label_width}} | {line}")
+    if show_range:
+        lines.append(f"{'':>{label_width}}   scale: {lo:.3g} .. {hi:.3g}")
+    return "\n".join(lines)

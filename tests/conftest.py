@@ -1,0 +1,116 @@
+"""Shared fixtures of the test suite.
+
+The fixtures provide small, deterministic instances of the library's main
+objects so individual test modules stay focused on behaviour instead of
+setup.  Hypothesis settings are registered here as well: the suite favours a
+moderate number of examples per property so the full run stays fast, with a
+``thorough`` profile available via ``HYPOTHESIS_PROFILE=thorough``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.parameters import ApplicationParameters, TableIISampler
+from repro.erosion.app import ErosionApplication, ErosionConfig
+from repro.simcluster.cluster import VirtualCluster
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles.
+# ----------------------------------------------------------------------
+settings.register_profile(
+    "fast",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))
+
+
+# ----------------------------------------------------------------------
+# Analytical-model fixtures.
+# ----------------------------------------------------------------------
+@pytest.fixture
+def small_params() -> ApplicationParameters:
+    """A tiny, hand-checkable application instance.
+
+    ``P = 8``, ``N = 2``, 50 iterations, workload numbers small enough to be
+    verified by hand in the unit tests of the analytical models.
+    """
+    return ApplicationParameters(
+        num_pes=8,
+        num_overloading=2,
+        iterations=50,
+        initial_workload=8_000.0,
+        uniform_rate=1.0,
+        overload_rate=40.0,
+        alpha=0.3,
+        pe_speed=1.0,
+        lb_cost=200.0,
+    )
+
+
+@pytest.fixture
+def balanced_params() -> ApplicationParameters:
+    """An instance with no overloading PEs (no imbalance growth)."""
+    return ApplicationParameters(
+        num_pes=4,
+        num_overloading=0,
+        iterations=20,
+        initial_workload=400.0,
+        uniform_rate=2.0,
+        overload_rate=0.0,
+        alpha=0.0,
+        pe_speed=1.0,
+        lb_cost=10.0,
+    )
+
+
+@pytest.fixture
+def table2_instance() -> ApplicationParameters:
+    """One deterministic Table II instance (paper-scale magnitudes)."""
+    return TableIISampler().sample(seed=1234)
+
+
+# ----------------------------------------------------------------------
+# Simulator / application fixtures.
+# ----------------------------------------------------------------------
+@pytest.fixture
+def small_cluster() -> VirtualCluster:
+    """A 4-PE virtual cluster with the default interconnect."""
+    return VirtualCluster(4, pe_speed=1.0e9)
+
+
+@pytest.fixture
+def tiny_erosion_config() -> ErosionConfig:
+    """A 4-PE erosion configuration small enough for sub-second tests."""
+    return ErosionConfig(
+        num_pes=4,
+        columns_per_pe=16,
+        rows=16,
+        num_strong_rocks=1,
+        strong_rock_indices=(1,),
+        seed=42,
+    )
+
+
+@pytest.fixture
+def tiny_erosion_app(tiny_erosion_config: ErosionConfig) -> ErosionApplication:
+    """The erosion application built from :func:`tiny_erosion_config`."""
+    return ErosionApplication.from_config(tiny_erosion_config)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator for test-local randomness."""
+    return np.random.default_rng(20240615)

@@ -1,0 +1,125 @@
+"""Tests of :mod:`repro.core.gains` (ULBA-vs-standard comparison, Fig. 3 core)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gains import best_alpha_for_instance, compare_policies
+from repro.core.parameters import ApplicationParameters, TableIISampler
+from repro.core.schedule import evaluate_schedule, sigma_plus_schedule
+
+
+def params(**overrides):
+    defaults = dict(
+        num_pes=16,
+        num_overloading=2,
+        iterations=60,
+        initial_workload=1600.0,
+        uniform_rate=0.5,
+        overload_rate=20.0,
+        alpha=0.4,
+        pe_speed=1.0,
+        lb_cost=40.0,
+    )
+    defaults.update(overrides)
+    return ApplicationParameters(**defaults)
+
+
+class TestBestAlpha:
+    def test_best_alpha_minimises_over_grid(self):
+        p = params()
+        candidates = [0.0, 0.2, 0.4, 0.6, 0.8]
+        best_alpha, best_eval = best_alpha_for_instance(p, candidates)
+        for alpha in candidates:
+            schedule = sigma_plus_schedule(p, alpha=alpha)
+            t = evaluate_schedule(p, schedule, model="ulba", alpha=alpha).total_time
+            assert best_eval.total_time <= t + 1e-9
+        assert best_alpha in candidates
+
+    def test_zero_always_included(self):
+        """Even when 0 is not in the candidate list it is added, so ULBA can
+        always fall back to the standard method."""
+        p = params()
+        best_alpha, best_eval = best_alpha_for_instance(p, [0.9, 1.0])
+        schedule = sigma_plus_schedule(p, alpha=0.0)
+        standard_time = evaluate_schedule(p, schedule, model="ulba", alpha=0.0).total_time
+        assert best_eval.total_time <= standard_time + 1e-9
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            best_alpha_for_instance(params(), [])
+
+    def test_default_grid_used(self):
+        best_alpha, _ = best_alpha_for_instance(params())
+        assert 0.0 <= best_alpha <= 1.0
+
+
+class TestComparePolicies:
+    def test_report_fields(self):
+        p = params()
+        report = compare_policies(p, alphas=np.linspace(0, 1, 11))
+        assert report.params is p
+        assert report.standard.model == "standard"
+        assert report.ulba.model == "ulba"
+        assert 0.0 <= report.best_alpha <= 1.0
+        assert report.gain == pytest.approx(
+            (report.standard.total_time - report.ulba.total_time)
+            / report.standard.total_time
+        )
+
+    def test_ulba_wins_flag(self):
+        report = compare_policies(params(), alphas=np.linspace(0, 1, 11))
+        assert report.ulba_wins == (
+            report.ulba.total_time <= report.standard.total_time + 1e-12
+        )
+
+    def test_custom_standard_schedule(self):
+        p = params()
+        from repro.core.schedule import periodic_schedule
+
+        custom = periodic_schedule(p.iterations, 10)
+        report = compare_policies(p, alphas=[0.0, 0.5], standard_schedule=custom)
+        assert report.standard.schedule is custom
+
+    def test_no_imbalance_instance_gain_zero(self):
+        """Without overloading PEs both policies coincide (no LB is needed)."""
+        p = params(num_overloading=0, overload_rate=0.0)
+        report = compare_policies(p, alphas=[0.0, 0.5])
+        assert report.gain == pytest.approx(0.0)
+        assert report.standard.num_lb_calls == 0
+        assert report.ulba.num_lb_calls == 0
+
+    def test_overloaded_instance_has_positive_gain(self):
+        """A strongly imbalanced instance with expensive LB benefits from
+        anticipation (the headline claim of the paper)."""
+        p = params(overload_rate=50.0, lb_cost=80.0)
+        report = compare_policies(p, alphas=np.linspace(0, 1, 21))
+        assert report.gain > 0.0
+        assert report.best_alpha > 0.0
+
+    # ------------------------------------------------------------------
+    # The paper's dominance claim (Section IV-A): ULBA with the best alpha is
+    # never worse than the standard method, because alpha = 0 *is* the
+    # standard method.
+    # ------------------------------------------------------------------
+    @settings(max_examples=40)
+    @given(seed=st.integers(0, 5_000))
+    def test_property_ulba_never_worse_on_table2(self, seed):
+        p = TableIISampler().sample(seed=seed)
+        report = compare_policies(p, alphas=np.linspace(0.0, 1.0, 11))
+        assert report.ulba.total_time <= report.standard.total_time + 1e-9
+        assert report.gain >= -1e-12
+
+    @settings(max_examples=25)
+    @given(
+        seed=st.integers(0, 5_000),
+        fraction=st.sampled_from([0.01, 0.05, 0.1, 0.2]),
+    )
+    def test_property_gain_bounded(self, seed, fraction):
+        """Gains stay within a plausible range (0 .. 100 %)."""
+        p = TableIISampler(overloading_fraction=fraction).sample(seed=seed)
+        report = compare_policies(p, alphas=np.linspace(0.0, 1.0, 11))
+        assert -1e-12 <= report.gain < 1.0

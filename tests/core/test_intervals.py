@@ -1,0 +1,212 @@
+"""Tests of :mod:`repro.core.intervals` (sigma_minus, sigma_plus, Menon's tau)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import (
+    IntervalBounds,
+    interval_bounds,
+    menon_tau,
+    sigma_minus,
+    sigma_plus,
+    solve_sigma_plus_quadratic,
+)
+from repro.core.parameters import ApplicationParameters, TableIISampler
+from repro.core.standard_model import StandardLBModel
+from repro.core.ulba_model import ULBAModel
+
+
+def params(**overrides):
+    defaults = dict(
+        num_pes=8,
+        num_overloading=2,
+        iterations=100,
+        initial_workload=800.0,
+        uniform_rate=1.0,
+        overload_rate=10.0,
+        alpha=0.5,
+        pe_speed=2.0,
+        lb_cost=5.0,
+    )
+    defaults.update(overrides)
+    return ApplicationParameters(**defaults)
+
+
+class TestMenonTau:
+    def test_closed_form(self):
+        p = params()
+        # tau = sqrt(2 C omega / m_hat), m_hat = 10 * 6 / 8 = 7.5.
+        assert menon_tau(p) == pytest.approx(math.sqrt(2 * 5.0 * 2.0 / 7.5))
+
+    def test_infinite_without_imbalance(self):
+        assert math.isinf(menon_tau(params(overload_rate=0.0)))
+        assert math.isinf(menon_tau(params(num_overloading=0, overload_rate=0.0)))
+
+    def test_grows_with_lb_cost(self):
+        assert menon_tau(params(lb_cost=20.0)) > menon_tau(params(lb_cost=5.0))
+
+    def test_shrinks_with_imbalance_rate(self):
+        assert menon_tau(params(overload_rate=40.0)) < menon_tau(params(overload_rate=10.0))
+
+    @given(seed=st.integers(0, 2_000))
+    def test_property_positive_on_table2(self, seed):
+        p = TableIISampler().sample(seed=seed)
+        tau = menon_tau(p)
+        assert tau > 0.0 and not math.isnan(tau)
+
+
+class TestSigmaMinusWrapper:
+    def test_matches_model(self):
+        p = params()
+        assert sigma_minus(p, 0, alpha=0.5) == ULBAModel(p).sigma_minus(0, alpha=0.5)
+
+    def test_infinite_when_no_catch_up(self):
+        p = params(overload_rate=0.0)
+        assert math.isinf(sigma_minus(p, 0, alpha=0.5))
+
+    def test_zero_for_alpha_zero(self):
+        assert sigma_minus(params(), 0, alpha=0.0) == 0
+
+    def test_defaults_to_instance_alpha(self):
+        p = params(alpha=0.5)
+        assert sigma_minus(p, 0) == sigma_minus(p, 0, alpha=0.5)
+
+
+class TestSigmaPlusQuadratic:
+    def test_roots_satisfy_equation(self):
+        p = params()
+        alpha = 0.5
+        tau1, tau2 = solve_sigma_plus_quadratic(p, 0, alpha=alpha)
+        sig = ULBAModel(p).sigma_minus(0, alpha=alpha)
+        ratio = alpha * p.N / (p.P - p.N)
+        quad_a = p.m_hat / (2.0 * p.omega)
+        quad_b = -ratio * p.delta_w / (p.omega * p.P)
+        quad_c = -(ratio * (p.W0 + sig * p.delta_w) / (p.omega * p.P) + p.C)
+        for tau in (tau1, tau2):
+            assert quad_a * tau**2 + quad_b * tau + quad_c == pytest.approx(0.0, abs=1e-6)
+
+    def test_one_positive_root(self):
+        """The constant term is non-positive, so exactly one root is >= 0."""
+        tau1, tau2 = solve_sigma_plus_quadratic(params(), 0, alpha=0.5)
+        assert max(tau1, tau2) >= 0.0
+        assert min(tau1, tau2) <= 0.0
+
+    def test_infinite_without_imbalance(self):
+        tau1, tau2 = solve_sigma_plus_quadratic(params(overload_rate=0.0), 0)
+        assert math.isinf(tau1) and math.isinf(tau2)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            solve_sigma_plus_quadratic(params(), -1)
+        with pytest.raises(ValueError):
+            solve_sigma_plus_quadratic(params(), 0, alpha=2.0)
+
+    def test_alpha_zero_reduces_to_menon(self):
+        """With alpha = 0 the quadratic becomes m_hat tau^2 / (2 omega) = C,
+        i.e. Menon's tau (Section III-B degenerate case)."""
+        p = params()
+        tau1, tau2 = solve_sigma_plus_quadratic(p, 0, alpha=0.0)
+        assert max(tau1, tau2) == pytest.approx(menon_tau(p))
+
+
+class TestSigmaPlus:
+    def test_alpha_zero_equals_menon_tau(self):
+        p = params()
+        assert sigma_plus(p, 0, alpha=0.0) == pytest.approx(menon_tau(p))
+
+    def test_contains_sigma_minus(self):
+        p = params()
+        assert sigma_plus(p, 0, alpha=0.5) >= sigma_minus(p, 0, alpha=0.5)
+
+    def test_infinite_without_imbalance(self):
+        assert math.isinf(sigma_plus(params(overload_rate=0.0), 0, alpha=0.5))
+
+    def test_break_even_at_sigma_plus(self):
+        """At tau = sigma_plus - sigma_minus the imbalance cost equals the LB
+        cost plus the ULBA overhead (Eq. 9)."""
+        p = params()
+        alpha = 0.5
+        sp = sigma_plus(p, 0, alpha=alpha)
+        sm = sigma_minus(p, 0, alpha=alpha)
+        tau = sp - sm
+        std = StandardLBModel(p)
+        ulba = ULBAModel(p)
+        imbalance = std.imbalance_cost(tau)
+        overhead = ulba.overhead_cost(0, tau, alpha=alpha)
+        assert imbalance == pytest.approx(overhead + p.lb_cost, rel=1e-9)
+
+    @given(
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(0, 500),
+    )
+    def test_property_bounds_ordered_on_table2(self, alpha, seed):
+        p = TableIISampler().sample(seed=seed)
+        sm = sigma_minus(p, 0, alpha=alpha)
+        sp = sigma_plus(p, 0, alpha=alpha)
+        assert sp >= sm >= 0
+
+    @given(alpha=st.floats(min_value=0.0, max_value=1.0))
+    def test_property_sigma_plus_increases_with_lb_cost(self, alpha):
+        cheap = sigma_plus(params(lb_cost=1.0), 0, alpha=alpha)
+        expensive = sigma_plus(params(lb_cost=50.0), 0, alpha=alpha)
+        assert expensive >= cheap
+
+
+class TestIntervalBounds:
+    def test_bundles_both_bounds(self):
+        p = params()
+        b = interval_bounds(p, 0, alpha=0.5)
+        assert isinstance(b, IntervalBounds)
+        assert b.lb_prev == 0
+        assert b.sigma_minus == sigma_minus(p, 0, alpha=0.5)
+        assert b.sigma_plus == pytest.approx(sigma_plus(p, 0, alpha=0.5))
+        assert b.alpha == 0.5
+
+    def test_default_alpha_from_params(self):
+        p = params(alpha=0.3)
+        assert interval_bounds(p, 0).alpha == 0.3
+
+    def test_next_lb_iteration(self):
+        p = params()
+        b = interval_bounds(p, 10, alpha=0.5)
+        nxt = b.next_lb_iteration()
+        assert nxt == 10 + max(1, int(math.floor(b.sigma_plus)))
+
+    def test_next_lb_iteration_clamped(self):
+        b = IntervalBounds(lb_prev=5, sigma_minus=0.0, sigma_plus=0.2, alpha=0.0)
+        assert b.next_lb_iteration(minimum_interval=3) == 8
+
+    def test_next_lb_iteration_never(self):
+        b = IntervalBounds(lb_prev=5, sigma_minus=math.inf, sigma_plus=math.inf, alpha=0.4)
+        assert math.isinf(b.next_lb_iteration())
+
+
+class TestOptimalityOfBounds:
+    """Brute-force check that the analytical bounds are meaningful.
+
+    For a small instance we can afford to evaluate *every* single-LB-call
+    schedule and verify the best position of the single LB call falls inside
+    (or at least not far from) ``[sigma_minus, sigma_plus]``.
+    """
+
+    def test_best_single_call_is_not_before_sigma_minus(self):
+        from repro.core.schedule import LBSchedule, evaluate_schedule
+
+        p = params(iterations=60)
+        alpha = 0.5
+        sm = sigma_minus(p, 0, alpha=alpha)
+        times = {}
+        for call_at in range(1, p.iterations):
+            schedule = LBSchedule(p.iterations, (call_at,))
+            times[call_at] = evaluate_schedule(
+                p, schedule, model="ulba", alpha=alpha
+            ).total_time
+        best_call = min(times, key=times.get)
+        # Calling before the catch-up point can only waste the LB cost, so
+        # the optimum is never strictly before sigma_minus.
+        assert best_call >= sm

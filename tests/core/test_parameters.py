@@ -1,0 +1,257 @@
+"""Tests of :mod:`repro.core.parameters` (Table I parameters, Table II sampler)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.parameters import (
+    TABLE_II_DEFAULTS,
+    TABLE_II_PE_CHOICES,
+    ApplicationParameters,
+    TableIISampler,
+    alpha_grid,
+    make_parameters,
+)
+
+
+def make(**overrides):
+    """Valid baseline parameters with optional overrides."""
+    defaults = dict(
+        num_pes=16,
+        num_overloading=2,
+        iterations=100,
+        initial_workload=1.0e6,
+        uniform_rate=10.0,
+        overload_rate=500.0,
+        alpha=0.4,
+        pe_speed=1.0e9,
+        lb_cost=0.5,
+    )
+    defaults.update(overrides)
+    return ApplicationParameters(**defaults)
+
+
+class TestApplicationParameters:
+    def test_paper_aliases(self):
+        p = make()
+        assert p.P == p.num_pes == 16
+        assert p.N == p.num_overloading == 2
+        assert p.gamma == p.iterations == 100
+        assert p.W0 == p.initial_workload
+        assert p.a == p.uniform_rate
+        assert p.m == p.overload_rate
+        assert p.omega == p.pe_speed
+        assert p.C == p.lb_cost
+
+    def test_delta_w_definition(self):
+        p = make()
+        assert p.delta_w == pytest.approx(10.0 * 16 + 500.0 * 2)
+
+    def test_menon_rates(self):
+        p = make()
+        # a_hat = a + m N / P ; m_hat = m (P - N) / P (Section II-C).
+        assert p.a_hat == pytest.approx(10.0 + 500.0 * 2 / 16)
+        assert p.m_hat == pytest.approx(500.0 * 14 / 16)
+
+    def test_rate_decomposition_consistency(self):
+        """a_hat * P + m_hat * P == dW + m * (P - N) - ... sanity identity.
+
+        The defining identity is ``a_hat + m_hat = a + m`` (the most loaded
+        PE grows at ``a + m`` in both decompositions).
+        """
+        p = make()
+        assert p.a_hat + p.m_hat == pytest.approx(p.a + p.m)
+
+    def test_overloading_fraction(self):
+        assert make().overloading_fraction == pytest.approx(2 / 16)
+
+    def test_has_imbalance(self):
+        assert make().has_imbalance
+        assert not make(num_overloading=0).has_imbalance
+        assert not make(overload_rate=0.0).has_imbalance
+
+    def test_with_alpha_copies(self):
+        p = make(alpha=0.1)
+        q = p.with_alpha(0.9)
+        assert q.alpha == 0.9
+        assert p.alpha == 0.1
+        assert q.num_pes == p.num_pes
+
+    def test_with_lb_cost_copies(self):
+        p = make(lb_cost=1.0)
+        q = p.with_lb_cost(7.0)
+        assert q.lb_cost == 7.0 and p.lb_cost == 1.0
+
+    def test_as_dict_contains_raw_and_derived(self):
+        d = make().as_dict()
+        for key in ("P", "N", "gamma", "W0", "a", "m", "alpha", "omega", "C",
+                    "dW", "a_hat", "m_hat", "overloading_fraction"):
+            assert key in d
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            make().num_pes = 3  # type: ignore[misc]
+
+    # ---- validation -------------------------------------------------
+    def test_rejects_overloading_ge_pes(self):
+        with pytest.raises(ValueError):
+            make(num_overloading=16)
+
+    def test_rejects_negative_overloading(self):
+        with pytest.raises(ValueError):
+            make(num_overloading=-1)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            make(alpha=1.5)
+
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ValueError):
+            make(num_pes=0, num_overloading=0)
+
+    def test_rejects_non_integer_overloading(self):
+        with pytest.raises(TypeError):
+            make(num_overloading=1.5)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            make(uniform_rate=-1.0)
+        with pytest.raises(ValueError):
+            make(overload_rate=-1.0)
+
+    def test_rejects_zero_speed(self):
+        with pytest.raises(ValueError):
+            make(pe_speed=0.0)
+
+    def test_rejects_negative_lb_cost(self):
+        with pytest.raises(ValueError):
+            make(lb_cost=-1.0)
+
+    def test_make_parameters_equivalent(self):
+        p = make()
+        q = make_parameters(
+            num_pes=16,
+            num_overloading=2,
+            iterations=100,
+            initial_workload=1.0e6,
+            uniform_rate=10.0,
+            overload_rate=500.0,
+            alpha=0.4,
+            pe_speed=1.0e9,
+            lb_cost=0.5,
+        )
+        assert p == q
+
+
+class TestTableIISampler:
+    def test_deterministic_for_seed(self):
+        sampler = TableIISampler()
+        assert sampler.sample(seed=5) == sampler.sample(seed=5)
+
+    def test_different_seeds_differ(self):
+        sampler = TableIISampler()
+        assert sampler.sample(seed=5) != sampler.sample(seed=6)
+
+    def test_sample_many_count_and_determinism(self):
+        sampler = TableIISampler()
+        a = sampler.sample_many(10, seed=3)
+        b = sampler.sample_many(10, seed=3)
+        assert len(a) == 10
+        assert a == b
+
+    def test_iter_samples_matches_sample_many(self):
+        sampler = TableIISampler()
+        assert list(sampler.iter_samples(5, seed=9)) == sampler.sample_many(5, seed=9)
+
+    def test_distribution_ranges(self):
+        """Every sampled instance respects the Table II ranges."""
+        sampler = TableIISampler()
+        d = TABLE_II_DEFAULTS
+        for params in sampler.sample_many(200, seed=0):
+            assert params.num_pes in TABLE_II_PE_CHOICES
+            assert 1 <= params.num_overloading <= 0.2 * params.num_pes + 1
+            assert params.iterations == 100
+            per_pe = params.initial_workload / params.num_pes
+            assert d.per_pe_workload_range[0] <= per_pe <= d.per_pe_workload_range[1]
+            # dW between 1 % and 30 % of the per-PE workload.
+            assert 0.01 * per_pe * 0.999 <= params.delta_w <= 0.30 * per_pe * 1.001
+            assert 0.0 <= params.alpha <= 1.0
+            assert params.pe_speed == pytest.approx(1.0e9)
+            # C between 10 % and 300 % of one balanced iteration time.
+            iteration_time = per_pe / params.pe_speed
+            assert 0.1 * iteration_time * 0.999 <= params.lb_cost <= 3.0 * iteration_time * 1.001
+
+    def test_overload_share_split(self):
+        """a and m follow the y-split of Table II: 80-100 % of dW goes to
+        the overloading PEs."""
+        sampler = TableIISampler()
+        for params in sampler.sample_many(100, seed=1):
+            overload_share = params.overload_rate * params.num_overloading / params.delta_w
+            assert 0.8 * 0.999 <= overload_share <= 1.0 * 1.001
+
+    def test_pinned_overloading_fraction(self):
+        sampler = TableIISampler(overloading_fraction=0.1)
+        for params in sampler.sample_many(50, seed=2):
+            assert params.num_overloading == pytest.approx(
+                round(0.1 * params.num_pes), abs=1
+            )
+
+    def test_pinned_num_pes(self):
+        sampler = TableIISampler(num_pes=512)
+        for params in sampler.sample_many(20, seed=3):
+            assert params.num_pes == 512
+
+    def test_pinned_alpha(self):
+        sampler = TableIISampler(alpha=0.25)
+        for params in sampler.sample_many(20, seed=4):
+            assert params.alpha == 0.25
+
+    def test_invalid_pinned_values(self):
+        with pytest.raises(ValueError):
+            TableIISampler(overloading_fraction=1.5)
+        with pytest.raises(ValueError):
+            TableIISampler(num_pes=0)
+        with pytest.raises(ValueError):
+            TableIISampler(alpha=-0.1)
+
+    def test_invalid_counts(self):
+        sampler = TableIISampler()
+        with pytest.raises(ValueError):
+            sampler.sample_many(0)
+        with pytest.raises(ValueError):
+            list(sampler.iter_samples(0))
+
+    @given(seed=st.integers(0, 10_000))
+    def test_property_all_instances_valid(self, seed):
+        """Every sampled instance passes ApplicationParameters validation and
+        always has at least one overloading PE (Figure 3 setup)."""
+        params = TableIISampler().sample(seed=seed)
+        assert params.has_imbalance
+        assert 0 < params.num_overloading < params.num_pes
+
+
+class TestAlphaGrid:
+    def test_default_grid(self):
+        grid = alpha_grid()
+        assert len(grid) == 100
+        assert grid[0] == 0.0
+        assert grid[-1] == 1.0
+        assert np.all(np.diff(grid) > 0)
+
+    def test_custom_bounds(self):
+        grid = alpha_grid(5, low=0.2, high=0.6)
+        assert grid[0] == pytest.approx(0.2)
+        assert grid[-1] == pytest.approx(0.6)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            alpha_grid(0)
+        with pytest.raises(ValueError):
+            alpha_grid(10, low=0.8, high=0.2)
+        with pytest.raises(ValueError):
+            alpha_grid(10, low=-0.1)

@@ -1,0 +1,294 @@
+"""Tests of :mod:`repro.core.schedule` (LB schedules and Eq. 4 evaluation)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import menon_tau
+from repro.core.parameters import ApplicationParameters, TableIISampler
+from repro.core.schedule import (
+    LBSchedule,
+    evaluate_schedule,
+    menon_tau_schedule,
+    periodic_schedule,
+    sigma_plus_schedule,
+    single_interval_schedule,
+)
+from repro.core.standard_model import StandardLBModel
+from repro.core.ulba_model import ULBAModel
+
+
+def params(**overrides):
+    defaults = dict(
+        num_pes=8,
+        num_overloading=2,
+        iterations=40,
+        initial_workload=800.0,
+        uniform_rate=1.0,
+        overload_rate=10.0,
+        alpha=0.5,
+        pe_speed=2.0,
+        lb_cost=5.0,
+    )
+    defaults.update(overrides)
+    return ApplicationParameters(**defaults)
+
+
+class TestLBSchedule:
+    def test_events_sorted_and_deduplicated(self):
+        s = LBSchedule(iterations=10, lb_iterations=(7, 3, 3, 9))
+        assert s.lb_iterations == (3, 7, 9)
+        assert s.num_lb_calls == 3
+
+    def test_from_bools_round_trip(self):
+        flags = [False, True, False, False, True, False]
+        s = LBSchedule.from_bools(flags)
+        assert s.lb_iterations == (1, 4)
+        assert s.to_bools() == flags
+
+    def test_from_bools_accepts_ints(self):
+        s = LBSchedule.from_bools([0, 1, 0, 1])
+        assert s.lb_iterations == (1, 3)
+
+    def test_empty_flags_rejected(self):
+        with pytest.raises(ValueError):
+            LBSchedule.from_bools([])
+
+    def test_out_of_range_event_rejected(self):
+        with pytest.raises(ValueError):
+            LBSchedule(iterations=5, lb_iterations=(5,))
+        with pytest.raises(ValueError):
+            LBSchedule(iterations=5, lb_iterations=(-1,))
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            LBSchedule(iterations=0)
+
+    def test_intervals_no_events(self):
+        s = LBSchedule(iterations=10)
+        assert s.intervals() == [(None, 0, 10)]
+
+    def test_intervals_with_events(self):
+        s = LBSchedule(iterations=10, lb_iterations=(3, 7))
+        assert s.intervals() == [(None, 0, 3), (3, 3, 7), (7, 7, 10)]
+
+    def test_intervals_event_at_zero(self):
+        s = LBSchedule(iterations=6, lb_iterations=(0, 4))
+        assert s.intervals() == [(0, 0, 4), (4, 4, 6)]
+
+    def test_intervals_event_at_last_iteration(self):
+        s = LBSchedule(iterations=6, lb_iterations=(5,))
+        assert s.intervals() == [(None, 0, 5), (5, 5, 6)]
+
+    def test_intervals_cover_every_iteration_exactly_once(self):
+        s = LBSchedule(iterations=20, lb_iterations=(2, 3, 11, 19))
+        covered = []
+        for _, start, stop in s.intervals():
+            covered.extend(range(start, stop))
+        assert covered == list(range(20))
+
+    def test_with_without_toggle(self):
+        s = LBSchedule(iterations=10, lb_iterations=(3,))
+        assert s.with_event(7).lb_iterations == (3, 7)
+        assert s.without_event(3).lb_iterations == ()
+        assert s.toggled(3).lb_iterations == ()
+        assert s.toggled(5).lb_iterations == (3, 5)
+
+    @given(flags=st.lists(st.booleans(), min_size=1, max_size=120))
+    def test_property_bools_round_trip(self, flags):
+        assert LBSchedule.from_bools(flags).to_bools() == flags
+
+    @given(
+        events=st.lists(st.integers(min_value=0, max_value=49), max_size=20),
+    )
+    def test_property_interval_partition(self, events):
+        s = LBSchedule(iterations=50, lb_iterations=tuple(events))
+        covered = []
+        for _, start, stop in s.intervals():
+            covered.extend(range(start, stop))
+        assert covered == list(range(50))
+
+
+class TestScheduleGenerators:
+    def test_single_interval(self):
+        s = single_interval_schedule(30)
+        assert s.num_lb_calls == 0
+        assert s.iterations == 30
+
+    def test_periodic(self):
+        s = periodic_schedule(20, 5)
+        assert s.lb_iterations == (5, 10, 15)
+
+    def test_periodic_with_start(self):
+        s = periodic_schedule(20, 5, start=2)
+        assert s.lb_iterations == (2, 7, 12, 17)
+
+    def test_periodic_invalid_period(self):
+        with pytest.raises(ValueError):
+            periodic_schedule(10, 0)
+
+    def test_menon_tau_schedule_is_periodic(self):
+        p = params()
+        tau = int(math.floor(menon_tau(p)))
+        s = menon_tau_schedule(p)
+        assert s.lb_iterations == tuple(range(tau, p.iterations, tau))
+
+    def test_menon_tau_schedule_no_imbalance(self):
+        s = menon_tau_schedule(params(overload_rate=0.0))
+        assert s.num_lb_calls == 0
+
+    def test_sigma_plus_schedule_alpha_zero_matches_menon(self):
+        """With alpha = 0 the sigma_plus rule degenerates to Menon's interval
+        (Section III-B); the resulting schedule is Menon's periodic one."""
+        p = params(alpha=0.0)
+        assert sigma_plus_schedule(p, alpha=0.0).lb_iterations == menon_tau_schedule(
+            p
+        ).lb_iterations
+
+    def test_sigma_plus_schedule_events_in_range(self):
+        p = params()
+        s = sigma_plus_schedule(p, alpha=0.5)
+        assert all(0 <= e < p.iterations for e in s.lb_iterations)
+        assert s.iterations == p.iterations
+
+    def test_sigma_plus_schedule_intervals_at_least_sigma_plus_apart(self):
+        p = params()
+        s = sigma_plus_schedule(p, alpha=0.5, minimum_interval=1)
+        events = (0,) + s.lb_iterations
+        gaps = [b - a for a, b in zip(events, events[1:])]
+        assert all(g >= 1 for g in gaps)
+
+    def test_sigma_plus_schedule_no_imbalance(self):
+        p = params(overload_rate=0.0)
+        assert sigma_plus_schedule(p, alpha=0.5).num_lb_calls == 0
+
+    def test_sigma_plus_schedule_minimum_interval_validated(self):
+        with pytest.raises(ValueError):
+            sigma_plus_schedule(params(), minimum_interval=0)
+
+    @given(seed=st.integers(0, 500), alpha=st.floats(min_value=0.0, max_value=1.0))
+    def test_property_sigma_plus_schedule_valid_on_table2(self, seed, alpha):
+        p = TableIISampler().sample(seed=seed)
+        s = sigma_plus_schedule(p, alpha=alpha)
+        assert s.iterations == p.iterations
+        assert all(0 <= e < p.iterations for e in s.lb_iterations)
+        assert list(s.lb_iterations) == sorted(set(s.lb_iterations))
+
+
+class TestEvaluateSchedule:
+    def test_mismatched_length_rejected(self):
+        p = params()
+        with pytest.raises(ValueError):
+            evaluate_schedule(p, LBSchedule(iterations=10))
+
+    def test_unknown_model_rejected(self):
+        p = params()
+        with pytest.raises(ValueError):
+            evaluate_schedule(p, single_interval_schedule(p.iterations), model="foo")
+
+    def test_no_lb_calls_standard(self):
+        p = params()
+        s = single_interval_schedule(p.iterations)
+        ev = evaluate_schedule(p, s, model="standard")
+        expected = StandardLBModel(p).interval_compute_time(0, p.iterations)
+        assert ev.total_time == pytest.approx(expected)
+        assert ev.lb_time == 0.0
+        assert ev.num_lb_calls == 0
+
+    def test_lb_cost_accounting(self):
+        p = params()
+        s = LBSchedule(p.iterations, (10, 20, 30))
+        ev = evaluate_schedule(p, s, model="standard")
+        assert ev.lb_time == pytest.approx(3 * p.lb_cost)
+        assert ev.total_time == pytest.approx(ev.compute_time + ev.lb_time)
+        assert len(ev.interval_times) == 4
+
+    def test_interval_times_sum_to_total(self):
+        p = params()
+        s = LBSchedule(p.iterations, (7, 23))
+        for model in ("standard", "ulba"):
+            ev = evaluate_schedule(p, s, model=model, alpha=0.4)
+            assert sum(ev.interval_times) == pytest.approx(ev.total_time)
+
+    def test_standard_matches_manual_composition(self):
+        p = params()
+        s = LBSchedule(p.iterations, (10, 25))
+        ev = evaluate_schedule(p, s, model="standard")
+        std = StandardLBModel(p)
+        expected = (
+            std.interval_compute_time(0, 10)
+            + p.lb_cost
+            + std.interval_compute_time(10, 25)
+            + p.lb_cost
+            + std.interval_compute_time(25, p.iterations)
+        )
+        assert ev.total_time == pytest.approx(expected)
+
+    def test_ulba_matches_manual_composition(self):
+        p = params()
+        s = LBSchedule(p.iterations, (10, 25))
+        ev = evaluate_schedule(p, s, model="ulba", alpha=0.5)
+        std = StandardLBModel(p)
+        ulba = ULBAModel(p)
+        expected = (
+            std.interval_compute_time(0, 10)
+            + p.lb_cost
+            + ulba.interval_compute_time(10, 25, alpha=0.5)
+            + p.lb_cost
+            + ulba.interval_compute_time(25, p.iterations, alpha=0.5)
+        )
+        assert ev.total_time == pytest.approx(expected)
+
+    def test_initial_segment_is_standard_under_both_models(self):
+        """The workload starts evenly balanced, so the first segment is the
+        same under both cost models."""
+        p = params()
+        s = single_interval_schedule(p.iterations)
+        std_eval = evaluate_schedule(p, s, model="standard")
+        ulba_eval = evaluate_schedule(p, s, model="ulba", alpha=0.9)
+        assert std_eval.total_time == pytest.approx(ulba_eval.total_time)
+
+    def test_alpha_defaults_to_instance_alpha(self):
+        p = params(alpha=0.5)
+        s = LBSchedule(p.iterations, (10,))
+        assert evaluate_schedule(p, s, model="ulba").total_time == pytest.approx(
+            evaluate_schedule(p, s, model="ulba", alpha=0.5).total_time
+        )
+
+    def test_evaluation_metadata(self):
+        p = params()
+        s = LBSchedule(p.iterations, (10,))
+        ev = evaluate_schedule(p, s, model="ulba", alpha=0.2)
+        assert ev.model == "ulba"
+        assert ev.alpha == 0.2
+        assert ev.schedule is s
+        std_ev = evaluate_schedule(p, s, model="standard")
+        assert std_ev.alpha == 0.0
+
+    @given(
+        events=st.lists(st.integers(min_value=0, max_value=39), max_size=15),
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_alpha_zero_equals_standard(self, events, alpha):
+        """ULBA with alpha = 0 is exactly the standard method on any schedule
+        (the paper's degenerate-case argument)."""
+        p = params()
+        s = LBSchedule(p.iterations, tuple(events))
+        std = evaluate_schedule(p, s, model="standard")
+        ulba0 = evaluate_schedule(p, s, model="ulba", alpha=0.0)
+        assert ulba0.total_time == pytest.approx(std.total_time)
+
+    @given(events=st.lists(st.integers(min_value=0, max_value=39), max_size=15))
+    def test_property_times_positive(self, events):
+        p = params()
+        s = LBSchedule(p.iterations, tuple(events))
+        for model in ("standard", "ulba"):
+            ev = evaluate_schedule(p, s, model=model, alpha=0.3)
+            assert ev.total_time > 0.0
+            assert ev.compute_time > 0.0
+            assert all(t >= 0.0 for t in ev.interval_times)

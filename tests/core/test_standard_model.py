@@ -1,0 +1,139 @@
+"""Tests of :mod:`repro.core.standard_model` (Eq. 2-4, Eq. 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.parameters import ApplicationParameters
+from repro.core.standard_model import StandardLBModel
+
+
+def params(**overrides):
+    defaults = dict(
+        num_pes=8,
+        num_overloading=2,
+        iterations=50,
+        initial_workload=800.0,
+        uniform_rate=1.0,
+        overload_rate=10.0,
+        alpha=0.0,
+        pe_speed=2.0,
+        lb_cost=5.0,
+    )
+    defaults.update(overrides)
+    return ApplicationParameters(**defaults)
+
+
+class TestIterationTime:
+    def test_eq2_by_hand(self):
+        """T_std(LBp, t) = [Wtot(LBp)/P + (m + a) t] / omega."""
+        model = StandardLBModel(params())
+        # Wtot(0)/P = 100, m + a = 11, omega = 2.
+        assert model.iteration_time(0, 0) == pytest.approx(50.0)
+        assert model.iteration_time(0, 3) == pytest.approx((100.0 + 33.0) / 2.0)
+
+    def test_later_lb_step_larger_share(self):
+        model = StandardLBModel(params())
+        # Wtot(10) = 800 + 10*28 = 1080 -> share 135.
+        assert model.iteration_time(10, 0) == pytest.approx(135.0 / 2.0)
+
+    def test_linear_in_t(self):
+        model = StandardLBModel(params())
+        t0 = model.iteration_time(0, 0)
+        t1 = model.iteration_time(0, 1)
+        t2 = model.iteration_time(0, 2)
+        assert t2 - t1 == pytest.approx(t1 - t0)
+
+    def test_vectorised_matches_scalar(self):
+        model = StandardLBModel(params())
+        ts = [0, 1, 2, 7, 20]
+        vec = model.iteration_times(0, ts)
+        scalar = [model.iteration_time(0, t) for t in ts]
+        assert np.allclose(vec, scalar)
+
+    def test_negative_offset_rejected(self):
+        model = StandardLBModel(params())
+        with pytest.raises(ValueError):
+            model.iteration_time(0, -1)
+        with pytest.raises(ValueError):
+            model.iteration_times(0, [0, -1])
+
+
+class TestIntervalTime:
+    def test_empty_interval(self):
+        model = StandardLBModel(params())
+        assert model.interval_compute_time(5, 5) == 0.0
+
+    def test_closed_form_matches_sum(self):
+        model = StandardLBModel(params())
+        lb_prev, lb_next = 4, 19
+        expected = sum(
+            model.iteration_time(lb_prev, t) for t in range(lb_next - lb_prev)
+        )
+        assert model.interval_compute_time(lb_prev, lb_next) == pytest.approx(expected)
+
+    @given(
+        lb_prev=st.integers(min_value=0, max_value=60),
+        length=st.integers(min_value=0, max_value=80),
+    )
+    def test_property_closed_form_equals_discrete_sum(self, lb_prev, length):
+        """Eq. 3's arithmetic series is evaluated exactly in closed form."""
+        model = StandardLBModel(params())
+        lb_next = lb_prev + length
+        expected = sum(model.iteration_time(lb_prev, t) for t in range(length))
+        assert model.interval_compute_time(lb_prev, lb_next) == pytest.approx(
+            expected, rel=1e-12, abs=1e-9
+        )
+
+    def test_interval_time_adds_lb_cost(self):
+        model = StandardLBModel(params())
+        base = model.interval_compute_time(0, 10)
+        assert model.interval_time(0, 10) == pytest.approx(base + 5.0)
+        assert model.interval_time(0, 10, charge_lb_cost=False) == pytest.approx(base)
+
+    def test_first_interval_has_no_lb_cost(self):
+        model = StandardLBModel(params())
+        assert model.first_interval_compute_time(10) == pytest.approx(
+            model.interval_compute_time(0, 10)
+        )
+
+    def test_reversed_interval_rejected(self):
+        model = StandardLBModel(params())
+        with pytest.raises(ValueError):
+            model.interval_compute_time(10, 5)
+
+    def test_monotone_in_interval_length(self):
+        model = StandardLBModel(params())
+        times = [model.interval_compute_time(0, n) for n in range(0, 30)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+class TestImbalanceCost:
+    def test_eq10_quadratic(self):
+        p = params()
+        model = StandardLBModel(p)
+        # Cost(tau) = m_hat tau^2 / (2 omega).
+        tau = 12
+        assert model.imbalance_cost(tau) == pytest.approx(
+            p.m_hat * tau**2 / (2.0 * p.omega)
+        )
+
+    def test_zero_tau(self):
+        assert StandardLBModel(params()).imbalance_cost(0) == 0.0
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            StandardLBModel(params()).imbalance_cost(-1)
+
+    def test_no_imbalance_when_m_zero(self):
+        model = StandardLBModel(params(overload_rate=0.0))
+        assert model.imbalance_cost(100) == 0.0
+
+    @given(tau=st.floats(min_value=0.0, max_value=1e4))
+    def test_property_non_negative_and_increasing(self, tau):
+        model = StandardLBModel(params())
+        assert model.imbalance_cost(tau) >= 0.0
+        assert model.imbalance_cost(tau + 1.0) >= model.imbalance_cost(tau)

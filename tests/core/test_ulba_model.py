@@ -1,0 +1,261 @@
+"""Tests of :mod:`repro.core.ulba_model` (Eq. 5-6, 8, 11)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.parameters import ApplicationParameters
+from repro.core.standard_model import StandardLBModel
+from repro.core.ulba_model import ULBAModel
+
+
+def params(**overrides):
+    defaults = dict(
+        num_pes=8,
+        num_overloading=2,
+        iterations=100,
+        initial_workload=800.0,
+        uniform_rate=1.0,
+        overload_rate=10.0,
+        alpha=0.5,
+        pe_speed=2.0,
+        lb_cost=5.0,
+    )
+    defaults.update(overrides)
+    return ApplicationParameters(**defaults)
+
+
+class TestPostLBShares:
+    def test_eq6_by_hand(self):
+        model = ULBAModel(params())
+        w_star, w = model.post_lb_shares(0, alpha=0.5)
+        # share = 100; W* = 50; W = (1 + 0.5*2/6)*100.
+        assert w_star == pytest.approx(50.0)
+        assert w == pytest.approx(100.0 * (1 + 0.5 * 2 / 6))
+
+    def test_alpha_zero_even_split(self):
+        model = ULBAModel(params())
+        w_star, w = model.post_lb_shares(0, alpha=0.0)
+        assert w_star == w == pytest.approx(100.0)
+
+    def test_no_overloading_pes(self):
+        model = ULBAModel(params(num_overloading=0, overload_rate=0.0))
+        w_star, w = model.post_lb_shares(0, alpha=0.7)
+        assert w_star == w == pytest.approx(100.0)
+
+    @given(alpha=st.floats(min_value=0.0, max_value=1.0))
+    def test_property_conservation(self, alpha):
+        """N * W* + (P - N) * W == Wtot (the red and blue areas of Fig. 1)."""
+        p = params()
+        model = ULBAModel(p)
+        w_star, w = model.post_lb_shares(0, alpha=alpha)
+        total = p.num_overloading * w_star + (p.num_pes - p.num_overloading) * w
+        assert total == pytest.approx(p.initial_workload)
+
+    @given(alpha=st.floats(min_value=0.0, max_value=1.0))
+    def test_property_ordering(self, alpha):
+        """Overloading PEs never start above the others after a ULBA step."""
+        model = ULBAModel(params())
+        w_star, w = model.post_lb_shares(0, alpha=alpha)
+        assert w_star <= w + 1e-12
+
+    def test_invalid_alpha(self):
+        model = ULBAModel(params())
+        with pytest.raises(ValueError):
+            model.post_lb_shares(0, alpha=-0.1)
+
+
+class TestSigmaMinus:
+    def test_eq8_by_hand(self):
+        p = params()
+        model = ULBAModel(p)
+        # sigma- = floor((1 + N/(P-N)) * alpha * Wtot / (m P))
+        #        = floor((1 + 2/6) * 0.5 * 800 / (10 * 8)) = floor(6.6667) = 6.
+        assert model.sigma_minus(0, alpha=0.5) == 6
+
+    def test_alpha_zero_is_zero(self):
+        assert ULBAModel(params()).sigma_minus(0, alpha=0.0) == 0
+
+    def test_no_overloading_is_zero(self):
+        model = ULBAModel(params(num_overloading=0, overload_rate=0.0))
+        assert model.sigma_minus(0, alpha=0.5) == 0
+
+    def test_zero_overload_rate_never_catches_up(self):
+        model = ULBAModel(params(overload_rate=0.0))
+        assert model.sigma_minus(0, alpha=0.5) >= 10**17
+
+    def test_grows_with_workload(self):
+        model = ULBAModel(params())
+        assert model.sigma_minus(50, alpha=0.5) >= model.sigma_minus(0, alpha=0.5)
+
+    def test_catch_up_definition(self):
+        """At sigma-, the overloading PEs have not yet exceeded the others;
+        one iteration later they have (definition of the catch-up length)."""
+        p = params()
+        model = ULBAModel(p)
+        for alpha in (0.1, 0.4, 0.8):
+            sigma = model.sigma_minus(0, alpha=alpha)
+            w_star, w = model.post_lb_shares(0, alpha=alpha)
+            over_at_sigma = w_star + (p.m + p.a) * sigma
+            under_at_sigma = w + p.a * sigma
+            assert over_at_sigma <= under_at_sigma + 1e-9
+            over_next = w_star + (p.m + p.a) * (sigma + 1)
+            under_next = w + p.a * (sigma + 1)
+            assert over_next >= under_next - 1e-9
+
+    @given(
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+        lb_prev=st.integers(min_value=0, max_value=99),
+    )
+    def test_property_matches_closed_form(self, alpha, lb_prev):
+        p = params()
+        model = ULBAModel(p)
+        sigma = model.sigma_minus(lb_prev, alpha=alpha)
+        wtot = p.initial_workload + lb_prev * p.delta_w
+        expected = int(
+            np.floor((1 + p.N / (p.P - p.N)) * alpha * wtot / (p.m * p.P))
+        )
+        assert sigma == expected
+
+
+class TestIterationTime:
+    def test_eq5_two_branches(self):
+        p = params()
+        model = ULBAModel(p)
+        sigma = model.sigma_minus(0, alpha=0.5)
+        w_star, w = model.post_lb_shares(0, alpha=0.5)
+        # Within the catch-up window the non-overloading PEs dominate.
+        t_inside = model.iteration_time(0, sigma, alpha=0.5)
+        assert t_inside == pytest.approx((w + p.a * sigma) / p.omega)
+        # Beyond it the overloading PEs dominate.
+        t_outside = model.iteration_time(0, sigma + 1, alpha=0.5)
+        assert t_outside == pytest.approx((w_star + (p.m + p.a) * (sigma + 1)) / p.omega)
+
+    def test_alpha_zero_equals_standard(self):
+        p = params()
+        ulba = ULBAModel(p)
+        std = StandardLBModel(p)
+        for t in range(0, 30, 3):
+            assert ulba.iteration_time(0, t, alpha=0.0) == pytest.approx(
+                std.iteration_time(0, t)
+            )
+
+    def test_vectorised_matches_scalar(self):
+        model = ULBAModel(params())
+        ts = list(range(0, 25))
+        vec = model.iteration_times(0, ts, alpha=0.5)
+        scalar = [model.iteration_time(0, t, alpha=0.5) for t in ts]
+        assert np.allclose(vec, scalar)
+
+    def test_negative_offset_rejected(self):
+        model = ULBAModel(params())
+        with pytest.raises(ValueError):
+            model.iteration_time(0, -1)
+        with pytest.raises(ValueError):
+            model.iteration_times(0, [-1])
+
+    @given(alpha=st.floats(min_value=0.0, max_value=1.0), t=st.integers(0, 200))
+    def test_property_ulba_iteration_never_slower_than_worst_branch(self, alpha, t):
+        """Each ULBA iteration is at most the max of the two Eq. 5 branches
+        and at least the min -- i.e. the piecewise switch is consistent."""
+        p = params()
+        model = ULBAModel(p)
+        w_star, w = model.post_lb_shares(0, alpha=alpha)
+        under = (w + p.a * t) / p.omega
+        over = (w_star + (p.m + p.a) * t) / p.omega
+        actual = model.iteration_time(0, t, alpha=alpha)
+        assert min(under, over) - 1e-9 <= actual <= max(under, over) + 1e-9
+
+
+class TestIntervalTime:
+    def test_closed_form_matches_sum(self):
+        model = ULBAModel(params())
+        lb_prev, lb_next = 3, 40
+        expected = sum(
+            model.iteration_time(lb_prev, t, alpha=0.5)
+            for t in range(lb_next - lb_prev)
+        )
+        assert model.interval_compute_time(lb_prev, lb_next, alpha=0.5) == pytest.approx(
+            expected
+        )
+
+    @given(
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+        lb_prev=st.integers(min_value=0, max_value=40),
+        length=st.integers(min_value=0, max_value=80),
+    )
+    def test_property_closed_form_equals_discrete_sum(self, alpha, lb_prev, length):
+        model = ULBAModel(params())
+        lb_next = lb_prev + length
+        expected = sum(
+            model.iteration_time(lb_prev, t, alpha=alpha) for t in range(length)
+        )
+        assert model.interval_compute_time(
+            lb_prev, lb_next, alpha=alpha
+        ) == pytest.approx(expected, rel=1e-12, abs=1e-9)
+
+    def test_alpha_zero_equals_standard_interval(self):
+        p = params()
+        ulba = ULBAModel(p)
+        std = StandardLBModel(p)
+        assert ulba.interval_compute_time(0, 25, alpha=0.0) == pytest.approx(
+            std.interval_compute_time(0, 25)
+        )
+
+    def test_interval_time_adds_lb_cost(self):
+        model = ULBAModel(params())
+        base = model.interval_compute_time(0, 10, alpha=0.5)
+        assert model.interval_time(0, 10, alpha=0.5) == pytest.approx(base + 5.0)
+        assert model.interval_time(0, 10, alpha=0.5, charge_lb_cost=False) == pytest.approx(base)
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ULBAModel(params()).interval_compute_time(10, 2)
+
+    def test_short_interval_cheaper_with_ulba(self):
+        """Within the catch-up window ULBA's iterations are more expensive
+        (the non-overloading PEs carry extra work) -- the advantage only
+        materialises over longer horizons.  This checks the trade-off is
+        present in the model rather than ULBA being uniformly cheaper."""
+        p = params()
+        ulba = ULBAModel(p)
+        std = StandardLBModel(p)
+        assert ulba.interval_compute_time(0, 3, alpha=0.8) >= std.interval_compute_time(0, 3)
+
+
+class TestOverheadCost:
+    def test_eq11_by_hand(self):
+        p = params()
+        model = ULBAModel(p)
+        alpha = 0.5
+        sigma = model.sigma_minus(0, alpha=alpha)
+        tau = 10
+        wtot_next = p.initial_workload + (sigma + tau) * p.delta_w
+        expected = alpha * p.N / (p.P - p.N) * wtot_next / (p.omega * p.P)
+        assert model.overhead_cost(0, tau, alpha=alpha) == pytest.approx(expected)
+
+    def test_zero_when_alpha_zero(self):
+        assert ULBAModel(params()).overhead_cost(0, 10, alpha=0.0) == 0.0
+
+    def test_zero_when_no_overloading(self):
+        model = ULBAModel(params(num_overloading=0, overload_rate=0.0))
+        assert model.overhead_cost(0, 10, alpha=0.5) == 0.0
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            ULBAModel(params()).overhead_cost(0, -1)
+
+    @given(
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+        tau=st.floats(min_value=0.0, max_value=500.0),
+    )
+    def test_property_overhead_monotone_in_alpha_and_tau(self, alpha, tau):
+        model = ULBAModel(params())
+        base = model.overhead_cost(0, tau, alpha=alpha)
+        assert base >= 0.0
+        assert model.overhead_cost(0, tau + 1.0, alpha=alpha) >= base
+        if alpha <= 0.9:
+            assert model.overhead_cost(0, tau, alpha=alpha + 0.1) >= base

@@ -1,0 +1,205 @@
+"""Tests of :mod:`repro.core.workload` (Eq. 1 and the rate decompositions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.parameters import ApplicationParameters
+from repro.core.workload import (
+    WorkloadModel,
+    menon_rates,
+    per_pe_increase_rates,
+    per_pe_rates,
+)
+
+
+def params(**overrides):
+    defaults = dict(
+        num_pes=8,
+        num_overloading=2,
+        iterations=50,
+        initial_workload=800.0,
+        uniform_rate=1.0,
+        overload_rate=10.0,
+        alpha=0.5,
+        pe_speed=1.0,
+        lb_cost=5.0,
+    )
+    defaults.update(overrides)
+    return ApplicationParameters(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Rate conversions.
+# ----------------------------------------------------------------------
+class TestRateConversions:
+    def test_menon_rates_formulas(self):
+        a_hat, m_hat = menon_rates(1.0, 10.0, num_pes=8, num_overloading=2)
+        assert a_hat == pytest.approx(1.0 + 10.0 * 2 / 8)
+        assert m_hat == pytest.approx(10.0 * 6 / 8)
+
+    def test_no_overloading_pes(self):
+        a_hat, m_hat = menon_rates(3.0, 7.0, num_pes=4, num_overloading=0)
+        assert a_hat == 3.0
+        assert m_hat == 7.0
+
+    def test_all_pes_overloading(self):
+        a_hat, m_hat = menon_rates(1.0, 5.0, num_pes=4, num_overloading=4)
+        assert a_hat == pytest.approx(6.0)
+        assert m_hat == 0.0
+
+    def test_round_trip(self):
+        a, m = 2.0, 15.0
+        a_hat, m_hat = menon_rates(a, m, 16, 3)
+        a2, m2 = per_pe_rates(a_hat, m_hat, 16, 3)
+        assert a2 == pytest.approx(a)
+        assert m2 == pytest.approx(m)
+
+    @given(
+        a=st.floats(min_value=0.0, max_value=1e6),
+        m=st.floats(min_value=0.0, max_value=1e6),
+        p=st.integers(min_value=2, max_value=2048),
+        data=st.data(),
+    )
+    def test_property_round_trip(self, a, m, p, data):
+        n = data.draw(st.integers(min_value=0, max_value=p - 1))
+        a_hat, m_hat = menon_rates(a, m, p, n)
+        a2, m2 = per_pe_rates(a_hat, m_hat, p, n)
+        assert a2 == pytest.approx(a, rel=1e-9, abs=1e-6)
+        assert m2 == pytest.approx(m, rel=1e-9, abs=1e-6)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            menon_rates(-1.0, 1.0, 4, 1)
+        with pytest.raises(ValueError):
+            menon_rates(1.0, 1.0, 4, 5)
+        with pytest.raises(ValueError):
+            per_pe_rates(1.0, 1.0, 4, 4)  # N == P undetermined
+
+    def test_inconsistent_menon_rates_raise(self):
+        # a_hat too small to accommodate the implied m N / P contribution.
+        with pytest.raises(ValueError):
+            per_pe_rates(0.1, 100.0, 4, 3)
+
+    def test_per_pe_increase_rates_layout(self):
+        rates = per_pe_increase_rates(params())
+        assert rates.shape == (8,)
+        assert np.allclose(rates[:2], 11.0)  # a + m for the overloading PEs
+        assert np.allclose(rates[2:], 1.0)
+
+    def test_per_pe_increase_rates_sum(self):
+        p = params()
+        assert per_pe_increase_rates(p).sum() == pytest.approx(p.delta_w)
+
+
+# ----------------------------------------------------------------------
+# WorkloadModel.
+# ----------------------------------------------------------------------
+class TestWorkloadModel:
+    def test_total_workload_eq1(self):
+        model = WorkloadModel(params())
+        # Wtot(i) = Wtot(0) + i * dW, dW = 1*8 + 10*2 = 28.
+        assert model.total_workload(0) == 800.0
+        assert model.total_workload(10) == pytest.approx(800.0 + 10 * 28.0)
+
+    def test_total_workloads_vectorised(self):
+        model = WorkloadModel(params())
+        out = model.total_workloads([0, 1, 5])
+        assert np.allclose(out, [800.0, 828.0, 940.0])
+
+    def test_negative_iteration_rejected(self):
+        model = WorkloadModel(params())
+        with pytest.raises(ValueError):
+            model.total_workload(-1)
+        with pytest.raises(ValueError):
+            model.total_workloads([0, -2])
+
+    def test_balanced_share(self):
+        model = WorkloadModel(params())
+        assert model.balanced_share(0) == pytest.approx(100.0)
+
+    def test_decomposition_matches_parameters(self):
+        p = params()
+        d = WorkloadModel(p).decomposition()
+        assert d.a == p.a and d.m == p.m
+        assert d.a_hat == p.a_hat and d.m_hat == p.m_hat
+
+    def test_per_pe_workloads_balanced_start(self):
+        model = WorkloadModel(params())
+        loads = model.per_pe_workloads(0, alpha=0.0)
+        assert np.allclose(loads, 100.0)
+
+    def test_per_pe_workloads_ulba_start(self):
+        p = params()
+        model = WorkloadModel(p)
+        loads = model.per_pe_workloads(0, alpha=0.5)
+        share = 100.0
+        # Overloading PEs keep (1 - alpha) share, others get the surplus.
+        assert np.allclose(loads[:2], 0.5 * share)
+        assert np.allclose(loads[2:], (1 + 0.5 * 2 / 6) * share)
+
+    def test_workload_conservation_at_lb_step(self):
+        """The ULBA redistribution conserves the total workload (Fig. 1)."""
+        p = params()
+        model = WorkloadModel(p)
+        for alpha in (0.0, 0.3, 1.0):
+            loads = model.per_pe_workloads(0, alpha=alpha)
+            assert loads.sum() == pytest.approx(model.total_workload(0))
+
+    def test_growth_after_lb_step(self):
+        p = params()
+        model = WorkloadModel(p)
+        l0 = model.per_pe_workloads(3, balanced_at=3, alpha=0.0)
+        l5 = model.per_pe_workloads(8, balanced_at=3, alpha=0.0)
+        diff = l5 - l0
+        assert np.allclose(diff[:2], 5 * (p.a + p.m))
+        assert np.allclose(diff[2:], 5 * p.a)
+
+    def test_max_load_is_max(self):
+        model = WorkloadModel(params())
+        loads = model.per_pe_workloads(7, balanced_at=2)
+        assert model.max_load(7, balanced_at=2) == pytest.approx(loads.max())
+
+    def test_iteration_before_balance_rejected(self):
+        model = WorkloadModel(params())
+        with pytest.raises(ValueError):
+            model.per_pe_workloads(1, balanced_at=5)
+
+    def test_invalid_alpha_rejected(self):
+        model = WorkloadModel(params())
+        with pytest.raises(ValueError):
+            model.per_pe_workloads(0, alpha=1.5)
+
+    @given(
+        steps=st.integers(min_value=0, max_value=200),
+        balanced_at=st.integers(min_value=0, max_value=100),
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_conservation_over_time(self, steps, balanced_at, alpha):
+        """Summing the per-PE trajectory always recovers Wtot(i) (Eq. 1).
+
+        This ties the per-PE view used by the simulator to the aggregate view
+        used by the analytical formulas.
+        """
+        p = params()
+        model = WorkloadModel(p)
+        iteration = balanced_at + steps
+        loads = model.per_pe_workloads(iteration, balanced_at=balanced_at, alpha=alpha)
+        expected = model.total_workload(balanced_at) + steps * p.delta_w
+        assert loads.sum() == pytest.approx(expected, rel=1e-9)
+
+    @given(alpha=st.floats(min_value=0.0, max_value=1.0))
+    def test_property_monotone_total(self, alpha):
+        p = params(alpha=alpha)
+        model = WorkloadModel(p)
+        totals = model.total_workloads(range(p.iterations))
+        assert np.all(np.diff(totals) >= 0)
+
+    def test_zero_overloading_profile_is_flat(self):
+        p = params(num_overloading=0, overload_rate=0.0)
+        model = WorkloadModel(p)
+        loads = model.per_pe_workloads(10, alpha=0.0)
+        assert np.allclose(loads, loads[0])

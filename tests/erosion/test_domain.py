@@ -1,0 +1,207 @@
+"""Tests of :mod:`repro.erosion.domain`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erosion.domain import CellType, ErosionDomain
+
+
+def disc(domain, cx, cy, r):
+    cols = np.arange(domain.width)[:, None]
+    rows = np.arange(domain.height)[None, :]
+    return (cols - cx) ** 2 + (rows - cy) ** 2 <= r**2
+
+
+class TestConstruction:
+    def test_starts_all_fluid(self):
+        domain = ErosionDomain(8, 6)
+        assert domain.shape == (8, 6)
+        assert domain.num_cells == 48
+        assert domain.num_fluid_cells == 48
+        assert domain.num_rock_cells == 0
+        assert domain.total_load == pytest.approx(48.0)
+
+    def test_custom_weights(self):
+        domain = ErosionDomain(4, 4, fluid_weight=2.0, refinement_factor=3.0)
+        assert domain.total_load == pytest.approx(32.0)
+        assert domain.refinement_factor == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErosionDomain(0, 4)
+        with pytest.raises(ValueError):
+            ErosionDomain(4, 4, refinement_factor=0.0)
+        with pytest.raises(ValueError):
+            ErosionDomain(4, 4, fluid_weight=-1.0)
+
+
+class TestSetRock:
+    def test_set_rock_converts_cells(self):
+        domain = ErosionDomain(10, 10)
+        mask = disc(domain, 5, 5, 2)
+        created = domain.set_rock(mask, 0.4, rock_id=3)
+        assert created == int(mask.sum())
+        assert domain.num_rock_cells == created
+        assert domain.num_fluid_cells == 100 - created
+        assert np.all(domain.weight[mask] == 0.0)
+        assert np.all(domain.erosion_probability[mask] == 0.4)
+        assert np.all(domain.rock_id[mask] == 3)
+
+    def test_set_rock_does_not_overwrite_existing_rock(self):
+        domain = ErosionDomain(10, 10)
+        mask_a = disc(domain, 4, 4, 2)
+        mask_b = disc(domain, 5, 5, 2)  # overlaps mask_a
+        domain.set_rock(mask_a, 0.02, rock_id=0)
+        created_b = domain.set_rock(mask_b, 0.4, rock_id=1)
+        overlap = (mask_a & mask_b).sum()
+        assert created_b == int(mask_b.sum()) - overlap
+        # Overlapping cells keep the first rock's id and probability.
+        assert np.all(domain.rock_id[mask_a & mask_b] == 0)
+        assert np.all(domain.erosion_probability[mask_a & mask_b] == 0.02)
+
+    def test_set_rock_validation(self):
+        domain = ErosionDomain(4, 4)
+        with pytest.raises(ValueError):
+            domain.set_rock(np.ones((2, 2), dtype=bool), 0.4, 0)
+        with pytest.raises(ValueError):
+            domain.set_rock(np.ones((4, 4), dtype=bool), 1.5, 0)
+
+
+class TestErode:
+    def test_erode_converts_rock_to_refined_fluid(self):
+        domain = ErosionDomain(10, 10, refinement_factor=4.0)
+        rock = disc(domain, 5, 5, 3)
+        domain.set_rock(rock, 0.4, 0)
+        eroded = domain.erode(rock)
+        assert eroded == int(rock.sum())
+        assert domain.num_rock_cells == 0
+        assert np.all(domain.weight[rock] == 4.0)
+        assert np.all(domain.erosion_probability[rock] == 0.0)
+        assert np.all(domain.rock_id[rock] == -1)
+
+    def test_erode_ignores_fluid_cells(self):
+        domain = ErosionDomain(6, 6)
+        eroded = domain.erode(np.ones((6, 6), dtype=bool))
+        assert eroded == 0
+        assert domain.total_load == pytest.approx(36.0)
+
+    def test_erode_increases_total_load(self):
+        """Erosion with refinement adds (refinement_factor - 0) per cell --
+        the mechanism that grows the overloading stripes."""
+        domain = ErosionDomain(10, 10, refinement_factor=4.0)
+        rock = disc(domain, 5, 5, 2)
+        domain.set_rock(rock, 0.4, 0)
+        load_before = domain.total_load
+        domain.erode(rock)
+        assert domain.total_load == pytest.approx(load_before + 4.0 * rock.sum())
+
+    def test_erode_validation(self):
+        domain = ErosionDomain(4, 4)
+        with pytest.raises(ValueError):
+            domain.erode(np.ones((3, 3), dtype=bool))
+
+
+class TestColumnLoads:
+    def test_column_loads_all_fluid(self):
+        domain = ErosionDomain(5, 7)
+        assert np.allclose(domain.column_loads(), 7.0)
+
+    def test_column_loads_with_rock(self):
+        domain = ErosionDomain(5, 4)
+        mask = np.zeros((5, 4), dtype=bool)
+        mask[2, :] = True  # column 2 fully rock
+        domain.set_rock(mask, 0.4, 0)
+        loads = domain.column_loads()
+        assert loads[2] == 0.0
+        assert np.allclose(np.delete(loads, 2), 4.0)
+
+    def test_column_loads_sum_equals_total(self):
+        domain = ErosionDomain(9, 9)
+        domain.set_rock(disc(domain, 4, 4, 2), 0.4, 0)
+        assert domain.column_loads().sum() == pytest.approx(domain.total_load)
+
+    def test_stripe_loads(self):
+        domain = ErosionDomain(8, 2)
+        stripe_loads = domain.stripe_loads((0, 4, 8))
+        assert np.allclose(stripe_loads, [8.0, 8.0])
+
+    def test_stripe_loads_validation(self):
+        domain = ErosionDomain(8, 2)
+        with pytest.raises(ValueError):
+            domain.stripe_loads((0, 4))
+        with pytest.raises(ValueError):
+            domain.stripe_loads((1, 8))
+
+
+class TestBoundaryRockMask:
+    def test_interior_rock_not_exposed(self):
+        domain = ErosionDomain(10, 10)
+        domain.set_rock(disc(domain, 5, 5, 3), 0.4, 0)
+        boundary = domain.boundary_rock_mask()
+        # The centre of the disc has rock neighbours on all four sides.
+        assert not boundary[5, 5]
+        # Boundary cells exist and are a strict subset of the rock.
+        assert boundary.sum() > 0
+        assert boundary.sum() < domain.rock_mask().sum()
+        assert np.all(domain.rock_mask()[boundary])
+
+    def test_domain_border_counts_as_fluid(self):
+        domain = ErosionDomain(4, 4)
+        domain.set_rock(np.ones((4, 4), dtype=bool), 0.4, 0)
+        boundary = domain.boundary_rock_mask()
+        # Only the outer ring touches the (implicit) outside fluid.
+        assert boundary[0, 0] and boundary[3, 3] and boundary[0, 2]
+        assert not boundary[1, 1] and not boundary[2, 2]
+
+    def test_no_rock_no_boundary(self):
+        domain = ErosionDomain(5, 5)
+        assert domain.boundary_rock_mask().sum() == 0
+
+    def test_single_rock_cell_is_boundary(self):
+        domain = ErosionDomain(5, 5)
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[2, 2] = True
+        domain.set_rock(mask, 0.4, 0)
+        assert domain.boundary_rock_mask()[2, 2]
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        domain = ErosionDomain(6, 6)
+        domain.set_rock(disc(domain, 3, 3, 2), 0.4, 0)
+        clone = domain.copy()
+        domain.erode(domain.rock_mask())
+        assert clone.num_rock_cells > 0
+        assert domain.num_rock_cells == 0
+
+    def test_copy_preserves_configuration(self):
+        domain = ErosionDomain(4, 5, refinement_factor=3.0, fluid_weight=2.0)
+        clone = domain.copy()
+        assert clone.shape == (4, 5)
+        assert clone.refinement_factor == 3.0
+        assert clone.fluid_weight == 2.0
+
+
+class TestCellAccountingInvariant:
+    @settings(max_examples=20)
+    @given(
+        width=st.integers(min_value=4, max_value=20),
+        height=st.integers(min_value=4, max_value=20),
+        radius=st.integers(min_value=1, max_value=6),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_cell_counts_conserved(self, width, height, radius, seed):
+        """fluid + rock always equals width * height, no matter the sequence
+        of rock placements and erosions."""
+        domain = ErosionDomain(width, height)
+        rng = np.random.default_rng(seed)
+        mask = disc(domain, rng.integers(0, width), rng.integers(0, height), radius)
+        domain.set_rock(mask, 0.4, 0)
+        assert domain.num_fluid_cells + domain.num_rock_cells == width * height
+        erode_mask = domain.boundary_rock_mask()
+        domain.erode(erode_mask)
+        assert domain.num_fluid_cells + domain.num_rock_cells == width * height

@@ -1,0 +1,191 @@
+"""Tests of :mod:`repro.erosion.dynamics` and :mod:`repro.erosion.app`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erosion.app import ErosionApplication, ErosionConfig
+from repro.erosion.domain import ErosionDomain
+from repro.erosion.dynamics import ErosionDynamics, ErosionStepStats
+from repro.erosion.rocks import place_rocks
+
+
+def rocky_domain(width=20, height=20, probability=0.4):
+    domain = ErosionDomain(width, height)
+    cols = np.arange(width)[:, None]
+    rows = np.arange(height)[None, :]
+    mask = (cols - width // 2) ** 2 + (rows - height // 2) ** 2 <= (height // 4) ** 2
+    domain.set_rock(mask, probability, 0)
+    return domain
+
+
+class TestErosionDynamics:
+    def test_advance_returns_stats(self):
+        dynamics = ErosionDynamics(rocky_domain(), seed=0)
+        stats = dynamics.advance()
+        assert isinstance(stats, ErosionStepStats)
+        assert stats.step == 0
+        assert stats.boundary_cells > 0
+        assert 0 <= stats.eroded_cells <= stats.boundary_cells
+        assert dynamics.step_count == 1
+        assert dynamics.history == [stats]
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            dynamics = ErosionDynamics(rocky_domain(), seed=seed)
+            return [dynamics.advance().eroded_cells for _ in range(10)]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4) or True  # different seeds usually differ
+
+    def test_zero_probability_never_erodes(self):
+        dynamics = ErosionDynamics(rocky_domain(probability=0.0), seed=0)
+        for _ in range(5):
+            stats = dynamics.advance()
+            assert stats.eroded_cells == 0
+
+    def test_probability_one_erodes_whole_boundary(self):
+        dynamics = ErosionDynamics(rocky_domain(probability=1.0), seed=0)
+        stats = dynamics.advance()
+        assert stats.eroded_cells == stats.boundary_cells
+
+    def test_rock_monotonically_depletes(self):
+        dynamics = ErosionDynamics(rocky_domain(probability=0.4), seed=1)
+        remaining = [dynamics.domain.num_rock_cells]
+        for _ in range(30):
+            remaining.append(dynamics.advance().remaining_rock_cells)
+        assert all(b <= a for a, b in zip(remaining, remaining[1:]))
+        assert remaining[-1] < remaining[0]
+
+    def test_total_load_monotonically_grows(self):
+        dynamics = ErosionDynamics(rocky_domain(probability=0.4), seed=2)
+        loads = [dynamics.domain.total_load]
+        for _ in range(20):
+            loads.append(dynamics.advance().total_load)
+        assert all(b >= a for a, b in zip(loads, loads[1:]))
+
+    def test_strong_rock_depletes_eventually(self):
+        dynamics = ErosionDynamics(rocky_domain(width=16, height=16), seed=3)
+        stats = dynamics.run(200)
+        assert stats.is_depleted
+
+    def test_run_validates_steps(self):
+        with pytest.raises(ValueError):
+            ErosionDynamics(rocky_domain(), seed=0).run(0)
+
+    def test_no_rock_is_stable(self):
+        domain = ErosionDomain(8, 8)
+        dynamics = ErosionDynamics(domain, seed=0)
+        stats = dynamics.advance()
+        assert stats.boundary_cells == 0
+        assert stats.eroded_cells == 0
+        assert stats.total_load == pytest.approx(64.0)
+
+    @settings(max_examples=10)
+    @given(seed=st.integers(0, 500))
+    def test_property_load_accounting(self, seed):
+        """After each step: total load = original fluid + refinement_factor *
+        (rock cells eroded so far)."""
+        domain = rocky_domain(16, 16)
+        initial_fluid = domain.num_fluid_cells
+        initial_rock = domain.num_rock_cells
+        dynamics = ErosionDynamics(domain, seed=seed)
+        for _ in range(10):
+            stats = dynamics.advance()
+            eroded_so_far = initial_rock - domain.num_rock_cells
+            expected = initial_fluid * 1.0 + eroded_so_far * domain.refinement_factor
+            assert stats.total_load == pytest.approx(expected)
+
+
+class TestErosionConfig:
+    def test_derived_sizes(self):
+        config = ErosionConfig(num_pes=4, columns_per_pe=10, rows=8)
+        assert config.width == 40
+        assert config.cells_per_pe == 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErosionConfig(num_pes=0)
+        with pytest.raises(ValueError):
+            ErosionConfig(num_pes=4, num_strong_rocks=5)
+        with pytest.raises(ValueError):
+            ErosionConfig(num_pes=4, refinement_factor=0.0)
+        with pytest.raises(ValueError):
+            ErosionConfig(num_pes=4, flop_per_load_unit=0.0)
+
+    def test_paper_defaults(self):
+        config = ErosionConfig(num_pes=4)
+        assert config.weak_probability == 0.02
+        assert config.strong_probability == 0.4
+        assert config.refinement_factor == 4.0
+
+
+class TestErosionApplication:
+    def test_from_config_builds_rocks(self, tiny_erosion_config):
+        app = ErosionApplication.from_config(tiny_erosion_config)
+        assert len(app.discs) == tiny_erosion_config.num_pes
+        assert len(app.strong_rocks) == 1
+        assert app.strong_rocks[0].rock_id == 1
+        assert app.num_columns == tiny_erosion_config.width
+
+    def test_column_loads_shape_and_sum(self, tiny_erosion_app):
+        loads = tiny_erosion_app.column_loads()
+        assert loads.shape == (tiny_erosion_app.num_columns,)
+        assert loads.sum() == pytest.approx(tiny_erosion_app.total_load())
+
+    def test_advance_changes_state(self, tiny_erosion_app):
+        before = tiny_erosion_app.total_load()
+        for _ in range(20):
+            tiny_erosion_app.advance()
+        assert tiny_erosion_app.total_load() >= before
+        assert tiny_erosion_app.last_step_stats() is not None
+
+    def test_same_seed_same_dynamics(self, tiny_erosion_config):
+        def trajectory(config):
+            app = ErosionApplication.from_config(config)
+            out = []
+            for _ in range(10):
+                app.advance()
+                out.append(app.total_load())
+            return out
+
+        assert trajectory(tiny_erosion_config) == trajectory(tiny_erosion_config)
+
+    def test_strong_stripe_gains_more_load(self):
+        """The stripe holding the strongly erodible rock accumulates load
+        faster than the others -- the imbalance mechanism of Section IV-B."""
+        config = ErosionConfig(
+            num_pes=4,
+            columns_per_pe=16,
+            rows=16,
+            num_strong_rocks=1,
+            strong_rock_indices=(2,),
+            seed=7,
+        )
+        app = ErosionApplication.from_config(config)
+        initial = app.column_loads().reshape(4, 16).sum(axis=1)
+        for _ in range(60):
+            app.advance()
+        final = app.column_loads().reshape(4, 16).sum(axis=1)
+        growth = final - initial
+        assert growth[2] == growth.max()
+        assert growth[2] > 1.5 * np.delete(growth, 2).max()
+
+    def test_last_step_stats_none_before_advance(self, tiny_erosion_app):
+        assert tiny_erosion_app.last_step_stats() is None
+
+    def test_invalid_flop_per_load_unit(self):
+        domain = ErosionDomain(8, 8)
+        with pytest.raises(ValueError):
+            ErosionApplication(domain, flop_per_load_unit=0.0)
+
+    def test_direct_construction_without_discs(self):
+        domain = ErosionDomain(8, 8)
+        app = ErosionApplication(domain, seed=0)
+        assert app.discs == []
+        assert app.strong_rocks == []
+        app.advance()  # no rock: a no-op step
+        assert app.total_load() == pytest.approx(64.0)

@@ -1,0 +1,127 @@
+"""Tests of :mod:`repro.erosion.rocks`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.erosion.domain import ErosionDomain
+from repro.erosion.rocks import (
+    STRONG_EROSION_PROBABILITY,
+    WEAK_EROSION_PROBABILITY,
+    RockDisc,
+    disc_mask,
+    place_rocks,
+)
+
+
+class TestPaperConstants:
+    def test_probabilities_match_paper(self):
+        assert WEAK_EROSION_PROBABILITY == 0.02
+        assert STRONG_EROSION_PROBABILITY == 0.4
+
+
+class TestDiscMask:
+    def test_mask_radius(self):
+        domain = ErosionDomain(20, 20)
+        mask = disc_mask(domain, (10.0, 10.0), 3.0)
+        assert mask[10, 10]
+        assert mask[13, 10] and mask[10, 13]
+        assert not mask[14, 10]
+        # Area roughly pi r^2.
+        assert abs(mask.sum() - np.pi * 9) < 10
+
+    def test_invalid_radius(self):
+        domain = ErosionDomain(4, 4)
+        with pytest.raises(ValueError):
+            disc_mask(domain, (2.0, 2.0), 0.0)
+
+
+class TestPlaceRocks:
+    def test_one_disc_per_stripe(self):
+        domain = ErosionDomain(64, 16)
+        discs = place_rocks(domain, 4, num_strong=1, seed=0)
+        assert len(discs) == 4
+        stripe_width = 64 / 4
+        for disc in discs:
+            stripe_start = disc.rock_id * stripe_width
+            assert stripe_start <= disc.center[0] < stripe_start + stripe_width
+
+    def test_default_radius_is_quarter_height(self):
+        domain = ErosionDomain(64, 16)
+        discs = place_rocks(domain, 4, seed=0)
+        assert all(d.radius == pytest.approx(4.0) for d in discs)
+
+    def test_requested_strong_count(self):
+        domain = ErosionDomain(120, 24)
+        discs = place_rocks(domain, 6, num_strong=2, seed=1)
+        strong = [d for d in discs if d.is_strong]
+        weak = [d for d in discs if not d.is_strong]
+        assert len(strong) == 2
+        assert all(d.erosion_probability == STRONG_EROSION_PROBABILITY for d in strong)
+        assert all(d.erosion_probability == WEAK_EROSION_PROBABILITY for d in weak)
+
+    def test_explicit_strong_indices(self):
+        domain = ErosionDomain(80, 16)
+        discs = place_rocks(domain, 4, strong_indices=(0, 3), seed=0)
+        assert [d.is_strong for d in discs] == [True, False, False, True]
+
+    def test_zero_strong_rocks(self):
+        domain = ErosionDomain(40, 10)
+        discs = place_rocks(domain, 4, num_strong=0, seed=0)
+        assert not any(d.is_strong for d in discs)
+
+    def test_strong_choice_is_seeded(self):
+        def chosen(seed):
+            domain = ErosionDomain(160, 16)
+            discs = place_rocks(domain, 8, num_strong=2, seed=seed)
+            return tuple(d.rock_id for d in discs if d.is_strong)
+
+        assert chosen(5) == chosen(5)
+
+    def test_domain_cells_marked(self):
+        domain = ErosionDomain(64, 16)
+        discs = place_rocks(domain, 4, num_strong=1, strong_indices=(2,), seed=0)
+        assert domain.num_rock_cells == sum(d.num_cells for d in discs)
+        # Cells of disc 2 carry the strong probability.
+        strong_cells = domain.rock_id == 2
+        assert np.all(domain.erosion_probability[strong_cells] == STRONG_EROSION_PROBABILITY)
+
+    def test_rock_cells_have_no_workload(self):
+        domain = ErosionDomain(64, 16)
+        place_rocks(domain, 4, seed=0)
+        assert np.all(domain.weight[domain.rock_mask()] == 0.0)
+
+    def test_custom_probabilities(self):
+        domain = ErosionDomain(32, 8)
+        discs = place_rocks(
+            domain, 2, num_strong=1, strong_indices=(0,),
+            weak_probability=0.05, strong_probability=0.9, seed=0,
+        )
+        assert discs[0].erosion_probability == 0.9
+        assert discs[1].erosion_probability == 0.05
+
+    def test_validation(self):
+        domain = ErosionDomain(8, 8)
+        with pytest.raises(ValueError):
+            place_rocks(domain, 0)
+        with pytest.raises(ValueError):
+            place_rocks(domain, 16)  # more rocks than columns
+        with pytest.raises(ValueError):
+            place_rocks(domain, 2, num_strong=5)
+        with pytest.raises(ValueError):
+            place_rocks(domain, 2, strong_indices=(7,))
+        with pytest.raises(ValueError):
+            place_rocks(domain, 2, weak_probability=1.5)
+
+    def test_rock_disc_dataclass(self):
+        disc = RockDisc(
+            rock_id=0, center=(1.0, 1.0), radius=2.0,
+            erosion_probability=0.4, num_cells=12,
+        )
+        assert disc.is_strong
+        weak = RockDisc(
+            rock_id=1, center=(1.0, 1.0), radius=2.0,
+            erosion_probability=0.02, num_cells=12,
+        )
+        assert not weak.is_strong

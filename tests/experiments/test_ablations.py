@@ -1,0 +1,162 @@
+"""Tests of :mod:`repro.experiments.ablations`.
+
+The ablation drivers are exercised on a deliberately small scenario (fast,
+deterministic); the paper-scale shape assertions live in
+``benchmarks/test_bench_ablations.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationCase,
+    AblationResult,
+    ErosionScenario,
+    run_alpha_policy_comparison,
+    run_dissemination_ablation,
+    run_lb_cost_sensitivity,
+    run_threshold_ablation,
+    run_trigger_ablation,
+)
+
+SMALL = ErosionScenario(num_pes=16, iterations=40, columns_per_pe=48, rows=48, seed=3)
+
+
+class TestErosionScenario:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErosionScenario(num_pes=0)
+        with pytest.raises(ValueError):
+            ErosionScenario(iterations=0)
+        with pytest.raises(ValueError):
+            ErosionScenario(bandwidth=0.0)
+
+    def test_run_is_deterministic(self):
+        from repro.lb.adaptive import DegradationTrigger
+        from repro.lb.standard import StandardPolicy
+
+        a = SMALL.run(StandardPolicy(), DegradationTrigger())
+        b = SMALL.run(StandardPolicy(), DegradationTrigger())
+        assert a.total_time == pytest.approx(b.total_time)
+        assert a.num_lb_calls == b.num_lb_calls
+
+
+class TestTriggerAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_trigger_ablation(SMALL)
+
+    def test_all_variants_present(self, result):
+        labels = [c.label for c in result.cases]
+        assert len(labels) == 4
+        assert any("never" in l for l in labels)
+        assert any("periodic" in l for l in labels)
+        assert any("menon" in l for l in labels)
+        assert any("degradation" in l for l in labels)
+
+    def test_static_baseline_has_no_lb_calls(self, result):
+        assert result.baseline is not None
+        assert result.baseline.run.num_lb_calls == 0
+
+    def test_rows_and_report(self, result):
+        rows = result.rows()
+        assert len(rows) == 4
+        assert all("gain vs baseline" in row for row in rows)
+        assert "Ablation" in result.format_report()
+
+    def test_gain_of_and_case_lookup(self, result):
+        label = result.cases[1].label
+        assert result.gain_of(label) == pytest.approx(
+            (result.baseline.run.total_time - result.case(label).run.total_time)
+            / result.baseline.run.total_time
+        )
+        with pytest.raises(KeyError):
+            result.case("nope")
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            run_trigger_ablation(SMALL, periodic_period=0)
+
+
+class TestDisseminationAblation:
+    def test_two_variants(self):
+        result = run_dissemination_ablation(SMALL)
+        assert len(result.cases) == 2
+        assert result.baseline_label == "gossip (1 step/iteration)"
+        # Staleness has at most a modest effect at this scale.
+        assert abs(result.gain_of("instant (allgather)")) < 0.25
+
+
+class TestThresholdAblation:
+    def test_variants_and_paper_marker(self):
+        result = run_threshold_ablation(SMALL, thresholds=(2.0, 3.0))
+        assert len(result.cases) == 2
+        rows = result.rows()
+        markers = [row["paper value"] for row in rows]
+        assert markers == ["", "*"]
+        assert result.baseline_label == "z-score >= 3.0"
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            run_threshold_ablation(SMALL, thresholds=())
+
+    def test_no_baseline_when_paper_value_absent(self):
+        result = run_threshold_ablation(SMALL, thresholds=(2.0,))
+        assert result.baseline is None
+        with pytest.raises(ValueError):
+            result.gain_of("z-score >= 2.0")
+
+
+class TestLBCostSensitivity:
+    def test_one_result_per_cost_setting(self):
+        results = run_lb_cost_sensitivity(SMALL, bytes_per_load_unit=(300.0, 2400.0))
+        assert len(results) == 2
+        for result in results:
+            assert {c.label for c in result.cases} == {"standard", "ulba (alpha=0.4)"}
+            assert result.baseline_label == "standard"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_lb_cost_sensitivity(SMALL, bytes_per_load_unit=())
+        with pytest.raises(ValueError):
+            run_lb_cost_sensitivity(SMALL, bytes_per_load_unit=(-5.0,))
+
+
+class TestAlphaPolicyComparison:
+    def test_three_variants_with_diagnostics(self):
+        result = run_alpha_policy_comparison(SMALL)
+        labels = [c.label for c in result.cases]
+        assert labels[0] == "standard"
+        assert "dynamic" in labels[2]
+        rows = result.rows()
+        # The normalised rows all share the same columns.
+        assert all(set(rows[0]) == set(row) for row in rows)
+        assert "alphas chosen" in rows[0]
+        assert result.best_case().run.total_time == min(
+            c.run.total_time for c in result.cases
+        )
+
+
+class TestAblationResultContainer:
+    def test_rows_normalise_extra_columns(self):
+        from repro.runtime.skeleton import RunResult
+        from repro.simcluster.tracing import ClusterTrace
+
+        def dummy_run():
+            trace = ClusterTrace(num_pes=1)
+            trace.record_iteration(
+                iteration=0, elapsed=1.0, pe_compute_times=[1.0], timestamp=1.0
+            )
+            return RunResult(trace=trace, policy_name="x", trigger_name="y")
+
+        result = AblationResult(
+            title="t",
+            cases=(
+                AblationCase(label="a", run=dummy_run(), extra={"k": 1}),
+                AblationCase(label="b", run=dummy_run()),
+            ),
+        )
+        rows = result.rows()
+        assert rows[1]["k"] == ""
+        assert "gain vs baseline" not in rows[0]

@@ -1,0 +1,85 @@
+"""Tests of :mod:`repro.experiments.common`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentSeeds, format_percentage, format_table
+
+
+class TestExperimentSeeds:
+    def test_rng_for_is_deterministic(self):
+        seeds = ExperimentSeeds(42)
+        a = seeds.rng_for(1, 2).integers(0, 1_000_000, 5)
+        b = seeds.rng_for(1, 2).integers(0, 1_000_000, 5)
+        assert np.array_equal(a, b)
+
+    def test_rng_for_differs_by_key(self):
+        seeds = ExperimentSeeds(42)
+        a = seeds.rng_for(0).integers(0, 1_000_000, 5)
+        b = seeds.rng_for(1).integers(0, 1_000_000, 5)
+        assert not np.array_equal(a, b)
+
+    def test_different_master_seed_differs(self):
+        a = ExperimentSeeds(1).rng_for(0).integers(0, 1_000_000, 5)
+        b = ExperimentSeeds(2).rng_for(0).integers(0, 1_000_000, 5)
+        assert not np.array_equal(a, b)
+
+    def test_seeds_list(self):
+        seeds = ExperimentSeeds(7)
+        out = seeds.seeds(5)
+        assert len(out) == 5
+        assert out == seeds.seeds(5)
+        assert len(set(out)) == 5
+
+    def test_seeds_with_prefix(self):
+        seeds = ExperimentSeeds(7)
+        assert seeds.seeds(3, 0) != seeds.seeds(3, 1)
+
+    def test_seeds_count_validated(self):
+        with pytest.raises(ValueError):
+            ExperimentSeeds(0).seeds(0)
+
+
+class TestFormatPercentage:
+    def test_positive(self):
+        assert format_percentage(0.162) == "+16.20%"
+
+    def test_negative(self):
+        assert format_percentage(-0.0083) == "-0.83%"
+
+    def test_digits(self):
+        assert format_percentage(0.5, digits=0) == "+50%"
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        rows = [
+            {"name": "standard", "time": 1.2345, "calls": 8},
+            {"name": "ulba", "time": 1.0, "calls": 3},
+        ]
+        table = format_table(rows, title="Results")
+        lines = table.splitlines()
+        assert lines[0] == "Results"
+        assert "name" in lines[1] and "time" in lines[1] and "calls" in lines[1]
+        assert "standard" in table and "ulba" in table
+
+    def test_column_alignment(self):
+        rows = [{"a": "x", "b": 1}, {"a": "longer", "b": 22}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        # Header, separator and the two rows share the same width.
+        assert len({len(l) for l in lines}) == 1
+
+    def test_empty_rows(self):
+        assert "(no data)" in format_table([])
+        assert format_table([], title="T").startswith("T")
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([{"a": 1}, {"b": 2}])
+
+    def test_float_formatting(self):
+        table = format_table([{"v": 0.123456789}])
+        assert "0.1235" in table

@@ -1,0 +1,144 @@
+"""Tests of the analytical experiment drivers (Figures 2 and 3).
+
+These run the drivers at a much reduced scale -- enough to exercise every
+code path and check the *shape* of the paper's claims, while the full-scale
+reproduction lives in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig2_upperbound import Fig2Config, Fig2Result, run_fig2
+from repro.experiments.fig3_gain_vs_overloading import (
+    PAPER_OVERLOADING_FRACTIONS,
+    Fig3Config,
+    Fig3Result,
+    run_fig3,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2_result() -> Fig2Result:
+    return run_fig2(Fig2Config(num_instances=20, annealing_steps=800, seed=3))
+
+
+@pytest.fixture(scope="module")
+def fig3_result() -> Fig3Result:
+    return run_fig3(
+        Fig3Config(
+            fractions=(0.01, 0.065, 0.2),
+            instances_per_fraction=15,
+            num_alphas=15,
+            seed=3,
+        )
+    )
+
+
+class TestFig2:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            Fig2Config(num_instances=0)
+        with pytest.raises(ValueError):
+            Fig2Config(annealing_steps=0)
+        with pytest.raises(ValueError):
+            Fig2Config(bins=0)
+
+    def test_one_comparison_per_instance(self, fig2_result):
+        assert len(fig2_result.comparisons) == 20
+        assert len(fig2_result.gains) == 20
+
+    def test_gains_shape_matches_paper(self, fig2_result):
+        """The sigma_plus schedule stays close to the annealed optimum: no
+        instance is more than ~15 % worse, and the mean gap is small (the
+        paper reports mean -0.83 %, worst -5.58 %, best +1.57 %)."""
+        gains = np.asarray(fig2_result.gains)
+        assert gains.min() > -0.15
+        assert abs(fig2_result.mean_gain) < 0.10
+        assert fig2_result.best_gain <= 0.10
+
+    def test_histogram_consistency(self, fig2_result):
+        hist = fig2_result.histogram
+        assert sum(hist.densities) == pytest.approx(1.0)
+        assert hist.count == 20
+        assert hist.minimum == pytest.approx(fig2_result.worst_gain)
+        assert hist.maximum == pytest.approx(fig2_result.best_gain)
+
+    def test_fraction_close_to_optimum(self, fig2_result):
+        assert 0.5 <= fig2_result.fraction_close_to_optimum <= 1.0
+
+    def test_rows_and_report(self, fig2_result):
+        rows = fig2_result.rows()
+        assert len(rows) == 1
+        assert rows[0]["instances"] == 20
+        report = fig2_result.format_report()
+        assert "Figure 2" in report
+        assert "Gain histogram" in report
+        assert len(fig2_result.histogram_rows()) == fig2_result.config.bins
+
+    def test_determinism(self):
+        cfg = Fig2Config(num_instances=3, annealing_steps=200, seed=9)
+        a, b = run_fig2(cfg), run_fig2(cfg)
+        assert a.gains == b.gains
+
+
+class TestFig3:
+    def test_paper_fraction_grid(self):
+        assert PAPER_OVERLOADING_FRACTIONS[0] == pytest.approx(0.01)
+        assert PAPER_OVERLOADING_FRACTIONS[-1] == pytest.approx(0.20)
+        assert len(PAPER_OVERLOADING_FRACTIONS) == 10
+        assert list(PAPER_OVERLOADING_FRACTIONS) == sorted(PAPER_OVERLOADING_FRACTIONS)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            Fig3Config(fractions=())
+        with pytest.raises(ValueError):
+            Fig3Config(fractions=(0.0,))
+        with pytest.raises(ValueError):
+            Fig3Config(instances_per_fraction=0)
+        with pytest.raises(ValueError):
+            Fig3Config(num_alphas=0)
+
+    def test_one_result_per_fraction(self, fig3_result):
+        assert len(fig3_result.per_fraction) == 3
+        assert [r.fraction for r in fig3_result.per_fraction] == [0.01, 0.065, 0.2]
+        for r in fig3_result.per_fraction:
+            assert len(r.gains) == 15
+            assert len(r.best_alphas) == 15
+
+    def test_ulba_never_loses(self, fig3_result):
+        """The central claim of Figure 3: ULBA with the best alpha is never
+        worse than the standard method."""
+        assert fig3_result.ulba_never_loses
+        for r in fig3_result.per_fraction:
+            assert r.ulba_never_loses
+            assert r.gain_summary.minimum >= -1e-9
+
+    def test_gains_positive_and_bounded(self, fig3_result):
+        assert 0.0 < fig3_result.max_gain < 0.6
+        for r in fig3_result.per_fraction:
+            assert 0.0 <= r.gain_summary.mean < 0.5
+
+    def test_gain_decreases_with_overloading_fraction(self, fig3_result):
+        """Figure 3 shape: the mean gain at 1 % overloading PEs exceeds the
+        mean gain at 20 %."""
+        means = fig3_result.mean_gains()
+        assert means[0] > means[-1]
+
+    def test_best_alpha_decreases_with_overloading_fraction(self, fig3_result):
+        """Figure 3 secondary axis: the average best alpha shrinks as the
+        overloading fraction grows."""
+        alphas = fig3_result.mean_best_alphas()
+        assert alphas[0] > alphas[-1]
+
+    def test_summaries_match_samples(self, fig3_result):
+        for r in fig3_result.per_fraction:
+            assert r.gain_summary.mean == pytest.approx(np.mean(r.gains))
+            assert r.mean_best_alpha == pytest.approx(np.mean(r.best_alphas))
+
+    def test_rows_and_report(self, fig3_result):
+        rows = fig3_result.rows()
+        assert len(rows) == 3
+        assert all("overloading PEs" in row for row in rows)
+        assert "Figure 3" in fig3_result.format_report()

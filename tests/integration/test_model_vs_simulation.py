@@ -1,0 +1,155 @@
+"""Cross-module consistency: the analytical model vs. the virtual cluster.
+
+The paper argues with a closed-form model (Section II/III) and validates
+with a runtime implementation (Section IV).  These tests close the loop for
+the reproduction: when the virtual cluster executes a *deterministic* linear
+workload matching the model's assumptions, the measured virtual time must
+match the analytical formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ApplicationParameters
+from repro.core.schedule import LBSchedule, evaluate_schedule
+from repro.core.standard_model import StandardLBModel
+from repro.core.ulba_model import ULBAModel
+from repro.core.workload import WorkloadModel
+from repro.simcluster.cluster import VirtualCluster
+from repro.simcluster.comm import CommCostModel
+
+
+def params(**overrides):
+    defaults = dict(
+        num_pes=8,
+        num_overloading=2,
+        iterations=30,
+        initial_workload=8.0e9,
+        uniform_rate=1.0e6,
+        overload_rate=5.0e7,
+        alpha=0.5,
+        pe_speed=1.0e9,
+        lb_cost=0.0,
+    )
+    defaults.update(overrides)
+    return ApplicationParameters(**defaults)
+
+
+def simulate_interval(p, *, alpha, steps, lb_at=0):
+    """Run `steps` iterations after a LB step at `lb_at` on the virtual
+    cluster, distributing per-PE loads exactly as the model assumes."""
+    cluster = VirtualCluster(p.num_pes, pe_speed=p.pe_speed, cost_model=CommCostModel.free())
+    model = WorkloadModel(p)
+    total = 0.0
+    for t in range(steps):
+        loads = model.per_pe_workloads(lb_at + t, balanced_at=lb_at, alpha=alpha)
+        result = cluster.compute_step(loads, iteration=t)
+        total += result.elapsed
+    return total, cluster
+
+
+class TestStandardModelAgreement:
+    def test_interval_time_matches_simulation(self):
+        p = params()
+        simulated, _ = simulate_interval(p, alpha=0.0, steps=20)
+        analytical = StandardLBModel(p).interval_compute_time(0, 20)
+        assert simulated == pytest.approx(analytical, rel=1e-9)
+
+    def test_interval_time_matches_after_lb_step(self):
+        p = params()
+        simulated, _ = simulate_interval(p, alpha=0.0, steps=15, lb_at=10)
+        analytical = StandardLBModel(p).interval_compute_time(10, 25)
+        assert simulated == pytest.approx(analytical, rel=1e-9)
+
+    def test_iteration_time_is_max_pe_load(self):
+        p = params()
+        model = WorkloadModel(p)
+        cluster = VirtualCluster(p.num_pes, pe_speed=p.pe_speed, cost_model=CommCostModel.free())
+        loads = model.per_pe_workloads(7, balanced_at=0, alpha=0.0)
+        step = cluster.compute_step(loads)
+        assert step.elapsed == pytest.approx(loads.max() / p.pe_speed)
+        assert step.elapsed == pytest.approx(StandardLBModel(p).iteration_time(0, 7))
+
+
+class TestULBAModelAgreement:
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 0.8])
+    def test_interval_time_matches_simulation(self, alpha):
+        p = params()
+        simulated, _ = simulate_interval(p, alpha=alpha, steps=25)
+        analytical = ULBAModel(p).interval_compute_time(0, 25, alpha=alpha)
+        assert simulated == pytest.approx(analytical, rel=1e-9)
+
+    def test_utilization_dips_then_recovers_then_degrades(self):
+        """Right after a ULBA step the non-overloading PEs dominate (slight
+        utilization loss); at sigma_minus the loads cross; afterwards the
+        overloading PEs dominate and the imbalance grows again."""
+        p = params()
+        alpha = 0.5
+        sigma = ULBAModel(p).sigma_minus(0, alpha=alpha)
+        steps = min(p.iterations, sigma + 10)
+        _, cluster = simulate_interval(p, alpha=alpha, steps=steps)
+        util = cluster.trace.utilization_series()
+        # Near the catch-up point utilization is maximal (loads nearly equal).
+        assert util[sigma] == max(util)
+        # Afterwards it declines again.
+        assert util[-1] < util[sigma]
+
+    def test_full_schedule_evaluation_matches_simulation(self):
+        """Evaluate a multi-interval ULBA schedule analytically and replay the
+        same schedule on the virtual cluster."""
+        p = params(lb_cost=1.5)
+        alpha = 0.4
+        schedule = LBSchedule(p.iterations, (8, 19))
+        analytical = evaluate_schedule(p, schedule, model="ulba", alpha=alpha)
+
+        cluster = VirtualCluster(p.num_pes, pe_speed=p.pe_speed, cost_model=CommCostModel.free())
+        model = WorkloadModel(p)
+        simulated = 0.0
+        for lb_iter, start, stop in schedule.intervals():
+            interval_alpha = 0.0 if lb_iter is None else alpha
+            if lb_iter is not None:
+                simulated += p.lb_cost
+            for t in range(stop - start):
+                loads = model.per_pe_workloads(start + t, balanced_at=start, alpha=interval_alpha)
+                simulated += cluster.compute_step(loads).elapsed
+        assert simulated == pytest.approx(analytical.total_time, rel=1e-9)
+
+    def test_alpha_zero_simulation_equals_standard_simulation(self):
+        p = params()
+        ulba_time, _ = simulate_interval(p, alpha=0.0, steps=20)
+        std_time, _ = simulate_interval(p, alpha=0.0, steps=20)
+        assert ulba_time == pytest.approx(std_time)
+
+
+class TestDominanceOnSimulator:
+    def test_best_alpha_beats_standard_on_expensive_lb(self):
+        """Replay the Fig. 3 comparison on the simulator for one instance:
+        the ULBA schedule with a good alpha finishes no later than the
+        standard schedule."""
+        p = params(lb_cost=3.0)
+        from repro.core.gains import compare_policies
+
+        report = compare_policies(p, alphas=np.linspace(0, 1, 21))
+
+        def replay(schedule, alpha):
+            cluster = VirtualCluster(
+                p.num_pes, pe_speed=p.pe_speed, cost_model=CommCostModel.free()
+            )
+            model = WorkloadModel(p)
+            total = 0.0
+            for lb_iter, start, stop in schedule.intervals():
+                a = 0.0 if lb_iter is None else alpha
+                if lb_iter is not None:
+                    total += p.lb_cost
+                for t in range(stop - start):
+                    loads = model.per_pe_workloads(start + t, balanced_at=start, alpha=a)
+                    total += cluster.compute_step(loads).elapsed
+            return total
+
+        std_sim = replay(report.standard.schedule, 0.0)
+        ulba_sim = replay(report.ulba.schedule, report.best_alpha)
+        assert std_sim == pytest.approx(report.standard.total_time, rel=1e-9)
+        assert ulba_sim == pytest.approx(report.ulba.total_time, rel=1e-9)
+        assert ulba_sim <= std_sim + 1e-9

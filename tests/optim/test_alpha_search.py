@@ -1,0 +1,99 @@
+"""Tests of :mod:`repro.optim.alpha_search`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gains import best_alpha_for_instance
+from repro.core.parameters import ApplicationParameters
+from repro.optim.alpha_search import (
+    AlphaSearchResult,
+    AlphaSweepPoint,
+    default_alpha_grid,
+    search_best_alpha,
+    sweep_alpha,
+)
+
+
+def params(**overrides):
+    defaults = dict(
+        num_pes=16,
+        num_overloading=2,
+        iterations=60,
+        initial_workload=1600.0,
+        uniform_rate=0.5,
+        overload_rate=20.0,
+        alpha=0.4,
+        pe_speed=1.0,
+        lb_cost=40.0,
+    )
+    defaults.update(overrides)
+    return ApplicationParameters(**defaults)
+
+
+class TestSweepAlpha:
+    def test_quadratic_objective(self):
+        """On a convex objective the sweep finds the grid point nearest the
+        true minimum."""
+        result = sweep_alpha(lambda a: (a - 0.32) ** 2, alphas=np.linspace(0, 1, 11))
+        assert result.best_alpha == pytest.approx(0.3)
+        assert result.best_time == pytest.approx((0.3 - 0.32) ** 2)
+
+    def test_default_grid_is_paper_figure5_grid(self):
+        calls = []
+        sweep_alpha(lambda a: calls.append(a) or 1.0)
+        assert calls == [0.1, 0.2, 0.3, 0.4, 0.5]
+
+    def test_points_preserve_order(self):
+        result = sweep_alpha(lambda a: 1.0 + a, alphas=[0.5, 0.1, 0.3])
+        assert [p.alpha for p in result.points] == [0.5, 0.1, 0.3]
+
+    def test_sensitivity(self):
+        result = sweep_alpha(lambda a: {0.1: 10.0, 0.5: 8.0}[a], alphas=[0.1, 0.5])
+        assert result.worst_time == 10.0
+        assert result.sensitivity == pytest.approx(0.2)
+
+    def test_sensitivity_zero_when_flat(self):
+        result = sweep_alpha(lambda a: 5.0, alphas=[0.1, 0.2])
+        assert result.sensitivity == 0.0
+
+    def test_empty_alphas_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_alpha(lambda a: 1.0, alphas=[])
+
+    def test_out_of_range_alphas_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_alpha(lambda a: 1.0, alphas=[0.5, 1.5])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_alpha(lambda a: -1.0, alphas=[0.1])
+
+    def test_point_as_row(self):
+        assert AlphaSweepPoint(alpha=0.3, total_time=2.0).as_row() == (0.3, 2.0)
+
+    def test_result_type(self):
+        result = sweep_alpha(lambda a: a, alphas=[0.0, 1.0])
+        assert isinstance(result, AlphaSearchResult)
+        assert result.best_alpha == 0.0
+
+
+class TestSearchBestAlpha:
+    def test_delegates_to_core(self):
+        p = params()
+        alphas = [0.0, 0.25, 0.5, 0.75, 1.0]
+        ours = search_best_alpha(p, alphas)
+        theirs = best_alpha_for_instance(p, alphas)
+        assert ours[0] == theirs[0]
+        assert ours[1].total_time == pytest.approx(theirs[1].total_time)
+
+
+class TestDefaultAlphaGrid:
+    def test_size_and_range(self):
+        grid = default_alpha_grid()
+        assert len(grid) == 100
+        assert grid[0] == 0.0 and grid[-1] == 1.0
+
+    def test_custom_size(self):
+        assert len(default_alpha_grid(7)) == 7

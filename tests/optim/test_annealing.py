@@ -1,0 +1,176 @@
+"""Tests of :mod:`repro.optim.annealing` (the simanneal-style engine)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.optim.annealing import Annealer, AnnealingResult, AnnealingSchedule
+
+
+class QuadraticProblem(Annealer[float]):
+    """Minimise (x - 3)^2 by random walking on x."""
+
+    def __init__(self, start: float, **kwargs):
+        super().__init__(start, **kwargs)
+
+    def copy_state(self, state: float) -> float:
+        return float(state)
+
+    def move(self):
+        self.state = self.state + float(self.rng.normal(0.0, 0.5))
+        return None
+
+    def energy(self) -> float:
+        return (self.state - 3.0) ** 2
+
+
+class ReturningMoveProblem(Annealer[int]):
+    """Problem whose move() returns the new state instead of mutating."""
+
+    def copy_state(self, state: int) -> int:
+        return int(state)
+
+    def move(self):
+        return self.state + int(self.rng.integers(-2, 3))
+
+    def energy(self) -> float:
+        return abs(self.state - 10)
+
+
+class TestAnnealingSchedule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingSchedule(t_max=1.0, t_min=2.0)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(t_max=0.0)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(steps=0)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(updates=-1)
+
+    def test_temperature_endpoints(self):
+        sched = AnnealingSchedule(t_max=100.0, t_min=1.0, steps=50)
+        assert sched.temperature(0) == pytest.approx(100.0)
+        assert sched.temperature(49) == pytest.approx(1.0)
+
+    def test_temperature_monotone_decreasing(self):
+        sched = AnnealingSchedule(t_max=100.0, t_min=0.1, steps=200)
+        temps = [sched.temperature(s) for s in range(200)]
+        assert all(b <= a for a, b in zip(temps, temps[1:]))
+
+    def test_single_step_schedule(self):
+        sched = AnnealingSchedule(t_max=10.0, t_min=1.0, steps=1)
+        assert sched.temperature(0) == 10.0
+
+
+class TestAnnealer:
+    def test_requires_move_and_energy(self):
+        annealer = Annealer(0)
+        with pytest.raises(NotImplementedError):
+            annealer.move()
+        with pytest.raises(NotImplementedError):
+            annealer.energy()
+
+    def test_converges_on_quadratic(self):
+        problem = QuadraticProblem(
+            50.0,
+            schedule=AnnealingSchedule(t_max=10.0, t_min=1e-3, steps=3000),
+            seed=0,
+        )
+        result = problem.anneal()
+        assert result.best_energy < 1.0
+        assert abs(result.best_state - 3.0) < 1.0
+
+    def test_result_invariants(self):
+        problem = QuadraticProblem(
+            20.0, schedule=AnnealingSchedule(t_max=5.0, t_min=0.01, steps=500), seed=1
+        )
+        result = problem.anneal()
+        assert isinstance(result, AnnealingResult)
+        assert result.best_energy <= result.initial_energy
+        assert result.best_energy <= result.final_energy + 1e-12
+        assert 0 <= result.accepted <= result.steps
+        assert 0 <= result.improved <= result.accepted
+        assert 0.0 <= result.acceptance_rate <= 1.0
+        assert result.improvement == pytest.approx(
+            result.initial_energy - result.best_energy
+        )
+
+    def test_best_state_matches_best_energy(self):
+        problem = QuadraticProblem(
+            10.0, schedule=AnnealingSchedule(t_max=5.0, t_min=0.01, steps=500), seed=2
+        )
+        result = problem.anneal()
+        assert (result.best_state - 3.0) ** 2 == pytest.approx(result.best_energy)
+
+    def test_annealer_holds_best_state_after_run(self):
+        problem = QuadraticProblem(
+            10.0, schedule=AnnealingSchedule(t_max=5.0, t_min=0.01, steps=300), seed=3
+        )
+        result = problem.anneal()
+        assert problem.state == result.best_state
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            problem = QuadraticProblem(
+                30.0,
+                schedule=AnnealingSchedule(t_max=5.0, t_min=0.01, steps=400),
+                seed=seed,
+            )
+            return problem.anneal()
+
+        a, b = run(7), run(7)
+        assert a.best_energy == b.best_energy
+        assert a.best_state == b.best_state
+        assert a.accepted == b.accepted
+
+    def test_move_returning_new_state(self):
+        problem = ReturningMoveProblem(
+            0, schedule=AnnealingSchedule(t_max=5.0, t_min=0.01, steps=800), seed=4
+        )
+        result = problem.anneal()
+        assert result.best_energy <= 2
+
+    def test_history_snapshots(self):
+        problem = QuadraticProblem(
+            10.0,
+            schedule=AnnealingSchedule(t_max=5.0, t_min=0.01, steps=100, updates=10),
+            seed=5,
+        )
+        result = problem.anneal()
+        assert len(result.history) >= 10
+        steps = [h[0] for h in result.history]
+        assert steps == sorted(steps)
+        # Best-energy column is non-increasing.
+        best = [h[3] for h in result.history]
+        assert all(b <= a + 1e-12 for a, b in zip(best, best[1:]))
+
+    def test_no_history_when_updates_zero(self):
+        problem = QuadraticProblem(
+            10.0,
+            schedule=AnnealingSchedule(t_max=5.0, t_min=0.01, steps=50, updates=0),
+            seed=6,
+        )
+        assert problem.anneal().history == []
+
+    def test_auto_schedule_produces_valid_schedule(self):
+        problem = QuadraticProblem(10.0, seed=7)
+        sched = problem.auto_schedule(minutes_equivalent_steps=200)
+        assert isinstance(sched, AnnealingSchedule)
+        assert sched.t_max >= sched.t_min > 0
+        assert sched.steps == 200
+
+    def test_auto_schedule_restores_state(self):
+        problem = QuadraticProblem(10.0, seed=8)
+        problem.auto_schedule(minutes_equivalent_steps=100)
+        assert problem.state == 10.0
+
+    def test_auto_schedule_validation(self):
+        problem = QuadraticProblem(10.0, seed=9)
+        with pytest.raises(ValueError):
+            problem.auto_schedule(minutes_equivalent_steps=0)
+        with pytest.raises(ValueError):
+            problem.auto_schedule(target_acceptance=1.5)

@@ -1,0 +1,136 @@
+"""Tests of :mod:`repro.optim.schedule_search` (the Figure 2 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import ApplicationParameters, TableIISampler
+from repro.core.schedule import LBSchedule, evaluate_schedule, sigma_plus_schedule
+from repro.optim.annealing import AnnealingSchedule
+from repro.optim.schedule_search import (
+    ScheduleAnnealer,
+    ScheduleSearchResult,
+    anneal_schedule,
+)
+
+
+def params(**overrides):
+    defaults = dict(
+        num_pes=16,
+        num_overloading=2,
+        iterations=50,
+        initial_workload=1600.0,
+        uniform_rate=0.5,
+        overload_rate=20.0,
+        alpha=0.4,
+        pe_speed=1.0,
+        lb_cost=40.0,
+    )
+    defaults.update(overrides)
+    return ApplicationParameters(**defaults)
+
+
+class TestScheduleAnnealer:
+    def test_state_is_boolean_vector(self):
+        p = params()
+        annealer = ScheduleAnnealer(p, seed=0)
+        assert len(annealer.state) == p.iterations
+        assert all(isinstance(v, bool) for v in annealer.state)
+
+    def test_initial_state_is_sigma_plus_schedule(self):
+        p = params()
+        annealer = ScheduleAnnealer(p, alpha=0.4, seed=0)
+        expected = sigma_plus_schedule(p, alpha=0.4).to_bools()
+        assert annealer.state == expected
+
+    def test_custom_initial_schedule(self):
+        p = params()
+        init = LBSchedule(p.iterations, (5, 25))
+        annealer = ScheduleAnnealer(p, initial_schedule=init, seed=0)
+        assert LBSchedule.from_bools(annealer.state).lb_iterations == (5, 25)
+
+    def test_wrong_length_initial_schedule_rejected(self):
+        p = params()
+        with pytest.raises(ValueError):
+            ScheduleAnnealer(p, initial_schedule=LBSchedule(10), seed=0)
+
+    def test_move_toggles_exactly_one_flag(self):
+        p = params()
+        annealer = ScheduleAnnealer(p, seed=0)
+        before = list(annealer.state)
+        annealer.move()
+        after = annealer.state
+        differences = sum(1 for a, b in zip(before, after) if a != b)
+        assert differences == 1
+
+    def test_energy_matches_evaluator(self):
+        p = params()
+        annealer = ScheduleAnnealer(p, model="ulba", alpha=0.4, seed=0)
+        schedule = LBSchedule.from_bools(annealer.state)
+        expected = evaluate_schedule(p, schedule, model="ulba", alpha=0.4).total_time
+        assert annealer.energy() == pytest.approx(expected)
+
+    def test_standard_model_energy(self):
+        p = params()
+        annealer = ScheduleAnnealer(p, model="standard", seed=0)
+        schedule = LBSchedule.from_bools(annealer.state)
+        expected = evaluate_schedule(p, schedule, model="standard").total_time
+        assert annealer.energy() == pytest.approx(expected)
+
+    def test_copy_state_is_independent(self):
+        p = params()
+        annealer = ScheduleAnnealer(p, seed=0)
+        copy = annealer.copy_state(annealer.state)
+        copy[0] = not copy[0]
+        assert copy != annealer.state
+
+
+class TestAnnealSchedule:
+    def test_result_structure(self):
+        result = anneal_schedule(params(), annealing_steps=300, seed=0)
+        assert isinstance(result, ScheduleSearchResult)
+        assert result.sigma_plus.model == "ulba"
+        assert result.annealed.model == "ulba"
+        assert result.annealing.steps == 300
+
+    def test_annealed_schedule_never_worse_than_its_start(self):
+        """The annealer starts from the sigma_plus schedule and tracks the
+        best state, so its result can only improve on it."""
+        result = anneal_schedule(params(), annealing_steps=500, seed=1)
+        assert result.annealed.total_time <= result.sigma_plus.total_time + 1e-9
+        assert result.gain_vs_heuristic <= 1e-12
+
+    def test_gain_definition(self):
+        # gain_vs_heuristic = (annealed - sigma_plus) / annealed: positive
+        # when the closed-form sigma_plus schedule beats the annealed one.
+        result = anneal_schedule(params(), annealing_steps=300, seed=2)
+        expected = (
+            result.annealed.total_time - result.sigma_plus.total_time
+        ) / result.annealed.total_time
+        assert result.gain_vs_heuristic == pytest.approx(expected, abs=1e-12)
+
+    def test_sigma_plus_is_close_flag(self):
+        result = anneal_schedule(params(), annealing_steps=500, seed=3)
+        assert result.sigma_plus_is_close == (result.gain_vs_heuristic > -0.10)
+
+    def test_deterministic_for_seed(self):
+        a = anneal_schedule(params(), annealing_steps=300, seed=11)
+        b = anneal_schedule(params(), annealing_steps=300, seed=11)
+        assert a.annealed.total_time == b.annealed.total_time
+        assert a.sigma_plus.total_time == b.sigma_plus.total_time
+
+    def test_fixed_temperature_mode(self):
+        result = anneal_schedule(
+            params(), annealing_steps=200, seed=4, auto_temperature=False
+        )
+        assert result.annealing.steps == 200
+
+    def test_close_to_heuristic_on_table2_instances(self):
+        """The paper's Figure 2 claim: the sigma_plus rule stays within a few
+        percent of the annealed optimum.  Verified here on a handful of
+        Table II instances with a modest annealing budget."""
+        sampler = TableIISampler()
+        for seed in range(5):
+            p = sampler.sample(seed=seed)
+            result = anneal_schedule(p, annealing_steps=1500, seed=seed)
+            assert result.gain_vs_heuristic > -0.15

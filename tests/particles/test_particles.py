@@ -1,0 +1,221 @@
+"""Tests of :mod:`repro.particles` (the particle-drift workload)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.particles.app import ParticleApplication, ParticleConfig
+from repro.particles.system import ParticleSystem
+from repro.runtime.skeleton import IterativeRunner, StripedApplication
+from repro.simcluster.cluster import VirtualCluster
+
+
+class TestParticleSystem:
+    def test_initial_placement_inside_box(self):
+        system = ParticleSystem(500, width=32, height=16, seed=0)
+        assert system.num_particles == 500
+        assert np.all(system.positions[:, 0] >= 0) and np.all(system.positions[:, 0] < 32)
+        assert np.all(system.positions[:, 1] >= 0) and np.all(system.positions[:, 1] < 16)
+
+    def test_particle_count_conserved_under_dynamics(self):
+        system = ParticleSystem(
+            300, width=16, height=16, drift_velocity=(1.5, -0.5), thermal_speed=0.5, seed=1
+        )
+        for _ in range(50):
+            system.advance()
+            assert system.num_particles == 300
+            assert np.all(system.positions >= 0.0)
+            assert np.all(system.positions[:, 0] < 16)
+            assert np.all(system.positions[:, 1] < 16)
+            assert system.column_counts().sum() == 300
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            system = ParticleSystem(100, width=8, height=8, thermal_speed=0.3, seed=seed)
+            for _ in range(10):
+                system.advance()
+            return system.positions.copy()
+
+        assert np.allclose(run(5), run(5))
+        assert not np.allclose(run(5), run(6))
+
+    def test_pure_drift_moves_particles(self):
+        system = ParticleSystem(
+            50, width=64, height=8, drift_velocity=(1.0, 0.0), thermal_speed=0.0, seed=2
+        )
+        before = system.positions[:, 0].copy()
+        system.advance()
+        moved = system.positions[:, 0]
+        # Particles not reflected moved exactly +1 column.
+        interior = before < 62.0
+        assert np.allclose(moved[interior], before[interior] + 1.0)
+
+    def test_attractor_concentrates_particles(self):
+        system = ParticleSystem(
+            2000,
+            width=64,
+            height=64,
+            thermal_speed=0.05,
+            attractor=(32.0, 32.0),
+            attractor_strength=0.05,
+            seed=3,
+        )
+        initial = system.concentration()
+        for _ in range(80):
+            system.advance()
+        assert system.concentration() > 2.0 * initial
+
+    def test_no_attractor_stays_roughly_uniform(self):
+        system = ParticleSystem(5000, width=32, height=32, thermal_speed=0.2, seed=4)
+        for _ in range(30):
+            system.advance()
+        assert system.concentration() < 2.0
+
+    def test_column_indices_match_positions(self):
+        system = ParticleSystem(200, width=16, height=4, seed=5)
+        assert np.array_equal(
+            system.column_indices(), np.floor(system.positions[:, 0]).astype(int)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParticleSystem(0, width=4, height=4)
+        with pytest.raises(ValueError):
+            ParticleSystem(10, width=4, height=4, thermal_speed=-1.0)
+        with pytest.raises(ValueError):
+            ParticleSystem(10, width=4, height=4, attractor=(10.0, 1.0))
+        with pytest.raises(ValueError):
+            ParticleSystem(10, width=4, height=4, attractor_strength=1.5)
+
+    @settings(max_examples=15)
+    @given(
+        drift_x=st.floats(min_value=-3.0, max_value=3.0),
+        drift_y=st.floats(min_value=-3.0, max_value=3.0),
+        seed=st.integers(0, 100),
+    )
+    def test_property_reflection_keeps_particles_in_box(self, drift_x, drift_y, seed):
+        system = ParticleSystem(
+            64, width=10, height=7, drift_velocity=(drift_x, drift_y),
+            thermal_speed=0.5, seed=seed,
+        )
+        for _ in range(25):
+            system.advance()
+        assert np.all((system.positions[:, 0] >= 0) & (system.positions[:, 0] < 10))
+        assert np.all((system.positions[:, 1] >= 0) & (system.positions[:, 1] < 7))
+
+
+class TestParticleConfig:
+    def test_derived_sizes(self):
+        config = ParticleConfig(num_pes=4, columns_per_pe=10, particles_per_pe=100)
+        assert config.width == 40
+        assert config.num_particles == 400
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParticleConfig(num_pes=0)
+        with pytest.raises(ValueError):
+            ParticleConfig(num_pes=2, attractor_position=(1.5, 0.5))
+        with pytest.raises(ValueError):
+            ParticleConfig(num_pes=2, flop_per_particle=0.0)
+
+
+class TestParticleApplication:
+    def test_protocol_conformance(self):
+        app = ParticleApplication(ParticleConfig(num_pes=4, seed=0))
+        assert isinstance(app, StripedApplication)
+        assert app.num_columns == app.config.width
+
+    def test_column_loads_track_particle_counts(self):
+        config = ParticleConfig(
+            num_pes=2, columns_per_pe=8, particles_per_pe=50, flop_per_pair=0.0, seed=1
+        )
+        app = ParticleApplication(config)
+        loads = app.column_loads()
+        counts = app.system.column_counts()
+        # Without the pair term, one load unit is exactly one particle.
+        assert np.allclose(loads, counts)
+        assert app.flop_per_load_unit == config.flop_per_particle
+
+    def test_pair_term_is_superlinear(self):
+        config = ParticleConfig(
+            num_pes=2, columns_per_pe=4, particles_per_pe=100,
+            flop_per_particle=1.0, flop_per_pair=1.0, seed=2,
+        )
+        app = ParticleApplication(config)
+        counts = app.system.column_counts()
+        loads = app.column_loads()
+        expected = counts + counts * (counts - 1) / 2.0
+        assert np.allclose(loads, expected)
+
+    def test_total_load_positive_and_finite(self):
+        app = ParticleApplication(ParticleConfig(num_pes=4, seed=3))
+        assert 0.0 < app.total_load() < np.inf
+        assert app.total_flop() == pytest.approx(
+            app.total_load() * app.config.flop_per_particle
+        )
+
+    def test_attractor_grows_imbalance_over_time(self):
+        config = ParticleConfig(
+            num_pes=4, columns_per_pe=32, particles_per_pe=500,
+            attractor_strength=0.03, seed=4,
+        )
+        app = ParticleApplication(config)
+        initial = app.concentration()
+        for _ in range(60):
+            app.advance()
+        assert app.concentration() > initial
+
+    def test_particles_per_stripe(self):
+        config = ParticleConfig(num_pes=4, columns_per_pe=8, particles_per_pe=100, seed=5)
+        app = ParticleApplication(config)
+        boundaries = np.asarray([0, 8, 16, 24, 32])
+        per_stripe = app.particles_per_stripe(boundaries)
+        assert per_stripe.sum() == config.num_particles
+        with pytest.raises(ValueError):
+            app.particles_per_stripe(np.asarray([0, 8]))
+
+    def test_from_config_equivalent(self):
+        config = ParticleConfig(num_pes=2, seed=6)
+        a = ParticleApplication(config)
+        b = ParticleApplication.from_config(config)
+        assert np.allclose(a.column_loads(), b.column_loads())
+
+
+class TestParticleWorkloadUnderLoadBalancing:
+    def test_adaptive_lb_beats_static_on_clustering_particles(self):
+        """The drifting/clustering particle workload benefits from adaptive
+        LB exactly like the erosion workload -- the framework is
+        application-agnostic."""
+        from repro.lb.adaptive import DegradationTrigger, NeverTrigger
+        from repro.lb.standard import StandardPolicy
+
+        def run(trigger):
+            config = ParticleConfig(
+                num_pes=8,
+                columns_per_pe=24,
+                particles_per_pe=400,
+                attractor_strength=0.02,
+                thermal_speed=0.1,
+                seed=11,
+            )
+            app = ParticleApplication(config)
+            cluster = VirtualCluster(8)
+            prior = 0.5 * app.total_flop() / 8 / cluster.pe_speed
+            runner = IterativeRunner(
+                cluster,
+                app,
+                workload_policy=StandardPolicy(),
+                trigger_policy=trigger,
+                initial_lb_cost_estimate=prior,
+                seed=11,
+            )
+            return runner.run(80)
+
+        static = run(NeverTrigger())
+        adaptive = run(DegradationTrigger())
+        assert adaptive.total_time < static.total_time
+        assert adaptive.mean_utilization > static.mean_utilization
+        assert adaptive.num_lb_calls >= 1

@@ -1,0 +1,92 @@
+"""Tests of :mod:`repro.partitioning.metrics`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.partitioning.metrics import (
+    migration_volume,
+    partition_imbalance,
+    partition_loads,
+)
+
+
+class TestPartitionLoads:
+    def test_basic_accumulation(self):
+        loads = partition_loads([0, 0, 1, 2], [1.0, 2.0, 3.0, 4.0], 3)
+        assert np.allclose(loads, [3.0, 3.0, 4.0])
+
+    def test_empty_parts_get_zero(self):
+        loads = partition_loads([0, 0], [1.0, 1.0], 4)
+        assert np.allclose(loads, [2.0, 0.0, 0.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_loads([0, 1], [1.0], 2)
+        with pytest.raises(ValueError):
+            partition_loads([0, 2], [1.0, 1.0], 2)
+        with pytest.raises(ValueError):
+            partition_loads([0, 1], [1.0, 1.0], 0)
+
+    @given(
+        owners=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50),
+    )
+    def test_property_total_conserved(self, owners):
+        weights = np.ones(len(owners))
+        loads = partition_loads(owners, weights, 4)
+        assert loads.sum() == pytest.approx(len(owners))
+
+
+class TestPartitionImbalance:
+    def test_balanced(self):
+        assert partition_imbalance([0, 1, 2], [1.0, 1.0, 1.0], 3) == 0.0
+
+    def test_known_value(self):
+        # Loads [4, 2]: mean 3, max 4 -> imbalance 1/3.
+        imb = partition_imbalance([0, 0, 1], [2.0, 2.0, 2.0], 2)
+        assert imb == pytest.approx(1.0 / 3.0)
+
+    def test_zero_weights(self):
+        assert partition_imbalance([0, 1], [0.0, 0.0], 2) == 0.0
+
+    @given(
+        owners=st.lists(st.integers(min_value=0, max_value=2), min_size=3, max_size=50),
+    )
+    def test_property_non_negative(self, owners):
+        assert partition_imbalance(owners, np.ones(len(owners)), 3) >= 0.0
+
+
+class TestMigrationVolume:
+    def test_no_change_no_volume(self):
+        assert migration_volume([0, 1, 1], [0, 1, 1]) == 0.0
+
+    def test_counts_moved_weight(self):
+        volume = migration_volume([0, 0, 1], [0, 1, 1], weights=[5.0, 7.0, 9.0])
+        assert volume == 7.0
+
+    def test_default_unit_weights(self):
+        assert migration_volume([0, 0, 0], [1, 1, 0]) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            migration_volume([0, 1], [0])
+        with pytest.raises(ValueError):
+            migration_volume([0, 1], [0, 1], weights=[1.0])
+
+    @given(
+        old=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=40),
+    )
+    def test_property_bounds(self, old):
+        new = list(reversed(old))
+        weights = np.ones(len(old))
+        volume = migration_volume(old, new, weights)
+        assert 0.0 <= volume <= weights.sum()
+
+    def test_symmetry(self):
+        old = [0, 1, 2, 0, 1]
+        new = [1, 1, 0, 0, 2]
+        w = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert migration_volume(old, new, w) == migration_volume(new, old, w)

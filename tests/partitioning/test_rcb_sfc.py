@@ -1,0 +1,164 @@
+"""Tests of the RCB and Morton-SFC partitioners (Zoltan-style baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioning.metrics import partition_imbalance, partition_loads
+from repro.partitioning.rcb import RCBPartitioner, RCBRegion
+from repro.partitioning.sfc import MortonPartitioner, morton_key, morton_order
+
+
+def grid_points(nx, ny):
+    xs, ys = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    return np.column_stack([xs.ravel(), ys.ravel()]).astype(float)
+
+
+class TestRCBPartitioner:
+    def test_every_point_assigned_exactly_once(self):
+        pts = grid_points(8, 8)
+        regions = RCBPartitioner(4).partition(pts)
+        assert len(regions) == 4
+        assigned = sorted(i for r in regions for i in r.indices)
+        assert assigned == list(range(64))
+
+    def test_uniform_weights_balanced(self):
+        pts = grid_points(16, 16)
+        owners = RCBPartitioner(4).owners(pts)
+        loads = partition_loads(owners, np.ones(len(pts)), 4)
+        assert loads.max() - loads.min() <= 16
+
+    def test_weighted_points_balanced(self):
+        pts = grid_points(16, 16)
+        weights = np.ones(len(pts))
+        weights[:64] = 10.0
+        owners = RCBPartitioner(4).owners(pts, weights)
+        assert partition_imbalance(owners, weights, 4) < 0.35
+
+    def test_target_shares(self):
+        pts = grid_points(20, 20)
+        owners = RCBPartitioner(2).owners(pts, target_shares=[0.25, 0.75])
+        loads = partition_loads(owners, np.ones(len(pts)), 2)
+        assert loads[0] < loads[1]
+        assert loads[0] == pytest.approx(100, abs=25)
+
+    def test_region_metadata(self):
+        pts = grid_points(4, 4)
+        regions = RCBPartitioner(2).partition(pts)
+        for region in regions:
+            assert isinstance(region, RCBRegion)
+            assert region.weight == pytest.approx(len(region.indices))
+            lo, hi = np.asarray(region.lower), np.asarray(region.upper)
+            assert np.all(lo <= hi)
+            for idx in region.indices:
+                assert np.all(pts[idx] >= lo - 1e-9)
+                assert np.all(pts[idx] <= hi + 1e-9)
+
+    def test_single_part(self):
+        pts = grid_points(3, 3)
+        regions = RCBPartitioner(1).partition(pts)
+        assert len(regions) == 1
+        assert len(regions[0].indices) == 9
+
+    def test_non_power_of_two_parts(self):
+        pts = grid_points(9, 9)
+        regions = RCBPartitioner(3).partition(pts)
+        assert len(regions) == 3
+        assert sum(len(r.indices) for r in regions) == 81
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RCBPartitioner(0)
+        with pytest.raises(ValueError):
+            RCBPartitioner(2).partition([[1.0, 2.0, 3.0]])
+        with pytest.raises(ValueError):
+            RCBPartitioner(2).partition(grid_points(2, 2), weights=[1.0])
+        with pytest.raises(ValueError):
+            RCBPartitioner(2).partition(grid_points(2, 2), target_shares=[1.0])
+
+    @settings(max_examples=15)
+    @given(
+        nx=st.integers(min_value=2, max_value=12),
+        ny=st.integers(min_value=2, max_value=12),
+        parts=st.integers(min_value=1, max_value=6),
+    )
+    def test_property_partition_is_exhaustive(self, nx, ny, parts):
+        pts = grid_points(nx, ny)
+        owners = RCBPartitioner(parts).owners(pts)
+        assert owners.shape == (nx * ny,)
+        assert owners.min() >= 0 and owners.max() < parts
+
+
+class TestMorton:
+    def test_morton_key_known_values(self):
+        # Interleaving bits: (x=1, y=0) -> 1 ; (x=0, y=1) -> 2 ; (x=1, y=1) -> 3.
+        assert morton_key([1], [0])[0] == 1
+        assert morton_key([0], [1])[0] == 2
+        assert morton_key([1], [1])[0] == 3
+        assert morton_key([2], [0])[0] == 4
+
+    def test_morton_key_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            morton_key([1, 2], [1])
+
+    def test_morton_key_negative_rejected(self):
+        with pytest.raises(ValueError):
+            morton_key([-1], [0])
+
+    def test_morton_order_locality(self):
+        """Consecutive points along the Morton order stay close in space
+        (coarse locality check on a small grid)."""
+        nx = ny = 8
+        pts = grid_points(nx, ny).astype(int)
+        order = morton_order(pts[:, 0], pts[:, 1])
+        ordered = pts[order]
+        jumps = np.abs(np.diff(ordered, axis=0)).sum(axis=1)
+        assert np.median(jumps) <= 2.0
+
+    def test_owners_cover_all_cells(self):
+        pts = grid_points(8, 8).astype(int)
+        owners = MortonPartitioner(4).owners(pts[:, 0], pts[:, 1])
+        assert owners.shape == (64,)
+        assert set(np.unique(owners)) == {0, 1, 2, 3}
+
+    def test_uniform_weights_balanced(self):
+        pts = grid_points(16, 16).astype(int)
+        owners = MortonPartitioner(8).owners(pts[:, 0], pts[:, 1])
+        loads = partition_loads(owners, np.ones(256), 8)
+        assert loads.max() - loads.min() <= 8
+
+    def test_target_shares_supported(self):
+        pts = grid_points(16, 16).astype(int)
+        owners = MortonPartitioner(2).owners(
+            pts[:, 0], pts[:, 1], target_shares=[0.1, 0.9]
+        )
+        loads = partition_loads(owners, np.ones(256), 2)
+        assert loads[0] < loads[1]
+
+    def test_weights_length_validated(self):
+        with pytest.raises(ValueError):
+            MortonPartitioner(2).owners([0, 1], [0, 1], weights=[1.0])
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            MortonPartitioner(0)
+
+    @settings(max_examples=15)
+    @given(
+        n=st.integers(min_value=4, max_value=256),
+        parts=st.integers(min_value=1, max_value=8),
+        seed=st.integers(0, 100),
+    )
+    def test_property_weight_conservation(self, n, parts, seed):
+        if n < parts:
+            n = parts
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 64, n)
+        y = rng.integers(0, 64, n)
+        w = rng.random(n)
+        owners = MortonPartitioner(parts).owners(x, y, weights=w)
+        loads = partition_loads(owners, w, parts)
+        assert loads.sum() == pytest.approx(w.sum())

@@ -1,0 +1,113 @@
+"""Tests of :mod:`repro.partitioning.stripe` (the paper's LB technique)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.partitioning.stripe import StripePartition, StripePartitioner
+from repro.partitioning.weighted import target_shares_from_alphas
+
+
+class TestStripePartitioner:
+    def test_uniform_partition_equal_widths(self):
+        partitioner = StripePartitioner(4)
+        partition = partitioner.uniform_partition(16)
+        assert list(partition.stripe_widths()) == [4, 4, 4, 4]
+        assert partition.num_pes == 4
+        assert partition.num_columns == 16
+
+    def test_uniform_partition_validation(self):
+        partitioner = StripePartitioner(4)
+        with pytest.raises(ValueError):
+            partitioner.uniform_partition(3)
+        with pytest.raises(ValueError):
+            partitioner.uniform_partition(0)
+
+    def test_partition_balances_nonuniform_loads(self):
+        partitioner = StripePartitioner(2)
+        loads = [8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        partition = partitioner.partition(loads)
+        stripe_loads = partition.stripe_loads()
+        assert stripe_loads.sum() == pytest.approx(sum(loads))
+        assert abs(stripe_loads[0] - stripe_loads[1]) <= 8.0
+
+    def test_partition_with_alphas_matches_explicit_shares(self):
+        partitioner = StripePartitioner(4)
+        loads = np.ones(40)
+        alphas = [0.5, 0.0, 0.0, 0.0]
+        via_alphas = partitioner.partition_with_alphas(loads, alphas)
+        via_shares = partitioner.partition(
+            loads, target_shares=target_shares_from_alphas(alphas)
+        )
+        assert via_alphas.partition.boundaries == via_shares.partition.boundaries
+
+    def test_partition_with_alphas_underloads_requester(self):
+        partitioner = StripePartitioner(4)
+        loads = np.ones(400)
+        partition = partitioner.partition_with_alphas(loads, [0.6, 0.0, 0.0, 0.0])
+        stripe_loads = partition.stripe_loads()
+        assert stripe_loads[0] < stripe_loads[1:].min()
+        assert stripe_loads[0] == pytest.approx(0.4 * 100, abs=2)
+
+    def test_partition_with_alphas_wrong_length(self):
+        with pytest.raises(ValueError):
+            StripePartitioner(3).partition_with_alphas(np.ones(10), [0.0, 0.0])
+
+    def test_invalid_num_pes(self):
+        with pytest.raises(ValueError):
+            StripePartitioner(0)
+
+    @given(
+        num_cols=st.integers(min_value=8, max_value=200),
+        num_pes=st.integers(min_value=1, max_value=8),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_workload_conservation(self, num_cols, num_pes, seed):
+        """Stripe loads always sum to the total column load (nothing is lost
+        or duplicated by the decomposition)."""
+        if num_cols < num_pes:
+            num_cols = num_pes
+        rng = np.random.default_rng(seed)
+        loads = rng.random(num_cols) * 10.0
+        partition = StripePartitioner(num_pes).partition(loads)
+        assert partition.stripe_loads().sum() == pytest.approx(loads.sum())
+
+    @given(
+        num_pes=st.integers(min_value=2, max_value=8),
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_alpha_shares_sum_to_total(self, num_pes, alpha):
+        loads = np.ones(num_pes * 50)
+        alphas = [alpha] + [0.0] * (num_pes - 1)
+        partition = StripePartitioner(num_pes).partition_with_alphas(loads, alphas)
+        assert partition.stripe_loads().sum() == pytest.approx(loads.sum())
+
+
+class TestStripePartition:
+    def test_columns_of_and_owner(self):
+        partition = StripePartitioner(2).partition(np.ones(10))
+        start, stop = partition.columns_of(0)
+        assert start == 0
+        assert partition.owner_of_column(start) == 0
+        assert partition.owner_of_column(stop) == 1
+
+    def test_imbalance_zero_for_uniform(self):
+        partition = StripePartitioner(4).partition(np.ones(40))
+        assert partition.imbalance() == pytest.approx(0.0)
+
+    def test_imbalance_positive_for_skewed(self):
+        loads = np.ones(40)
+        loads[:10] = 50.0
+        partition = StripePartitioner(4).uniform_partition(40)
+        # Re-evaluate imbalance of the uniform decomposition on skewed loads.
+        skewed = StripePartition(
+            partition=partition.partition, column_loads=tuple(loads.tolist())
+        )
+        assert skewed.imbalance() > 1.0
+
+    def test_imbalance_zero_loads(self):
+        partition = StripePartitioner(2).partition(np.zeros(10))
+        assert partition.imbalance() == 0.0

@@ -1,0 +1,121 @@
+"""Tests of :mod:`repro.runtime.degradation` (the Zhai-style tracker)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.degradation import DegradationTracker
+
+
+class TestDegradationTracker:
+    def test_first_observation_sets_reference(self):
+        tracker = DegradationTracker()
+        tracker.observe(2.0)
+        assert tracker.reference_time == 2.0
+        assert tracker.degradation == pytest.approx(0.0)
+        assert tracker.iterations_since_reset == 1
+
+    def test_constant_times_accumulate_nothing(self):
+        tracker = DegradationTracker()
+        for _ in range(10):
+            tracker.observe(3.0)
+        assert tracker.degradation == pytest.approx(0.0)
+
+    def test_growing_times_accumulate(self):
+        tracker = DegradationTracker(window=1)
+        for t in (1.0, 2.0, 3.0):
+            tracker.observe(t)
+        # degradations: 0, 1, 2.
+        assert tracker.degradation == pytest.approx(3.0)
+
+    def test_median_smoothing_absorbs_single_spike(self):
+        tracker = DegradationTracker(window=3)
+        tracker.observe(1.0)
+        tracker.observe(1.0)
+        tracker.observe(50.0)  # spike: median(1, 1, 50) = 1 -> no degradation
+        assert tracker.degradation == pytest.approx(0.0)
+
+    def test_sustained_increase_is_registered(self):
+        tracker = DegradationTracker(window=3)
+        tracker.observe(1.0)
+        tracker.observe(5.0)
+        tracker.observe(5.0)
+        tracker.observe(5.0)
+        assert tracker.degradation > 0.0
+
+    def test_faster_iterations_can_reduce_accumulation(self):
+        tracker = DegradationTracker(window=1)
+        tracker.observe(4.0)
+        tracker.observe(2.0)
+        assert tracker.degradation == pytest.approx(-2.0)
+
+    def test_reset_clears_state(self):
+        tracker = DegradationTracker()
+        for t in (1.0, 3.0, 5.0):
+            tracker.observe(t)
+        tracker.reset()
+        assert tracker.degradation == 0.0
+        assert tracker.reference_time is None
+        assert tracker.iterations_since_reset == 0
+        # New reference after the reset.
+        tracker.observe(10.0)
+        assert tracker.reference_time == 10.0
+        assert tracker.degradation == pytest.approx(0.0)
+
+    def test_reset_clears_smoothing_window(self):
+        tracker = DegradationTracker(window=3)
+        tracker.observe(100.0)
+        tracker.observe(100.0)
+        tracker.reset()
+        tracker.observe(1.0)
+        tracker.observe(1.0)
+        # Old 100s must not leak into the new window's median.
+        assert tracker.degradation == pytest.approx(0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            DegradationTracker().observe(-1.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            DegradationTracker(window=0)
+
+    def test_observe_returns_running_total(self):
+        tracker = DegradationTracker(window=1)
+        assert tracker.observe(1.0) == pytest.approx(0.0)
+        assert tracker.observe(2.0) == pytest.approx(1.0)
+        assert tracker.observe(2.0) == pytest.approx(2.0)
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=60
+        )
+    )
+    def test_property_window_maximum_bound(self, times):
+        """The accumulated degradation is bounded by replacing the median of
+        each smoothing window with its maximum (median <= max), and bounded
+        below by replacing it with the window minimum."""
+        tracker = DegradationTracker(window=3)
+        for t in times:
+            tracker.observe(t)
+        reference = times[0]
+        upper = sum(
+            max(times[max(0, i - 2) : i + 1]) - reference for i in range(len(times))
+        )
+        lower = sum(
+            min(times[max(0, i - 2) : i + 1]) - reference for i in range(len(times))
+        )
+        assert lower - 1e-9 <= tracker.degradation <= upper + 1e-9
+
+    @given(slope=st.floats(min_value=0.0, max_value=10.0))
+    def test_property_linear_ramp_quadratic_accumulation(self, slope):
+        """On a perfectly linear ramp the accumulation is the triangular sum
+        slope * (0 + 1 + ... + n-1) modulo the median lag."""
+        tracker = DegradationTracker(window=1)
+        n = 20
+        for i in range(n):
+            tracker.observe(1.0 + slope * i)
+        expected = slope * (n - 1) * n / 2.0
+        assert tracker.degradation == pytest.approx(expected, rel=1e-9, abs=1e-9)

@@ -1,0 +1,135 @@
+"""Tests of :mod:`repro.runtime.synthetic` and :mod:`repro.runtime.report`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.report import PolicyComparison, compare_runs
+from repro.runtime.skeleton import RunResult
+from repro.runtime.synthetic import SyntheticGrowthApplication
+from repro.simcluster.tracing import ClusterTrace
+
+
+class TestSyntheticGrowthApplication:
+    def test_initial_state(self):
+        app = SyntheticGrowthApplication(10, initial_load_per_column=5.0)
+        assert app.num_columns == 10
+        assert app.iteration == 0
+        assert np.allclose(app.column_loads(), 5.0)
+        assert app.total_load() == pytest.approx(50.0)
+
+    def test_uniform_growth(self):
+        app = SyntheticGrowthApplication(4, initial_load_per_column=1.0, uniform_growth=0.5)
+        app.advance()
+        app.advance()
+        assert np.allclose(app.column_loads(), 2.0)
+        assert app.iteration == 2
+
+    def test_hot_regions_grow_faster(self):
+        app = SyntheticGrowthApplication(
+            10,
+            initial_load_per_column=1.0,
+            uniform_growth=0.1,
+            hot_regions=[(2, 4)],
+            hot_growth=5.0,
+        )
+        for _ in range(3):
+            app.advance()
+        loads = app.column_loads()
+        assert np.allclose(loads[2:4], 1.0 + 3 * (0.1 + 5.0))
+        assert np.allclose(np.delete(loads, [2, 3]), 1.3)
+        assert list(app.hot_columns) == [2, 3]
+
+    def test_column_loads_returns_copy(self):
+        app = SyntheticGrowthApplication(4)
+        loads = app.column_loads()
+        loads[:] = 0.0
+        assert app.total_load() > 0.0
+
+    def test_multiple_hot_regions(self):
+        app = SyntheticGrowthApplication(
+            10, hot_regions=[(0, 2), (8, 10)], hot_growth=1.0, uniform_growth=0.0
+        )
+        app.advance()
+        loads = app.column_loads()
+        assert loads[0] == loads[9] > loads[5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticGrowthApplication(0)
+        with pytest.raises(ValueError):
+            SyntheticGrowthApplication(4, initial_load_per_column=0.0)
+        with pytest.raises(ValueError):
+            SyntheticGrowthApplication(4, hot_regions=[(2, 10)])
+        with pytest.raises(ValueError):
+            SyntheticGrowthApplication(4, hot_regions=[(-1, 2)])
+        with pytest.raises(ValueError):
+            SyntheticGrowthApplication(4, uniform_growth=-1.0)
+
+
+def make_run(total_seconds, lb_calls, utilizations, policy="standard"):
+    trace = ClusterTrace(num_pes=2)
+    per_iteration = total_seconds / len(utilizations)
+    stamp = 0.0
+    for i, u in enumerate(utilizations):
+        stamp += per_iteration
+        trace.record_iteration(
+            iteration=i,
+            elapsed=per_iteration,
+            pe_compute_times=[per_iteration * u, per_iteration * u],
+            timestamp=stamp,
+        )
+    for i in range(lb_calls):
+        trace.record_lb_event(iteration=i, cost=0.0, timestamp=stamp)
+    return RunResult(trace=trace, policy_name=policy, trigger_name="degradation")
+
+
+class TestPolicyComparison:
+    def test_gain_and_reductions(self):
+        baseline = make_run(10.0, 4, [0.8] * 5, policy="standard")
+        candidate = make_run(8.0, 2, [0.9] * 5, policy="ulba")
+        comparison = compare_runs(baseline, candidate)
+        assert isinstance(comparison, PolicyComparison)
+        assert comparison.gain == pytest.approx(0.2)
+        assert comparison.lb_call_reduction == pytest.approx(0.5)
+        assert comparison.utilization_gain == pytest.approx(0.1)
+
+    def test_no_baseline_lb_calls(self):
+        baseline = make_run(10.0, 0, [0.8] * 5)
+        candidate = make_run(10.0, 3, [0.8] * 5)
+        assert compare_runs(baseline, candidate).lb_call_reduction == 0.0
+
+    def test_as_dict_keys(self):
+        baseline = make_run(10.0, 2, [0.8] * 5, policy="standard")
+        candidate = make_run(9.0, 1, [0.85] * 5, policy="ulba")
+        d = compare_runs(baseline, candidate).as_dict()
+        assert d["baseline_policy"] == "standard"
+        assert d["candidate_policy"] == "ulba"
+        assert d["gain"] == pytest.approx(0.1)
+        assert d["baseline_lb_calls"] == 2
+        assert d["candidate_lb_calls"] == 1
+
+    def test_negative_gain_when_candidate_slower(self):
+        baseline = make_run(10.0, 2, [0.8] * 5)
+        candidate = make_run(12.0, 2, [0.8] * 5)
+        assert compare_runs(baseline, candidate).gain < 0.0
+
+
+class TestRunResult:
+    def test_summary_includes_policy_names(self):
+        run = make_run(10.0, 2, [0.8, 0.9], policy="ulba")
+        summary = run.summary()
+        assert summary["policy"] == "ulba"
+        assert summary["trigger"] == "degradation"
+        assert summary["lb_calls"] == 2
+
+    def test_utilization_series_passthrough(self):
+        run = make_run(10.0, 0, [0.5, 1.0])
+        assert np.allclose(run.utilization_series(), [0.5, 1.0])
+
+    def test_total_time_matches_trace(self):
+        run = make_run(10.0, 1, [0.8] * 4)
+        assert run.total_time == pytest.approx(run.trace.total_time)
+        assert run.num_lb_calls == 1
+        assert 0.0 < run.mean_utilization <= 1.0

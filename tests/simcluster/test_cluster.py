@@ -1,0 +1,165 @@
+"""Tests of :mod:`repro.simcluster.cluster` (the VirtualCluster facade)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simcluster.cluster import StepResult, VirtualCluster
+from repro.simcluster.comm import CommCostModel
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        cluster = VirtualCluster(4, pe_speed=2.0e9)
+        assert cluster.size == 4
+        assert cluster.pe_speed == 2.0e9
+        assert cluster.now == 0.0
+        assert [pe.rank for pe in cluster.pes] == [0, 1, 2, 3]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            VirtualCluster(0)
+        with pytest.raises(ValueError):
+            VirtualCluster(2, pe_speed=0.0)
+
+
+class TestComputeStep:
+    def test_step_time_is_max_pe_time(self):
+        cluster = VirtualCluster(4, pe_speed=1.0e9, cost_model=CommCostModel.free())
+        result = cluster.compute_step([1.0e9, 2.0e9, 4.0e9, 3.0e9])
+        assert result.elapsed == pytest.approx(4.0)
+        assert result.pe_times == pytest.approx((1.0, 2.0, 3.99999, 3.0), rel=1e-3)
+        assert cluster.now == pytest.approx(4.0)
+
+    def test_wrong_length_rejected(self):
+        cluster = VirtualCluster(3)
+        with pytest.raises(ValueError):
+            cluster.compute_step([1.0, 2.0])
+
+    def test_negative_load_rejected(self):
+        cluster = VirtualCluster(2)
+        with pytest.raises(ValueError):
+            cluster.compute_step([1.0, -1.0])
+
+    def test_average_utilization(self):
+        cluster = VirtualCluster(2, pe_speed=1.0e9, cost_model=CommCostModel.free())
+        result = cluster.compute_step([2.0e9, 4.0e9])
+        # PE0 busy 2s of 4s, PE1 busy 4s of 4s -> mean 0.75.
+        assert result.average_utilization == pytest.approx(0.75)
+
+    def test_balanced_step_full_utilization(self):
+        cluster = VirtualCluster(4, pe_speed=1.0e9, cost_model=CommCostModel.free())
+        result = cluster.compute_step([1.0e9] * 4)
+        assert result.average_utilization == pytest.approx(1.0)
+
+    def test_iteration_recorded_in_trace(self):
+        cluster = VirtualCluster(2, cost_model=CommCostModel.free())
+        cluster.compute_step([1.0e9, 2.0e9], iteration=0)
+        cluster.compute_step([1.0e9, 2.0e9], iteration=1)
+        assert cluster.trace.num_iterations == 2
+        assert cluster.trace.iterations[0].iteration == 0
+
+    def test_untracked_step_not_recorded(self):
+        cluster = VirtualCluster(2)
+        cluster.compute_step([1.0, 1.0])
+        assert cluster.trace.num_iterations == 0
+
+    def test_steps_accumulate_time(self):
+        cluster = VirtualCluster(2, pe_speed=1.0e9, cost_model=CommCostModel.free())
+        cluster.compute_step([1.0e9, 1.0e9])
+        cluster.compute_step([2.0e9, 2.0e9])
+        assert cluster.now == pytest.approx(3.0)
+
+    def test_busy_times(self):
+        cluster = VirtualCluster(2, pe_speed=1.0e9, cost_model=CommCostModel.free())
+        cluster.compute_step([1.0e9, 3.0e9])
+        assert np.allclose(cluster.busy_times(), [1.0, 3.0])
+
+    @given(
+        loads=st.lists(
+            st.floats(min_value=0.0, max_value=1e10), min_size=3, max_size=3
+        )
+    )
+    def test_property_elapsed_at_least_max_load(self, loads):
+        cluster = VirtualCluster(3, pe_speed=1.0e9)
+        result = cluster.compute_step(loads)
+        assert result.elapsed >= max(loads) / 1.0e9 - 1e-12
+        assert result.completed_at == pytest.approx(cluster.now)
+
+    def test_step_result_zero_elapsed_utilization(self):
+        result = StepResult(elapsed=0.0, pe_times=(0.0, 0.0), completed_at=0.0)
+        assert result.average_utilization == 1.0
+
+
+class TestChargeLBStep:
+    def test_lb_step_advances_time_and_records_event(self):
+        cluster = VirtualCluster(4)
+        before = cluster.now
+        cost = cluster.charge_lb_step(iteration=3, partition_seconds=0.001)
+        assert cost > 0.0
+        assert cluster.now == pytest.approx(before + cost)
+        assert cluster.trace.num_lb_calls == 1
+        assert cluster.trace.lb_events[0].iteration == 3
+        assert cluster.trace.lb_events[0].cost == pytest.approx(cost)
+
+    def test_lb_time_charged_to_every_pe(self):
+        cluster = VirtualCluster(3)
+        cost = cluster.charge_lb_step(iteration=0, partition_seconds=0.01)
+        assert all(pe.lb_time == pytest.approx(cost) for pe in cluster.pes)
+
+    def test_scalar_migration_volume(self):
+        cluster = VirtualCluster(2, cost_model=CommCostModel(latency=0.0, bandwidth=1.0e6))
+        cost = cluster.charge_lb_step(iteration=0, migration_bytes_per_pe=1.0e6)
+        assert cost >= 1.0  # at least the migration transfer time
+
+    def test_vector_migration_volume(self):
+        cluster = VirtualCluster(3, cost_model=CommCostModel(latency=0.0, bandwidth=1.0e6))
+        cost = cluster.charge_lb_step(
+            iteration=0, migration_bytes_per_pe=[0.0, 2.0e6, 1.0e6]
+        )
+        assert cost >= 2.0  # dominated by the largest per-PE volume
+
+    def test_wrong_migration_vector_length(self):
+        cluster = VirtualCluster(3)
+        with pytest.raises(ValueError):
+            cluster.charge_lb_step(iteration=0, migration_bytes_per_pe=[1.0, 2.0])
+
+    def test_negative_migration_rejected(self):
+        cluster = VirtualCluster(2)
+        with pytest.raises(ValueError):
+            cluster.charge_lb_step(iteration=0, migration_bytes_per_pe=[-1.0, 0.0])
+
+    def test_negative_partition_seconds_rejected(self):
+        cluster = VirtualCluster(2)
+        with pytest.raises(ValueError):
+            cluster.charge_lb_step(iteration=0, partition_seconds=-1.0)
+
+    def test_more_migration_costs_more(self):
+        def run(volume):
+            cluster = VirtualCluster(4)
+            return cluster.charge_lb_step(iteration=0, migration_bytes_per_pe=volume)
+
+        assert run(1.0e9) > run(1.0e3)
+
+
+class TestSynchronizeAndReset:
+    def test_synchronize(self):
+        cluster = VirtualCluster(3, cost_model=CommCostModel.free())
+        cluster.pes[1].compute(5.0e9)
+        stamp = cluster.synchronize()
+        assert stamp == pytest.approx(5.0)
+        assert cluster.now == pytest.approx(5.0)
+
+    def test_reset_clears_everything(self):
+        cluster = VirtualCluster(2)
+        cluster.compute_step([1.0e9, 2.0e9], iteration=0)
+        cluster.charge_lb_step(iteration=0)
+        cluster.reset()
+        assert cluster.now == 0.0
+        assert cluster.trace.num_iterations == 0
+        assert cluster.trace.num_lb_calls == 0
+        assert cluster.comm.num_collectives == 0
+        assert all(pe.busy_time == 0.0 for pe in cluster.pes)

@@ -1,0 +1,154 @@
+"""Tests of :mod:`repro.simcluster.gossip` (WIR dissemination substrate)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcluster.gossip import GossipBoard, GossipConfig
+
+
+class TestGossipConfig:
+    def test_defaults(self):
+        config = GossipConfig()
+        assert config.fanout == 2
+        assert not config.include_root
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            GossipConfig(fanout=0)
+
+
+class TestGossipBoard:
+    def test_publish_and_local_view(self):
+        board = GossipBoard(4, seed=0)
+        board.publish(2, 7.5)
+        assert board.local_view(2) == {2: 7.5}
+        assert board.local_view(0) == {}
+
+    def test_publish_overwrites_with_newer_version(self):
+        board = GossipBoard(2, seed=0)
+        board.publish(0, 1.0)
+        board.publish(0, 2.0)
+        assert board.local_view(0)[0] == 2.0
+
+    def test_publish_ignores_stale_version(self):
+        board = GossipBoard(2, seed=0)
+        board.publish(0, 1.0, version=10)
+        board.publish(0, 2.0, version=3)
+        assert board.local_view(0)[0] == 1.0
+
+    def test_invalid_rank(self):
+        board = GossipBoard(2, seed=0)
+        with pytest.raises(ValueError):
+            board.publish(2, 1.0)
+        with pytest.raises(ValueError):
+            board.local_view(-1)
+
+    def test_known_fraction(self):
+        board = GossipBoard(4, seed=0)
+        assert board.known_fraction(0) == 0.0
+        board.publish(0, 1.0)
+        assert board.known_fraction(0) == 0.25
+
+    def test_single_rank_is_trivially_complete(self):
+        board = GossipBoard(1, seed=0)
+        board.publish(0, 3.0)
+        assert board.is_complete()
+        board.step()  # no peers: must not raise
+        assert board.steps == 1
+
+    def test_step_spreads_values(self):
+        board = GossipBoard(8, config=GossipConfig(fanout=3), seed=1)
+        for rank in range(8):
+            board.publish(rank, float(rank))
+        before = sum(len(board.local_view(r)) for r in range(8))
+        board.step()
+        after = sum(len(board.local_view(r)) for r in range(8))
+        assert after > before
+
+    def test_values_never_corrupted(self):
+        board = GossipBoard(6, seed=2)
+        for rank in range(6):
+            board.publish(rank, rank * 10.0)
+        board.run_until_complete()
+        for rank in range(6):
+            view = board.local_view(rank)
+            assert view == {r: r * 10.0 for r in range(6)}
+
+    def test_run_until_complete_returns_rounds(self):
+        board = GossipBoard(16, seed=3)
+        for rank in range(16):
+            board.publish(rank, 1.0)
+        rounds = board.run_until_complete()
+        assert rounds >= 1
+        assert board.is_complete()
+
+    def test_run_until_complete_raises_without_publishers(self):
+        board = GossipBoard(4, seed=4)
+        board.publish(0, 1.0)  # ranks 1-3 never publish
+        with pytest.raises(RuntimeError):
+            board.run_until_complete(max_steps=5)
+
+    def test_convergence_is_fast(self):
+        """Push gossip with fanout 2 converges in O(log P) rounds whp; allow
+        a generous constant."""
+        board = GossipBoard(64, seed=5)
+        for rank in range(64):
+            board.publish(rank, float(rank))
+        rounds = board.run_until_complete(max_steps=200)
+        assert rounds <= 8 * int(math.log2(64)) + 10
+
+    def test_include_root_speeds_root_knowledge(self):
+        board = GossipBoard(32, config=GossipConfig(fanout=1, include_root=True), seed=6)
+        for rank in range(32):
+            board.publish(rank, 1.0)
+        board.step()
+        # With include_root, rank 0 hears from every other rank in one step.
+        assert board.known_fraction(0) == 1.0
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            board = GossipBoard(10, seed=seed)
+            for rank in range(10):
+                board.publish(rank, float(rank))
+            board.step()
+            return [board.local_view(r) for r in range(10)]
+
+        assert run(9) == run(9)
+
+    def test_updates_propagate_after_convergence(self):
+        """A value published after convergence eventually replaces the old
+        one everywhere (freshness by version number)."""
+        board = GossipBoard(8, seed=7)
+        for rank in range(8):
+            board.publish(rank, 0.0)
+        board.run_until_complete()
+        board.publish(3, 99.0)
+        for _ in range(30):
+            board.step()
+        assert all(board.local_view(r)[3] == 99.0 for r in range(8))
+
+    @settings(max_examples=15)
+    @given(
+        num_ranks=st.integers(min_value=2, max_value=32),
+        fanout=st.integers(min_value=1, max_value=4),
+        seed=st.integers(0, 100),
+    )
+    def test_property_views_subset_of_published(self, num_ranks, fanout, seed):
+        """No rank ever knows a value that was not published."""
+        board = GossipBoard(num_ranks, config=GossipConfig(fanout=fanout), seed=seed)
+        published = {}
+        for rank in range(0, num_ranks, 2):
+            board.publish(rank, float(rank))
+            published[rank] = float(rank)
+        for _ in range(5):
+            board.step()
+        for rank in range(num_ranks):
+            view = board.local_view(rank)
+            assert set(view).issubset(set(published))
+            for src, value in view.items():
+                assert value == published[src]

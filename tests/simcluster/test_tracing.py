@@ -1,0 +1,128 @@
+"""Tests of :mod:`repro.simcluster.tracing` (Figure 4b data recorder)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simcluster.tracing import ClusterTrace, IterationRecord, LBEventRecord
+
+
+def make_trace():
+    trace = ClusterTrace(num_pes=4)
+    trace.record_iteration(
+        iteration=0, elapsed=2.0, pe_compute_times=[2.0, 1.0, 1.0, 2.0], timestamp=2.0
+    )
+    trace.record_iteration(
+        iteration=1, elapsed=4.0, pe_compute_times=[4.0, 1.0, 1.0, 2.0], timestamp=6.0
+    )
+    trace.record_lb_event(iteration=1, cost=1.5, timestamp=7.5)
+    trace.record_iteration(
+        iteration=2, elapsed=2.0, pe_compute_times=[2.0, 2.0, 2.0, 2.0], timestamp=9.5
+    )
+    return trace
+
+
+class TestIterationRecord:
+    def test_average_utilization(self):
+        record = IterationRecord(
+            iteration=0, elapsed=4.0, pe_compute_times=(4.0, 2.0), timestamp=4.0
+        )
+        assert record.average_utilization == pytest.approx(0.75)
+
+    def test_zero_elapsed(self):
+        record = IterationRecord(
+            iteration=0, elapsed=0.0, pe_compute_times=(0.0,), timestamp=0.0
+        )
+        assert record.average_utilization == 1.0
+
+    def test_utilization_clipped_to_one(self):
+        record = IterationRecord(
+            iteration=0, elapsed=1.0, pe_compute_times=(2.0,), timestamp=1.0
+        )
+        assert record.average_utilization == 1.0
+
+    def test_max_compute_time(self):
+        record = IterationRecord(
+            iteration=0, elapsed=3.0, pe_compute_times=(1.0, 3.0, 2.0), timestamp=3.0
+        )
+        assert record.max_compute_time == 3.0
+
+    def test_max_compute_time_empty(self):
+        record = IterationRecord(
+            iteration=0, elapsed=1.0, pe_compute_times=(), timestamp=1.0
+        )
+        assert record.max_compute_time == 0.0
+
+
+class TestClusterTrace:
+    def test_counts(self):
+        trace = make_trace()
+        assert trace.num_iterations == 3
+        assert trace.num_lb_calls == 1
+
+    def test_time_accounting(self):
+        trace = make_trace()
+        assert trace.iteration_time == pytest.approx(8.0)
+        assert trace.lb_cost_time == pytest.approx(1.5)
+        assert trace.total_time == pytest.approx(9.5)
+
+    def test_utilization_series(self):
+        trace = make_trace()
+        series = trace.utilization_series()
+        assert series.shape == (3,)
+        assert series[0] == pytest.approx(np.mean([1.0, 0.5, 0.5, 1.0]))
+        assert series[2] == pytest.approx(1.0)
+
+    def test_iteration_time_series(self):
+        assert np.allclose(make_trace().iteration_time_series(), [2.0, 4.0, 2.0])
+
+    def test_lb_iterations(self):
+        assert make_trace().lb_iterations() == [1]
+
+    def test_mean_utilization_is_time_weighted(self):
+        trace = make_trace()
+        durations = trace.iteration_time_series()
+        utils = trace.utilization_series()
+        expected = float((durations * utils).sum() / durations.sum())
+        assert trace.mean_utilization() == pytest.approx(expected)
+
+    def test_mean_utilization_empty_trace(self):
+        assert ClusterTrace(num_pes=2).mean_utilization() == 1.0
+
+    def test_utilization_drops(self):
+        trace = make_trace()
+        # Iteration utilizations are 0.75, 0.5 and 1.0 respectively.
+        assert trace.utilization_drops(threshold=0.8) == 2
+        assert trace.utilization_drops(threshold=0.6) == 1
+        assert trace.utilization_drops(threshold=0.5) == 0
+
+    def test_utilization_drops_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            make_trace().utilization_drops(threshold=0.0)
+        with pytest.raises(ValueError):
+            make_trace().utilization_drops(threshold=1.5)
+
+    def test_summary_keys_and_values(self):
+        trace = make_trace()
+        summary = trace.summary()
+        assert summary["num_pes"] == 4
+        assert summary["iterations"] == 3
+        assert summary["lb_calls"] == 1
+        assert summary["total_time"] == pytest.approx(9.5)
+        assert summary["mean_utilization"] == pytest.approx(trace.mean_utilization())
+
+    def test_empty_trace_summary(self):
+        summary = ClusterTrace(num_pes=1).summary()
+        assert summary["iterations"] == 0
+        assert summary["total_time"] == 0.0
+
+    def test_record_returns_records(self):
+        trace = ClusterTrace(num_pes=2)
+        it = trace.record_iteration(
+            iteration=0, elapsed=1.0, pe_compute_times=[1.0, 0.5], timestamp=1.0
+        )
+        lb = trace.record_lb_event(iteration=0, cost=0.5, timestamp=1.5)
+        assert isinstance(it, IterationRecord)
+        assert isinstance(lb, LBEventRecord)
+        assert it.pe_compute_times == (1.0, 0.5)

@@ -1,0 +1,134 @@
+"""Tests of the command-line interface and of the runnable examples.
+
+The CLI is exercised in-process at the ``smoke`` scale; the example scripts
+are executed as subprocesses (with reduced arguments) so they are guaranteed
+to stay runnable against the public API.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import SCALES, build_parser, main
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("fig2", "fig3", "fig4", "fig5", "ablations", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+            assert args.scale == "default"
+            assert args.seed == 0
+
+    def test_scale_choices(self):
+        parser = build_parser()
+        assert SCALES == ("smoke", "default", "paper")
+        args = parser.parse_args(["fig2", "--scale", "smoke", "--seed", "3"])
+        assert args.scale == "smoke"
+        assert args.seed == 3
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--scale", "huge"])
+
+
+class TestCLISmoke:
+    def test_fig2_smoke(self, capsys):
+        assert main(["fig2", "--scale", "smoke", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "Gain histogram" in out
+
+    def test_fig3_smoke(self, capsys):
+        assert main(["fig3", "--scale", "smoke", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "overloading PEs" in out
+
+    def test_fig4_smoke(self, capsys):
+        assert main(["fig4", "--scale", "smoke", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4a" in out
+        assert "Figure 4b" in out
+
+    def test_fig5_smoke(self, capsys):
+        assert main(["fig5", "--scale", "smoke", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+
+    def test_ablations_smoke(self, capsys):
+        assert main(["ablations", "--scale", "smoke", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "LB trigger policy" in out
+        assert "WIR dissemination" in out
+        assert "overload-detection threshold" in out
+        assert "runtime-adaptive alpha" in out
+
+
+def run_example(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "erosion_comparison.py",
+            "alpha_tuning.py",
+            "optimal_intervals.py",
+            "particle_drift.py",
+        } <= scripts
+
+    def test_quickstart(self):
+        proc = run_example("quickstart.py", "--seed", "2")
+        assert proc.returncode == 0, proc.stderr
+        assert "Standard LB method vs. ULBA" in proc.stdout
+        assert "gain" in proc.stdout
+
+    def test_erosion_comparison(self):
+        proc = run_example(
+            "erosion_comparison.py",
+            "--pes", "16", "--iterations", "30",
+            "--columns-per-pe", "32", "--rows", "32",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Results (virtual time)" in proc.stdout
+        assert "LB-call reduction" in proc.stdout
+
+    def test_alpha_tuning_analytical(self):
+        proc = run_example("alpha_tuning.py", "--mode", "analytical", "--seed", "4")
+        assert proc.returncode == 0, proc.stderr
+        assert "best alpha" in proc.stdout
+
+    def test_optimal_intervals(self):
+        proc = run_example(
+            "optimal_intervals.py", "--instances", "2", "--annealing-steps", "400"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "mean gain" in proc.stdout
+
+    def test_particle_drift(self):
+        proc = run_example(
+            "particle_drift.py",
+            "--pes", "8", "--iterations", "30", "--particles-per-pe", "200",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Total virtual time" in proc.stdout
+        assert "LB calls" in proc.stdout

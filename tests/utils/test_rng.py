@@ -1,0 +1,155 @@
+"""Tests of :mod:`repro.utils.rng` (seed handling and stream derivation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import (
+    derive_rng,
+    ensure_rng,
+    iter_seeds,
+    sample_from,
+    shuffle_indices,
+    spawn_rngs,
+)
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1_000_000, size=10)
+        b = ensure_rng(7).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(7).integers(0, 1_000_000, size=10)
+        b = ensure_rng(8).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(99)
+        gen = ensure_rng(ss)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_numpy_integer_seed(self):
+        gen = ensure_rng(np.int64(5))
+        assert isinstance(gen, np.random.Generator)
+
+    @pytest.mark.parametrize("bad", ["seed", 1.5, [1, 2], {}])
+    def test_invalid_seed_raises(self, bad):
+        with pytest.raises(TypeError):
+            ensure_rng(bad)
+
+
+class TestDeriveRng:
+    def test_same_keys_same_stream(self):
+        parent_a = ensure_rng(10)
+        parent_b = ensure_rng(10)
+        child_a = derive_rng(parent_a, 3)
+        child_b = derive_rng(parent_b, 3)
+        assert np.array_equal(
+            child_a.integers(0, 1_000_000, 5), child_b.integers(0, 1_000_000, 5)
+        )
+
+    def test_different_keys_different_streams(self):
+        parent = ensure_rng(10)
+        a = derive_rng(parent, 0).integers(0, 1_000_000, 10)
+        b = derive_rng(parent, 1).integers(0, 1_000_000, 10)
+        assert not np.array_equal(a, b)
+
+    def test_derivation_does_not_consume_parent(self):
+        parent_a = ensure_rng(11)
+        parent_b = ensure_rng(11)
+        derive_rng(parent_a, 1)
+        derive_rng(parent_a, 2)
+        # Parent streams must still agree even though one spawned children.
+        assert np.array_equal(
+            parent_a.integers(0, 1_000_000, 5), parent_b.integers(0, 1_000_000, 5)
+        )
+
+    def test_multi_key_derivation(self):
+        parent = ensure_rng(12)
+        a = derive_rng(parent, 1, 2).integers(0, 1_000_000, 5)
+        b = derive_rng(parent, 2, 1).integers(0, 1_000_000, 5)
+        assert not np.array_equal(a, b)
+
+    def test_requires_at_least_one_key(self):
+        with pytest.raises(ValueError):
+            derive_rng(ensure_rng(0))
+
+    @given(seed=st.integers(0, 2**31 - 1), key=st.integers(0, 1_000))
+    def test_property_determinism(self, seed, key):
+        a = derive_rng(ensure_rng(seed), key).integers(0, 2**31 - 1)
+        b = derive_rng(ensure_rng(seed), key).integers(0, 2**31 - 1)
+        assert a == b
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        rngs = spawn_rngs(0, 5)
+        assert len(rngs) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_streams_are_independent(self):
+        rngs = spawn_rngs(123, 3)
+        draws = [r.integers(0, 2**31 - 1, 10) for r in rngs]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_reproducible(self):
+        a = [r.integers(0, 100) for r in spawn_rngs(5, 4)]
+        b = [r.integers(0, 100) for r in spawn_rngs(5, 4)]
+        assert a == b
+
+
+class TestSampleFrom:
+    def test_single_sample_member(self, rng):
+        values = ["a", "b", "c"]
+        assert sample_from(rng, values) in values
+
+    def test_sized_sample(self, rng):
+        values = [1, 2, 3]
+        out = sample_from(rng, values, size=10)
+        assert len(out) == 10
+        assert set(out) <= set(values)
+
+    def test_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_from(rng, [])
+
+    def test_preserves_object_identity(self, rng):
+        objects = [object(), object()]
+        assert sample_from(rng, objects) in objects
+
+
+class TestShuffleAndSeeds:
+    def test_shuffle_is_permutation(self, rng):
+        perm = shuffle_indices(rng, 20)
+        assert sorted(perm.tolist()) == list(range(20))
+
+    def test_iter_seeds_deterministic(self):
+        assert list(iter_seeds(1, 5)) == list(iter_seeds(1, 5))
+
+    def test_iter_seeds_distinct(self):
+        seeds = list(iter_seeds(1, 20))
+        assert len(set(seeds)) == len(seeds)
+
+    def test_iter_seeds_are_non_negative_ints(self):
+        for s in iter_seeds(2, 10):
+            assert isinstance(s, int)
+            assert s >= 0

@@ -1,0 +1,226 @@
+"""Tests of :mod:`repro.utils.stats`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    BoxPlotSummary,
+    HistogramSummary,
+    box_plot_summary,
+    histogram_summary,
+    relative_gain,
+    rolling_median,
+    weighted_imbalance,
+    zscore,
+    zscores,
+)
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestZScore:
+    def test_zero_for_mean_value(self):
+        assert zscore(2.0, [1.0, 2.0, 3.0]) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # Population [0, 0, 0, 4]: mean 1, std sqrt(3); z(4) = 3/sqrt(3).
+        assert zscore(4.0, [0.0, 0.0, 0.0, 4.0]) == pytest.approx(3.0 / math.sqrt(3.0))
+
+    def test_constant_population_returns_zero(self):
+        assert zscore(5.0, [5.0, 5.0, 5.0]) == 0.0
+
+    def test_empty_population_raises(self):
+        with pytest.raises(ValueError):
+            zscore(1.0, [])
+
+    def test_symmetry(self):
+        pop = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert zscore(1.0, pop) == pytest.approx(-zscore(5.0, pop))
+
+    @given(st.lists(finite_floats, min_size=2, max_size=20), finite_floats)
+    def test_property_matches_vectorised(self, population, value):
+        population = population + [value]
+        scores = zscores(population)
+        assert scores[-1] == pytest.approx(zscore(value, population), abs=1e-9)
+
+    def test_single_outlier_bound(self):
+        """One outlier among P values has z-score sqrt(P - 1) at most.
+
+        This bound explains why the paper's threshold of 3.0 needs at least
+        ~10 PEs to ever flag anything -- documented behaviour of the
+        overload detector.
+        """
+        for p in (4, 9, 16, 36):
+            pop = [0.0] * (p - 1) + [100.0]
+            assert zscore(100.0, pop) == pytest.approx(math.sqrt(p - 1))
+
+
+class TestZScores:
+    def test_mean_zero_unit_std(self):
+        scores = zscores([1.0, 2.0, 3.0, 4.0])
+        assert scores.mean() == pytest.approx(0.0, abs=1e-12)
+        assert scores.std() == pytest.approx(1.0)
+
+    def test_constant_population(self):
+        assert np.array_equal(zscores([3.0, 3.0, 3.0]), np.zeros(3))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            zscores([])
+
+
+class TestRollingMedian:
+    def test_full_window(self):
+        assert rolling_median([1.0, 100.0, 3.0], window=3) == 3.0
+
+    def test_uses_last_window_entries(self):
+        assert rolling_median([50.0, 1.0, 2.0, 3.0], window=3) == 2.0
+
+    def test_short_history(self):
+        assert rolling_median([4.0], window=3) == 4.0
+
+    def test_window_one(self):
+        assert rolling_median([1.0, 2.0, 9.0], window=1) == 9.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rolling_median([], window=3)
+
+    def test_bad_window_raises(self):
+        with pytest.raises(ValueError):
+            rolling_median([1.0], window=0)
+
+    def test_median_is_robust_to_one_spike(self):
+        """A single spike does not move the 3-window median (Algorithm 1)."""
+        assert rolling_median([1.0, 1.0, 50.0], window=3) == 1.0
+
+
+class TestRelativeGain:
+    def test_faster_candidate_is_positive(self):
+        assert relative_gain(10.0, 8.0) == pytest.approx(0.2)
+
+    def test_slower_candidate_is_negative(self):
+        assert relative_gain(10.0, 12.0) == pytest.approx(-0.2)
+
+    def test_equal_times_zero(self):
+        assert relative_gain(5.0, 5.0) == 0.0
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            relative_gain(0.0, 1.0)
+
+    @given(
+        baseline=st.floats(min_value=1e-3, max_value=1e6),
+        candidate=st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_property_sign(self, baseline, candidate):
+        gain = relative_gain(baseline, candidate)
+        if candidate < baseline:
+            assert gain > 0
+        elif candidate > baseline:
+            assert gain < 0
+        else:
+            assert gain == 0
+
+
+class TestWeightedImbalance:
+    def test_balanced_is_zero(self):
+        assert weighted_imbalance([2.0, 2.0, 2.0]) == 0.0
+
+    def test_known_imbalance(self):
+        # loads [1, 1, 4]: mean 2, max 4 -> imbalance 1.0.
+        assert weighted_imbalance([1.0, 1.0, 4.0]) == pytest.approx(1.0)
+
+    def test_zero_loads(self):
+        assert weighted_imbalance([0.0, 0.0]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_imbalance([])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
+    def test_property_non_negative(self, loads):
+        assert weighted_imbalance(loads) >= 0.0
+
+
+class TestBoxPlotSummary:
+    def test_five_number_summary(self):
+        summary = box_plot_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.minimum == 1.0
+        assert summary.median == 3.0
+        assert summary.maximum == 5.0
+        assert summary.mean == 3.0
+        assert summary.count == 5
+
+    def test_quartiles_ordered(self):
+        summary = box_plot_summary([5.0, 1.0, 9.0, 3.0, 7.0, 2.0])
+        assert summary.minimum <= summary.q1 <= summary.median
+        assert summary.median <= summary.q3 <= summary.maximum
+
+    def test_single_sample(self):
+        summary = box_plot_summary([4.2])
+        assert summary.minimum == summary.maximum == summary.median == 4.2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            box_plot_summary([])
+
+    def test_as_row_shape(self):
+        row = box_plot_summary([1.0, 2.0]).as_row()
+        assert len(row) == 7
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_property_ordering(self, samples):
+        s = box_plot_summary(samples)
+        assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+        assert s.minimum <= s.mean <= s.maximum
+
+
+class TestHistogramSummary:
+    def test_densities_sum_to_one(self):
+        h = histogram_summary([1.0, 2.0, 2.0, 3.0], bins=4)
+        assert sum(h.densities) == pytest.approx(1.0)
+
+    def test_edges_length(self):
+        h = histogram_summary(list(range(10)), bins=5)
+        assert len(h.edges) == len(h.densities) + 1
+
+    def test_moments(self):
+        h = histogram_summary([-1.0, 0.0, 1.0], bins=3)
+        assert h.minimum == -1.0
+        assert h.maximum == 1.0
+        assert h.mean == pytest.approx(0.0)
+        assert h.count == 3
+
+    def test_below_zero_fraction(self):
+        h = histogram_summary([-1.0, -0.5, 0.5, 1.0], bins=4)
+        assert h.below_zero_fraction == pytest.approx(0.5)
+
+    def test_as_series_pairs(self):
+        h = histogram_summary([0.0, 1.0, 2.0, 3.0], bins=2)
+        series = h.as_series()
+        assert len(series) == 2
+        centers = [c for c, _ in series]
+        assert centers == sorted(centers)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            histogram_summary([])
+
+    def test_bad_bins_raises(self):
+        with pytest.raises(ValueError):
+            histogram_summary([1.0], bins=0)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100), st.integers(1, 30))
+    def test_property_probability_mass(self, samples, bins):
+        h = histogram_summary(samples, bins=bins)
+        assert sum(h.densities) == pytest.approx(1.0)
+        assert all(d >= 0.0 for d in h.densities)

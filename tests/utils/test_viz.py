@@ -1,0 +1,146 @@
+"""Tests of :mod:`repro.viz` (ASCII rendering helpers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.viz import bar_chart, histogram_chart, series_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_capped_by_width(self):
+        assert len(sparkline(np.linspace(0, 1, 500), width=40)) == 40
+
+    def test_short_series_keeps_length(self):
+        assert len(sparkline([0.1, 0.5, 0.9])) == 3
+
+    def test_monotone_series_monotone_ramp(self):
+        line = sparkline(np.linspace(0, 1, 10))
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_constant_series(self):
+        line = sparkline([0.5, 0.5, 0.5])
+        assert len(set(line)) == 1
+
+    def test_explicit_range(self):
+        # With a fixed 0..1 scale a 0.5 value maps near the middle of the ramp.
+        line = sparkline([0.5], lower=0.0, upper=1.0)
+        assert line not in (" ", "@")
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=200
+        ),
+        width=st.integers(min_value=1, max_value=100),
+    )
+    def test_property_output_length_bounded(self, values, width):
+        line = sparkline(values, width=width)
+        assert len(line) <= max(width, len(values)) if values else line == ""
+        assert len(line) <= width or len(line) == len(values)
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        chart = bar_chart({"standard": 10.0, "ulba": 8.0}, unit="s")
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert "standard" in lines[0] and "ulba" in lines[1]
+        assert "s" in lines[0]
+
+    def test_highlight_minimum(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, highlight_minimum=True)
+        assert "<-- best" in chart.splitlines()[1]
+        assert "<-- best" not in chart.splitlines()[0]
+
+    def test_bar_lengths_proportional(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        bars = [line.count("#") for line in chart.splitlines()]
+        assert bars[0] == 20
+        assert bars[1] == 10
+
+    def test_sequence_input_preserves_order(self):
+        chart = bar_chart([("z", 1.0), ("a", 2.0)])
+        lines = chart.splitlines()
+        assert lines[0].lstrip().startswith("z")
+
+    def test_zero_values(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "0" in chart
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+
+class TestHistogramChart:
+    def test_basic_rendering(self):
+        chart = histogram_chart([-0.1, 0.0, 0.1], [0.25, 0.75])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_percentage_axis(self):
+        chart = histogram_chart([-0.02, 0.0], [1.0])
+        assert "%" in chart
+        chart_plain = histogram_chart([-0.02, 0.0], [1.0], percentage_axis=False)
+        assert "%" not in chart_plain
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_chart([0.0, 1.0], [0.5, 0.5])
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_chart([0.0, 1.0], [-0.5])
+
+    def test_empty(self):
+        assert histogram_chart([0.0], []) == "(no data)"
+
+    def test_from_histogram_summary(self):
+        from repro.utils.stats import histogram_summary
+
+        summary = histogram_summary([-0.05, -0.01, 0.0, 0.01], bins=4)
+        chart = histogram_chart(summary.edges, summary.densities)
+        assert len(chart.splitlines()) == 4
+
+
+class TestSeriesChart:
+    def test_two_series_aligned(self):
+        chart = series_chart(
+            {"standard": [0.9, 0.5, 0.9], "ulba": [0.9, 0.85, 0.9]},
+            lower=0.0,
+            upper=1.0,
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 3  # two series + scale line
+        assert lines[0].split("|")[1] and lines[1].split("|")[1]
+        assert "scale" in lines[2]
+
+    def test_no_range_line(self):
+        chart = series_chart({"a": [1.0, 2.0]}, show_range=False)
+        assert "scale" not in chart
+
+    def test_empty(self):
+        assert series_chart({}) == "(no data)"
+
+    def test_shared_scale_makes_lower_series_visibly_lower(self):
+        chart = series_chart(
+            {"high": [1.0, 1.0], "low": [0.0, 0.0]}, lower=0.0, upper=1.0, show_range=False
+        )
+        high_line, low_line = chart.splitlines()
+        assert "@" in high_line
+        assert "@" not in low_line
