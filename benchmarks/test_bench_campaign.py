@@ -1,0 +1,44 @@
+"""Micro-benchmark of the campaign engine: serial vs. parallel wall time.
+
+Runs the smoke-scale campaign grid once serially (``jobs=1``, in-process)
+and once across worker processes (``jobs=2``), without persistence so pure
+execution time is measured.  The parallel timing includes the pool start-up
+cost, which is why the smoke grid -- a dozen sub-second cells -- is the
+honest floor: speed-ups only appear once the per-cell work dominates the
+fork overhead, and the recorded numbers document where that break-even sits
+on the benchmark machine.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.campaign import campaign_for_scale, run_campaign
+
+
+def _smoke_spec():
+    return campaign_for_scale("smoke", 0)
+
+
+def test_bench_campaign_serial(benchmark, record_rows):
+    """Smoke campaign grid executed in-process (jobs=1)."""
+    spec = _smoke_spec()
+    run = run_once(benchmark, run_campaign, spec, jobs=1)
+    assert run.executed == spec.num_cells
+    record_rows(
+        benchmark,
+        "campaign smoke -- serial",
+        run.rows,
+    )
+
+
+def test_bench_campaign_parallel_two_jobs(benchmark, record_rows):
+    """Smoke campaign grid fanned out over two worker processes (jobs=2)."""
+    spec = _smoke_spec()
+    run = run_once(benchmark, run_campaign, spec, jobs=2)
+    assert run.executed == spec.num_cells
+    record_rows(
+        benchmark,
+        "campaign smoke -- 2 worker processes",
+        run.rows,
+    )

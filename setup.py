@@ -1,4 +1,6 @@
-"""Setup shim for environments without the wheel package (offline editable installs)."""
+"""Setup shim for environments without the wheel package (offline editable
+installs via ``pip install -e . --no-build-isolation``); all real metadata
+lives in ``pyproject.toml``."""
 from setuptools import setup
 
 setup()

@@ -28,6 +28,11 @@ depends on:
   application, the virtual cluster and the LB framework.
 * :mod:`repro.experiments` -- one driver per paper figure (Fig. 2-5)
   regenerating the corresponding series/tables.
+* :mod:`repro.scenarios` -- a registry of named, parameterized workload
+  scenarios (the paper's two applications plus bursty, drifting,
+  adversarial, multi-phase and trace-replay generators).
+* :mod:`repro.campaign` -- a parallel campaign engine crossing scenarios
+  with LB policies and seeds, with JSONL persistence and resume.
 
 Quickstart
 ----------
@@ -38,6 +43,7 @@ Quickstart
 True
 """
 
+from repro.campaign import CampaignSpec, PolicySpec, run_campaign
 from repro.core import (
     ApplicationParameters,
     GainReport,
@@ -70,12 +76,14 @@ from repro.runtime import (
     SyntheticGrowthApplication,
     compare_runs,
 )
+from repro.scenarios import ScenarioSpec, available_scenarios, get_scenario
 from repro.simcluster import VirtualCluster
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ApplicationParameters",
+    "CampaignSpec",
     "CentralizedLoadBalancer",
     "DegradationTrigger",
     "ErosionApplication",
@@ -83,7 +91,9 @@ __all__ = [
     "GainReport",
     "IterativeRunner",
     "LBSchedule",
+    "PolicySpec",
     "RunResult",
+    "ScenarioSpec",
     "ScheduleEvaluation",
     "StandardLBModel",
     "StandardPolicy",
@@ -95,12 +105,15 @@ __all__ = [
     "VirtualCluster",
     "WorkloadModel",
     "__version__",
+    "available_scenarios",
     "compare_policies",
     "compare_runs",
     "evaluate_schedule",
+    "get_scenario",
     "interval_bounds",
     "make_parameters",
     "menon_tau",
+    "run_campaign",
     "sigma_minus",
     "sigma_plus",
     "sigma_plus_schedule",

@@ -1,0 +1,72 @@
+"""Scale presets of the campaign CLI.
+
+Mirrors the ``--scale`` convention of the figure commands: ``smoke`` is a
+structural check running in seconds, ``default`` is the benchmark-harness
+scale, ``paper`` approaches the paper's sample sizes (minutes).  All presets
+satisfy the grid floor the acceptance tests rely on (at least 3 scenarios x
+2 policies x 2 seeds).
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import CampaignSpec, PolicySpec
+from repro.scenarios.catalog import DEFAULT_SCENARIOS
+
+__all__ = ["campaign_for_scale"]
+
+
+def campaign_for_scale(scale: str, master_seed: int = 0) -> CampaignSpec:
+    """Preset :class:`CampaignSpec` for one ``--scale`` value.
+
+    ``smoke``: 3 fast scenarios x {standard, ulba} x 2 seeds (12 cells);
+    ``default``: the full catalog x {standard, ulba, ulba-dynamic} x 3 seeds;
+    ``paper``: the full catalog at Figure-4 sizes x 5 seeds.
+    """
+    if scale == "smoke":
+        return CampaignSpec(
+            name="smoke",
+            scenarios=("synthetic-hotspot", "bursty", "sinusoidal-drift"),
+            policies=(PolicySpec("standard"), PolicySpec("ulba")),
+            # 16 PEs minimum: with fewer PEs the z-score-3 overload detector
+            # cannot fire (max attainable z-score among P values ~ sqrt(P-1))
+            # and ULBA would degenerate to the standard split.
+            num_seeds=2,
+            num_pes=16,
+            columns_per_pe=24,
+            rows=24,
+            iterations=30,
+            master_seed=master_seed,
+        )
+    if scale == "default":
+        return CampaignSpec(
+            name="default",
+            scenarios=DEFAULT_SCENARIOS,
+            policies=(
+                PolicySpec("standard"),
+                PolicySpec("ulba"),
+                PolicySpec("ulba-dynamic"),
+            ),
+            num_seeds=3,
+            num_pes=16,
+            columns_per_pe=48,
+            rows=48,
+            iterations=40,
+            master_seed=master_seed,
+        )
+    if scale == "paper":
+        return CampaignSpec(
+            name="paper",
+            scenarios=DEFAULT_SCENARIOS,
+            policies=(
+                PolicySpec("standard"),
+                PolicySpec("ulba"),
+                PolicySpec("ulba-dynamic"),
+            ),
+            num_seeds=5,
+            num_pes=32,
+            columns_per_pe=96,
+            rows=96,
+            iterations=80,
+            master_seed=master_seed,
+        )
+    raise ValueError(f"unknown campaign scale {scale!r}")

@@ -1,0 +1,84 @@
+"""Aggregation and reporting of campaign results.
+
+Collapses the per-cell JSONL rows of a campaign into one fixed-width table
+(same :func:`repro.experiments.common.format_table` rendering as the figure
+drivers): one row per (scenario, policy) pair with median/mean statistics
+over the repetition seeds, plus each policy's median-time gain over the
+``standard`` policy of the same scenario when the grid contains one -- the
+campaign-level analogue of the paper's Figure 4a columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import format_percentage, format_table
+from repro.utils.stats import relative_gain
+
+__all__ = [
+    "aggregate_rows",
+    "format_campaign_report",
+]
+
+
+def _group_rows(
+    rows: Sequence[Mapping[str, object]],
+) -> "Dict[Tuple[str, str], List[Mapping[str, object]]]":
+    groups: Dict[Tuple[str, str], List[Mapping[str, object]]] = {}
+    for row in rows:
+        key = (str(row["scenario"]), str(row["policy"]))
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def aggregate_rows(rows: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """One aggregate table row per (scenario, policy) pair.
+
+    Preserves first-appearance order of scenarios and policies; the gain
+    column compares median total times against the scenario's ``standard``
+    policy (blank when the scenario has no standard cells).
+    """
+    groups = _group_rows(rows)
+    standard_median: Dict[str, float] = {}
+    for (scenario, policy), cells in groups.items():
+        if policy == "standard":
+            standard_median[scenario] = float(
+                np.median([float(c["total_time"]) for c in cells])
+            )
+
+    aggregates: List[Dict[str, object]] = []
+    for (scenario, policy), cells in groups.items():
+        times = np.asarray([float(c["total_time"]) for c in cells])
+        lb_calls = np.asarray([float(c["num_lb_calls"]) for c in cells])
+        utilization = np.asarray([float(c["mean_utilization"]) for c in cells])
+        median_time = float(np.median(times))
+        baseline = standard_median.get(scenario)
+        gain = (
+            format_percentage(relative_gain(baseline, median_time))
+            if baseline is not None and policy != "standard"
+            else ("-" if policy == "standard" else "")
+        )
+        aggregates.append(
+            {
+                "scenario": scenario,
+                "policy": policy,
+                "runs": len(cells),
+                "median time [s]": round(median_time, 5),
+                "mean LB calls": round(float(lb_calls.mean()), 2),
+                "mean utilization": format_percentage(float(utilization.mean())),
+                "gain vs standard": gain,
+            }
+        )
+    return aggregates
+
+
+def format_campaign_report(
+    rows: Sequence[Mapping[str, object]], *, title: Optional[str] = None
+) -> str:
+    """Render the aggregate table of a campaign's result rows."""
+    return format_table(
+        aggregate_rows(rows),
+        title=title or "Campaign summary -- median over seeds per (scenario, policy)",
+    )

@@ -1,0 +1,292 @@
+"""Campaign execution: parallel cell runner with JSONL resume.
+
+:func:`run_campaign` executes the cells of a :class:`~repro.campaign.spec.CampaignSpec`,
+optionally across worker processes, and persists one JSON object per
+completed cell to a JSONL file.  Persistence doubles as the resume log: a
+rerun with the same spec and output path loads the file first and only
+executes the cells whose ids are not on disk yet, so an interrupted campaign
+(Ctrl-C, crashed worker, killed CI job) continues where it stopped instead
+of starting over.
+
+Each worker rebuilds its cell from the picklable
+:class:`~repro.campaign.spec.CampaignCell` descriptor alone -- scenario
+instance, virtual cluster and policies are constructed inside the worker --
+so results are identical whether a cell runs serially, under
+``--jobs N`` or in a resumed invocation (the simulation is deterministic;
+only the bookkeeping field ``wall_time`` varies).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.runtime.skeleton import IterativeRunner, initial_lb_cost_prior
+from repro.scenarios.registry import get_scenario
+from repro.simcluster.cluster import VirtualCluster
+from repro.simcluster.comm import CommCostModel
+
+__all__ = [
+    "CampaignRun",
+    "load_results",
+    "run_campaign",
+    "run_cell",
+]
+
+#: One persisted result row: plain JSON-serialisable cell outcome.
+CellRow = Dict[str, object]
+
+
+def run_cell(cell: CampaignCell) -> CellRow:
+    """Execute one campaign cell and return its JSON-serialisable row.
+
+    Builds the scenario instance for the cell's seed, binds it to a fresh
+    virtual cluster with the campaign's interconnect model, runs the
+    Algorithm 1 skeleton under the cell's policy pair and summarises the
+    trace.  Deterministic except for the ``wall_time`` bookkeeping field.
+    """
+    started = time.perf_counter()
+    instance = get_scenario(cell.scenario).build(cell.scenario_spec())
+    application = instance.application
+    cluster = VirtualCluster(
+        cell.num_pes,
+        pe_speed=cell.pe_speed,
+        cost_model=CommCostModel(latency=cell.latency, bandwidth=cell.bandwidth),
+    )
+    workload_policy, trigger_policy = cell.policy.make_policies()
+    initial_total_flop = (
+        float(application.column_loads().sum()) * application.flop_per_load_unit
+    )
+    lb_cost_prior = initial_lb_cost_prior(
+        initial_total_flop, cell.num_pes, cell.pe_speed
+    )
+    runner = IterativeRunner(
+        cluster,
+        application,
+        workload_policy=workload_policy,
+        trigger_policy=trigger_policy,
+        initial_lb_cost_estimate=lb_cost_prior,
+        bytes_per_load_unit=cell.bytes_per_load_unit,
+        seed=cell.seed,
+    )
+    result = runner.run(cell.iterations)
+    return {
+        "cell_id": cell.cell_id,
+        "scenario": cell.scenario,
+        "policy": cell.policy.label,
+        "policy_kind": cell.policy.kind,
+        "alpha": cell.policy.alpha,
+        "seed_index": cell.seed_index,
+        "seed": cell.seed,
+        "num_pes": cell.num_pes,
+        "iterations": cell.iterations,
+        "latency": cell.latency,
+        "bandwidth": cell.bandwidth,
+        "bytes_per_load_unit": cell.bytes_per_load_unit,
+        "pe_speed": cell.pe_speed,
+        "total_time": result.total_time,
+        "num_lb_calls": result.num_lb_calls,
+        "mean_utilization": result.mean_utilization,
+        "model_N": instance.parameters.num_overloading,
+        "wall_time": time.perf_counter() - started,
+    }
+
+
+def load_results(path: Union[str, Path]) -> List[CellRow]:
+    """Load previously persisted rows from a JSONL file (missing file: []).
+
+    Malformed trailing lines (e.g. a run killed mid-write) are ignored, so a
+    resumed campaign simply re-executes the affected cell.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    rows: List[CellRow] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(row, dict) and "cell_id" in row:
+                rows.append(row)
+    return rows
+
+
+def _heal_torn_tail(path: Path) -> None:
+    """Terminate a torn final line (crash mid-write) before appending.
+
+    Without this, the first row appended by a resumed run would concatenate
+    onto the partial line and both rows would be lost to the JSON parser.
+    The torn line itself stays unparseable, so its cell simply re-runs.
+    """
+    if not path.exists():
+        return
+    with path.open("rb+") as handle:
+        handle.seek(0, 2)
+        if handle.tell() == 0:
+            return
+        handle.seek(-1, 2)
+        if handle.read(1) != b"\n":
+            handle.write(b"\n")
+
+
+def _row_matches_cell(row: CellRow, cell: CampaignCell) -> bool:
+    """True when a persisted row was produced by exactly this cell.
+
+    The cell id encodes scenario, policy label, grid size and seeding, but
+    not the full-precision ``alpha`` or the interconnect model; comparing
+    those fields too keeps resume from silently reusing results of a spec
+    that shares the id but simulates a different machine.
+    """
+    checks = {
+        "seed": cell.seed,
+        "alpha": cell.policy.alpha,
+        "latency": cell.latency,
+        "bandwidth": cell.bandwidth,
+        "bytes_per_load_unit": cell.bytes_per_load_unit,
+        "pe_speed": cell.pe_speed,
+    }
+    return all(row.get(key) == value for key, value in checks.items())
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    #: The spec that was executed.
+    spec: CampaignSpec
+    #: Every known result row (resumed + freshly executed), cell order.
+    rows: List[CellRow]
+    #: Number of cells executed by this invocation.
+    executed: int
+    #: Number of cells skipped because they were already on disk.
+    skipped: int
+    #: Output path the rows were persisted to (None = no persistence).
+    out_path: Optional[Path]
+
+    @property
+    def num_cells(self) -> int:
+        """Number of result rows."""
+        return len(self.rows)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    jobs: int = 1,
+    out_path: Optional[Union[str, Path]] = None,
+    name_filter: Optional[str] = None,
+    resume: bool = True,
+    on_cell_done: Optional[Callable[[CellRow], None]] = None,
+) -> CampaignRun:
+    """Execute a campaign, resuming from ``out_path`` when it already exists.
+
+    Parameters
+    ----------
+    spec:
+        The campaign grid to run.
+    jobs:
+        Worker processes; ``1`` runs serially in-process, ``N > 1`` fans the
+        pending cells out over a :class:`multiprocessing.Pool`.
+    out_path:
+        JSONL file results are appended to as cells complete (flushed per
+        row, so progress survives interruption).  ``None`` disables
+        persistence (and therefore resume).
+    name_filter:
+        Substring filter on cell ids (the CLI's ``--filter``).
+    resume:
+        When true (default), cells whose ids already appear in ``out_path``
+        are loaded instead of re-executed.
+    on_cell_done:
+        Progress callback invoked with each freshly executed row.
+
+    Returns
+    -------
+    CampaignRun
+        All rows of the (possibly filtered) grid in deterministic cell
+        order, plus executed/skipped bookkeeping.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    cells = spec.cells(name_filter=name_filter)
+
+    by_id = {cell.cell_id: cell for cell in cells}
+    done: Dict[str, CellRow] = {}
+    out = Path(out_path) if out_path is not None else None
+    if out is not None and resume:
+        for row in load_results(out):
+            cell_id = str(row["cell_id"])
+            cell = by_id.get(cell_id)
+            # Trust a persisted row only when it provably came from this
+            # cell (same seed, alpha and interconnect model); otherwise the
+            # file belongs to a different campaign and the cell re-runs.
+            if cell is not None and _row_matches_cell(row, cell):
+                done[cell_id] = row
+    pending = [cell for cell in cells if cell.cell_id not in done]
+    skipped = len(cells) - len(pending)
+
+    fresh: Dict[str, CellRow] = {}
+    if pending:
+        if out is not None:
+            out.parent.mkdir(parents=True, exist_ok=True)
+            _heal_torn_tail(out)
+        sink = out.open("a", encoding="utf-8") if out is not None else None
+        try:
+            if jobs == 1 or len(pending) == 1:
+                completed = map(run_cell, pending)
+                pool = None
+            else:
+                # Prefer fork so scenarios registered by the caller's process
+                # (register_scenario in a user script) remain visible in the
+                # workers; under spawn, workers re-import and only see the
+                # built-in catalog.
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                pool = context.Pool(processes=min(jobs, len(pending)))
+                completed = pool.imap_unordered(run_cell, pending)
+            try:
+                for row in completed:
+                    fresh[str(row["cell_id"])] = row
+                    if sink is not None:
+                        sink.write(json.dumps(row) + "\n")
+                        sink.flush()
+                    if on_cell_done is not None:
+                        on_cell_done(row)
+            except BaseException:
+                # Ctrl-C or a failing callback/worker: kill the queued cells
+                # instead of draining them -- the JSONL log already holds
+                # every completed row, so a rerun resumes from there.
+                if pool is not None:
+                    pool.terminate()
+                    pool.join()
+                raise
+            else:
+                if pool is not None:
+                    pool.close()
+                    pool.join()
+        finally:
+            if sink is not None:
+                sink.close()
+
+    rows = [
+        done.get(cell.cell_id) or fresh[cell.cell_id]
+        for cell in cells
+    ]
+    return CampaignRun(
+        spec=spec,
+        rows=rows,
+        executed=len(fresh),
+        skipped=skipped,
+        out_path=out,
+    )

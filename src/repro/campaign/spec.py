@@ -1,0 +1,250 @@
+"""Campaign specifications: scenario grid x policy grid x seeds.
+
+A :class:`CampaignSpec` declares a full study -- which catalog scenarios to
+run, under which LB policies, over how many repetition seeds, at what size --
+and expands it into a flat list of :class:`CampaignCell` descriptors.  Cells
+are plain frozen dataclasses of primitives, so they pickle cheaply into
+worker processes, and each cell carries everything needed to execute it in
+isolation (the runner never needs the spec back).
+
+Seed derivation is deterministic and *policy-independent*: the cell seed is
+derived from the master seed, a stable hash of the scenario name and the
+repetition index via :class:`repro.experiments.common.ExperimentSeeds`.  All
+policies of one (scenario, repetition) pair therefore see the exact same
+workload instance -- the same way the paper compares the standard method and
+ULBA on identical erosion runs -- and adding or reordering scenarios or
+policies never perturbs the other cells' seeds.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.experiments.common import ExperimentSeeds
+from repro.lb.adaptive import DegradationTrigger, ULBADegradationTrigger
+from repro.lb.base import TriggerPolicy, WorkloadPolicy
+from repro.lb.dynamic_alpha import DynamicAlphaULBAPolicy
+from repro.lb.standard import StandardPolicy
+from repro.lb.ulba import ULBAPolicy
+from repro.scenarios.base import ScenarioSpec
+from repro.scenarios.erosion import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_BYTES_PER_LOAD_UNIT,
+    DEFAULT_LATENCY,
+)
+from repro.scenarios.registry import get_scenario
+from repro.utils.validation import check_fraction, check_positive, check_positive_int
+
+__all__ = [
+    "CampaignCell",
+    "CampaignSpec",
+    "PolicySpec",
+]
+
+#: Policy kinds understood by :class:`PolicySpec`.
+_POLICY_KINDS = ("standard", "ulba", "ulba-dynamic")
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One LB policy of the campaign's policy grid.
+
+    ``kind`` selects the workload policy and its matching trigger:
+    ``"standard"`` (even split + Zhai degradation trigger), ``"ulba"``
+    (fixed-``alpha`` underloading + ULBA-aware trigger) or
+    ``"ulba-dynamic"`` (runtime-adaptive ``alpha``).
+    """
+
+    kind: str = "standard"
+    #: ULBA underloading fraction (ignored by the standard policy).
+    alpha: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.kind not in _POLICY_KINDS:
+            raise ValueError(
+                f"policy kind must be one of {_POLICY_KINDS}, got {self.kind!r}"
+            )
+        check_fraction(self.alpha, "alpha")
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Stable human-readable label used in cell ids and report tables."""
+        if self.kind == "standard":
+            return "standard"
+        if self.kind == "ulba":
+            return f"ulba(a={self.alpha:.2f})"
+        return f"ulba-dynamic(a0={self.alpha:.2f})"
+
+    @classmethod
+    def parse(cls, text: str) -> "PolicySpec":
+        """Parse ``"standard"``, ``"ulba"``, ``"ulba:0.3"``, ``"ulba-dynamic"``."""
+        kind, _, alpha_text = text.strip().partition(":")
+        alpha = float(alpha_text) if alpha_text else 0.4
+        return cls(kind=kind, alpha=alpha)
+
+    def make_policies(self) -> Tuple[WorkloadPolicy, TriggerPolicy]:
+        """Fresh (workload policy, trigger policy) pair for one run."""
+        if self.kind == "standard":
+            return StandardPolicy(), DegradationTrigger()
+        if self.kind == "ulba":
+            return ULBAPolicy(alpha=self.alpha), ULBADegradationTrigger(alpha=self.alpha)
+        return (
+            DynamicAlphaULBAPolicy(fallback_alpha=self.alpha),
+            ULBADegradationTrigger(alpha=self.alpha),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One fully specified (scenario, policy, seed) execution.
+
+    Self-contained and picklable: the parallel runner ships cells to worker
+    processes and rebuilds everything (scenario instance, cluster, policies)
+    from the cell alone.
+    """
+
+    #: Stable identifier used for JSONL resume bookkeeping.
+    cell_id: str
+    #: Catalog name of the scenario.
+    scenario: str
+    #: Policy of this cell.
+    policy: PolicySpec
+    #: Repetition index within the campaign (0-based).
+    seed_index: int
+    #: Derived integer seed of the workload instance.
+    seed: int
+    num_pes: int
+    columns_per_pe: int
+    rows: int
+    iterations: int
+    latency: float
+    bandwidth: float
+    bytes_per_load_unit: float
+    pe_speed: float
+
+    def scenario_spec(self) -> ScenarioSpec:
+        """The :class:`ScenarioSpec` this cell builds its workload from."""
+        return ScenarioSpec(
+            num_pes=self.num_pes,
+            columns_per_pe=self.columns_per_pe,
+            rows=self.rows,
+            iterations=self.iterations,
+            seed=self.seed,
+        )
+
+
+def _scenario_key(name: str) -> int:
+    """Stable integer key of a scenario name (process-independent)."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of one campaign grid.
+
+    The grid is the cross product ``scenarios x policies x num_seeds``; every
+    cell runs at the same size (``num_pes`` / ``columns_per_pe`` / ``rows`` /
+    ``iterations``) and on the same interconnect model, so aggregate tables
+    compare policies and scenarios, not sizes.
+    """
+
+    #: Campaign name (used in report titles and default output file names).
+    name: str = "campaign"
+    #: Catalog names of the scenarios to run.
+    scenarios: Tuple[str, ...] = ("synthetic-hotspot", "bursty", "sinusoidal-drift")
+    #: Policy grid.
+    policies: Tuple[PolicySpec, ...] = (PolicySpec("standard"), PolicySpec("ulba"))
+    #: Repetition seeds per (scenario, policy) pair.
+    num_seeds: int = 2
+    num_pes: int = 16
+    columns_per_pe: int = 48
+    rows: int = 48
+    iterations: int = 40
+    latency: float = DEFAULT_LATENCY
+    bandwidth: float = DEFAULT_BANDWIDTH
+    bytes_per_load_unit: float = DEFAULT_BYTES_PER_LOAD_UNIT
+    pe_speed: float = 1.0e9
+    #: Master seed every cell seed is derived from.
+    master_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("a campaign needs at least one scenario")
+        if len(set(self.scenarios)) != len(self.scenarios):
+            raise ValueError(f"duplicate scenario names in {self.scenarios}")
+        if not self.policies:
+            raise ValueError("a campaign needs at least one policy")
+        if len({p.label for p in self.policies}) != len(self.policies):
+            raise ValueError("duplicate policy labels in the policy grid")
+        check_positive_int(self.num_seeds, "num_seeds")
+        check_positive_int(self.num_pes, "num_pes")
+        check_positive_int(self.columns_per_pe, "columns_per_pe")
+        check_positive_int(self.rows, "rows")
+        check_positive_int(self.iterations, "iterations")
+        check_positive(self.bandwidth, "bandwidth")
+        check_positive(self.pe_speed, "pe_speed")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        """Total number of grid cells."""
+        return len(self.scenarios) * len(self.policies) * self.num_seeds
+
+    def validate_scenarios(self) -> None:
+        """Resolve every scenario name now (raises KeyError on typos)."""
+        for name in self.scenarios:
+            get_scenario(name)
+
+    def cell_seed(self, scenario: str, seed_index: int) -> int:
+        """Deterministic workload seed of one (scenario, repetition) pair.
+
+        Independent of the policy and of the position of the scenario in
+        the grid, so every policy sees the same workload instance and
+        editing the grid never reseeds unrelated cells.
+        """
+        rng = ExperimentSeeds(self.master_seed).rng_for(
+            _scenario_key(scenario), int(seed_index)
+        )
+        return int(rng.integers(0, 2**31 - 1))
+
+    def _cell_id(self, scenario: str, policy: PolicySpec, seed_index: int) -> str:
+        # The master seed is part of the id so rerunning the same grid with a
+        # different --seed never resumes from the other seed's results.
+        size = f"p{self.num_pes}c{self.columns_per_pe}r{self.rows}i{self.iterations}"
+        return f"{scenario}|{policy.label}|{size}|seed{seed_index}|m{self.master_seed}"
+
+    def cells(self, *, name_filter: Optional[str] = None) -> List[CampaignCell]:
+        """Expand the grid into executable cells (scenario-major order).
+
+        ``name_filter`` keeps only cells whose id contains the substring --
+        the engine behind the CLI's ``--filter``.
+        """
+        self.validate_scenarios()
+        cells: List[CampaignCell] = []
+        for scenario in self.scenarios:
+            for policy in self.policies:
+                for seed_index in range(self.num_seeds):
+                    cell_id = self._cell_id(scenario, policy, seed_index)
+                    if name_filter and name_filter not in cell_id:
+                        continue
+                    cells.append(
+                        CampaignCell(
+                            cell_id=cell_id,
+                            scenario=scenario,
+                            policy=policy,
+                            seed_index=seed_index,
+                            seed=self.cell_seed(scenario, seed_index),
+                            num_pes=self.num_pes,
+                            columns_per_pe=self.columns_per_pe,
+                            rows=self.rows,
+                            iterations=self.iterations,
+                            latency=self.latency,
+                            bandwidth=self.bandwidth,
+                            bytes_per_load_unit=self.bytes_per_load_unit,
+                            pe_speed=self.pe_speed,
+                        )
+                    )
+        return cells

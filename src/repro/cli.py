@@ -1,7 +1,7 @@
 """Command-line interface of the reproduction.
 
-``python -m repro <command>`` regenerates the paper's figures and the
-ablation studies without writing any Python:
+``python -m repro <command>`` regenerates the paper's figures, the ablation
+studies and scenario campaigns without writing any Python:
 
 ========================  ====================================================
 ``fig2``                  sigma_plus vs. simulated annealing (Figure 2)
@@ -11,11 +11,18 @@ ablation studies without writing any Python:
 ``ablations``             trigger / dissemination / threshold / alpha-policy
                           ablations of the reproduction's design choices
 ``all``                   everything above, at reduced scale
+``campaign``              scenario grid x policy grid x seeds on the scenario
+                          catalog, in parallel, with JSONL resume
 ========================  ====================================================
 
 Each command accepts ``--scale`` to trade fidelity for speed: ``smoke`` (a
 few seconds, structural check), ``default`` (the scale used by the benchmark
 harness) and ``paper`` (closest to the paper's sample sizes; minutes).
+
+The campaign command additionally accepts ``--jobs N`` (worker processes),
+``--out FILE`` (JSONL result log; a rerun with the same file resumes and
+skips completed cells), ``--filter SUBSTR`` (run only matching cells) and
+``--list`` (print the scenario catalog and exit).
 """
 
 from __future__ import annotations
@@ -24,8 +31,8 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.campaign import campaign_for_scale, format_campaign_report, run_campaign
 from repro.experiments.ablations import (
-    ErosionScenario,
     run_alpha_policy_comparison,
     run_dissemination_ablation,
     run_threshold_ablation,
@@ -35,6 +42,8 @@ from repro.experiments.fig2_upperbound import Fig2Config, run_fig2
 from repro.experiments.fig3_gain_vs_overloading import Fig3Config, run_fig3
 from repro.experiments.fig4_erosion import Fig4Config, run_fig4
 from repro.experiments.fig5_alpha_tuning import Fig5Config, run_fig5
+from repro.scenarios import available_scenarios
+from repro.scenarios.erosion import ErosionScenario
 
 __all__ = ["main", "build_parser", "SCALES"]
 
@@ -167,6 +176,92 @@ COMMANDS: Dict[str, Callable[[str, int], str]] = {
     "all": _cmd_all,
 }
 
+#: Plain-text command summaries; ``%`` is escaped only where argparse
+#: interpolates (the ``help=`` strings), not in ``description=``.
+_COMMAND_HELP = {
+    "fig2": "sigma_plus vs. simulated annealing (Figure 2)",
+    "fig3": "ULBA gain vs. % overloading PEs (Figure 3)",
+    "fig4": "erosion run times / utilization (Figure 4)",
+    "fig5": "alpha sensitivity on the erosion application (Figure 5)",
+    "ablations": "trigger / dissemination / threshold / alpha-policy ablations",
+    "all": "every figure and ablation in one report",
+}
+
+
+def _list_scenarios() -> str:
+    """The scenario catalog as printed by ``repro campaign --list``."""
+    lines = ["Registered scenarios (usable in campaign specs and --filter):", ""]
+    for scenario in available_scenarios():
+        lines.append(f"  {scenario.name:20s} {scenario.description}")
+    return "\n".join(lines)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> str:
+    """Run (or list) a campaign according to the parsed CLI arguments."""
+    if args.list:
+        return _list_scenarios()
+    spec = campaign_for_scale(args.scale, args.seed)
+    out_path = args.out if args.out is not None else f"campaign-{spec.name}.jsonl"
+    progress = {"done": 0}
+
+    def _echo(row):
+        progress["done"] += 1
+        print(
+            f"[{progress['done']}] {row['cell_id']}: "
+            f"time={row['total_time']:.4g}s lb_calls={row['num_lb_calls']}",
+            file=sys.stderr,
+        )
+
+    run = run_campaign(
+        spec,
+        jobs=args.jobs,
+        out_path=out_path,
+        name_filter=args.filter,
+        on_cell_done=_echo,
+    )
+    header = (
+        f"Campaign '{spec.name}': {run.num_cells} cells "
+        f"({len(spec.scenarios)} scenarios x {len(spec.policies)} policies "
+        f"x {spec.num_seeds} seeds{', filtered' if args.filter else ''}), "
+        f"{run.executed} executed, {run.skipped} resumed from {run.out_path}"
+    )
+    if not run.rows:
+        return header + "\n(no cells matched)"
+    return header + "\n\n" + format_campaign_report(run.rows)
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for options requiring an integer >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_common_options(
+    parser: argparse.ArgumentParser, *, suppress_defaults: bool = False
+) -> None:
+    """Attach the ``--scale`` / ``--seed`` options every command shares.
+
+    The options are declared both on the top-level parser (with real
+    defaults, preserving the historical ``repro --scale smoke fig2`` order)
+    and on every subparser (with suppressed defaults, so a value given
+    after the command wins without clobbering one given before it).
+    """
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default=argparse.SUPPRESS if suppress_defaults else "default",
+        help="experiment scale: smoke (seconds), default (benchmark scale), "
+        "paper (closest to the paper's sample sizes)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=argparse.SUPPRESS if suppress_defaults else 0,
+        help="master seed",
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
@@ -174,21 +269,52 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the figures of 'On the Benefits of Anticipating "
         "Load Imbalance for Performance Optimization of Parallel Applications' "
-        "(Boulmier et al., CLUSTER 2019).",
+        "(Boulmier et al., CLUSTER 2019), or run scenario campaigns on the "
+        "reproduction's workload catalog.",
     )
-    parser.add_argument(
-        "command",
-        choices=sorted(COMMANDS),
-        help="which experiment to run",
+    _add_common_options(parser)
+    subparsers = parser.add_subparsers(
+        dest="command", required=True, metavar="command"
     )
-    parser.add_argument(
-        "--scale",
-        choices=SCALES,
-        default="default",
-        help="experiment scale: smoke (seconds), default (benchmark scale), "
-        "paper (closest to the paper's sample sizes)",
+    for name in sorted(COMMANDS):
+        sub = subparsers.add_parser(
+            name,
+            help=_COMMAND_HELP[name].replace("%", "%%"),
+            description=_COMMAND_HELP[name],
+        )
+        _add_common_options(sub, suppress_defaults=True)
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="scenario grid x policy grid x seeds, in parallel, with JSONL resume",
+        description="Run a campaign over the scenario catalog: every cell of "
+        "the (scenario x policy x seed) grid is executed on the virtual "
+        "cluster and appended to a JSONL log; rerunning with the same --out "
+        "resumes, skipping completed cells.",
     )
-    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    _add_common_options(campaign, suppress_defaults=True)
+    campaign.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes executing cells in parallel (default: 1, serial)",
+    )
+    campaign.add_argument(
+        "--out",
+        default=None,
+        help="JSONL result log, also the resume state "
+        "(default: campaign-<scale>.jsonl in the working directory)",
+    )
+    campaign.add_argument(
+        "--filter",
+        default=None,
+        help="only run cells whose id contains this substring "
+        "(e.g. a scenario name or policy label)",
+    )
+    campaign.add_argument(
+        "--list",
+        action="store_true",
+        help="print the registered scenario catalog and exit",
+    )
     return parser
 
 
@@ -196,7 +322,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the ``repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    report = COMMANDS[args.command](args.scale, args.seed)
+    if args.command == "campaign":
+        report = _cmd_campaign(args)
+    else:
+        report = COMMANDS[args.command](args.scale, args.seed)
     print(report)
     return 0
 

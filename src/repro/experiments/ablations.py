@@ -20,7 +20,9 @@ effect can be quantified on the same erosion workload used by Figure 4:
   vs. the runtime-adaptive ``alpha`` extension
   (:class:`repro.lb.dynamic_alpha.DynamicAlphaULBAPolicy`).
 
-Every driver returns a result object exposing ``rows()`` and
+Every driver evaluates its variants on one shared
+:class:`repro.scenarios.erosion.ErosionScenario` (re-exported here for
+backwards compatibility), returns a result object exposing ``rows()`` and
 ``format_report()`` like the figure drivers, and is exercised by
 ``benchmarks/test_bench_ablations.py``.
 """
@@ -30,15 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.erosion.app import ErosionApplication, ErosionConfig
 from repro.experiments.common import format_percentage, format_table
-from repro.experiments.fig4_erosion import (
-    DEFAULT_BANDWIDTH,
-    DEFAULT_BYTES_PER_LOAD_UNIT,
-    DEFAULT_LATENCY,
-)
 from repro.lb.adaptive import (
     DegradationTrigger,
     MenonIntervalTrigger,
@@ -47,14 +41,12 @@ from repro.lb.adaptive import (
     TriggerPolicy,
     ULBADegradationTrigger,
 )
-from repro.lb.base import WorkloadPolicy
 from repro.lb.dynamic_alpha import DynamicAlphaULBAPolicy
 from repro.lb.standard import StandardPolicy
 from repro.lb.ulba import ULBAPolicy
 from repro.lb.wir import OverloadDetector
-from repro.runtime.skeleton import IterativeRunner, RunResult
-from repro.simcluster.cluster import VirtualCluster
-from repro.simcluster.comm import CommCostModel
+from repro.runtime.skeleton import RunResult
+from repro.scenarios.erosion import ErosionScenario
 from repro.utils.stats import relative_gain
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -68,70 +60,6 @@ __all__ = [
     "run_threshold_ablation",
     "run_trigger_ablation",
 ]
-
-
-@dataclass(frozen=True)
-class ErosionScenario:
-    """Shared workload configuration of all the ablation drivers."""
-
-    num_pes: int = 32
-    num_strong_rocks: int = 1
-    iterations: int = 80
-    columns_per_pe: int = 96
-    rows: int = 96
-    latency: float = DEFAULT_LATENCY
-    bandwidth: float = DEFAULT_BANDWIDTH
-    bytes_per_load_unit: float = DEFAULT_BYTES_PER_LOAD_UNIT
-    pe_speed: float = 1.0e9
-    seed: Optional[int] = 7
-
-    def __post_init__(self) -> None:
-        check_positive_int(self.num_pes, "num_pes")
-        check_positive_int(self.iterations, "iterations")
-        check_positive_int(self.columns_per_pe, "columns_per_pe")
-        check_positive_int(self.rows, "rows")
-        check_positive(self.pe_speed, "pe_speed")
-        check_positive(self.bandwidth, "bandwidth")
-
-    # ------------------------------------------------------------------
-    def run(
-        self,
-        workload_policy: WorkloadPolicy,
-        trigger_policy: TriggerPolicy,
-        *,
-        use_gossip: bool = True,
-        bytes_per_load_unit: Optional[float] = None,
-    ) -> RunResult:
-        """Execute the scenario once with the given policy pair."""
-        config = ErosionConfig(
-            num_pes=self.num_pes,
-            columns_per_pe=self.columns_per_pe,
-            rows=self.rows,
-            num_strong_rocks=self.num_strong_rocks,
-            seed=self.seed,
-        )
-        app = ErosionApplication.from_config(config)
-        cluster = VirtualCluster(
-            self.num_pes,
-            pe_speed=self.pe_speed,
-            cost_model=CommCostModel(latency=self.latency, bandwidth=self.bandwidth),
-        )
-        prior = 0.5 * app.total_load() * app.flop_per_load_unit / self.num_pes / self.pe_speed
-        runner = IterativeRunner(
-            cluster,
-            app,
-            workload_policy=workload_policy,
-            trigger_policy=trigger_policy,
-            use_gossip=use_gossip,
-            initial_lb_cost_estimate=prior,
-            bytes_per_load_unit=(
-                self.bytes_per_load_unit
-                if bytes_per_load_unit is None
-                else bytes_per_load_unit
-            ),
-            seed=self.seed,
-        )
-        return runner.run(self.iterations)
 
 
 @dataclass(frozen=True)

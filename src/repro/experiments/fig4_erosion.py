@@ -45,13 +45,21 @@ from repro.lb.adaptive import DegradationTrigger, ULBADegradationTrigger
 from repro.lb.standard import StandardPolicy
 from repro.lb.ulba import ULBAPolicy
 from repro.runtime.report import PolicyComparison
-from repro.runtime.skeleton import IterativeRunner, RunResult
+from repro.runtime.skeleton import IterativeRunner, RunResult, initial_lb_cost_prior
+from repro.scenarios.erosion import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_BYTES_PER_LOAD_UNIT,
+    DEFAULT_LATENCY,
+)
 from repro.simcluster.cluster import VirtualCluster
 from repro.simcluster.comm import CommCostModel
 from repro.utils.stats import relative_gain
 from repro.utils.validation import check_fraction, check_positive, check_positive_int
 
 __all__ = [
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_BYTES_PER_LOAD_UNIT",
+    "DEFAULT_LATENCY",
     "Fig4Config",
     "Fig4Case",
     "Fig4Result",
@@ -59,13 +67,6 @@ __all__ = [
     "run_fig4",
     "main",
 ]
-
-#: Default interconnect latency of the erosion experiments (seconds).
-DEFAULT_LATENCY: float = 5.0e-6
-#: Default interconnect bandwidth of the erosion experiments (bytes/second).
-DEFAULT_BANDWIDTH: float = 2.0e9
-#: Default migration volume charged per unit of cell workload (bytes).
-DEFAULT_BYTES_PER_LOAD_UNIT: float = 1200.0
 
 
 @dataclass(frozen=True)
@@ -252,14 +253,10 @@ class Fig4Result:
 # Single-case runner (shared with Figure 5).
 # ----------------------------------------------------------------------
 def _estimate_initial_lb_cost(app: ErosionApplication, num_pes: int, pe_speed: float) -> float:
-    """Rough LB-cost prior used before the first measured LB step.
-
-    Half of the perfectly balanced per-PE iteration time: large enough to
-    keep the degradation trigger from firing on noise in the first
-    iterations, small enough not to postpone the first genuine LB call.
-    """
-    per_pe_flop = app.total_load() * app.flop_per_load_unit / num_pes
-    return 0.5 * per_pe_flop / pe_speed
+    """LB-cost prior of one erosion run (the shared half-iteration prior)."""
+    return initial_lb_cost_prior(
+        app.total_load() * app.flop_per_load_unit, num_pes, pe_speed
+    )
 
 
 def run_erosion_case(

@@ -31,7 +31,29 @@ from repro.simcluster.tracing import ClusterTrace
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_non_negative, check_positive, check_positive_int
 
-__all__ = ["StripedApplication", "RunResult", "IterativeRunner"]
+__all__ = [
+    "StripedApplication",
+    "RunResult",
+    "IterativeRunner",
+    "initial_lb_cost_prior",
+]
+
+
+def initial_lb_cost_prior(
+    total_flop: float, num_pes: int, pe_speed: float
+) -> float:
+    """Standard LB-cost prior used before the first measured LB step.
+
+    Half of one perfectly balanced per-PE iteration time: large enough to
+    keep the degradation trigger from firing on noise in the first
+    iterations, small enough not to postpone the first genuine LB call.
+    Shared by the erosion experiments, the scenario layer and the campaign
+    runner so they all assume the same prior.
+    """
+    check_non_negative(total_flop, "total_flop")
+    check_positive_int(num_pes, "num_pes")
+    check_positive(pe_speed, "pe_speed")
+    return 0.5 * total_flop / num_pes / pe_speed
 
 
 @runtime_checkable

@@ -1,0 +1,111 @@
+"""Declarative catalog of named, parameterized workload scenarios.
+
+This package turns "which workload do I run?" from a hand-written driver
+into a one-line lookup: every entry of the catalog is a **scenario** -- a
+named recipe that, given the shared sizing knobs of a
+:class:`~repro.scenarios.base.ScenarioSpec`, builds a ready-to-run
+application implementing :class:`repro.runtime.skeleton.StripedApplication`
+together with the matching Table-I
+:class:`~repro.core.parameters.ApplicationParameters` analogue.  The
+campaign engine (:mod:`repro.campaign`) crosses scenarios with policies and
+seeds; ``python -m repro campaign --list`` prints the catalog.
+
+The scenario protocol
+---------------------
+A scenario is any object satisfying :class:`~repro.scenarios.base.Scenario`:
+
+``name``
+    Registry key: non-empty, lowercase, hyphen-separated (``"bursty"``,
+    ``"hot-migration"``).
+``description``
+    One line shown by ``repro campaign --list``.
+``build(spec: ScenarioSpec) -> ScenarioInstance``
+    Construct the workload.  The contract every implementation must honour:
+
+    * **deterministic** -- the same ``spec`` (including ``spec.seed``) must
+      always yield an application with identical dynamics; all randomness
+      must derive from ``spec.seed`` (use :func:`repro.utils.rng.ensure_rng`
+      / :func:`~repro.utils.rng.derive_rng`);
+    * **sized by the spec** -- the application has at least ``spec.num_pes``
+      columns (one per PE; in practice ``spec.num_columns``), and loads stay
+      non-negative for at least ``spec.iterations`` calls to ``advance()``;
+    * **self-describing** -- the returned
+      :class:`~repro.scenarios.base.ScenarioInstance` carries an
+      :class:`~repro.core.parameters.ApplicationParameters` estimate of the
+      workload's Table-I dynamics (exact for deterministic linear loads,
+      expected-value approximations otherwise) so the analytical models of
+      :mod:`repro.core` apply to every catalog entry.
+
+The usual way to implement one is a plain builder function returning the
+``(application, parameters)`` pair, registered with the
+:func:`~repro.scenarios.registry.register_scenario` decorator::
+
+    from repro.scenarios import ScenarioSpec, register_scenario
+
+    @register_scenario("my-load", "what it stresses, in one line")
+    def _build(spec: ScenarioSpec):
+        app = ...            # any StripedApplication, seeded from spec.seed
+        params = ...         # its Table-I analogue (estimate_parameters helps)
+        return app, params
+
+Lookup goes through :func:`~repro.scenarios.registry.get_scenario` (unknown
+names raise :class:`KeyError` listing the catalog) and enumeration through
+:func:`~repro.scenarios.registry.available_scenarios`.
+
+Built-in catalog
+----------------
+Importing this package registers the scenarios of
+:mod:`repro.scenarios.catalog`: ``synthetic-hotspot``, ``erosion``,
+``bursty``, ``sinusoidal-drift``, ``hot-migration``, ``multiphase``,
+``trace-replay`` and ``particle-drift``.  :class:`ErosionScenario` (the
+erosion run harness shared by Figure 4 and the ablations) lives in
+:mod:`repro.scenarios.erosion`.
+"""
+
+from repro.scenarios.base import (
+    FunctionScenario,
+    Scenario,
+    ScenarioInstance,
+    ScenarioSpec,
+    estimate_parameters,
+)
+from repro.scenarios.catalog import DEFAULT_SCENARIOS
+from repro.scenarios.erosion import ErosionScenario
+from repro.scenarios.generators import (
+    BurstySpikeApplication,
+    GrowthPhase,
+    MigratingHotRegionApplication,
+    MultiPhaseGrowthApplication,
+    SinusoidalDriftApplication,
+    TraceReplayApplication,
+    record_column_trace,
+)
+from repro.scenarios.registry import (
+    available_scenarios,
+    get_scenario,
+    register,
+    register_scenario,
+    unregister,
+)
+
+__all__ = [
+    "BurstySpikeApplication",
+    "DEFAULT_SCENARIOS",
+    "ErosionScenario",
+    "FunctionScenario",
+    "GrowthPhase",
+    "MigratingHotRegionApplication",
+    "MultiPhaseGrowthApplication",
+    "Scenario",
+    "ScenarioInstance",
+    "ScenarioSpec",
+    "SinusoidalDriftApplication",
+    "TraceReplayApplication",
+    "available_scenarios",
+    "estimate_parameters",
+    "get_scenario",
+    "record_column_trace",
+    "register",
+    "register_scenario",
+    "unregister",
+]

@@ -1,0 +1,168 @@
+"""Core vocabulary of the scenario catalog.
+
+A *scenario* is a named, parameterized recipe for one striped workload: given
+a :class:`ScenarioSpec` (the sizing knobs shared by every scenario) it builds
+a ready-to-run application implementing
+:class:`repro.runtime.skeleton.StripedApplication` together with a matching
+:class:`repro.core.parameters.ApplicationParameters` instance -- the Table-I
+analogue of the workload, so every catalog entry can also be studied with the
+analytical models of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from repro.core.parameters import ApplicationParameters
+from repro.runtime.skeleton import StripedApplication, initial_lb_cost_prior
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "FunctionScenario",
+    "Scenario",
+    "ScenarioInstance",
+    "ScenarioSpec",
+    "estimate_parameters",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Sizing knobs shared by every scenario of the catalog.
+
+    Scenarios interpret the fields liberally (a trace-replay scenario reads
+    ``iterations`` as the trace length, the erosion scenario reads
+    ``columns_per_pe`` / ``rows`` as its grid shape) but every scenario must
+    honour ``num_pes`` -- the built application always has at least
+    ``num_pes`` columns -- and must be fully determined by ``seed``.
+    """
+
+    #: Number of PEs the workload will be decomposed onto.
+    num_pes: int = 16
+    #: Domain columns per PE.
+    columns_per_pe: int = 48
+    #: Domain rows (grid scenarios only; others ignore it).
+    rows: int = 48
+    #: Number of application iterations a campaign cell will run.
+    iterations: int = 40
+    #: Seed making the scenario instance fully deterministic.
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_pes, "num_pes")
+        check_positive_int(self.columns_per_pe, "columns_per_pe")
+        check_positive_int(self.rows, "rows")
+        check_positive_int(self.iterations, "iterations")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_columns(self) -> int:
+        """Total number of domain columns (``num_pes * columns_per_pe``)."""
+        return self.num_pes * self.columns_per_pe
+
+    def with_seed(self, seed: Optional[int]) -> "ScenarioSpec":
+        """Copy of the spec with a different seed (used per campaign cell)."""
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class ScenarioInstance:
+    """One ready-to-run workload built by a scenario.
+
+    Holds the runnable application plus the analytical Table-I analogue of
+    its workload dynamics, so callers can either simulate the instance on the
+    virtual cluster (:class:`repro.runtime.skeleton.IterativeRunner`) or
+    reason about it with the closed-form models of :mod:`repro.core`.
+    """
+
+    #: Registry name of the scenario that built the instance.
+    name: str
+    #: The runnable striped application.
+    application: StripedApplication
+    #: Analytical (Table I) approximation of the workload dynamics.
+    parameters: ApplicationParameters
+    #: The spec the instance was built from.
+    spec: ScenarioSpec
+
+
+@runtime_checkable
+class Scenario(Protocol):
+    """What the campaign engine needs from a catalog entry.
+
+    Anything with a ``name``, a one-line ``description`` and a
+    ``build(spec)`` method returning a :class:`ScenarioInstance` qualifies;
+    :class:`FunctionScenario` is the standard concrete implementation.
+    """
+
+    #: Registry name (lowercase, hyphen-separated).
+    name: str
+    #: One-line human description shown by ``repro campaign --list``.
+    description: str
+
+    def build(self, spec: ScenarioSpec) -> ScenarioInstance:
+        """Construct a deterministic workload instance for ``spec``."""
+        ...
+
+
+@dataclass(frozen=True)
+class FunctionScenario:
+    """A scenario backed by a plain builder function.
+
+    The builder receives the :class:`ScenarioSpec` and returns the
+    application plus its :class:`ApplicationParameters` analogue; this class
+    wraps the pair into a :class:`ScenarioInstance` and carries the catalog
+    metadata.
+    """
+
+    name: str
+    description: str
+    builder: Callable[[ScenarioSpec], "tuple[StripedApplication, ApplicationParameters]"]
+
+    def build(self, spec: ScenarioSpec) -> ScenarioInstance:
+        """Invoke the builder and package its result."""
+        application, parameters = self.builder(spec)
+        if application.num_columns < spec.num_pes:
+            raise ValueError(
+                f"scenario {self.name!r} built {application.num_columns} columns, "
+                f"fewer than the {spec.num_pes} PEs of the spec"
+            )
+        return ScenarioInstance(
+            name=self.name, application=application, parameters=parameters, spec=spec
+        )
+
+
+def estimate_parameters(
+    application: StripedApplication,
+    spec: ScenarioSpec,
+    *,
+    num_overloading: int,
+    uniform_rate: float,
+    overload_rate: float,
+    alpha: float = 0.4,
+    pe_speed: float = 1.0e9,
+) -> ApplicationParameters:
+    """Table-I analogue of a freshly built application.
+
+    ``W0`` is read off the application's current column loads; the caller
+    supplies the (expected) per-PE growth rates in load units, which are
+    converted to FLOP with the application's ``flop_per_load_unit``.  The LB
+    cost uses the same prior as the erosion experiments: half of one
+    perfectly balanced per-PE iteration time.
+    """
+    check_positive(pe_speed, "pe_speed")
+    flop = application.flop_per_load_unit
+    initial_workload = float(application.column_loads().sum()) * flop
+    lb_cost = initial_lb_cost_prior(initial_workload, spec.num_pes, pe_speed)
+    overloading = int(min(max(num_overloading, 0), spec.num_pes - 1))
+    return ApplicationParameters(
+        num_pes=spec.num_pes,
+        num_overloading=overloading,
+        iterations=spec.iterations,
+        initial_workload=initial_workload,
+        uniform_rate=max(float(uniform_rate), 0.0) * flop,
+        overload_rate=max(float(overload_rate), 0.0) * flop,
+        alpha=alpha,
+        pe_speed=pe_speed,
+        lb_cost=lb_cost,
+    )

@@ -1,0 +1,290 @@
+"""Built-in scenario catalog.
+
+Importing this module populates the registry with the reproduction's
+standard workloads -- the two applications the paper evaluates (the
+synthetic linear-growth model and the erosion application) plus the
+generator-based stress workloads of :mod:`repro.scenarios.generators` and
+the particle-drift application.  Each builder derives every size from the
+:class:`~repro.scenarios.base.ScenarioSpec` so one campaign spec scales the
+whole catalog coherently, and returns the Table-I
+:class:`~repro.core.parameters.ApplicationParameters` analogue alongside the
+runnable application.
+
+The growth-rate entries of the analytical analogue are *estimates* (exact
+for the deterministic linear scenarios, expected-value approximations for
+the stochastic ones); they exist so the closed-form models of
+:mod:`repro.core` can be applied to every catalog entry, not to predict the
+simulated times exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.erosion.app import ErosionApplication, ErosionConfig
+from repro.particles.app import ParticleApplication, ParticleConfig
+from repro.runtime.synthetic import SyntheticGrowthApplication
+from repro.scenarios.base import ScenarioSpec, estimate_parameters
+from repro.scenarios.generators import (
+    BurstySpikeApplication,
+    GrowthPhase,
+    MigratingHotRegionApplication,
+    MultiPhaseGrowthApplication,
+    SinusoidalDriftApplication,
+    TraceReplayApplication,
+    record_column_trace,
+)
+from repro.scenarios.registry import register_scenario
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = [
+    "DEFAULT_SCENARIOS",
+]
+
+#: Names of the scenarios registered by this module, in catalog order.
+DEFAULT_SCENARIOS = (
+    "synthetic-hotspot",
+    "erosion",
+    "bursty",
+    "sinusoidal-drift",
+    "hot-migration",
+    "multiphase",
+    "trace-replay",
+    "particle-drift",
+)
+
+
+def _num_hot_stripes(spec: ScenarioSpec) -> int:
+    """Overloading stripes used by the hotspot-style scenarios (~P/8)."""
+    return max(1, min(spec.num_pes // 8, spec.num_pes - 1))
+
+
+def _hotspot_app(spec: ScenarioSpec) -> SyntheticGrowthApplication:
+    rng = ensure_rng(spec.seed)
+    num_hot = _num_hot_stripes(spec)
+    width = spec.columns_per_pe
+    regions = []
+    for k in range(num_hot):
+        start = int(derive_rng(rng, k).integers(0, spec.num_columns - width + 1))
+        regions.append((start, start + width))
+    return SyntheticGrowthApplication(
+        spec.num_columns,
+        uniform_growth=0.1,
+        hot_regions=regions,
+        hot_growth=5.0,
+    )
+
+
+@register_scenario(
+    "synthetic-hotspot",
+    "deterministic linear growth with a few one-PE-wide overloading regions "
+    "(the runnable analogue of the paper's Section II-C model)",
+)
+def _build_synthetic_hotspot(spec: ScenarioSpec):
+    app = _hotspot_app(spec)
+    params = estimate_parameters(
+        app,
+        spec,
+        num_overloading=_num_hot_stripes(spec),
+        uniform_rate=app.uniform_growth * spec.columns_per_pe,
+        overload_rate=app.hot_growth * spec.columns_per_pe,
+    )
+    return app, params
+
+
+@register_scenario(
+    "erosion",
+    "the paper's Section IV-B fluid-with-erosion application "
+    "(one rock disc per PE, a few strongly erodible)",
+)
+def _build_erosion(spec: ScenarioSpec):
+    num_strong = max(1, min(spec.num_pes // 16, spec.num_pes))
+    config = ErosionConfig(
+        num_pes=spec.num_pes,
+        columns_per_pe=spec.columns_per_pe,
+        rows=spec.rows,
+        num_strong_rocks=num_strong,
+        seed=spec.seed,
+    )
+    app = ErosionApplication.from_config(config)
+    # Expected erosion front per disc ~ half the disc perimeter; every eroded
+    # rock cell turns into refined fluid of weight refinement_factor.
+    radius = spec.rows / 4.0
+    front = math.pi * radius
+    weak_rate = config.weak_probability * front * config.refinement_factor
+    strong_rate = config.strong_probability * front * config.refinement_factor
+    params = estimate_parameters(
+        app,
+        spec,
+        num_overloading=num_strong,
+        uniform_rate=weak_rate,
+        overload_rate=max(strong_rate - weak_rate, 0.0),
+        pe_speed=1.0e9,
+    )
+    return app, params
+
+
+@register_scenario(
+    "bursty",
+    "uniform growth plus random exponentially-decaying load spikes "
+    "(adaptive-refinement-burst style imbalance)",
+)
+def _build_bursty(spec: ScenarioSpec):
+    width = max(2, spec.columns_per_pe // 2)
+    app = BurstySpikeApplication(
+        spec.num_columns,
+        uniform_growth=0.1,
+        burst_probability=0.25,
+        burst_width=width,
+        burst_magnitude=30.0,
+        burst_decay=0.7,
+        seed=spec.seed,
+    )
+    # Steady-state expected burst load concentrates on ~one stripe:
+    # magnitude * width * probability / (1 - decay) load units per iteration.
+    burst_rate = (
+        app.burst_magnitude
+        * app.burst_width
+        * app.burst_probability
+        / (1.0 - app.burst_decay)
+        / spec.columns_per_pe
+    )
+    params = estimate_parameters(
+        app,
+        spec,
+        num_overloading=1,
+        uniform_rate=app.uniform_growth * spec.columns_per_pe,
+        overload_rate=burst_rate * spec.columns_per_pe,
+    )
+    return app, params
+
+
+@register_scenario(
+    "sinusoidal-drift",
+    "a Gaussian load wave whose centre oscillates across the domain "
+    "(travelling-front style imbalance)",
+)
+def _build_sinusoidal_drift(spec: ScenarioSpec):
+    app = SinusoidalDriftApplication(
+        spec.num_columns,
+        uniform_growth=0.1,
+        wave_amplitude=8.0,
+        wave_width=max(2.0, spec.columns_per_pe / 2.0),
+        period=max(8, spec.iterations),
+    )
+    # The wave deposits ~amplitude * width * sqrt(2 pi) load units per
+    # iteration, spread over the stripes it sweeps.
+    wave_rate = app.wave_amplitude * app.wave_width * math.sqrt(2.0 * math.pi)
+    params = estimate_parameters(
+        app,
+        spec,
+        num_overloading=max(1, int(math.ceil(4.0 * app.wave_width / spec.columns_per_pe))),
+        uniform_rate=app.uniform_growth * spec.columns_per_pe,
+        overload_rate=wave_rate / max(1, spec.num_pes // 4),
+    )
+    return app, params
+
+
+@register_scenario(
+    "hot-migration",
+    "an adversarial hot region that relocates to the coldest part of the "
+    "domain every few iterations",
+)
+def _build_hot_migration(spec: ScenarioSpec):
+    app = MigratingHotRegionApplication(
+        spec.num_columns,
+        uniform_growth=0.1,
+        hot_width=spec.columns_per_pe,
+        hot_growth=5.0,
+        relocate_every=max(5, spec.iterations // 8),
+        seed=spec.seed,
+    )
+    params = estimate_parameters(
+        app,
+        spec,
+        num_overloading=1,
+        uniform_rate=app.uniform_growth * spec.columns_per_pe,
+        overload_rate=app.hot_growth * app.hot_width,
+    )
+    return app, params
+
+
+@register_scenario(
+    "multiphase",
+    "piecewise-constant growth regimes: quiet, violent hotspot, then a "
+    "relocated milder hotspot",
+)
+def _build_multiphase(spec: ScenarioSpec):
+    third = max(1, spec.iterations // 3)
+    phases = (
+        GrowthPhase(iterations=third, uniform_growth=0.1),
+        GrowthPhase(
+            iterations=third,
+            uniform_growth=0.1,
+            hot_region=(0.25, min(1.0, 0.25 + 1.0 / spec.num_pes)),
+            hot_growth=8.0,
+        ),
+        GrowthPhase(
+            iterations=third,
+            uniform_growth=0.1,
+            hot_region=(0.625, min(1.0, 0.625 + 1.0 / spec.num_pes)),
+            hot_growth=4.0,
+        ),
+    )
+    app = MultiPhaseGrowthApplication(spec.num_columns, phases)
+    params = estimate_parameters(
+        app,
+        spec,
+        num_overloading=1,
+        uniform_rate=0.1 * spec.columns_per_pe,
+        # Time-averaged hot rate over the three phases.
+        overload_rate=(8.0 + 4.0) / 3.0 * spec.columns_per_pe,
+    )
+    return app, params
+
+
+@register_scenario(
+    "trace-replay",
+    "bit-for-bit replay of a recorded per-column load trace (recorded here "
+    "from a seeded synthetic-hotspot run)",
+)
+def _build_trace_replay(spec: ScenarioSpec):
+    source = _hotspot_app(spec)
+    trace = record_column_trace(source, spec.iterations)
+    app = TraceReplayApplication(trace, flop_per_load_unit=source.flop_per_load_unit)
+    params = estimate_parameters(
+        app,
+        spec,
+        num_overloading=_num_hot_stripes(spec),
+        uniform_rate=source.uniform_growth * spec.columns_per_pe,
+        overload_rate=source.hot_growth * spec.columns_per_pe,
+    )
+    return app, params
+
+
+@register_scenario(
+    "particle-drift",
+    "short-range particle workload drifting towards an attractor "
+    "(super-linear crowding cost)",
+)
+def _build_particle_drift(spec: ScenarioSpec):
+    config = ParticleConfig(
+        num_pes=spec.num_pes,
+        columns_per_pe=spec.columns_per_pe,
+        rows=spec.rows,
+        particles_per_pe=400,
+        attractor_strength=0.02,
+        seed=spec.seed,
+    )
+    app = ParticleApplication.from_config(config)
+    # The attractor concentrates particles onto ~2 stripes; the pair term
+    # makes the crowded stripes grow roughly with the inflow rate.
+    inflow = config.particles_per_pe * config.attractor_strength
+    params = estimate_parameters(
+        app,
+        spec,
+        num_overloading=min(2, spec.num_pes - 1) or 0,
+        uniform_rate=0.0,
+        overload_rate=inflow,
+    )
+    return app, params

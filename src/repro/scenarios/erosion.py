@@ -1,0 +1,117 @@
+"""The erosion run harness as a first-class scenario component.
+
+:class:`ErosionScenario` bundles the workload *and* interconnect
+configuration shared by the Figure 4 reproduction and every ablation driver,
+and knows how to execute itself once under a given policy pair.  It
+originally lived inside :mod:`repro.experiments.ablations` as a private
+driver detail; it now sits in the scenario layer so the campaign engine, the
+ablation drivers and downstream studies all share one definition (the
+``erosion`` catalog entry of :mod:`repro.scenarios.catalog` builds the same
+application for grid campaigns).
+
+The interconnect defaults (latency, bandwidth, migration bytes per unit of
+cell workload) are the ones every erosion experiment uses; they place the
+cost of one LB step in the same "a few iterations" regime as the paper's
+centralized technique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.erosion.app import ErosionApplication, ErosionConfig
+from repro.lb.base import TriggerPolicy, WorkloadPolicy
+from repro.runtime.skeleton import IterativeRunner, RunResult, initial_lb_cost_prior
+from repro.simcluster.cluster import VirtualCluster
+from repro.simcluster.comm import CommCostModel
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_BYTES_PER_LOAD_UNIT",
+    "DEFAULT_LATENCY",
+    "ErosionScenario",
+]
+
+#: Default interconnect latency of the erosion experiments (seconds).
+DEFAULT_LATENCY: float = 5.0e-6
+#: Default interconnect bandwidth of the erosion experiments (bytes/second).
+DEFAULT_BANDWIDTH: float = 2.0e9
+#: Default migration volume charged per unit of cell workload (bytes).
+DEFAULT_BYTES_PER_LOAD_UNIT: float = 1200.0
+
+
+@dataclass(frozen=True)
+class ErosionScenario:
+    """Shared erosion workload + interconnect configuration.
+
+    One instance fixes everything about an erosion run except the policy
+    pair, so ablations and comparisons evaluate every variant on the exact
+    same problem (same rocks, same erosion randomness, same interconnect).
+    """
+
+    num_pes: int = 32
+    num_strong_rocks: int = 1
+    iterations: int = 80
+    columns_per_pe: int = 96
+    rows: int = 96
+    latency: float = DEFAULT_LATENCY
+    bandwidth: float = DEFAULT_BANDWIDTH
+    bytes_per_load_unit: float = DEFAULT_BYTES_PER_LOAD_UNIT
+    pe_speed: float = 1.0e9
+    seed: Optional[int] = 7
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_pes, "num_pes")
+        check_positive_int(self.iterations, "iterations")
+        check_positive_int(self.columns_per_pe, "columns_per_pe")
+        check_positive_int(self.rows, "rows")
+        check_positive(self.pe_speed, "pe_speed")
+        check_positive(self.bandwidth, "bandwidth")
+
+    # ------------------------------------------------------------------
+    def build_application(self) -> ErosionApplication:
+        """Construct the erosion application of this scenario."""
+        config = ErosionConfig(
+            num_pes=self.num_pes,
+            columns_per_pe=self.columns_per_pe,
+            rows=self.rows,
+            num_strong_rocks=self.num_strong_rocks,
+            seed=self.seed,
+        )
+        return ErosionApplication.from_config(config)
+
+    def run(
+        self,
+        workload_policy: WorkloadPolicy,
+        trigger_policy: TriggerPolicy,
+        *,
+        use_gossip: bool = True,
+        bytes_per_load_unit: Optional[float] = None,
+    ) -> RunResult:
+        """Execute the scenario once with the given policy pair."""
+        app = self.build_application()
+        cluster = VirtualCluster(
+            self.num_pes,
+            pe_speed=self.pe_speed,
+            cost_model=CommCostModel(latency=self.latency, bandwidth=self.bandwidth),
+        )
+        prior = initial_lb_cost_prior(
+            app.total_load() * app.flop_per_load_unit, self.num_pes, self.pe_speed
+        )
+        runner = IterativeRunner(
+            cluster,
+            app,
+            workload_policy=workload_policy,
+            trigger_policy=trigger_policy,
+            use_gossip=use_gossip,
+            initial_lb_cost_estimate=prior,
+            bytes_per_load_unit=(
+                self.bytes_per_load_unit
+                if bytes_per_load_unit is None
+                else bytes_per_load_unit
+            ),
+            seed=self.seed,
+        )
+        return runner.run(self.iterations)

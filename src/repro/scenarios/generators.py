@@ -1,0 +1,380 @@
+"""Synthetic column-load generators beyond linear growth.
+
+The analytical model of the paper (and :class:`SyntheticGrowthApplication`)
+covers workloads whose imbalance grows *linearly and persistently* -- the
+regime ULBA was designed for.  The generators here stress the LB machinery
+with the load shapes real iterative codes exhibit and the paper leaves
+unexplored:
+
+* :class:`BurstySpikeApplication` -- random short-lived load spikes on top
+  of a uniformly growing baseline (e.g. adaptive refinement bursts);
+* :class:`SinusoidalDriftApplication` -- a load wave whose centre drifts
+  sinusoidally across the domain (e.g. a travelling front);
+* :class:`MigratingHotRegionApplication` -- an adversarial hot region that
+  keeps relocating, invalidating whatever partition the balancer last built;
+* :class:`MultiPhaseGrowthApplication` -- piecewise-constant growth regimes
+  (quiet phase, violent phase, cool-down), breaking the single-rate
+  assumption of the WIR estimators;
+* :class:`TraceReplayApplication` -- deterministic replay of a recorded
+  per-column load series (:func:`record_column_trace`), turning any run of
+  any application into a reproducible scenario.
+
+All generators implement :class:`repro.runtime.skeleton.StripedApplication`,
+keep their loads non-negative, and are fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "BurstySpikeApplication",
+    "GrowthPhase",
+    "MigratingHotRegionApplication",
+    "MultiPhaseGrowthApplication",
+    "SinusoidalDriftApplication",
+    "TraceReplayApplication",
+    "record_column_trace",
+]
+
+
+class _ColumnLoadApplication:
+    """Shared plumbing of the programmed-load applications.
+
+    Subclasses implement :meth:`_advance_loads`; this base keeps the load
+    array, clips it to non-negative values after every step and exposes the
+    :class:`~repro.runtime.skeleton.StripedApplication` surface.
+    """
+
+    def __init__(self, initial_loads: np.ndarray, flop_per_load_unit: float) -> None:
+        check_positive(flop_per_load_unit, "flop_per_load_unit")
+        loads = np.asarray(initial_loads, dtype=float)
+        if loads.ndim != 1 or loads.size == 0:
+            raise ValueError("initial loads must be a non-empty 1-D array")
+        if np.any(loads < 0.0):
+            raise ValueError("initial loads must be non-negative")
+        self._loads = loads
+        self.flop_per_load_unit = float(flop_per_load_unit)
+        self._iteration = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_columns(self) -> int:
+        """Number of domain columns."""
+        return self._loads.size
+
+    @property
+    def iteration(self) -> int:
+        """Number of dynamics steps performed."""
+        return self._iteration
+
+    def column_loads(self) -> np.ndarray:
+        """Current per-column workload (copy)."""
+        return self._loads.copy()
+
+    def total_load(self) -> float:
+        """Total workload of the domain."""
+        return float(self._loads.sum())
+
+    def advance(self) -> None:
+        """Apply one programmed dynamics step (loads stay non-negative)."""
+        self._advance_loads()
+        np.maximum(self._loads, 0.0, out=self._loads)
+        self._iteration += 1
+
+    # ------------------------------------------------------------------
+    def _advance_loads(self) -> None:
+        raise NotImplementedError
+
+
+class BurstySpikeApplication(_ColumnLoadApplication):
+    """Uniform growth plus random, exponentially decaying load spikes.
+
+    At each iteration a new burst starts with probability
+    ``burst_probability``: a contiguous window of ``burst_width`` columns
+    (uniform random position) receives ``burst_magnitude`` extra load, which
+    then decays by ``burst_decay`` per iteration.  The expected load keeps
+    growing slowly while the instantaneous imbalance jumps around -- the
+    anti-thesis of the persistent imbalance the WIR estimators assume.
+    """
+
+    def __init__(
+        self,
+        num_columns: int,
+        *,
+        initial_load_per_column: float = 100.0,
+        uniform_growth: float = 0.1,
+        burst_probability: float = 0.25,
+        burst_width: int = 8,
+        burst_magnitude: float = 30.0,
+        burst_decay: float = 0.7,
+        flop_per_load_unit: float = 1.0e6,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive_int(num_columns, "num_columns")
+        check_positive(initial_load_per_column, "initial_load_per_column")
+        check_non_negative(uniform_growth, "uniform_growth")
+        check_fraction(burst_probability, "burst_probability")
+        check_positive_int(burst_width, "burst_width")
+        check_non_negative(burst_magnitude, "burst_magnitude")
+        check_fraction(burst_decay, "burst_decay")
+        super().__init__(
+            np.full(num_columns, float(initial_load_per_column)), flop_per_load_unit
+        )
+        self.uniform_growth = float(uniform_growth)
+        self.burst_probability = float(burst_probability)
+        self.burst_width = int(min(burst_width, num_columns))
+        self.burst_magnitude = float(burst_magnitude)
+        self.burst_decay = float(burst_decay)
+        self._rng = ensure_rng(seed)
+        self._burst_load = np.zeros(num_columns)
+
+    def _advance_loads(self) -> None:
+        self._burst_load *= self.burst_decay
+        if self._rng.random() < self.burst_probability:
+            start = int(self._rng.integers(0, self.num_columns - self.burst_width + 1))
+            self._burst_load[start : start + self.burst_width] += self.burst_magnitude
+        self._loads += self.uniform_growth + self._burst_load
+
+
+class SinusoidalDriftApplication(_ColumnLoadApplication):
+    """A Gaussian load wave whose centre drifts sinusoidally across columns.
+
+    Each iteration adds ``uniform_growth`` everywhere plus a Gaussian bump of
+    amplitude ``wave_amplitude`` and width ``wave_width`` centred at a
+    position oscillating across the domain with the given ``period``.  The
+    overloading *region* therefore moves smoothly -- stripes near the wave's
+    turning points stay overloaded the longest.
+    """
+
+    def __init__(
+        self,
+        num_columns: int,
+        *,
+        initial_load_per_column: float = 100.0,
+        uniform_growth: float = 0.1,
+        wave_amplitude: float = 8.0,
+        wave_width: float = 6.0,
+        period: int = 40,
+        phase: float = 0.0,
+        flop_per_load_unit: float = 1.0e6,
+    ) -> None:
+        check_positive_int(num_columns, "num_columns")
+        check_positive(initial_load_per_column, "initial_load_per_column")
+        check_non_negative(uniform_growth, "uniform_growth")
+        check_non_negative(wave_amplitude, "wave_amplitude")
+        check_positive(wave_width, "wave_width")
+        check_positive_int(period, "period")
+        super().__init__(
+            np.full(num_columns, float(initial_load_per_column)), flop_per_load_unit
+        )
+        self.uniform_growth = float(uniform_growth)
+        self.wave_amplitude = float(wave_amplitude)
+        self.wave_width = float(wave_width)
+        self.period = int(period)
+        self.phase = float(phase)
+        self._columns = np.arange(num_columns, dtype=float)
+
+    def wave_center(self, iteration: Optional[int] = None) -> float:
+        """Column position of the wave centre at ``iteration`` (default: now)."""
+        t = self._iteration if iteration is None else int(iteration)
+        swing = np.sin(2.0 * np.pi * t / self.period + self.phase)
+        return (0.5 + 0.45 * swing) * (self.num_columns - 1)
+
+    def _advance_loads(self) -> None:
+        center = self.wave_center()
+        bump = self.wave_amplitude * np.exp(
+            -0.5 * ((self._columns - center) / self.wave_width) ** 2
+        )
+        self._loads += self.uniform_growth + bump
+
+
+class MigratingHotRegionApplication(_ColumnLoadApplication):
+    """An adversarial hot region that relocates every few iterations.
+
+    A window of ``hot_width`` columns gains ``hot_growth`` extra load per
+    iteration; every ``relocate_every`` iterations the window jumps to the
+    currently *least loaded* stretch of the domain (ties broken towards the
+    left).  Whatever partition the balancer just built is therefore wrong a
+    few iterations later -- the worst case for anticipation-based policies
+    and a stress test for the re-triggering logic.
+    """
+
+    def __init__(
+        self,
+        num_columns: int,
+        *,
+        initial_load_per_column: float = 100.0,
+        uniform_growth: float = 0.1,
+        hot_width: int = 12,
+        hot_growth: float = 6.0,
+        relocate_every: int = 10,
+        flop_per_load_unit: float = 1.0e6,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive_int(num_columns, "num_columns")
+        check_positive(initial_load_per_column, "initial_load_per_column")
+        check_non_negative(uniform_growth, "uniform_growth")
+        check_positive_int(hot_width, "hot_width")
+        check_non_negative(hot_growth, "hot_growth")
+        check_positive_int(relocate_every, "relocate_every")
+        super().__init__(
+            np.full(num_columns, float(initial_load_per_column)), flop_per_load_unit
+        )
+        self.uniform_growth = float(uniform_growth)
+        self.hot_width = int(min(hot_width, num_columns))
+        self.hot_growth = float(hot_growth)
+        self.relocate_every = int(relocate_every)
+        rng = ensure_rng(seed)
+        self._hot_start = int(rng.integers(0, num_columns - self.hot_width + 1))
+
+    @property
+    def hot_region(self) -> Tuple[int, int]:
+        """Current hot window as a ``(start, stop)`` column range."""
+        return self._hot_start, self._hot_start + self.hot_width
+
+    def _coldest_window_start(self) -> int:
+        window = np.ones(self.hot_width)
+        sums = np.convolve(self._loads, window, mode="valid")
+        return int(np.argmin(sums))
+
+    def _advance_loads(self) -> None:
+        if self._iteration > 0 and self._iteration % self.relocate_every == 0:
+            self._hot_start = self._coldest_window_start()
+        self._loads += self.uniform_growth
+        self._loads[self._hot_start : self._hot_start + self.hot_width] += self.hot_growth
+
+
+@dataclass(frozen=True)
+class GrowthPhase:
+    """One regime of a :class:`MultiPhaseGrowthApplication`.
+
+    ``hot_region`` is given as fractions of the domain width so the same
+    phase list works at every scenario size.
+    """
+
+    #: Number of iterations the phase lasts.
+    iterations: int
+    #: Load added to every column per iteration during the phase.
+    uniform_growth: float = 0.1
+    #: Hot window as ``(start, stop)`` fractions of the domain width.
+    hot_region: Tuple[float, float] = (0.0, 0.0)
+    #: Extra per-column growth inside the hot window.
+    hot_growth: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.iterations, "iterations")
+        check_non_negative(self.uniform_growth, "uniform_growth")
+        check_non_negative(self.hot_growth, "hot_growth")
+        start, stop = self.hot_region
+        if not 0.0 <= start <= stop <= 1.0:
+            raise ValueError(
+                f"hot_region fractions must satisfy 0 <= start <= stop <= 1, "
+                f"got {self.hot_region}"
+            )
+
+
+class MultiPhaseGrowthApplication(_ColumnLoadApplication):
+    """Piecewise-constant growth: the workload moves through distinct phases.
+
+    Each :class:`GrowthPhase` fixes the uniform rate, the hot window and the
+    hot rate for a number of iterations; after the last phase the final
+    phase's regime persists.  Phase changes break the single-rate assumption
+    behind the WIR estimators and the Menon interval, exposing how quickly
+    each policy re-learns the new regime.
+    """
+
+    def __init__(
+        self,
+        num_columns: int,
+        phases: Sequence[GrowthPhase],
+        *,
+        initial_load_per_column: float = 100.0,
+        flop_per_load_unit: float = 1.0e6,
+    ) -> None:
+        check_positive_int(num_columns, "num_columns")
+        check_positive(initial_load_per_column, "initial_load_per_column")
+        if not phases:
+            raise ValueError("at least one GrowthPhase is required")
+        super().__init__(
+            np.full(num_columns, float(initial_load_per_column)), flop_per_load_unit
+        )
+        self.phases: Tuple[GrowthPhase, ...] = tuple(phases)
+        self._phase_ends = np.cumsum([p.iterations for p in self.phases])
+
+    def current_phase(self) -> GrowthPhase:
+        """The phase governing the next :meth:`advance` call."""
+        index = int(np.searchsorted(self._phase_ends, self._iteration, side="right"))
+        return self.phases[min(index, len(self.phases) - 1)]
+
+    def _advance_loads(self) -> None:
+        phase = self.current_phase()
+        self._loads += phase.uniform_growth
+        start_frac, stop_frac = phase.hot_region
+        start = int(round(start_frac * self.num_columns))
+        stop = int(round(stop_frac * self.num_columns))
+        if stop > start and phase.hot_growth > 0.0:
+            self._loads[start:stop] += phase.hot_growth
+
+
+class TraceReplayApplication(_ColumnLoadApplication):
+    """Deterministic replay of a recorded per-column load series.
+
+    ``trace`` has shape ``(frames, columns)``; frame 0 is the initial load,
+    each :meth:`advance` moves to the next frame and the last frame is held
+    once the trace is exhausted.  Combined with :func:`record_column_trace`
+    this turns any application run -- including a stochastic erosion run --
+    into a reproducible scenario that different policies can be compared on
+    bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        trace: np.ndarray,
+        *,
+        flop_per_load_unit: float = 1.0e6,
+    ) -> None:
+        frames = np.asarray(trace, dtype=float)
+        if frames.ndim != 2 or frames.shape[0] < 1 or frames.shape[1] < 1:
+            raise ValueError(
+                f"trace must have shape (frames >= 1, columns >= 1), got {frames.shape}"
+            )
+        if np.any(frames < 0.0):
+            raise ValueError("trace loads must be non-negative")
+        super().__init__(frames[0].copy(), flop_per_load_unit)
+        self._frames = frames
+
+    @property
+    def num_frames(self) -> int:
+        """Number of recorded frames (including the initial one)."""
+        return self._frames.shape[0]
+
+    def _advance_loads(self) -> None:
+        frame = min(self._iteration + 1, self.num_frames - 1)
+        self._loads = self._frames[frame].copy()
+
+
+def record_column_trace(application, iterations: int) -> np.ndarray:
+    """Record ``iterations`` steps of ``application`` as a replayable trace.
+
+    Returns an array of shape ``(iterations + 1, num_columns)`` whose first
+    row is the application's current loads; the application is advanced
+    ``iterations`` times as a side effect.
+    """
+    check_positive_int(iterations, "iterations")
+    frames: List[np.ndarray] = [application.column_loads()]
+    for _ in range(iterations):
+        application.advance()
+        frames.append(application.column_loads())
+    return np.asarray(frames)

@@ -1,0 +1,86 @@
+"""Global scenario registry.
+
+The registry maps lowercase scenario names to :class:`~repro.scenarios.base.Scenario`
+objects.  The built-in catalog (:mod:`repro.scenarios.catalog`) populates it
+at import time; downstream code may add its own entries with
+:func:`register` or the :func:`register_scenario` decorator-style helper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.parameters import ApplicationParameters
+from repro.runtime.skeleton import StripedApplication
+from repro.scenarios.base import FunctionScenario, Scenario, ScenarioSpec
+
+__all__ = [
+    "available_scenarios",
+    "get_scenario",
+    "register",
+    "register_scenario",
+    "unregister",
+]
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario, *, replace: bool = False) -> Scenario:
+    """Add ``scenario`` to the registry under ``scenario.name``.
+
+    Raises :class:`ValueError` on duplicate names unless ``replace`` is set,
+    so two catalog modules cannot silently shadow each other.
+    """
+    name = scenario.name
+    if not name or name != name.lower():
+        raise ValueError(f"scenario names must be non-empty lowercase, got {name!r}")
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"scenario {name!r} is already registered")
+    _REGISTRY[name] = scenario
+    return scenario
+
+
+def register_scenario(
+    name: str, description: str
+) -> Callable[
+    [Callable[[ScenarioSpec], Tuple[StripedApplication, ApplicationParameters]]],
+    Callable[[ScenarioSpec], Tuple[StripedApplication, ApplicationParameters]],
+]:
+    """Decorator registering a builder function as a :class:`FunctionScenario`.
+
+    >>> @register_scenario("my-load", "a custom workload")
+    ... def _build(spec):
+    ...     return make_app(spec), make_parameters(spec)
+    """
+
+    def _decorator(builder):
+        register(FunctionScenario(name=name, description=description, builder=builder))
+        return builder
+
+    return _decorator
+
+
+def unregister(name: str) -> None:
+    """Remove a scenario from the registry (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up one scenario by name.
+
+    Unknown names raise :class:`KeyError` listing the registered names, so a
+    typo in a campaign spec or on the command line fails with an actionable
+    message.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none registered)"
+        raise KeyError(
+            f"unknown scenario {name!r}; registered scenarios: {known}"
+        ) from None
+
+
+def available_scenarios() -> List[Scenario]:
+    """Every registered scenario, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

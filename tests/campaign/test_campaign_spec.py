@@ -1,0 +1,129 @@
+"""Tests of campaign specs: grid expansion, seed derivation, policies."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.campaign import CampaignSpec, PolicySpec, campaign_for_scale
+from repro.lb.dynamic_alpha import DynamicAlphaULBAPolicy
+from repro.lb.standard import StandardPolicy
+from repro.lb.ulba import ULBAPolicy
+
+SMALL = CampaignSpec(
+    scenarios=("synthetic-hotspot", "bursty"),
+    policies=(PolicySpec("standard"), PolicySpec("ulba", alpha=0.3)),
+    num_seeds=2,
+    num_pes=8,
+    columns_per_pe=16,
+    rows=16,
+    iterations=10,
+)
+
+
+class TestPolicySpec:
+    def test_labels(self):
+        assert PolicySpec("standard").label == "standard"
+        assert PolicySpec("ulba", alpha=0.3).label == "ulba(a=0.30)"
+        assert PolicySpec("ulba-dynamic").label == "ulba-dynamic(a0=0.40)"
+
+    def test_parse(self):
+        assert PolicySpec.parse("standard") == PolicySpec("standard")
+        assert PolicySpec.parse("ulba:0.25") == PolicySpec("ulba", alpha=0.25)
+        assert PolicySpec.parse("ulba") == PolicySpec("ulba", alpha=0.4)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="policy kind"):
+            PolicySpec("magic")
+
+    def test_make_policies(self):
+        workload, _ = PolicySpec("standard").make_policies()
+        assert isinstance(workload, StandardPolicy)
+        workload, _ = PolicySpec("ulba", alpha=0.3).make_policies()
+        assert isinstance(workload, ULBAPolicy)
+        workload, _ = PolicySpec("ulba-dynamic").make_policies()
+        assert isinstance(workload, DynamicAlphaULBAPolicy)
+
+
+class TestGridExpansion:
+    def test_cell_count_and_ids_unique(self):
+        cells = SMALL.cells()
+        assert len(cells) == SMALL.num_cells == 2 * 2 * 2
+        assert len({c.cell_id for c in cells}) == len(cells)
+
+    def test_cells_are_picklable(self):
+        cells = SMALL.cells()
+        assert pickle.loads(pickle.dumps(cells)) == cells
+
+    def test_filter_selects_substring(self):
+        bursty_only = SMALL.cells(name_filter="bursty")
+        assert bursty_only and all(c.scenario == "bursty" for c in bursty_only)
+        standard_only = SMALL.cells(name_filter="|standard|")
+        assert standard_only and all(
+            c.policy.kind == "standard" for c in standard_only
+        )
+        assert SMALL.cells(name_filter="no-such-cell") == []
+
+    def test_unknown_scenario_fails_fast(self):
+        spec = CampaignSpec(scenarios=("no-such-scenario",))
+        with pytest.raises(KeyError, match="no-such-scenario"):
+            spec.cells()
+
+    def test_duplicate_scenarios_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec(scenarios=("bursty", "bursty"))
+
+    def test_duplicate_policy_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec(policies=(PolicySpec("ulba"), PolicySpec("ulba")))
+
+
+class TestSeedDerivation:
+    def test_policy_independent_seeds(self):
+        cells = SMALL.cells()
+        by_policy = {}
+        for cell in cells:
+            by_policy.setdefault((cell.scenario, cell.seed_index), set()).add(cell.seed)
+        # Every policy of one (scenario, repetition) pair sees the same seed.
+        assert all(len(seeds) == 1 for seeds in by_policy.values())
+
+    def test_seeds_stable_under_grid_edits(self):
+        extended = CampaignSpec(
+            scenarios=("sinusoidal-drift", "synthetic-hotspot", "bursty"),
+            policies=SMALL.policies + (PolicySpec("ulba-dynamic"),),
+            num_seeds=3,
+            num_pes=SMALL.num_pes,
+            columns_per_pe=SMALL.columns_per_pe,
+            rows=SMALL.rows,
+            iterations=SMALL.iterations,
+        )
+        assert extended.cell_seed("bursty", 0) == SMALL.cell_seed("bursty", 0)
+        assert extended.cell_seed("bursty", 1) == SMALL.cell_seed("bursty", 1)
+
+    def test_master_seed_changes_everything(self):
+        reseeded = CampaignSpec(
+            scenarios=SMALL.scenarios,
+            policies=SMALL.policies,
+            num_seeds=SMALL.num_seeds,
+            master_seed=1,
+        )
+        assert reseeded.cell_seed("bursty", 0) != SMALL.cell_seed("bursty", 0)
+
+    def test_seed_indices_independent(self):
+        assert SMALL.cell_seed("bursty", 0) != SMALL.cell_seed("bursty", 1)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("scale", ["smoke", "default", "paper"])
+    def test_scales_build_valid_specs(self, scale):
+        spec = campaign_for_scale(scale, 3)
+        assert spec.master_seed == 3
+        assert len(spec.scenarios) >= 3
+        assert len(spec.policies) >= 2
+        assert spec.num_seeds >= 2
+        assert spec.num_cells >= 12
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign scale"):
+            campaign_for_scale("huge")

@@ -1,0 +1,157 @@
+"""Tests of the programmed column-load generators.
+
+Each generator must produce non-negative loads of the declared shape and be
+deterministic for a fixed seed -- the contract the scenario protocol relies
+on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios.generators import (
+    BurstySpikeApplication,
+    GrowthPhase,
+    MigratingHotRegionApplication,
+    MultiPhaseGrowthApplication,
+    SinusoidalDriftApplication,
+    TraceReplayApplication,
+    record_column_trace,
+)
+
+COLUMNS = 64
+
+
+def advance(app, steps):
+    for _ in range(steps):
+        app.advance()
+    return app.column_loads()
+
+
+class TestBursty:
+    def test_nonnegative_and_growing(self):
+        app = BurstySpikeApplication(COLUMNS, seed=1)
+        start = app.total_load()
+        loads = advance(app, 50)
+        assert np.all(loads >= 0.0)
+        assert app.total_load() > start
+        assert app.iteration == 50
+
+    def test_bursts_create_spikes(self):
+        app = BurstySpikeApplication(
+            COLUMNS, burst_probability=1.0, burst_magnitude=50.0, seed=2
+        )
+        loads = advance(app, 10)
+        assert loads.max() > loads.min() + 40.0
+
+    def test_deterministic_per_seed(self):
+        a = advance(BurstySpikeApplication(COLUMNS, seed=7), 30)
+        b = advance(BurstySpikeApplication(COLUMNS, seed=7), 30)
+        np.testing.assert_allclose(a, b)
+
+    def test_zero_probability_stays_uniform(self):
+        app = BurstySpikeApplication(COLUMNS, burst_probability=0.0, seed=3)
+        loads = advance(app, 10)
+        np.testing.assert_allclose(loads, loads[0])
+
+
+class TestSinusoidalDrift:
+    def test_wave_center_oscillates_within_domain(self):
+        app = SinusoidalDriftApplication(COLUMNS, period=20)
+        centers = [app.wave_center(t) for t in range(60)]
+        assert 0.0 <= min(centers) < max(centers) <= COLUMNS - 1
+        assert max(centers) - min(centers) > COLUMNS / 2
+
+    def test_bump_tracks_center(self):
+        app = SinusoidalDriftApplication(
+            COLUMNS, uniform_growth=0.0, wave_amplitude=10.0, wave_width=3.0, period=40
+        )
+        center = app.wave_center()
+        app.advance()
+        loads = app.column_loads()
+        assert abs(int(np.argmax(loads)) - center) <= 3
+        assert np.all(loads >= 0.0)
+
+
+class TestMigratingHotRegion:
+    def test_hot_region_relocates(self):
+        app = MigratingHotRegionApplication(
+            COLUMNS, hot_width=8, relocate_every=5, seed=4
+        )
+        first = app.hot_region
+        regions = set()
+        for _ in range(25):
+            app.advance()
+            regions.add(app.hot_region)
+        assert len(regions) > 1
+        assert all(0 <= start < stop <= COLUMNS for start, stop in regions)
+        assert first[1] - first[0] == 8
+
+    def test_relocation_targets_cold_window(self):
+        app = MigratingHotRegionApplication(
+            COLUMNS, hot_width=8, hot_growth=10.0, relocate_every=5, seed=4
+        )
+        loads_before = None
+        for _ in range(5):
+            loads_before = advance(app, 1)
+        hot_before = app.hot_region
+        app.advance()  # iteration 5: relocation happens before growth
+        hot_after = app.hot_region
+        if hot_after != hot_before:
+            start, stop = hot_after
+            window_mean = loads_before[start:stop].mean()
+            assert window_mean <= loads_before.mean() + 1e-9
+
+
+class TestMultiPhase:
+    def test_phase_schedule(self):
+        phases = (
+            GrowthPhase(iterations=3, uniform_growth=0.0),
+            GrowthPhase(
+                iterations=3, uniform_growth=0.0, hot_region=(0.0, 0.25), hot_growth=4.0
+            ),
+        )
+        app = MultiPhaseGrowthApplication(COLUMNS, phases)
+        quiet = advance(app, 3)
+        np.testing.assert_allclose(quiet, quiet[0])
+        hot = advance(app, 3)
+        assert hot[: COLUMNS // 4].min() > hot[COLUMNS // 4 :].max()
+        # Last phase persists beyond its nominal end.
+        more = advance(app, 2)
+        assert more[0] > hot[0]
+
+    def test_requires_phases(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MultiPhaseGrowthApplication(COLUMNS, ())
+
+    def test_bad_hot_region_rejected(self):
+        with pytest.raises(ValueError, match="hot_region"):
+            GrowthPhase(iterations=1, hot_region=(0.5, 1.5))
+
+
+class TestTraceReplay:
+    def test_replays_recorded_run_exactly(self):
+        source = BurstySpikeApplication(COLUMNS, seed=11)
+        trace = record_column_trace(source, 12)
+        assert trace.shape == (13, COLUMNS)
+
+        replay = TraceReplayApplication(trace)
+        np.testing.assert_allclose(replay.column_loads(), trace[0])
+        for frame in range(1, 13):
+            replay.advance()
+            np.testing.assert_allclose(replay.column_loads(), trace[frame])
+
+    def test_holds_last_frame_after_end(self):
+        trace = np.array([[1.0, 2.0], [3.0, 4.0]])
+        replay = TraceReplayApplication(trace)
+        for _ in range(5):
+            replay.advance()
+        np.testing.assert_allclose(replay.column_loads(), trace[-1])
+        assert replay.num_frames == 2
+
+    def test_rejects_bad_traces(self):
+        with pytest.raises(ValueError, match="shape"):
+            TraceReplayApplication(np.zeros(4))
+        with pytest.raises(ValueError, match="non-negative"):
+            TraceReplayApplication(np.array([[1.0, -1.0]]))

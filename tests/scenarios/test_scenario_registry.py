@@ -1,0 +1,129 @@
+"""Tests of the scenario registry and the Scenario protocol plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ApplicationParameters
+from repro.runtime.synthetic import SyntheticGrowthApplication
+from repro.scenarios import (
+    DEFAULT_SCENARIOS,
+    FunctionScenario,
+    Scenario,
+    ScenarioInstance,
+    ScenarioSpec,
+    available_scenarios,
+    estimate_parameters,
+    get_scenario,
+    register,
+    register_scenario,
+    unregister,
+)
+
+SPEC = ScenarioSpec(num_pes=8, columns_per_pe=16, rows=16, iterations=12, seed=5)
+
+
+class TestRegistryLookup:
+    def test_catalog_is_registered(self):
+        names = {s.name for s in available_scenarios()}
+        assert set(DEFAULT_SCENARIOS) <= names
+
+    def test_available_scenarios_sorted(self):
+        names = [s.name for s in available_scenarios()]
+        assert names == sorted(names)
+
+    def test_get_scenario_returns_protocol_object(self):
+        scenario = get_scenario("bursty")
+        assert isinstance(scenario, Scenario)
+        assert scenario.name == "bursty"
+        assert scenario.description
+
+    def test_unknown_name_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="unknown scenario 'does-not-exist'"):
+            get_scenario("does-not-exist")
+        with pytest.raises(KeyError, match="bursty"):
+            get_scenario("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_scenario("bursty")
+        with pytest.raises(ValueError, match="already registered"):
+            register(existing)
+
+    def test_uppercase_name_rejected(self):
+        bad = FunctionScenario(name="Shouty", description="x", builder=lambda s: None)
+        with pytest.raises(ValueError, match="lowercase"):
+            register(bad)
+
+    def test_register_decorator_and_unregister(self):
+        @register_scenario("test-only-flat", "constant loads (test fixture)")
+        def _build(spec: ScenarioSpec):
+            app = SyntheticGrowthApplication(spec.num_columns, uniform_growth=0.0)
+            params = estimate_parameters(
+                app, spec, num_overloading=0, uniform_rate=0.0, overload_rate=0.0
+            )
+            return app, params
+
+        try:
+            instance = get_scenario("test-only-flat").build(SPEC)
+            assert isinstance(instance, ScenarioInstance)
+            assert instance.name == "test-only-flat"
+            assert instance.parameters.num_overloading == 0
+        finally:
+            unregister("test-only-flat")
+        with pytest.raises(KeyError):
+            get_scenario("test-only-flat")
+
+
+class TestBuildContract:
+    @pytest.mark.parametrize("name", DEFAULT_SCENARIOS)
+    def test_every_catalog_entry_builds(self, name):
+        instance = get_scenario(name).build(SPEC)
+        app = instance.application
+        assert app.num_columns >= SPEC.num_pes
+        assert isinstance(instance.parameters, ApplicationParameters)
+        assert instance.parameters.num_pes == SPEC.num_pes
+        assert instance.parameters.iterations == SPEC.iterations
+        assert instance.spec == SPEC
+
+    @pytest.mark.parametrize("name", DEFAULT_SCENARIOS)
+    def test_builds_are_deterministic(self, name):
+        scenario = get_scenario(name)
+        a = scenario.build(SPEC).application
+        b = scenario.build(SPEC).application
+        for _ in range(SPEC.iterations):
+            a.advance()
+            b.advance()
+        np.testing.assert_allclose(a.column_loads(), b.column_loads())
+
+    def test_too_few_columns_rejected(self):
+        tiny = FunctionScenario(
+            name="test-too-small",
+            description="builds fewer columns than PEs",
+            builder=lambda spec: (
+                SyntheticGrowthApplication(1),
+                estimate_parameters(
+                    SyntheticGrowthApplication(1),
+                    spec,
+                    num_overloading=0,
+                    uniform_rate=0.0,
+                    overload_rate=0.0,
+                ),
+            ),
+        )
+        with pytest.raises(ValueError, match="fewer than"):
+            tiny.build(SPEC)
+
+
+class TestScenarioSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(num_pes=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(iterations=0)
+
+    def test_num_columns_and_with_seed(self):
+        assert SPEC.num_columns == 8 * 16
+        reseeded = SPEC.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.num_pes == SPEC.num_pes

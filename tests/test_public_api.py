@@ -19,6 +19,11 @@ import repro
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.campaign",
+    "repro.campaign.presets",
+    "repro.campaign.report",
+    "repro.campaign.runner",
+    "repro.campaign.spec",
     "repro.cli",
     "repro.core",
     "repro.core.gains",
@@ -37,6 +42,12 @@ PUBLIC_MODULES = [
     "repro.particles",
     "repro.partitioning",
     "repro.runtime",
+    "repro.scenarios",
+    "repro.scenarios.base",
+    "repro.scenarios.catalog",
+    "repro.scenarios.erosion",
+    "repro.scenarios.generators",
+    "repro.scenarios.registry",
     "repro.simcluster",
     "repro.utils",
     "repro.viz",
