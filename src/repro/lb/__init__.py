@@ -33,8 +33,10 @@ from repro.lb.base import (
     WorkloadPolicy,
 )
 from repro.lb.wir import (
+    LazyWIRViews,
     OverloadDetector,
     WIREstimate,
+    WIREstimateArray,
     WIRDatabase,
 )
 from repro.lb.standard import StandardPolicy
@@ -56,6 +58,7 @@ __all__ = [
     "DynamicAlphaULBAPolicy",
     "LBContext",
     "LBDecision",
+    "LazyWIRViews",
     "LBStepReport",
     "MenonIntervalTrigger",
     "NeverTrigger",
@@ -67,5 +70,6 @@ __all__ = [
     "ULBAPolicy",
     "WIRDatabase",
     "WIREstimate",
+    "WIREstimateArray",
     "WorkloadPolicy",
 ]

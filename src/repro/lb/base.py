@@ -42,7 +42,10 @@ class LBContext:
     wir_views:
         For every rank, the WIR values it currently knows (rank -> WIR), as
         provided by the replicated WIR database.  In instant mode all views
-        are identical.
+        are identical.  Any sequence of per-rank dictionaries is accepted;
+        the runtime passes a lazily materialized sequence
+        (:class:`repro.lb.wir.LazyWIRViews`) so per-rank dictionaries are
+        only built when a policy actually inspects them.
     last_lb_iteration:
         Iteration of the previous LB call (0 when none happened yet).
     accumulated_degradation:
@@ -61,7 +64,7 @@ class LBContext:
 
     iteration: int
     pe_workloads: Tuple[float, ...]
-    wir_views: Tuple[Dict[int, float], ...]
+    wir_views: Sequence[Dict[int, float]]
     last_lb_iteration: int = 0
     accumulated_degradation: float = 0.0
     average_lb_cost: float = 0.0
@@ -94,7 +97,7 @@ class LBContext:
         """The WIR view of ``rank`` (empty dict when unknown)."""
         if not 0 <= rank < self.num_pes:
             raise ValueError(f"rank {rank} outside [0, {self.num_pes})")
-        return self.wir_views[rank] if self.wir_views else {}
+        return self.wir_views[rank] if len(self.wir_views) else {}
 
 
 @dataclass(frozen=True)

@@ -115,7 +115,7 @@ class CentralizedLoadBalancer:
             migration volume (and hence the migration cost).  When omitted
             the migration cost is charged as if every cell moved.
         """
-        loads = np.asarray(list(column_loads), dtype=float)
+        loads = np.asarray(column_loads, dtype=float)
         decision = self.policy.decide(context)
         new_partition = self.partitioner.partition(
             loads, target_shares=decision.target_shares

@@ -18,14 +18,26 @@ class StandardPolicy(WorkloadPolicy):
 
     name = "standard"
 
+    def __init__(self) -> None:
+        self._cached: "dict[int, LBDecision]" = {}
+
     def decide(self, context: LBContext) -> LBDecision:
-        """Give every PE the same target share ``1 / P``."""
+        """Give every PE the same target share ``1 / P``.
+
+        The decision only depends on the PE count, so it is built (and
+        validated) once per cluster size and reused -- :class:`LBDecision`
+        is immutable, so sharing the instance across LB steps is safe.
+        """
         num_pes = context.num_pes
-        share = 1.0 / num_pes
-        return LBDecision(
-            target_shares=tuple(share for _ in range(num_pes)),
-            alphas=tuple(0.0 for _ in range(num_pes)),
-            overloading_ranks=(),
-            downgraded_to_standard=False,
-            policy=self.name,
-        )
+        decision = self._cached.get(num_pes)
+        if decision is None:
+            share = 1.0 / num_pes
+            decision = LBDecision(
+                target_shares=tuple(share for _ in range(num_pes)),
+                alphas=tuple(0.0 for _ in range(num_pes)),
+                overloading_ranks=(),
+                downgraded_to_standard=False,
+                policy=self.name,
+            )
+            self._cached[num_pes] = decision
+        return decision

@@ -6,11 +6,14 @@ in its database) to the other PEs using a dissemination algorithm".  A PE is
 considered *overloading* when the z-score of its WIR within the distribution
 of all known WIRs exceeds a threshold (3.0 in the paper).
 
-Three pieces live here:
+Four pieces live here:
 
 * :class:`WIREstimate` -- per-PE online estimation of the WIR from observed
   per-iteration workloads (simple finite differences with an exponential
   moving average, honouring the principle of persistence).
+* :class:`WIREstimateArray` -- the vectorized form: one estimator state
+  vector for all ``P`` PEs, updated with a single batched EMA per iteration
+  (numerically identical to ``P`` scalar :class:`WIREstimate` updates).
 * :class:`WIRDatabase` -- the replicated board of WIR values, built on the
   gossip substrate (:class:`repro.simcluster.gossip.GossipBoard`) or fed
   directly when gossip is not simulated.
@@ -29,7 +32,13 @@ from repro.utils.rng import SeedLike
 from repro.utils.stats import zscore
 from repro.utils.validation import check_fraction, check_positive, check_positive_int
 
-__all__ = ["WIREstimate", "WIRDatabase", "OverloadDetector"]
+__all__ = [
+    "LazyWIRViews",
+    "OverloadDetector",
+    "WIRDatabase",
+    "WIREstimate",
+    "WIREstimateArray",
+]
 
 
 @dataclass
@@ -94,6 +103,144 @@ class WIREstimate:
         return self._num_observations
 
 
+class _WIREstimateRankView:
+    """Scalar-estimator facade over one rank of a :class:`WIREstimateArray`."""
+
+    __slots__ = ("_array", "_rank")
+
+    def __init__(self, array: "WIREstimateArray", rank: int) -> None:
+        self._array = array
+        self._rank = rank
+
+    @property
+    def rate(self) -> float:
+        """Current WIR estimate of this rank (FLOP per iteration)."""
+        return float(self._array._rates[self._rank])
+
+    @property
+    def num_observations(self) -> int:
+        """Number of workload observations seen by this rank."""
+        return int(self._array._num_observations[self._rank])
+
+
+class WIREstimateArray:
+    """Vectorized WIR estimators for all ``P`` PEs of a cluster.
+
+    Holds the state of ``P`` independent :class:`WIREstimate` instances as
+    flat vectors and performs the per-iteration update -- finite difference
+    of the observed workloads followed by an exponential moving average --
+    as one batched array operation.  The update is numerically identical
+    (same elementwise IEEE operations) to looping over ``P`` scalar
+    estimators, which the equivalence tests assert.
+
+    Iterating the array (or indexing it) yields lightweight per-rank views
+    exposing ``rate`` and ``num_observations``, preserving the shape of the
+    previous list-of-estimators API.
+    """
+
+    def __init__(self, num_pes: int, *, smoothing: float = 0.5) -> None:
+        check_positive_int(num_pes, "num_pes")
+        check_fraction(smoothing, "smoothing")
+        if smoothing == 0.0:
+            raise ValueError("smoothing must be > 0 (0 would never update)")
+        self.num_pes = num_pes
+        self.smoothing = float(smoothing)
+        self._last_workloads = np.zeros(num_pes, dtype=float)
+        self._has_last = np.zeros(num_pes, dtype=bool)
+        self._rates = np.zeros(num_pes, dtype=float)
+        self._num_observations = np.zeros(num_pes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def observe(self, workloads: np.ndarray) -> np.ndarray:
+        """Record every PE's workload at the current iteration.
+
+        Returns the updated per-PE WIR vector (a reference to internal
+        state; copy before mutating).
+        """
+        w = np.asarray(workloads, dtype=float)
+        if w.shape != (self.num_pes,):
+            raise ValueError(
+                f"workloads must have one entry per PE ({self.num_pes}), "
+                f"got {w.shape}"
+            )
+        if (w < 0).any():
+            raise ValueError("workloads must all be >= 0")
+        diff = w - self._last_workloads
+        smoothed = self.smoothing * diff + (1.0 - self.smoothing) * self._rates
+        updated = np.where(self._num_observations <= 1, diff, smoothed)
+        self._rates = np.where(self._has_last, updated, self._rates)
+        np.copyto(self._last_workloads, w)
+        self._has_last[:] = True
+        self._num_observations += 1
+        return self._rates
+
+    def reset_after_migration(self, workloads: np.ndarray) -> None:
+        """Re-anchor every estimator after a LB step moved work around.
+
+        The jump in workload caused by migration is not application dynamics
+        and must not pollute the WIR; the rate estimates are kept
+        (persistence), only the anchor workloads are replaced.
+        """
+        w = np.asarray(workloads, dtype=float)
+        if w.shape != (self.num_pes,):
+            raise ValueError(
+                f"workloads must have one entry per PE ({self.num_pes}), "
+                f"got {w.shape}"
+            )
+        if (w < 0).any():
+            raise ValueError("workloads must all be >= 0")
+        np.copyto(self._last_workloads, w)
+
+    # ------------------------------------------------------------------
+    @property
+    def rates(self) -> np.ndarray:
+        """Current per-PE WIR estimates (copy)."""
+        return self._rates.copy()
+
+    def __len__(self) -> int:
+        return self.num_pes
+
+    def __getitem__(self, rank: int) -> _WIREstimateRankView:
+        if not 0 <= rank < self.num_pes:
+            raise IndexError(f"rank {rank} outside [0, {self.num_pes})")
+        return _WIREstimateRankView(self, rank)
+
+    def __iter__(self):
+        return (self[rank] for rank in range(self.num_pes))
+
+
+class LazyWIRViews:
+    """Lazily materialized per-rank WIR views (``Sequence[Dict[int, float]]``).
+
+    Building every rank's view dictionary eagerly costs ``O(P^2)`` dict
+    operations per iteration; trigger policies typically look at one view
+    (or none).  This sequence adapter materializes a rank's ``dict`` only on
+    first access and caches it, so the quadratic cost is paid only when a
+    policy actually inspects all views (i.e. at LB steps).
+    """
+
+    __slots__ = ("_db", "_cache")
+
+    def __init__(self, db: "WIRDatabase") -> None:
+        self._db = db
+        self._cache: Dict[int, Dict[int, float]] = {}
+
+    def __len__(self) -> int:
+        return self._db.num_ranks
+
+    def __getitem__(self, rank: int) -> Dict[int, float]:
+        if not 0 <= rank < self._db.num_ranks:
+            raise IndexError(f"rank {rank} outside [0, {self._db.num_ranks})")
+        view = self._cache.get(rank)
+        if view is None:
+            view = self._db.view(rank)
+            self._cache[rank] = view
+        return view
+
+    def __iter__(self):
+        return (self[rank] for rank in range(self._db.num_ranks))
+
+
 class WIRDatabase:
     """Replicated ``rank -> WIR`` database.
 
@@ -124,7 +271,8 @@ class WIRDatabase:
             if use_gossip
             else None
         )
-        self._instant: Dict[int, float] = {}
+        self._instant_values = np.zeros(num_ranks, dtype=float)
+        self._instant_known = np.zeros(num_ranks, dtype=bool)
 
     # ------------------------------------------------------------------
     def publish(self, rank: int, wir: float) -> None:
@@ -134,7 +282,26 @@ class WIRDatabase:
         if self._board is not None:
             self._board.publish(rank, wir)
         else:
-            self._instant[rank] = float(wir)
+            self._instant_values[rank] = float(wir)
+            self._instant_known[rank] = True
+
+    def publish_all(self, wirs: np.ndarray) -> None:
+        """Every rank publishes its WIR in one vectorized update.
+
+        Equivalent to ``publish(r, wirs[r])`` for every rank, without ``P``
+        Python-level calls; this is what the runner's hot loop uses.
+        """
+        wirs = np.asarray(wirs, dtype=float)
+        if wirs.shape != (self.num_ranks,):
+            raise ValueError(
+                f"wirs must have one entry per rank ({self.num_ranks}), "
+                f"got {wirs.shape}"
+            )
+        if self._board is not None:
+            self._board.publish_all(wirs)
+        else:
+            np.copyto(self._instant_values, wirs)
+            self._instant_known[:] = True
 
     def disseminate(self) -> None:
         """Perform one gossip dissemination step (no-op in instant mode)."""
@@ -145,7 +312,20 @@ class WIRDatabase:
         """WIR values known by ``rank`` (may be partial in gossip mode)."""
         if self._board is not None:
             return self._board.local_view(rank)
-        return dict(self._instant)
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")
+        known = np.flatnonzero(self._instant_known)
+        return {int(r): float(self._instant_values[r]) for r in known}
+
+    def views(self) -> LazyWIRViews:
+        """Lazily materialized sequence of every rank's view.
+
+        The returned object behaves like ``tuple(view(r) for r in ranks)``
+        but builds each rank's dictionary only on first access -- the hot
+        loop hands it to :class:`~repro.lb.base.LBContext` so the ``O(P^2)``
+        dict construction is only paid when a policy inspects the views.
+        """
+        return LazyWIRViews(self)
 
     def values(self, rank: int) -> List[float]:
         """Known WIR values as a list (order unspecified)."""

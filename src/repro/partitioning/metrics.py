@@ -58,14 +58,14 @@ def migration_volume(
     This is the quantity the LB cost model of the erosion experiments charges
     as data-migration traffic.
     """
-    old = np.asarray(list(old_owners), dtype=np.int64)
-    new = np.asarray(list(new_owners), dtype=np.int64)
+    old = np.asarray(old_owners, dtype=np.int64)
+    new = np.asarray(new_owners, dtype=np.int64)
     if old.shape != new.shape:
         raise ValueError("old_owners and new_owners must have the same length")
     if weights is None:
         w = np.ones(old.shape, dtype=float)
     else:
-        w = np.asarray(list(weights), dtype=float)
+        w = np.asarray(weights, dtype=float)
         if w.shape != old.shape:
             raise ValueError("weights must have the same length as the owners")
     moved = old != new

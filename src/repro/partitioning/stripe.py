@@ -115,7 +115,7 @@ class StripePartitioner:
 
         ``target_shares`` defaults to the even split (standard LB method).
         """
-        loads = np.asarray(list(column_loads), dtype=float)
+        loads = np.asarray(column_loads, dtype=float)
         part = partition_contiguous(loads, self.num_pes, target_shares)
         return StripePartition(partition=part, column_loads=tuple(loads.tolist()))
 

@@ -82,11 +82,9 @@ class Partition1D:
 
     def owners(self) -> np.ndarray:
         """Array mapping every item index to its owning part."""
-        owners = np.empty(self.num_items, dtype=np.int64)
-        for part in range(self.num_parts):
-            start, stop = self.part_range(part)
-            owners[start:stop] = part
-        return owners
+        return np.repeat(
+            np.arange(self.num_parts, dtype=np.int64), self.part_sizes()
+        )
 
 
 def target_shares_from_alphas(alphas: Sequence[float]) -> np.ndarray:
@@ -159,7 +157,7 @@ def partition_contiguous(
     Partition1D
     """
     check_positive_int(num_parts, "num_parts")
-    w = np.asarray(list(weights), dtype=float)
+    w = np.asarray(weights, dtype=float)
     if w.ndim != 1 or w.size == 0:
         raise ValueError("weights must be a non-empty 1-D sequence")
     if np.any(w < 0.0):
@@ -193,6 +191,13 @@ def partition_contiguous(
         return Partition1D(boundaries=tuple(int(b) for b in bounds))
 
     cumulative_targets = np.cumsum(shares) * total
+    if num_parts == 1:
+        return Partition1D(boundaries=(0, int(w.size)))
+
+    cuts = _vectorized_cuts(prefix, cumulative_targets, w.size, num_parts)
+    if cuts is not None:
+        return Partition1D(boundaries=(0,) + cuts + (int(w.size),))
+
     boundaries = [0]
     for part in range(num_parts - 1):
         target = cumulative_targets[part]
@@ -213,3 +218,37 @@ def partition_contiguous(
         boundaries.append(int(best))
     boundaries.append(int(w.size))
     return Partition1D(boundaries=tuple(boundaries))
+
+
+def _vectorized_cuts(
+    prefix: np.ndarray,
+    cumulative_targets: np.ndarray,
+    num_items: int,
+    num_parts: int,
+) -> "Optional[Tuple[int, ...]]":
+    """Batched fast path of the greedy cut placement.
+
+    Evaluates all ``P - 1`` cuts at once, ignoring the sequential
+    ``lo``/``hi`` feasibility coupling, then validates the result against
+    those constraints.  When the unconstrained choices already satisfy them
+    (the overwhelmingly common case), the sequential loop would have picked
+    the same cuts -- each unconstrained winner is also the first-tie winner
+    within its constrained candidate set -- so the result is returned;
+    otherwise ``None`` is returned and the caller runs the exact loop.
+    """
+    targets = cumulative_targets[: num_parts - 1]
+    idx = np.searchsorted(prefix, targets, side="left")
+    cand = np.stack([idx - 1, idx, idx + 1], axis=1)
+    in_range = (cand >= 0) & (cand <= num_items)
+    dist = np.abs(prefix[np.clip(cand, 0, num_items)] - targets[:, None])
+    # Out-of-range candidates must not win; their clipped distance is fake.
+    dist[~in_range] = np.inf
+    best = cand[np.arange(num_parts - 1), dist.argmin(axis=1)]
+
+    hi = num_items - (num_parts - 1 - np.arange(num_parts - 1))
+    lo = np.empty(num_parts - 1, dtype=np.int64)
+    lo[0] = 1
+    lo[1:] = best[:-1] + 1
+    if (best >= lo).all() and (best <= hi).all():
+        return tuple(best.tolist())
+    return None

@@ -22,6 +22,8 @@ Modules
 * :mod:`repro.runtime.synthetic` -- a deterministic synthetic application
   with linear per-column growth, used by tests, examples and benchmarks.
 * :mod:`repro.runtime.report` -- run reports comparing policies.
+* :mod:`repro.runtime.reference` -- frozen pre-vectorization loop core,
+  kept as the golden-equivalence reference and benchmark baseline.
 """
 
 from repro.runtime.degradation import DegradationTracker

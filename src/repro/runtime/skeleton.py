@@ -23,7 +23,7 @@ from repro.lb.adaptive import DegradationTrigger
 from repro.lb.base import LBContext, TriggerPolicy, WorkloadPolicy
 from repro.lb.centralized import CentralizedLoadBalancer, LBStepReport
 from repro.lb.standard import StandardPolicy
-from repro.lb.wir import WIRDatabase, WIREstimate
+from repro.lb.wir import WIRDatabase, WIREstimateArray
 from repro.partitioning.stripe import StripePartition, StripePartitioner
 from repro.runtime.degradation import DegradationTracker
 from repro.simcluster.cluster import VirtualCluster
@@ -180,9 +180,7 @@ class IterativeRunner:
 
         rng = ensure_rng(seed)
         self.wir_db = WIRDatabase(cluster.size, use_gossip=use_gossip, seed=rng)
-        self.wir_estimates = [
-            WIREstimate(smoothing=wir_smoothing) for _ in range(cluster.size)
-        ]
+        self.wir_estimates = WIREstimateArray(cluster.size, smoothing=wir_smoothing)
         self.degradation = DegradationTracker()
         self.load_balancer = CentralizedLoadBalancer(
             cluster,
@@ -199,12 +197,24 @@ class IterativeRunner:
         self._total_iterations: Optional[int] = None
 
     # ------------------------------------------------------------------
-    def _stripe_loads(self) -> np.ndarray:
-        cols = self.application.column_loads()
-        bounds = np.asarray(self.partition.partition.boundaries)
-        return np.asarray(
-            [cols[bounds[i] : bounds[i + 1]].sum() for i in range(self.cluster.size)]
+    def _stripe_loads(self, column_loads: Optional[np.ndarray] = None) -> np.ndarray:
+        """Per-stripe workload sums under the current partition.
+
+        The segmented sums are one ``np.add.reduceat`` over the partition
+        boundaries (with a prefix-sum fallback for degenerate partitions
+        containing empty stripes, which ``reduceat`` mishandles).
+        """
+        cols = (
+            self.application.column_loads()
+            if column_loads is None
+            else column_loads
         )
+        bounds = np.asarray(self.partition.partition.boundaries)
+        starts = bounds[:-1]
+        if (bounds[1:] > starts).all():
+            return np.add.reduceat(cols, starts)
+        prefix = np.concatenate(([0.0], np.cumsum(cols)))
+        return prefix[bounds[1:]] - prefix[starts]
 
     def _average_lb_cost(self) -> float:
         measured = self.load_balancer.average_cost
@@ -213,15 +223,11 @@ class IterativeRunner:
         return self.initial_lb_cost_estimate
 
     def _build_context(self, iteration: int, stripe_loads: np.ndarray) -> LBContext:
+        workloads = stripe_loads * self.application.flop_per_load_unit
         return LBContext(
             iteration=iteration,
-            pe_workloads=tuple(
-                float(load * self.application.flop_per_load_unit)
-                for load in stripe_loads
-            ),
-            wir_views=tuple(
-                self.wir_db.view(rank) for rank in range(self.cluster.size)
-            ),
+            pe_workloads=tuple(workloads.tolist()),
+            wir_views=self.wir_db.views(),
             last_lb_iteration=self._last_lb_iteration,
             accumulated_degradation=self.degradation.degradation,
             average_lb_cost=self._average_lb_cost(),
@@ -240,9 +246,15 @@ class IterativeRunner:
             trigger_name=self.trigger_policy.name,
         )
 
+        flop_per_load = self.application.flop_per_load_unit
+        # Column loads only change in ``advance()`` and stripe sums only
+        # change with them or with the partition, so both are computed once
+        # per change and carried across iterations.
+        column_loads = self.application.column_loads()
+        stripe_loads = self._stripe_loads(column_loads)
+
         for iteration in range(iterations):
-            stripe_loads = self._stripe_loads()
-            flop_per_pe = stripe_loads * self.application.flop_per_load_unit
+            flop_per_pe = stripe_loads * flop_per_load
 
             # Line 10: data movements and computation of the step.
             step = self.cluster.compute_step(flop_per_pe, iteration=iteration)
@@ -251,14 +263,12 @@ class IterativeRunner:
             self.application.advance()
 
             # WIR estimation and dissemination (Section III-C): each PE
-            # publishes the increase rate of its own stripe workload.
-            new_stripe_loads = self._stripe_loads()
-            for rank in range(self.cluster.size):
-                workload = float(
-                    new_stripe_loads[rank] * self.application.flop_per_load_unit
-                )
-                rate = self.wir_estimates[rank].observe(workload)
-                self.wir_db.publish(rank, rate)
+            # publishes the increase rate of its own stripe workload, all in
+            # one batched estimator update.
+            column_loads = self.application.column_loads()
+            new_stripe_loads = self._stripe_loads(column_loads)
+            rates = self.wir_estimates.observe(new_stripe_loads * flop_per_load)
+            self.wir_db.publish_all(rates)
             self.wir_db.disseminate()
 
             # Lines 11-15: degradation tracking with median smoothing.
@@ -269,7 +279,7 @@ class IterativeRunner:
             if self.trigger_policy.should_balance(context):
                 report = self.load_balancer.execute(
                     context,
-                    self.application.column_loads(),
+                    column_loads,
                     current_partition=self.partition,
                 )
                 result.lb_reports.append(report)
@@ -279,12 +289,10 @@ class IterativeRunner:
                 self.trigger_policy.notify_balanced(context)
                 # Re-anchor the WIR estimators: the migration-induced jump in
                 # stripe workload is not application dynamics.
-                rebalanced = self._stripe_loads()
-                for rank in range(self.cluster.size):
-                    self.wir_estimates[rank].reset_after_migration(
-                        float(
-                            rebalanced[rank] * self.application.flop_per_load_unit
-                        )
-                    )
+                rebalanced = self._stripe_loads(column_loads)
+                self.wir_estimates.reset_after_migration(rebalanced * flop_per_load)
+                stripe_loads = rebalanced
+            else:
+                stripe_loads = new_stripe_loads
 
         return result

@@ -29,9 +29,9 @@ Modules
 
 from repro.simcluster.clock import VirtualClock
 from repro.simcluster.comm import CommCostModel, SimCommunicator
-from repro.simcluster.pe import ProcessingElement
+from repro.simcluster.pe import PEStateArrays, ProcessingElement, ProcessingElementView
 from repro.simcluster.cluster import VirtualCluster
-from repro.simcluster.gossip import GossipBoard, GossipConfig
+from repro.simcluster.gossip import GossipBoard, GossipConfig, select_push_targets
 from repro.simcluster.tracing import (
     ClusterTrace,
     IterationRecord,
@@ -45,8 +45,11 @@ __all__ = [
     "GossipConfig",
     "IterationRecord",
     "LBEventRecord",
+    "PEStateArrays",
     "ProcessingElement",
+    "ProcessingElementView",
     "SimCommunicator",
     "VirtualClock",
     "VirtualCluster",
+    "select_push_targets",
 ]

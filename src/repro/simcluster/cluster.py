@@ -10,6 +10,13 @@ applications of this repository need:
 * ``charge_lb_step(...)`` -- charge the cost of a load-balancing step to all
   PEs (partitioning at the root, broadcast, migration);
 * snapshots of per-PE busy time used by the utilization trace of Figure 4b.
+
+The per-PE state lives in flat NumPy vectors
+(:class:`~repro.simcluster.pe.PEStateArrays`), so a compute step is a
+handful of array operations -- one division, two in-place adds and a max --
+instead of a Python loop over PE objects.  ``cluster.pes`` exposes thin
+:class:`~repro.simcluster.pe.ProcessingElementView` objects over that state
+for API compatibility with code addressing individual PEs.
 """
 
 from __future__ import annotations
@@ -19,9 +26,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.simcluster.clock import synchronize
 from repro.simcluster.comm import CommCostModel, SimCommunicator
-from repro.simcluster.pe import ProcessingElement
+from repro.simcluster.pe import PEStateArrays, ProcessingElementView
 from repro.simcluster.tracing import ClusterTrace
 from repro.utils.validation import check_non_negative, check_positive, check_positive_int
 
@@ -59,8 +65,9 @@ class VirtualCluster:
     ) -> None:
         check_positive_int(num_pes, "num_pes")
         check_positive(pe_speed, "pe_speed")
-        self.pes: List[ProcessingElement] = [
-            ProcessingElement(rank=r, speed=pe_speed) for r in range(num_pes)
+        self.state = PEStateArrays(num_pes, pe_speed)
+        self.pes: List[ProcessingElementView] = [
+            ProcessingElementView(self.state, r) for r in range(num_pes)
         ]
         self.comm = SimCommunicator(self.pes, cost_model)
         self.trace = ClusterTrace(num_pes=num_pes)
@@ -69,21 +76,21 @@ class VirtualCluster:
     @property
     def size(self) -> int:
         """Number of PEs."""
-        return len(self.pes)
+        return self.state.size
 
     @property
     def pe_speed(self) -> float:
         """Speed of the (homogeneous) PEs in FLOP/s."""
-        return self.pes[0].speed
+        return self.state.speed
 
     @property
     def now(self) -> float:
         """Common virtual time (all clocks agree outside of a compute phase)."""
-        return max(pe.now for pe in self.pes)
+        return self.state.now()
 
     def busy_times(self) -> np.ndarray:
         """Cumulative per-PE busy time, in rank order."""
-        return np.asarray([pe.busy_time for pe in self.pes], dtype=float)
+        return self.state.busy_time.copy()
 
     # ------------------------------------------------------------------
     def compute_step(
@@ -98,7 +105,8 @@ class VirtualCluster:
         Parameters
         ----------
         loads_flop:
-            FLOP to execute on each PE (length ``P``).
+            FLOP to execute on each PE (length ``P``); an ``ndarray`` is
+            used as-is, without copying.
         iteration:
             Iteration index recorded in the trace; omit to skip tracing.
         sync_bytes:
@@ -106,7 +114,7 @@ class VirtualCluster:
             application exchanges halo columns and per-stripe workloads at
             the end of every iteration).
         """
-        loads = np.asarray(list(loads_flop), dtype=float)
+        loads = np.asarray(loads_flop, dtype=float)
         if loads.shape != (self.size,):
             raise ValueError(
                 f"loads_flop must have length {self.size}, got {loads.shape}"
@@ -114,24 +122,28 @@ class VirtualCluster:
         if (loads < 0).any():
             raise ValueError("loads_flop must all be >= 0")
 
-        start = self.now
-        pe_times = []
-        for pe, flops in zip(self.pes, loads):
-            pe_times.append(pe.compute(float(flops)))
+        state = self.state
+        start = state.now()
+        pe_times = loads / state.speed
+        state.clock += pe_times
+        state.busy_time += pe_times
         # Closing collective: every iteration of the paper's application ends
         # with an exchange of boundary data / workload metrics.
-        self.comm._collective_sync(sync_bytes)
-        end = self.now
+        cost = self.comm.cost_model.collective(self.size, sync_bytes)
+        end = state.synchronize(cost)
+        self.comm.num_collectives += 1
+        self.comm.comm_time += cost
         elapsed = end - start
 
+        times_list = pe_times.tolist()
         result = StepResult(
-            elapsed=elapsed, pe_times=tuple(pe_times), completed_at=end
+            elapsed=elapsed, pe_times=tuple(times_list), completed_at=end
         )
         if iteration is not None:
             self.trace.record_iteration(
                 iteration=iteration,
                 elapsed=elapsed,
-                pe_compute_times=pe_times,
+                pe_compute_times=times_list,
                 timestamp=end,
             )
         return result
@@ -142,7 +154,7 @@ class VirtualCluster:
         *,
         iteration: int,
         partition_seconds: float = 0.0,
-        migration_bytes_per_pe: Sequence[float] | float = 0.0,
+        migration_bytes_per_pe: "Sequence[float] | float" = 0.0,
         root: int = 0,
     ) -> float:
         """Charge the virtual cost of one load-balancing step.
@@ -151,49 +163,60 @@ class VirtualCluster:
         the per-PE ``alpha`` values at the root, computing the partition on
         the root (``partition_seconds``), broadcasting it, and migrating the
         data.  Migration is modelled as a personalised exchange whose per-PE
-        volume is ``migration_bytes_per_pe``.
+        volume is ``migration_bytes_per_pe`` (scalar or one entry per PE;
+        an ``ndarray`` is used without copying).
 
         Returns the total virtual duration of the LB step (which is also the
         amount added to every PE's ``lb_time``).
         """
         check_non_negative(partition_seconds, "partition_seconds")
-        start = self.now
-        # Gather alphas / workloads at the root.
-        self.comm.gather([0.0] * self.size, root=root)
-        # Root computes the partition.
-        self.pes[root].spend(partition_seconds)
-        # Broadcast the partition.
-        self.comm.bcast(None, root=root, nbytes=8.0 * self.size)
-        # Migrate data.
+        if not 0 <= root < self.size:
+            raise ValueError(f"root rank {root} outside [0, {self.size})")
         if np.isscalar(migration_bytes_per_pe):
-            volumes = np.full(self.size, float(migration_bytes_per_pe))
+            max_volume = float(migration_bytes_per_pe)
+            if max_volume < 0:
+                raise ValueError("migration volumes must all be >= 0")
         else:
-            volumes = np.asarray(list(migration_bytes_per_pe), dtype=float)
+            volumes = np.asarray(migration_bytes_per_pe, dtype=float)
             if volumes.shape != (self.size,):
                 raise ValueError(
                     "migration_bytes_per_pe must be a scalar or have one "
                     f"entry per PE ({self.size})"
                 )
-        if (volumes < 0).any():
-            raise ValueError("migration volumes must all be >= 0")
-        max_volume = float(volumes.max()) if volumes.size else 0.0
-        self.comm._collective_sync(max_volume)
-        end = self.now
+            if (volumes < 0).any():
+                raise ValueError("migration volumes must all be >= 0")
+            max_volume = float(volumes.max()) if volumes.size else 0.0
+
+        state = self.state
+        model = self.comm.cost_model
+        start = state.now()
+        # Gather alphas / workloads at the root.
+        gather_cost = model.collective(self.size, 8.0)
+        state.synchronize(gather_cost)
+        # Root computes the partition.
+        state.clock[root] += partition_seconds
+        # Broadcast the partition.
+        bcast_cost = model.collective(self.size, 8.0 * self.size)
+        state.synchronize(bcast_cost)
+        # Migrate data (personalised exchange, bounded by the largest volume).
+        migrate_cost = model.collective(self.size, max_volume)
+        end = state.synchronize(migrate_cost)
+        self.comm.num_collectives += 3
+        self.comm.comm_time += gather_cost + bcast_cost + migrate_cost
+
         elapsed = end - start
-        for pe in self.pes:
-            pe.lb_time += elapsed
+        state.lb_time += elapsed
         self.trace.record_lb_event(iteration=iteration, cost=elapsed, timestamp=end)
         return elapsed
 
     # ------------------------------------------------------------------
     def synchronize(self) -> float:
         """Barrier: align every PE clock; returns the common timestamp."""
-        return synchronize(pe.clock for pe in self.pes)
+        return self.state.synchronize()
 
     def reset(self) -> None:
         """Reset clocks, accounting and traces (between repetitions)."""
-        for pe in self.pes:
-            pe.reset()
+        self.state.reset()
         self.trace = ClusterTrace(num_pes=self.size)
         self.comm.num_collectives = 0
         self.comm.num_messages = 0

@@ -7,25 +7,35 @@ the other PEs using a dissemination (gossip) algorithm; one dissemination
 step is performed per application iteration, and the principle of
 persistence makes slightly stale values acceptable.
 
-:class:`GossipBoard` reproduces that mechanism: every rank holds a local view
-``rank -> (value, version)``; at every :meth:`step` each rank pushes its view
-to ``fanout`` random peers, and entries with higher versions overwrite older
-ones.  The board is deliberately independent of what the value means, so it
-is reused for the WIR database and tested on synthetic data (convergence in
-``O(log P)`` rounds with high probability).
+:class:`GossipBoard` reproduces that mechanism on flat array state: the
+whole replicated database is a pair of ``(P, P)`` matrices -- ``values`` and
+``versions`` -- where row ``r`` is the view of rank ``r`` and column ``s``
+holds what ``r`` knows about source rank ``s`` (version ``-1`` = unknown).
+One :meth:`step` performs the entire synchronous push round with a single
+batched RNG draw (:func:`select_push_targets`) and a vectorized
+freshest-version merge, instead of per-rank ``dict`` snapshot/merge loops.
+
+Version tie-break rule (applied consistently):
+
+* **freshest wins** -- a merged entry only overwrites a strictly older one;
+  on equal versions the receiver keeps what it has (copies of the same
+  ``(source, version)`` pair carry the same value, so this is value-neutral);
+* **self-publish always wins ties** -- a rank re-publishing its own value at
+  an unchanged version replaces its local entry, so the latest published
+  value is what starts propagating.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["GossipConfig", "GossipBoard"]
+__all__ = ["GossipConfig", "GossipBoard", "select_push_targets"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +52,49 @@ class GossipConfig:
         check_positive_int(self.fanout, "fanout")
 
 
+def select_push_targets(
+    rng: np.random.Generator,
+    num_ranks: int,
+    fanout: int,
+    *,
+    include_root: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Select every rank's push targets for one round with one RNG draw.
+
+    Each rank pushes to ``min(fanout, num_ranks - 1)`` distinct peers chosen
+    uniformly at random (never itself).  The selection is done with a single
+    batched draw: one ``(P, P)`` matrix of uniform keys whose ``fanout``
+    smallest off-diagonal entries per row are the targets -- a uniformly
+    random ``fanout``-subset per rank, like per-rank sampling without
+    replacement, but batched.
+
+    Returns ``(src, dst)`` index arrays of equal length: push ``e`` sends the
+    view of rank ``src[e]`` to rank ``dst[e]``.  With ``include_root``, every
+    rank other than 0 additionally pushes to rank 0.
+    """
+    check_positive_int(num_ranks, "num_ranks")
+    if num_ranks == 1:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    k = min(fanout, num_ranks - 1)
+    keys = rng.random((num_ranks, num_ranks))
+    np.fill_diagonal(keys, np.inf)
+    targets = np.argpartition(keys, k - 1, axis=1)[:, :k]
+
+    src = np.repeat(np.arange(num_ranks, dtype=np.intp), k)
+    dst = targets.ravel().astype(np.intp, copy=False)
+    if include_root:
+        # Ranks != 0 whose targets missed rank 0 push to it as well.
+        missing_root = np.flatnonzero(~(targets == 0).any(axis=1))
+        missing_root = missing_root[missing_root != 0]
+        if missing_root.size:
+            src = np.concatenate([src, missing_root.astype(np.intp)])
+            dst = np.concatenate(
+                [dst, np.zeros(missing_root.size, dtype=np.intp)]
+            )
+    return src, dst
+
+
 class GossipBoard:
     """Replicated ``rank -> value`` board maintained by push gossip."""
 
@@ -56,10 +109,10 @@ class GossipBoard:
         self.num_ranks = num_ranks
         self.config = config or GossipConfig()
         self._rng = ensure_rng(seed)
-        #: ``views[r]`` maps source rank -> (value, version) as known by rank r.
-        self._views: List[Dict[int, Tuple[float, int]]] = [
-            {} for _ in range(num_ranks)
-        ]
+        #: ``values[r, s]`` / ``versions[r, s]``: what rank ``r`` knows about
+        #: source rank ``s``; version -1 marks an unknown entry.
+        self._values = np.zeros((num_ranks, num_ranks), dtype=float)
+        self._versions = np.full((num_ranks, num_ranks), -1, dtype=np.int64)
         self._steps = 0
 
     # ------------------------------------------------------------------
@@ -72,43 +125,87 @@ class GossipBoard:
         """Rank ``rank`` publishes a new ``value`` for itself.
 
         ``version`` defaults to the current step count, so values published
-        later always win over older ones when views merge.
+        later always win over older ones when views merge.  A self-publish
+        at the *same* version also wins (ties go to the owner), so the
+        latest value published within a step is the one disseminated.
+        Explicit versions must be >= 0 (-1 is the internal "unknown"
+        sentinel).
         """
         self._check_rank(rank)
         v = self._steps if version is None else int(version)
-        current = self._views[rank].get(rank)
-        if current is None or v >= current[1]:
-            self._views[rank][rank] = (float(value), v)
+        if v < 0:
+            raise ValueError(f"version must be >= 0, got {v}")
+        if v >= self._versions[rank, rank]:
+            self._values[rank, rank] = float(value)
+            self._versions[rank, rank] = v
+
+    def publish_all(
+        self, values: np.ndarray, *, version: Optional[int] = None
+    ) -> None:
+        """Every rank publishes its own value in one vectorized update.
+
+        Equivalent to ``publish(r, values[r])`` for every rank ``r``, with a
+        single diagonal write instead of ``P`` Python calls.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.num_ranks,):
+            raise ValueError(
+                f"values must have one entry per rank ({self.num_ranks}), "
+                f"got {values.shape}"
+            )
+        v = self._steps if version is None else int(version)
+        if v < 0:
+            raise ValueError(f"version must be >= 0, got {v}")
+        diag = np.arange(self.num_ranks)
+        mask = v >= self._versions[diag, diag]
+        idx = diag[mask]
+        self._values[idx, idx] = values[mask]
+        self._versions[idx, idx] = v
 
     def local_view(self, rank: int) -> Dict[int, float]:
         """The values rank ``rank`` currently knows, keyed by source rank."""
         self._check_rank(rank)
-        return {src: value for src, (value, _version) in self._views[rank].items()}
+        known = np.flatnonzero(self._versions[rank] >= 0)
+        row = self._values[rank]
+        return {int(src): float(row[src]) for src in known}
+
+    def known_mask(self, rank: int) -> np.ndarray:
+        """Boolean mask of the source ranks whose value ``rank`` knows."""
+        self._check_rank(rank)
+        return self._versions[rank] >= 0
+
+    def values_row(self, rank: int) -> np.ndarray:
+        """Raw value row of ``rank`` (entries only valid where known)."""
+        self._check_rank(rank)
+        return self._values[rank]
 
     def known_fraction(self, rank: int) -> float:
         """Fraction of ranks whose value is known by ``rank``."""
         self._check_rank(rank)
-        return len(self._views[rank]) / self.num_ranks
+        return float((self._versions[rank] >= 0).sum()) / self.num_ranks
 
     def is_complete(self) -> bool:
         """True when every rank knows a value for every other rank."""
-        return all(len(view) == self.num_ranks for view in self._views)
+        return bool((self._versions >= 0).all())
 
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Perform one push-gossip dissemination round.
 
-        Each rank selects ``fanout`` distinct random peers and pushes its
-        whole view; receivers keep the freshest version of each entry.  The
-        pushes of a round are based on the views at the *start* of the round
-        (synchronous gossip), matching one dissemination step per
-        application iteration.
+        Each rank selects ``fanout`` distinct random peers (one batched RNG
+        draw for the whole round) and pushes its whole view; receivers keep
+        the freshest version of each entry.  The pushes of a round are based
+        on the views at the *start* of the round (synchronous gossip),
+        matching one dissemination step per application iteration.
         """
-        snapshot = [dict(view) for view in self._views]
-        for src in range(self.num_ranks):
-            targets = self._select_targets(src)
-            for dst in targets:
-                self._merge_into(dst, snapshot[src])
+        src, dst = select_push_targets(
+            self._rng,
+            self.num_ranks,
+            self.config.fanout,
+            include_root=self.config.include_root,
+        )
+        if src.size:
+            self._merge_pushes(src, dst)
         self._steps += 1
 
     def run_until_complete(self, max_steps: int = 1_000) -> int:
@@ -125,23 +222,46 @@ class GossipBoard:
         return self._steps - initial
 
     # ------------------------------------------------------------------
-    def _select_targets(self, src: int) -> List[int]:
-        if self.num_ranks == 1:
-            return []
-        fanout = min(self.config.fanout, self.num_ranks - 1)
-        candidates = [r for r in range(self.num_ranks) if r != src]
-        chosen = self._rng.choice(len(candidates), size=fanout, replace=False)
-        targets = [candidates[int(i)] for i in np.atleast_1d(chosen)]
-        if self.config.include_root and src != 0 and 0 not in targets:
-            targets.append(0)
-        return targets
+    def _merge_pushes(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Vectorized freshest-version merge of one round's pushes.
 
-    def _merge_into(self, dst: int, incoming: Dict[int, Tuple[float, int]]) -> None:
-        view = self._views[dst]
-        for src, (value, version) in incoming.items():
-            current = view.get(src)
-            if current is None or version > current[1]:
-                view[src] = (value, version)
+        All pushes carry the *pre-round* snapshot of the sender's row.  Each
+        push's per-entry version is packed with its push index into one
+        int64 key, so a grouped ``np.maximum.reduceat`` per receiver yields
+        both the freshest incoming version and a push that carries it;
+        entries whose version strictly increases take that push's value.
+        Which of several equal-version pushes wins is immaterial: copies of
+        the same ``(source, version)`` pair hold the same value.
+        """
+        num_pushes = src.shape[0]
+        order = np.argsort(dst, kind="stable")
+        dst_sorted = dst[order]
+        boundaries = np.empty(num_pushes, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(dst_sorted[1:], dst_sorted[:-1], out=boundaries[1:])
+        group_starts = np.flatnonzero(boundaries)
+        receivers = dst_sorted[group_starts]
+        src_sorted = src[order]
+
+        # key = version * num_pushes + push_position: max key <=> max version,
+        # ties resolved towards later (value-identical) pushes.
+        keys = self._versions[src_sorted] * num_pushes
+        keys += np.arange(num_pushes)[:, None]
+        best = np.maximum.reduceat(keys, group_starts, axis=0)
+        incoming_ver = best // num_pushes
+
+        current_ver = self._versions[receivers]
+        improved = incoming_ver > current_ver
+        if not improved.any():
+            return
+        # Gather only the winning pushes' values (still the pre-round state:
+        # nothing has been written yet).
+        entry = np.arange(self.num_ranks)
+        incoming_val = self._values[src_sorted[best % num_pushes], entry]
+        self._values[receivers] = np.where(
+            improved, incoming_val, self._values[receivers]
+        )
+        self._versions[receivers] = np.where(improved, incoming_ver, current_ver)
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.num_ranks:

@@ -73,6 +73,17 @@ def rolling_median(values: Sequence[float], window: int = 3) -> float:
     vals = list(values)[-window:]
     if not vals:
         raise ValueError("values must not be empty")
+    # Scalar fast paths for the tiny windows of the runner's hot loop (the
+    # paper uses window=3); identical values to np.median, without the
+    # array round-trip.
+    n = len(vals)
+    if n == 1:
+        return float(vals[0])
+    if n == 2:
+        return (float(vals[0]) + float(vals[1])) / 2.0
+    if n == 3:
+        a, b, c = (float(v) for v in vals)
+        return max(min(a, b), min(max(a, b), c))
     return float(np.median(np.asarray(vals, dtype=float)))
 
 
@@ -100,7 +111,9 @@ def weighted_imbalance(loads: Sequence[float]) -> float:
     mean = float(arr.mean())
     if mean == 0.0:
         return 0.0
-    return float(arr.max()) / mean - 1.0
+    # The clamp guards against mean rounding slightly above max for
+    # perfectly balanced loads (e.g. [x, x, x] with sum/3 > x by one ulp).
+    return max(0.0, float(arr.max()) / mean - 1.0)
 
 
 @dataclass(frozen=True)

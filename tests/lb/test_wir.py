@@ -197,3 +197,96 @@ class TestOverloadDetector:
         detector = OverloadDetector(threshold=3.0)
         flagged = [r for r in rates if detector.is_overloading(r, rates)]
         assert len(flagged) < max(1, len(rates) / 2)
+
+
+class TestWIREstimateArray:
+    def test_matches_scalar_estimators(self):
+        from repro.lb.wir import WIREstimateArray
+
+        rng = np.random.default_rng(4)
+        num_pes = 7
+        array = WIREstimateArray(num_pes, smoothing=0.5)
+        scalars = [WIREstimate(smoothing=0.5) for _ in range(num_pes)]
+        for step in range(30):
+            workloads = rng.random(num_pes) * 1e6
+            batched = array.observe(workloads)
+            expected = [
+                scalars[r].observe(float(workloads[r])) for r in range(num_pes)
+            ]
+            assert batched.tolist() == expected
+            if step % 7 == 6:
+                anchors = rng.random(num_pes) * 1e6
+                array.reset_after_migration(anchors)
+                for r in range(num_pes):
+                    scalars[r].reset_after_migration(float(anchors[r]))
+        for r in range(num_pes):
+            assert array[r].rate == scalars[r].rate
+            assert array[r].num_observations == scalars[r].num_observations
+
+    def test_first_observation_has_zero_rate(self):
+        from repro.lb.wir import WIREstimateArray
+
+        array = WIREstimateArray(3)
+        rates = array.observe(np.asarray([10.0, 20.0, 30.0]))
+        assert rates.tolist() == [0.0, 0.0, 0.0]
+
+    def test_iteration_yields_per_rank_views(self):
+        from repro.lb.wir import WIREstimateArray
+
+        array = WIREstimateArray(4)
+        array.observe(np.zeros(4))
+        array.observe(np.asarray([1.0, 2.0, 3.0, 4.0]))
+        rates = [view.rate for view in array]
+        assert rates == [1.0, 2.0, 3.0, 4.0]
+        assert len(array) == 4
+        assert array[2].rate == 3.0
+
+    def test_validation(self):
+        from repro.lb.wir import WIREstimateArray
+
+        with pytest.raises(ValueError):
+            WIREstimateArray(0)
+        with pytest.raises(ValueError):
+            WIREstimateArray(4, smoothing=0.0)
+        array = WIREstimateArray(4)
+        with pytest.raises(ValueError):
+            array.observe(np.zeros(3))
+        with pytest.raises(ValueError):
+            array.observe(np.asarray([1.0, 1.0, 1.0, -1.0]))
+        with pytest.raises(ValueError):
+            array.reset_after_migration(np.asarray([-1.0, 0.0, 0.0, 0.0]))
+        with pytest.raises(IndexError):
+            array[4]
+
+
+class TestLazyWIRViews:
+    def test_behaves_like_view_tuple(self):
+        from repro.lb.wir import LazyWIRViews
+
+        db = WIRDatabase(3, use_gossip=False)
+        db.publish(0, 1.0)
+        db.publish(2, 5.0)
+        views = LazyWIRViews(db)
+        assert len(views) == 3
+        assert views[0] == {0: 1.0, 2: 5.0}
+        assert list(views) == [db.view(r) for r in range(3)]
+        with pytest.raises(IndexError):
+            views[3]
+
+    def test_caches_materialized_views(self):
+        db = WIRDatabase(2, use_gossip=False)
+        db.publish(0, 1.0)
+        views = db.views()
+        first = views[0]
+        assert views[0] is first
+
+    def test_publish_all_matches_per_rank_publish(self):
+        a = WIRDatabase(4, use_gossip=False)
+        b = WIRDatabase(4, use_gossip=False)
+        values = np.asarray([1.0, 2.0, 3.0, 4.0])
+        a.publish_all(values)
+        for rank in range(4):
+            b.publish(rank, float(values[rank]))
+        assert all(a.view(r) == b.view(r) for r in range(4))
+        with pytest.raises(ValueError):
+            a.publish_all(np.zeros(3))

@@ -163,3 +163,35 @@ class TestSynchronizeAndReset:
         assert cluster.trace.num_lb_calls == 0
         assert cluster.comm.num_collectives == 0
         assert all(pe.busy_time == 0.0 for pe in cluster.pes)
+
+
+class TestArrayStateBacking:
+    def test_compute_step_accepts_ndarray_without_copy(self):
+        cluster = VirtualCluster(3, pe_speed=1.0e9, cost_model=CommCostModel.free())
+        loads = np.asarray([1.0e9, 2.0e9, 3.0e9])
+        result = cluster.compute_step(loads)
+        assert result.elapsed == pytest.approx(3.0)
+        # The input array is used as-is and never mutated.
+        assert loads.tolist() == [1.0e9, 2.0e9, 3.0e9]
+
+    def test_charge_lb_step_accepts_ndarray_volumes(self):
+        cluster = VirtualCluster(3, cost_model=CommCostModel(latency=0.0, bandwidth=1.0e6))
+        volumes = np.asarray([0.0, 2.0e6, 1.0e6])
+        cost = cluster.charge_lb_step(iteration=0, migration_bytes_per_pe=volumes)
+        assert cost >= 2.0
+        assert volumes.tolist() == [0.0, 2.0e6, 1.0e6]
+
+    def test_pe_views_share_cluster_state(self):
+        cluster = VirtualCluster(2, pe_speed=1.0e9, cost_model=CommCostModel.free())
+        cluster.pes[0].compute(2.0e9)
+        assert cluster.state.busy_time[0] == pytest.approx(2.0)
+        assert cluster.pes[0].busy_time == pytest.approx(2.0)
+        cluster.state.clock[:] = 5.0
+        assert cluster.pes[1].now == pytest.approx(5.0)
+
+    def test_view_setters_write_through(self):
+        cluster = VirtualCluster(2)
+        cluster.pes[1].lb_time = 4.5
+        assert cluster.state.lb_time[1] == pytest.approx(4.5)
+        with pytest.raises(ValueError):
+            cluster.pes[1].lb_time = -1.0

@@ -152,3 +152,188 @@ class TestGossipBoard:
             assert set(view).issubset(set(published))
             for src, value in view.items():
                 assert value == published[src]
+
+
+class TestVersionTieBreakRule:
+    """The consistent tie-break rule: freshest wins, self-publish wins ties."""
+
+    def test_self_publish_wins_equal_version(self):
+        board = GossipBoard(2, seed=0)
+        board.publish(0, 1.0, version=10)
+        board.publish(0, 2.0, version=10)
+        assert board.local_view(0)[0] == 2.0
+
+    def test_merge_keeps_existing_on_equal_version(self):
+        # P=2, fanout=1: each rank always pushes to the other, so the
+        # propagation schedule is deterministic.
+        board = GossipBoard(2, config=GossipConfig(fanout=1), seed=0)
+        board.publish(0, 1.0, version=10)
+        board.step()
+        assert board.local_view(1)[0] == 1.0
+        # Rank 0 re-publishes at the same version: locally the self-publish
+        # wins the tie, but the merged copy held by rank 1 is not replaced
+        # by an equal-version push.
+        board.publish(0, 2.0, version=10)
+        assert board.local_view(0)[0] == 2.0
+        board.step()
+        assert board.local_view(1)[0] == 1.0
+
+    def test_merge_overwrites_on_strictly_newer_version(self):
+        board = GossipBoard(2, config=GossipConfig(fanout=1), seed=0)
+        board.publish(0, 1.0, version=10)
+        board.step()
+        board.publish(0, 2.0, version=11)
+        board.step()
+        assert board.local_view(1)[0] == 2.0
+
+    def test_merge_never_regresses_to_older_version(self):
+        board = GossipBoard(2, config=GossipConfig(fanout=1), seed=0)
+        board.publish(1, 5.0, version=20)
+        board.step()
+        assert board.local_view(0)[1] == 5.0
+        # An older copy arriving later must not replace the fresher value;
+        # rank 1's own entry is fresher, so pushes cannot regress rank 0.
+        board.publish(1, 6.0, version=3)
+        assert board.local_view(1)[1] == 5.0
+        board.step()
+        assert board.local_view(0)[1] == 5.0
+
+
+class TestPublishAll:
+    def test_matches_per_rank_publish(self):
+        import numpy as np
+
+        a = GossipBoard(5, seed=1)
+        b = GossipBoard(5, seed=1)
+        values = np.asarray([3.0, 1.0, 4.0, 1.5, 9.0])
+        a.publish_all(values)
+        for rank in range(5):
+            b.publish(rank, float(values[rank]))
+        assert all(a.local_view(r) == b.local_view(r) for r in range(5))
+
+    def test_respects_existing_newer_versions(self):
+        import numpy as np
+
+        board = GossipBoard(3, seed=0)
+        board.publish(1, 42.0, version=99)
+        board.publish_all(np.asarray([1.0, 2.0, 3.0]))
+        assert board.local_view(0)[0] == 1.0
+        assert board.local_view(1)[1] == 42.0  # version 99 > step count 0
+        assert board.local_view(2)[2] == 3.0
+
+    def test_wrong_length_rejected(self):
+        import numpy as np
+
+        board = GossipBoard(3, seed=0)
+        with pytest.raises(ValueError):
+            board.publish_all(np.zeros(2))
+
+
+class TestSelectPushTargets:
+    def test_shapes_and_no_self_pushes(self):
+        import numpy as np
+
+        from repro.simcluster.gossip import select_push_targets
+
+        rng = np.random.default_rng(0)
+        src, dst = select_push_targets(rng, 16, 2)
+        assert src.shape == dst.shape == (32,)
+        assert (src != dst).all()
+        assert src.min() >= 0 and src.max() < 16
+        assert dst.min() >= 0 and dst.max() < 16
+
+    def test_targets_distinct_per_source(self):
+        import numpy as np
+
+        from repro.simcluster.gossip import select_push_targets
+
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            src, dst = select_push_targets(rng, 12, 3)
+            for s in range(12):
+                targets = dst[src == s]
+                assert len(set(targets.tolist())) == targets.size
+
+    def test_fanout_clipped_to_peers(self):
+        import numpy as np
+
+        from repro.simcluster.gossip import select_push_targets
+
+        rng = np.random.default_rng(2)
+        src, dst = select_push_targets(rng, 3, 10)
+        # Each of the 3 ranks pushes to both of its 2 peers.
+        assert src.size == 6
+        src_, dst_ = select_push_targets(rng, 1, 2)
+        assert src_.size == dst_.size == 0
+
+    def test_include_root_covers_rank_zero(self):
+        import numpy as np
+
+        from repro.simcluster.gossip import select_push_targets
+
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            src, dst = select_push_targets(rng, 10, 1, include_root=True)
+            for s in range(1, 10):
+                assert 0 in dst[src == s].tolist()
+            # Rank 0 never pushes to itself.
+            assert (dst[src == 0] != 0).all()
+
+    def test_single_rng_draw_per_round(self):
+        import numpy as np
+
+        from repro.simcluster.gossip import select_push_targets
+
+        class CountingRNG:
+            def __init__(self):
+                self._rng = np.random.default_rng(0)
+                self.calls = 0
+
+            def random(self, *args, **kwargs):
+                self.calls += 1
+                return self._rng.random(*args, **kwargs)
+
+            def __getattr__(self, name):
+                return getattr(self._rng, name)
+
+        rng = CountingRNG()
+        select_push_targets(rng, 64, 2)
+        assert rng.calls == 1
+
+
+class TestVectorizedAgainstReferenceBoard:
+    def test_identical_views_under_shared_selection(self):
+        import numpy as np
+
+        from repro.runtime.reference import ReferenceGossipBoard
+
+        rng = np.random.default_rng(13)
+        for trial in range(10):
+            num_ranks = int(rng.integers(2, 24))
+            fanout = int(rng.integers(1, 4))
+            include_root = bool(rng.integers(0, 2))
+            config = GossipConfig(fanout=fanout, include_root=include_root)
+            seed = int(rng.integers(0, 1 << 30))
+            fast = GossipBoard(num_ranks, config=config, seed=seed)
+            slow = ReferenceGossipBoard(
+                num_ranks, config=config, seed=seed, batched_targets=True
+            )
+            for _ in range(15):
+                ranks = rng.integers(0, num_ranks, size=max(1, num_ranks // 2))
+                values = rng.random(ranks.size)
+                for r, v in zip(ranks.tolist(), values.tolist()):
+                    fast.publish(r, v)
+                    slow.publish(r, v)
+                fast.step()
+                slow.step()
+                for r in range(num_ranks):
+                    assert fast.local_view(r) == slow.local_view(r)
+
+    def test_negative_explicit_version_rejected(self):
+        board = GossipBoard(2, seed=0)
+        with pytest.raises(ValueError):
+            board.publish(0, 1.0, version=-1)
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            board.publish_all(np.zeros(2), version=-3)
