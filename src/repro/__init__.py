@@ -33,6 +33,11 @@ depends on:
   adversarial, multi-phase and trace-replay generators).
 * :mod:`repro.campaign` -- a parallel campaign engine crossing scenarios
   with LB policies and seeds, with JSONL persistence and resume.
+* :mod:`repro.api` -- the unified declarative run API: a serializable
+  :class:`~repro.api.config.RunConfig` tree, the
+  :class:`~repro.api.session.Session` facade executing it, and a streaming
+  event bus (every experiment driver, the campaign engine and the CLI run
+  through it).
 
 Quickstart
 ----------
@@ -43,6 +48,7 @@ Quickstart
 True
 """
 
+from repro.api import PolicyConfig, RunConfig, Session, SessionResult
 from repro.campaign import CampaignSpec, PolicySpec, run_campaign
 from repro.core import (
     ApplicationParameters,
@@ -91,9 +97,13 @@ __all__ = [
     "GainReport",
     "IterativeRunner",
     "LBSchedule",
+    "PolicyConfig",
     "PolicySpec",
+    "RunConfig",
     "RunResult",
     "ScenarioSpec",
+    "Session",
+    "SessionResult",
     "ScheduleEvaluation",
     "StandardLBModel",
     "StandardPolicy",

@@ -1,0 +1,73 @@
+"""Unified declarative run API: config tree, session facade, event bus.
+
+This package is the single front door to the simulation stack.  The paper's
+core claim -- the standard method and ULBA share one centralized LB
+technique and differ only in injected policies -- is mirrored in the API:
+one serializable :class:`~repro.api.config.RunConfig` names the workload
+(scenario catalog), the policy pair (:mod:`repro.lb.registry`) and the
+machine; one :class:`~repro.api.session.Session` owns every component the
+run needs; one :class:`~repro.api.events.EventBus` streams progress.
+
+Layering (consumers above, substrate below)::
+
+    cli  |  campaign  |  experiments (fig4/fig5, ablations)  |  user code
+    -----------------------------------------------------------------
+                repro.api:  RunConfig -> Session -> SessionResult
+                            EventBus: phase / iteration / lb_step
+    -----------------------------------------------------------------
+    scenarios (catalog)   lb.registry (policies)   runtime (Algorithm 1)
+    erosion / particles / generators               simcluster / partitioning
+
+Quickstart::
+
+    from repro.api import PolicyConfig, RunConfig, ScenarioConfig, Session
+
+    cfg = RunConfig(
+        scenario=ScenarioConfig(name="erosion", iterations=80, seed=7),
+        policy=PolicyConfig("ulba", {"alpha": 0.4}),
+    )
+    cfg = RunConfig.from_json(cfg.to_json())      # fully serializable
+    session = Session.from_config(cfg)
+    session.on("lb_step", lambda e: print("LB at", e.iteration))
+    result = session.run()
+    print(result.total_time, result.num_lb_calls)
+"""
+
+from repro.api.config import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_BYTES_PER_LOAD_UNIT,
+    DEFAULT_LATENCY,
+    ClusterConfig,
+    PolicyConfig,
+    RunConfig,
+    RunnerConfig,
+    ScenarioConfig,
+    TopologyConfig,
+)
+from repro.api.events import (
+    EVENT_TYPES,
+    EventBus,
+    IterationEvent,
+    LBStepEvent,
+    PhaseEvent,
+)
+from repro.api.session import Session, SessionResult
+
+__all__ = [
+    "ClusterConfig",
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_BYTES_PER_LOAD_UNIT",
+    "DEFAULT_LATENCY",
+    "EVENT_TYPES",
+    "EventBus",
+    "IterationEvent",
+    "LBStepEvent",
+    "PhaseEvent",
+    "PolicyConfig",
+    "RunConfig",
+    "RunnerConfig",
+    "ScenarioConfig",
+    "Session",
+    "SessionResult",
+    "TopologyConfig",
+]

@@ -1,0 +1,378 @@
+"""The frozen, fully serializable configuration tree of the run API.
+
+A :class:`RunConfig` is a complete declarative description of one simulated
+run -- cluster + interconnect (:class:`ClusterConfig`), WIR dissemination
+(:class:`TopologyConfig`), LB policy pair (:class:`PolicyConfig`, resolved
+through :mod:`repro.lb.registry`), workload (:class:`ScenarioConfig`,
+resolved through the scenario catalog) and runner knobs
+(:class:`RunnerConfig`).  Every node is a frozen dataclass that validates at
+construction, and the whole tree round-trips through plain dicts and JSON::
+
+    cfg = RunConfig(policy=PolicyConfig("ulba", {"alpha": 0.4}))
+    cfg == RunConfig.from_json(cfg.to_json())   # True
+
+``from_dict`` / ``from_json`` reject unknown keys at every level, so a typo
+in a shipped config fails loudly instead of silently running the defaults.
+:class:`repro.api.session.Session` turns a :class:`RunConfig` into a wired,
+runnable session.
+
+This module also owns the canonical interconnect defaults of the erosion
+experiments (``DEFAULT_LATENCY`` / ``DEFAULT_BANDWIDTH`` /
+``DEFAULT_BYTES_PER_LOAD_UNIT``, historically defined in
+:mod:`repro.scenarios.erosion`, which still re-exports them) and, through
+:meth:`RunnerConfig.resolve_lb_cost_prior`, the LB-cost prior every layer
+used to compute independently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from types import MappingProxyType
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.lb.base import TriggerPolicy, WorkloadPolicy
+from repro.lb.registry import make_policy_pair
+from repro.runtime.skeleton import initial_lb_cost_prior
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_BYTES_PER_LOAD_UNIT",
+    "DEFAULT_LATENCY",
+    "ClusterConfig",
+    "PolicyConfig",
+    "RunConfig",
+    "RunnerConfig",
+    "ScenarioConfig",
+    "TopologyConfig",
+    "parse_policy_shorthand",
+]
+
+#: Default interconnect latency of the erosion experiments (seconds).
+DEFAULT_LATENCY: float = 5.0e-6
+#: Default interconnect bandwidth of the erosion experiments (bytes/second).
+DEFAULT_BANDWIDTH: float = 2.0e9
+#: Default migration volume charged per unit of cell workload in the erosion
+#: experiments (bytes).
+DEFAULT_BYTES_PER_LOAD_UNIT: float = 1200.0
+
+
+def _from_mapping(cls, data, *, context: str):
+    """Build ``cls(**data)`` after rejecting non-mappings and unknown keys."""
+    if not isinstance(data, Mapping):
+        raise TypeError(f"{context} must be built from a mapping, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {unknown} for {context}; known keys: {sorted(known)}"
+        )
+    return cls(**data)
+
+
+def parse_policy_shorthand(text: str) -> Tuple[str, Dict[str, Any]]:
+    """Split the CLI policy shorthand ``"name[:alpha]"`` into name + params.
+
+    The single implementation behind :meth:`PolicyConfig.parse` and the
+    campaign grid's ``PolicySpec.parse``, so the two surfaces cannot drift.
+    A value after the colon becomes the ``alpha`` parameter.
+    """
+    name, _, alpha_text = text.strip().partition(":")
+    params: Dict[str, Any] = {"alpha": float(alpha_text)} if alpha_text else {}
+    return name, params
+
+
+def _check_jsonable(label: str, value: object) -> None:
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{label} must be JSON-serializable: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class _ConfigSection:
+    """Shared dict/JSON plumbing of every config dataclass."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form of this config (JSON-ready, nested for trees)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]):
+        """Rebuild from a plain mapping, rejecting unknown keys."""
+        return _from_mapping(cls, data, context=cls.__name__)
+
+
+@dataclass(frozen=True)
+class ClusterConfig(_ConfigSection):
+    """The virtual cluster and its interconnect model.
+
+    Maps one-to-one onto :class:`repro.simcluster.cluster.VirtualCluster`
+    plus :class:`repro.simcluster.comm.CommCostModel`.
+    """
+
+    #: Number of PEs (one stripe each).
+    num_pes: int = 16
+    #: PE speed in FLOP/s.
+    pe_speed: float = 1.0e9
+    #: Interconnect latency in seconds.
+    latency: float = DEFAULT_LATENCY
+    #: Interconnect bandwidth in bytes per second.
+    bandwidth: float = DEFAULT_BANDWIDTH
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_pes, "num_pes")
+        check_positive(self.pe_speed, "pe_speed")
+        check_non_negative(self.latency, "latency")
+        check_positive(self.bandwidth, "bandwidth")
+
+
+@dataclass(frozen=True)
+class TopologyConfig(_ConfigSection):
+    """How WIR values propagate between PEs."""
+
+    #: Gossip dissemination (one push round per iteration, stale views as in
+    #: the paper) when true; instant allgather-like dissemination when false.
+    use_gossip: bool = True
+    #: Smoothing factor of the per-PE WIR estimators, in (0, 1].
+    wir_smoothing: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.use_gossip, bool):
+            raise TypeError(f"use_gossip must be a bool, got {type(self.use_gossip).__name__}")
+        check_fraction(self.wir_smoothing, "wir_smoothing")
+        if self.wir_smoothing == 0.0:
+            raise ValueError("wir_smoothing must be > 0 (0 would never update)")
+
+
+@dataclass(frozen=True)
+class PolicyConfig(_ConfigSection):
+    """One LB policy pair by registry name plus scalar parameters.
+
+    ``name`` must be registered in :mod:`repro.lb.registry` (built-ins:
+    ``"standard"``, ``"ulba"``, ``"ulba-dynamic"``); ``params`` is passed to
+    the pair factory as keyword arguments.  Both the name and the parameters
+    are validated eagerly at construction -- an unknown name or a bad
+    ``alpha`` fails here, not at session build time -- so register custom
+    pairs *before* constructing configs that reference them.
+    """
+
+    #: Registry name of the policy pair.
+    name: str = "standard"
+    #: Scalar keyword parameters of the pair factory (e.g. ``{"alpha": 0.4}``).
+    #: Stored as a read-only mapping so the eagerly validated values cannot
+    #: be mutated afterwards.
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name or self.name != self.name.lower():
+            raise ValueError(
+                f"policy name must be a non-empty lowercase string, got {self.name!r}"
+            )
+        if not isinstance(self.params, Mapping):
+            raise TypeError(f"policy params must be a mapping, got {type(self.params).__name__}")
+        # A private copy behind a read-only proxy: the config stays genuinely
+        # frozen (mutation attempts raise) and the validation below cannot be
+        # bypassed after construction.
+        object.__setattr__(self, "params", MappingProxyType(dict(self.params)))
+        _check_jsonable("policy params", dict(self.params))
+        # Eager validation: building the pair once surfaces unknown names
+        # (KeyError) and invalid parameters (ValueError) at construction.
+        self.resolve()
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would choke on the mapping
+        # field; params is validated JSON-serializable, so its canonical
+        # JSON form is a stable stand-in (keeps RunConfig hashable too).
+        return hash((self.name, json.dumps(dict(self.params), sort_keys=True)))
+
+    def __reduce__(self):
+        # The read-only params proxy is not picklable; rebuild through the
+        # constructor instead (re-validating on the way in), which also
+        # keeps RunConfig picklable/deep-copyable for worker fan-out.
+        return (self.__class__, (self.name, dict(self.params)))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (params materialized as a mutable copy)."""
+        return {"name": self.name, "params": dict(self.params)}
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Compact human-readable form, e.g. ``ulba(alpha=0.4)``."""
+        if not self.params:
+            return self.name
+        inner = ", ".join(f"{key}={value}" for key, value in sorted(self.params.items()))
+        return f"{self.name}({inner})"
+
+    @classmethod
+    def parse(cls, text: str) -> "PolicyConfig":
+        """Parse the CLI shorthand ``"standard"`` / ``"ulba"`` / ``"ulba:0.3"``.
+
+        A value after the colon becomes the ``alpha`` parameter (see
+        :func:`parse_policy_shorthand`).
+        """
+        name, params = parse_policy_shorthand(text)
+        return cls(name=name, params=params)
+
+    def resolve(self) -> Tuple[WorkloadPolicy, TriggerPolicy]:
+        """Fresh (workload policy, trigger policy) pair via the registry."""
+        return make_policy_pair(self.name, **dict(self.params))
+
+
+@dataclass(frozen=True)
+class ScenarioConfig(_ConfigSection):
+    """Which catalog workload to run and at what size.
+
+    Together with ``ClusterConfig.num_pes`` this maps onto a
+    :class:`repro.scenarios.base.ScenarioSpec`.  The name is resolved
+    against the scenario registry when the session is built (not at
+    construction, so configs may be deserialized before a user scenario is
+    registered); unknown names then raise :class:`KeyError` listing the
+    catalog.
+    """
+
+    #: Catalog name of the scenario.
+    name: str = "synthetic-hotspot"
+    #: Domain columns per PE.
+    columns_per_pe: int = 48
+    #: Domain rows (grid scenarios only; others ignore it).
+    rows: int = 48
+    #: Application iterations of the run.
+    iterations: int = 40
+    #: Seed of the workload instance *and* of the runner's gossip stream.
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name or self.name != self.name.lower():
+            raise ValueError(
+                f"scenario name must be a non-empty lowercase string, got {self.name!r}"
+            )
+        check_positive_int(self.columns_per_pe, "columns_per_pe")
+        check_positive_int(self.rows, "rows")
+        check_positive_int(self.iterations, "iterations")
+        if self.seed is not None:
+            check_non_negative_int(self.seed, "seed")
+
+
+@dataclass(frozen=True)
+class RunnerConfig(_ConfigSection):
+    """Runner-level knobs, including the single source of the LB-cost prior.
+
+    ``initial_lb_cost_prior`` used to be invoked independently by the
+    erosion scenario harness, the scenario layer and the campaign runner;
+    this config is now its single owner -- every consumer calls
+    :meth:`resolve_lb_cost_prior` so they all assume the same prior.
+    """
+
+    #: Migration bytes charged per unit of migrated column load.  The
+    #: default is the canonical erosion-experiment value, so a plain
+    #: ``RunConfig()`` charges the same LB costs as the campaign engine and
+    #: the figure drivers (the bare ``IterativeRunner`` keeps its own lower
+    #: default of 800 for library use).
+    bytes_per_load_unit: float = DEFAULT_BYTES_PER_LOAD_UNIT
+    #: FLOP charged on the root PE per domain column when repartitioning.
+    partition_flop_per_column: float = 50.0
+    #: Explicit LB-cost prior in seconds, or ``None`` for the standard
+    #: half-of-one-balanced-iteration prior.
+    lb_cost_prior: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.bytes_per_load_unit, "bytes_per_load_unit")
+        check_non_negative(self.partition_flop_per_column, "partition_flop_per_column")
+        if self.lb_cost_prior is not None:
+            check_non_negative(self.lb_cost_prior, "lb_cost_prior")
+
+    # ------------------------------------------------------------------
+    def resolve_lb_cost_prior(self, total_flop: float, num_pes: int, pe_speed: float) -> float:
+        """The LB cost assumed before the first measured LB step (seconds).
+
+        Returns the explicit ``lb_cost_prior`` when one is configured,
+        otherwise the shared half-iteration prior
+        (:func:`repro.runtime.skeleton.initial_lb_cost_prior`) computed from
+        the initial total workload.
+        """
+        if self.lb_cost_prior is not None:
+            return float(self.lb_cost_prior)
+        return initial_lb_cost_prior(total_flop, num_pes, pe_speed)
+
+
+#: Section name -> config class of the RunConfig tree.
+_RUN_SECTIONS: Dict[str, type] = {
+    "cluster": ClusterConfig,
+    "topology": TopologyConfig,
+    "policy": PolicyConfig,
+    "scenario": ScenarioConfig,
+    "runner": RunnerConfig,
+}
+
+
+@dataclass(frozen=True)
+class RunConfig(_ConfigSection):
+    """Complete declarative description of one simulated run.
+
+    The tree is frozen and JSON round-trippable
+    (``RunConfig.from_json(cfg.to_json()) == cfg``); hand it to
+    :meth:`repro.api.session.Session.from_config` to execute it.
+    """
+
+    #: Virtual cluster and interconnect.
+    cluster: ClusterConfig = ClusterConfig()
+    #: WIR dissemination.
+    topology: TopologyConfig = TopologyConfig()
+    #: LB policy pair.
+    policy: PolicyConfig = PolicyConfig()
+    #: Workload scenario and sizing.
+    scenario: ScenarioConfig = ScenarioConfig()
+    #: Runner knobs (migration volume, LB-cost prior).
+    runner: RunnerConfig = RunnerConfig()
+
+    def __post_init__(self) -> None:
+        for name, section_cls in _RUN_SECTIONS.items():
+            value = getattr(self, name)
+            if not isinstance(value, section_cls):
+                raise TypeError(
+                    f"RunConfig.{name} must be a {section_cls.__name__}, "
+                    f"got {type(value).__name__}"
+                )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-dict form of the whole tree (JSON-ready)."""
+        return {name: getattr(self, name).to_dict() for name in _RUN_SECTIONS}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
+        """Rebuild the full tree from nested plain dicts.
+
+        Missing sections fall back to their defaults; unknown section names
+        or unknown keys inside a section raise :class:`ValueError`.
+        """
+        if not isinstance(data, Mapping):
+            raise TypeError(f"RunConfig must be built from a mapping, got {type(data).__name__}")
+        unknown = sorted(set(data) - set(_RUN_SECTIONS))
+        if unknown:
+            raise ValueError(
+                f"unknown section(s) {unknown} for RunConfig; "
+                f"known sections: {sorted(_RUN_SECTIONS)}"
+            )
+        kwargs = {
+            name: _RUN_SECTIONS[name].from_dict(value) for name, value in data.items()
+        }
+        return cls(**kwargs)
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """JSON form of the tree (stable key order)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,142 @@
+"""Streaming event bus of the session facade.
+
+A :class:`~repro.api.session.Session` owns one :class:`EventBus` and emits
+typed events while a run executes:
+
+``"phase"``
+    :class:`PhaseEvent` -- lifecycle transitions (``"run"`` when the
+    iteration loop starts, ``"done"`` when it finishes).
+``"iteration"``
+    :class:`IterationEvent` -- one completed application iteration with its
+    virtual elapsed time.
+``"lb_step"``
+    :class:`LBStepEvent` -- one executed load-balancing step, carrying the
+    full :class:`~repro.lb.centralized.LBStepReport`.
+
+Subscribers attach with :meth:`EventBus.on` and receive events synchronously
+in subscription order; progress reporting, tracing and future async or
+distributed backends observe the run through this bus instead of poking
+runner internals.  Emission is allocation-free when an event type has no
+subscribers (the session checks :meth:`EventBus.has_listeners` first), so
+the facade adds no per-iteration cost to headless runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.lb.centralized import LBStepReport
+
+__all__ = [
+    "EVENT_TYPES",
+    "EventBus",
+    "IterationEvent",
+    "LBStepEvent",
+    "PhaseEvent",
+]
+
+#: Event names a session emits (plus the ``"*"`` wildcard accepted by ``on``).
+EVENT_TYPES: Tuple[str, ...] = ("phase", "iteration", "lb_step")
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """A session lifecycle transition (``"run"`` / ``"done"``)."""
+
+    #: Name of the phase that just started.
+    name: str
+
+
+@dataclass(frozen=True)
+class IterationEvent:
+    """One completed application iteration."""
+
+    #: 0-based iteration index.
+    iteration: int
+    #: Virtual elapsed time of the iteration's compute step (seconds).
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class LBStepEvent:
+    """One executed load-balancing step."""
+
+    #: Iteration at which the LB step ran.
+    iteration: int
+    #: Full report of the step (decision, partition, migrated load, cost).
+    report: LBStepReport
+
+
+class _Subscription:
+    """One live subscription: identity-distinct even for a repeated callback."""
+
+    __slots__ = ("callback",)
+
+    def __init__(self, callback: Callable[[object], None]) -> None:
+        self.callback = callback
+
+
+class EventBus:
+    """Minimal synchronous publish/subscribe hub with typed event names.
+
+    Only the names in :data:`EVENT_TYPES` are valid (typos raise
+    :class:`ValueError` at subscription *and* emission time); ``"*"``
+    subscribes one callback to every event type.  Callback exceptions
+    propagate to the emitter -- the bus never swallows errors.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[_Subscription]] = {
+            event: [] for event in EVENT_TYPES
+        }
+
+    def _check(self, event: str) -> None:
+        if event not in self._subscribers:
+            raise ValueError(
+                f"unknown event {event!r}; known events: {', '.join(EVENT_TYPES)} (or '*')"
+            )
+
+    def on(self, event: str, callback: Callable[[object], None]) -> Callable[[], None]:
+        """Subscribe ``callback`` to ``event`` (or ``"*"`` for all events).
+
+        Returns an idempotent unsubscribe function; calling it removes this
+        subscription (and only this one) from the bus.
+        """
+        if event == "*":
+            offs = [self.on(name, callback) for name in EVENT_TYPES]
+
+            def _unsubscribe_all() -> None:
+                for off in offs:
+                    off()
+
+            return _unsubscribe_all
+        self._check(event)
+        handlers = self._subscribers[event]
+        # Subscriptions are removed by identity, so unsubscribing one of two
+        # subscriptions of the *same* callback never drops the other.
+        subscription = _Subscription(callback)
+        handlers.append(subscription)
+
+        def _unsubscribe() -> None:
+            try:
+                handlers.remove(subscription)
+            except ValueError:
+                pass
+
+        return _unsubscribe
+
+    def has_listeners(self, event: str) -> bool:
+        """True when at least one callback is subscribed to ``event``."""
+        self._check(event)
+        return bool(self._subscribers[event])
+
+    def emit(self, event: str, payload: object) -> None:
+        """Deliver ``payload`` to every subscriber of ``event``, in order.
+
+        The subscriber list is snapshotted first, so a callback may
+        unsubscribe (itself or others) without perturbing the delivery.
+        """
+        self._check(event)
+        for subscription in tuple(self._subscribers[event]):
+            subscription.callback(payload)

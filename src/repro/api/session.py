@@ -1,0 +1,262 @@
+"""The Session facade: one entry point from a declarative config to a run.
+
+Every pre-redesign caller wired cluster + partitioner + WIR database +
+policies + runner by hand (the figure drivers, the erosion scenario harness,
+the campaign runner and the CLI each had their own copy of that wiring).  A
+:class:`Session` owns all of it:
+
+>>> from repro.api import PolicyConfig, RunConfig, Session
+>>> cfg = RunConfig(policy=PolicyConfig("ulba", {"alpha": 0.4}))
+>>> session = Session.from_config(cfg)
+>>> session.on("lb_step", lambda e: print("LB at iteration", e.iteration))
+>>> result = session.run()                         # doctest: +SKIP
+
+``from_config`` resolves the scenario through the catalog and the policy
+pair through :mod:`repro.lb.registry`; the lower-level constructor accepts
+already-built components (cluster, application, policy objects) for harnesses
+like :class:`repro.scenarios.erosion.ErosionScenario` that sweep policy
+*objects* rather than names.  Either way the session exposes a streaming
+:class:`~repro.api.events.EventBus` (``on("phase" | "iteration" |
+"lb_step")``) so progress reporting and tracing subscribe instead of poking
+runner internals, and :meth:`run` returns a structured
+:class:`SessionResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.api.config import RunConfig, RunnerConfig, TopologyConfig
+from repro.api.events import EventBus, IterationEvent, LBStepEvent, PhaseEvent
+from repro.lb.base import TriggerPolicy, WorkloadPolicy
+from repro.lb.centralized import LBStepReport
+from repro.runtime.skeleton import IterativeRunner, RunResult, StripedApplication
+from repro.simcluster.cluster import VirtualCluster
+from repro.simcluster.comm import CommCostModel
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Session", "SessionResult"]
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Structured outcome of one :meth:`Session.run`."""
+
+    #: The underlying runner result (trace, LB reports, policy names).
+    run: RunResult
+    #: Catalog name of the scenario ("" for component-built sessions).
+    scenario: str
+    #: Number of application iterations executed by this call.
+    iterations: int
+    #: Host wall-clock time of the run (bookkeeping; everything else is
+    #: deterministic virtual time).
+    wall_time: float
+    #: The config the session was built from (None for component-built ones).
+    config: Optional[RunConfig] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        """Total virtual time of the run (seconds)."""
+        return self.run.total_time
+
+    @property
+    def num_lb_calls(self) -> int:
+        """Number of LB invocations."""
+        return self.run.num_lb_calls
+
+    @property
+    def mean_utilization(self) -> float:
+        """Time-weighted average PE utilization."""
+        return self.run.mean_utilization
+
+    def summary(self) -> dict:
+        """Flat summary row: trace totals plus session bookkeeping."""
+        info = self.run.summary()
+        info.update(
+            scenario=self.scenario,
+            iterations=self.iterations,
+            wall_time=self.wall_time,
+        )
+        return info
+
+
+class Session:
+    """Facade owning cluster, WIR database, partitioner, policies and runner.
+
+    Two construction paths:
+
+    * :meth:`from_config` -- fully declarative: a :class:`RunConfig` names
+      the scenario (catalog lookup) and the policy pair (registry lookup)
+      and the session builds every component;
+    * the constructor -- component-level: the caller passes an
+      already-built cluster, application and policy objects, and the
+      session still owns runner wiring, the LB-cost prior
+      (:meth:`RunnerConfig.resolve_lb_cost_prior`) and the event bus.
+
+    Subscribe to progress with :meth:`on` before calling :meth:`run`.
+    Repeated ``run`` calls continue on the same virtual cluster (clocks and
+    trace carry over), exactly like calling ``IterativeRunner.run`` again.
+    """
+
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        application: StripedApplication,
+        workload_policy: Optional[WorkloadPolicy] = None,
+        trigger_policy: Optional[TriggerPolicy] = None,
+        *,
+        runner_config: Optional[RunnerConfig] = None,
+        topology: Optional[TopologyConfig] = None,
+        seed: SeedLike = None,
+        iterations: Optional[int] = None,
+        config: Optional[RunConfig] = None,
+        scenario_name: str = "",
+        scenario_instance: Optional[object] = None,
+    ) -> None:
+        self.events = EventBus()
+        self.config = config
+        self.scenario_name = scenario_name
+        #: The :class:`~repro.scenarios.base.ScenarioInstance` the session
+        #: was built from (None for component-built sessions).
+        self.scenario_instance = scenario_instance
+        self.runner_config = runner_config if runner_config is not None else RunnerConfig()
+        self.topology = topology if topology is not None else TopologyConfig()
+        self._default_iterations = iterations
+        prior = self.runner_config.resolve_lb_cost_prior(
+            self._total_flop(application), cluster.size, cluster.pe_speed
+        )
+        #: The underlying Algorithm 1 driver (exposed for advanced use).
+        self.runner = IterativeRunner(
+            cluster,
+            application,
+            workload_policy=workload_policy,
+            trigger_policy=trigger_policy,
+            use_gossip=self.topology.use_gossip,
+            wir_smoothing=self.topology.wir_smoothing,
+            initial_lb_cost_estimate=prior,
+            partition_flop_per_column=self.runner_config.partition_flop_per_column,
+            bytes_per_load_unit=self.runner_config.bytes_per_load_unit,
+            seed=seed,
+            on_iteration=self._emit_iteration,
+            on_lb_step=self._emit_lb_step,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _total_flop(application: StripedApplication) -> float:
+        # Prefer the application's own total_load() accumulator: the erosion
+        # experiments and the golden fixtures have always computed the prior
+        # from it, and its summation order differs from column_loads().sum()
+        # by up to an ulp.
+        total_load = getattr(application, "total_load", None)
+        if callable(total_load):
+            total = float(total_load())
+        else:
+            total = float(application.column_loads().sum())
+        return total * application.flop_per_load_unit
+
+    @classmethod
+    def from_config(cls, config: RunConfig) -> "Session":
+        """Build a fully wired session from a declarative :class:`RunConfig`.
+
+        Resolves the scenario name against the catalog (raising
+        :class:`KeyError` with the registered names on a typo), builds the
+        workload instance for ``config.scenario.seed``, the virtual cluster
+        for ``config.cluster`` and the policy pair via the LB registry.
+        """
+        # Imported here, not at module level: the scenario layer consumes
+        # repro.api.config (RunnerConfig owns the LB-cost prior), so the
+        # import must point downward only at runtime.  Importing the package
+        # also registers the built-in catalog.
+        import repro.scenarios  # noqa: F401  -- populates the scenario registry
+        from repro.scenarios.base import ScenarioSpec
+        from repro.scenarios.registry import get_scenario
+
+        scenario = get_scenario(config.scenario.name)
+        spec = ScenarioSpec(
+            num_pes=config.cluster.num_pes,
+            columns_per_pe=config.scenario.columns_per_pe,
+            rows=config.scenario.rows,
+            iterations=config.scenario.iterations,
+            seed=config.scenario.seed,
+        )
+        instance = scenario.build(spec)
+        cluster = VirtualCluster(
+            config.cluster.num_pes,
+            pe_speed=config.cluster.pe_speed,
+            cost_model=CommCostModel(
+                latency=config.cluster.latency, bandwidth=config.cluster.bandwidth
+            ),
+        )
+        workload_policy, trigger_policy = config.policy.resolve()
+        return cls(
+            cluster,
+            instance.application,
+            workload_policy,
+            trigger_policy,
+            runner_config=config.runner,
+            topology=config.topology,
+            seed=config.scenario.seed,
+            iterations=config.scenario.iterations,
+            config=config,
+            scenario_name=config.scenario.name,
+            scenario_instance=instance,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def cluster(self) -> VirtualCluster:
+        """The virtual cluster the session runs on."""
+        return self.runner.cluster
+
+    @property
+    def application(self) -> StripedApplication:
+        """The striped application of the session."""
+        return self.runner.application
+
+    def on(self, event: str, callback: Callable[[object], None]) -> Callable[[], None]:
+        """Subscribe to ``"phase"`` / ``"iteration"`` / ``"lb_step"`` events.
+
+        Shorthand for ``session.events.on(...)``; returns the unsubscribe
+        function.
+        """
+        return self.events.on(event, callback)
+
+    def _emit_iteration(self, iteration: int, elapsed: float) -> None:
+        if self.events.has_listeners("iteration"):
+            self.events.emit("iteration", IterationEvent(iteration=iteration, elapsed=elapsed))
+
+    def _emit_lb_step(self, iteration: int, report: LBStepReport) -> None:
+        if self.events.has_listeners("lb_step"):
+            self.events.emit("lb_step", LBStepEvent(iteration=iteration, report=report))
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: Optional[int] = None) -> SessionResult:
+        """Execute the run and return its structured result.
+
+        ``iterations`` defaults to the config's ``scenario.iterations``;
+        component-built sessions without a default must pass it explicitly.
+        """
+        n = iterations if iterations is not None else self._default_iterations
+        if n is None:
+            raise ValueError(
+                "iterations not set: pass Session.run(iterations=...) or build "
+                "the session from a RunConfig (whose scenario section sets it)"
+            )
+        check_positive_int(n, "iterations")
+        started = time.perf_counter()
+        self.events.emit("phase", PhaseEvent("run"))
+        result = self.runner.run(n)
+        wall_time = time.perf_counter() - started
+        self.events.emit("phase", PhaseEvent("done"))
+        return SessionResult(
+            run=result,
+            scenario=self.scenario_name,
+            iterations=n,
+            wall_time=wall_time,
+            config=self.config,
+        )

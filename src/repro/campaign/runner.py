@@ -9,11 +9,13 @@ executes the cells whose ids are not on disk yet, so an interrupted campaign
 of starting over.
 
 Each worker rebuilds its cell from the picklable
-:class:`~repro.campaign.spec.CampaignCell` descriptor alone -- scenario
-instance, virtual cluster and policies are constructed inside the worker --
-so results are identical whether a cell runs serially, under
-``--jobs N`` or in a resumed invocation (the simulation is deterministic;
-only the bookkeeping field ``wall_time`` varies).
+:class:`~repro.campaign.spec.CampaignCell` descriptor alone -- the cell's
+declarative :meth:`~repro.campaign.spec.CampaignCell.run_config` is handed
+to :meth:`repro.api.session.Session.from_config`, which constructs the
+scenario instance, virtual cluster and policies inside the worker -- so
+results are identical whether a cell runs serially, under ``--jobs N`` or
+in a resumed invocation (the simulation is deterministic; only the
+bookkeeping field ``wall_time`` varies).
 """
 
 from __future__ import annotations
@@ -25,11 +27,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
+from repro.api.session import Session
 from repro.campaign.spec import CampaignCell, CampaignSpec
-from repro.runtime.skeleton import IterativeRunner, initial_lb_cost_prior
-from repro.scenarios.registry import get_scenario
-from repro.simcluster.cluster import VirtualCluster
-from repro.simcluster.comm import CommCostModel
 
 __all__ = [
     "CampaignRun",
@@ -45,36 +44,16 @@ CellRow = Dict[str, object]
 def run_cell(cell: CampaignCell) -> CellRow:
     """Execute one campaign cell and return its JSON-serialisable row.
 
-    Builds the scenario instance for the cell's seed, binds it to a fresh
-    virtual cluster with the campaign's interconnect model, runs the
-    Algorithm 1 skeleton under the cell's policy pair and summarises the
-    trace.  Deterministic except for the ``wall_time`` bookkeeping field.
+    Hands the cell's declarative run config to the
+    :class:`~repro.api.session.Session` facade -- which builds the scenario
+    instance for the cell's seed, the virtual cluster with the campaign's
+    interconnect model and the policy pair via the LB registry -- and
+    summarises the trace.  Deterministic except for the ``wall_time``
+    bookkeeping field.
     """
     started = time.perf_counter()
-    instance = get_scenario(cell.scenario).build(cell.scenario_spec())
-    application = instance.application
-    cluster = VirtualCluster(
-        cell.num_pes,
-        pe_speed=cell.pe_speed,
-        cost_model=CommCostModel(latency=cell.latency, bandwidth=cell.bandwidth),
-    )
-    workload_policy, trigger_policy = cell.policy.make_policies()
-    initial_total_flop = (
-        float(application.column_loads().sum()) * application.flop_per_load_unit
-    )
-    lb_cost_prior = initial_lb_cost_prior(
-        initial_total_flop, cell.num_pes, cell.pe_speed
-    )
-    runner = IterativeRunner(
-        cluster,
-        application,
-        workload_policy=workload_policy,
-        trigger_policy=trigger_policy,
-        initial_lb_cost_estimate=lb_cost_prior,
-        bytes_per_load_unit=cell.bytes_per_load_unit,
-        seed=cell.seed,
-    )
-    result = runner.run(cell.iterations)
+    session = Session.from_config(cell.run_config())
+    result = session.run()
     return {
         "cell_id": cell.cell_id,
         "scenario": cell.scenario,
@@ -92,7 +71,7 @@ def run_cell(cell: CampaignCell) -> CellRow:
         "total_time": result.total_time,
         "num_lb_calls": result.num_lb_calls,
         "mean_utilization": result.mean_utilization,
-        "model_N": instance.parameters.num_overloading,
+        "model_N": session.scenario_instance.parameters.num_overloading,
         "wall_time": time.perf_counter() - started,
     }
 

@@ -22,18 +22,26 @@ import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.experiments.common import ExperimentSeeds
-from repro.lb.adaptive import DegradationTrigger, ULBADegradationTrigger
-from repro.lb.base import TriggerPolicy, WorkloadPolicy
-from repro.lb.dynamic_alpha import DynamicAlphaULBAPolicy
-from repro.lb.standard import StandardPolicy
-from repro.lb.ulba import ULBAPolicy
-from repro.scenarios.base import ScenarioSpec
-from repro.scenarios.erosion import (
+from repro.api.config import (
     DEFAULT_BANDWIDTH,
     DEFAULT_BYTES_PER_LOAD_UNIT,
     DEFAULT_LATENCY,
+    ClusterConfig,
+    PolicyConfig,
+    RunConfig,
+    RunnerConfig,
+    ScenarioConfig,
+    TopologyConfig,
+    parse_policy_shorthand,
 )
+from repro.experiments.common import ExperimentSeeds
+from repro.lb.base import TriggerPolicy, WorkloadPolicy
+from repro.lb.registry import (
+    available_policy_pairs,
+    make_policy_pair,
+    policy_pair_accepts,
+)
+from repro.scenarios.base import ScenarioSpec
 from repro.scenarios.registry import get_scenario
 from repro.utils.validation import check_fraction, check_positive, check_positive_int
 
@@ -43,18 +51,16 @@ __all__ = [
     "PolicySpec",
 ]
 
-#: Policy kinds understood by :class:`PolicySpec`.
-_POLICY_KINDS = ("standard", "ulba", "ulba-dynamic")
-
 
 @dataclass(frozen=True)
 class PolicySpec:
     """One LB policy of the campaign's policy grid.
 
-    ``kind`` selects the workload policy and its matching trigger:
-    ``"standard"`` (even split + Zhai degradation trigger), ``"ulba"``
-    (fixed-``alpha`` underloading + ULBA-aware trigger) or
-    ``"ulba-dynamic"`` (runtime-adaptive ``alpha``).
+    ``kind`` names a pair registered in :mod:`repro.lb.registry` (built-ins:
+    ``"standard"`` -- even split + Zhai degradation trigger, ``"ulba"`` --
+    fixed-``alpha`` underloading + ULBA-aware trigger, ``"ulba-dynamic"`` --
+    runtime-adaptive ``alpha``); custom pairs become usable in campaign
+    grids the moment they are registered.
     """
 
     kind: str = "standard"
@@ -62,39 +68,49 @@ class PolicySpec:
     alpha: float = 0.4
 
     def __post_init__(self) -> None:
-        if self.kind not in _POLICY_KINDS:
+        known = tuple(available_policy_pairs())
+        if self.kind not in known:
             raise ValueError(
-                f"policy kind must be one of {_POLICY_KINDS}, got {self.kind!r}"
+                f"policy kind must be one of {known}, got {self.kind!r}"
             )
         check_fraction(self.alpha, "alpha")
 
     # ------------------------------------------------------------------
     @property
     def label(self) -> str:
-        """Stable human-readable label used in cell ids and report tables."""
-        if self.kind == "standard":
-            return "standard"
-        if self.kind == "ulba":
-            return f"ulba(a={self.alpha:.2f})"
-        return f"ulba-dynamic(a0={self.alpha:.2f})"
+        """Stable human-readable label used in cell ids and report tables.
+
+        The alpha suffix only appears for pairs whose factory takes an
+        ``alpha`` (mirroring ``_pair_params``), so two specs that execute
+        identically never get distinct labels / cell ids.
+        """
+        if self.kind == "ulba-dynamic":
+            return f"ulba-dynamic(a0={self.alpha:.2f})"
+        if policy_pair_accepts(self.kind, "alpha"):
+            return f"{self.kind}(a={self.alpha:.2f})"
+        return self.kind
 
     @classmethod
     def parse(cls, text: str) -> "PolicySpec":
         """Parse ``"standard"``, ``"ulba"``, ``"ulba:0.3"``, ``"ulba-dynamic"``."""
-        kind, _, alpha_text = text.strip().partition(":")
-        alpha = float(alpha_text) if alpha_text else 0.4
-        return cls(kind=kind, alpha=alpha)
+        kind, params = parse_policy_shorthand(text)
+        return cls(kind=kind, alpha=params.get("alpha", 0.4))
+
+    def _pair_params(self) -> dict:
+        # alpha is only forwarded to pair factories that declare it, so
+        # custom registered pairs without an alpha knob stay usable in
+        # campaign grids.
+        if policy_pair_accepts(self.kind, "alpha"):
+            return {"alpha": self.alpha}
+        return {}
 
     def make_policies(self) -> Tuple[WorkloadPolicy, TriggerPolicy]:
-        """Fresh (workload policy, trigger policy) pair for one run."""
-        if self.kind == "standard":
-            return StandardPolicy(), DegradationTrigger()
-        if self.kind == "ulba":
-            return ULBAPolicy(alpha=self.alpha), ULBADegradationTrigger(alpha=self.alpha)
-        return (
-            DynamicAlphaULBAPolicy(fallback_alpha=self.alpha),
-            ULBADegradationTrigger(alpha=self.alpha),
-        )
+        """Fresh (workload policy, trigger policy) pair via :mod:`repro.lb.registry`."""
+        return make_policy_pair(self.kind, **self._pair_params())
+
+    def as_policy_config(self) -> PolicyConfig:
+        """The equivalent :class:`repro.api.config.PolicyConfig` of this spec."""
+        return PolicyConfig(name=self.kind, params=self._pair_params())
 
 
 @dataclass(frozen=True)
@@ -133,6 +149,33 @@ class CampaignCell:
             rows=self.rows,
             iterations=self.iterations,
             seed=self.seed,
+        )
+
+    def run_config(self) -> RunConfig:
+        """The declarative :class:`repro.api.config.RunConfig` of this cell.
+
+        This is what the campaign runner hands to
+        :meth:`repro.api.session.Session.from_config`; it is also the
+        shippable form of the cell (JSON round-trippable), so a cell can be
+        re-executed anywhere without the spec.
+        """
+        return RunConfig(
+            cluster=ClusterConfig(
+                num_pes=self.num_pes,
+                pe_speed=self.pe_speed,
+                latency=self.latency,
+                bandwidth=self.bandwidth,
+            ),
+            topology=TopologyConfig(),
+            policy=self.policy.as_policy_config(),
+            scenario=ScenarioConfig(
+                name=self.scenario,
+                columns_per_pe=self.columns_per_pe,
+                rows=self.rows,
+                iterations=self.iterations,
+                seed=self.seed,
+            ),
+            runner=RunnerConfig(bytes_per_load_unit=self.bytes_per_load_unit),
         )
 
 

@@ -13,6 +13,9 @@ studies and scenario campaigns without writing any Python:
 ``all``                   everything above, at reduced scale
 ``campaign``              scenario grid x policy grid x seeds on the scenario
                           catalog, in parallel, with JSONL resume
+``run``                   one declarative scenario x policy run through the
+                          ``repro.api`` Session facade (JSON config in/out,
+                          streamed progress events)
 ========================  ====================================================
 
 Each command accepts ``--scale`` to trade fidelity for speed: ``smoke`` (a
@@ -29,9 +32,18 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.api import (
+    ClusterConfig,
+    PolicyConfig,
+    RunConfig,
+    ScenarioConfig,
+    Session,
+)
 from repro.campaign import campaign_for_scale, format_campaign_report, run_campaign
+from repro.experiments.common import format_table
 from repro.experiments.ablations import (
     run_alpha_policy_comparison,
     run_dissemination_ablation,
@@ -230,6 +242,50 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     return header + "\n\n" + format_campaign_report(run.rows)
 
 
+def _cmd_run(args: argparse.Namespace) -> str:
+    """Run one declarative session according to the parsed CLI arguments."""
+    if args.config:
+        cfg = RunConfig.from_json(Path(args.config).read_text(encoding="utf-8"))
+    else:
+        cfg = RunConfig(
+            cluster=ClusterConfig(num_pes=args.pes),
+            policy=PolicyConfig.parse(args.policy),
+            scenario=ScenarioConfig(
+                name=args.scenario,
+                columns_per_pe=args.columns_per_pe,
+                rows=args.rows,
+                iterations=args.iterations,
+                seed=args.seed,
+            ),
+        )
+    if args.dump_config:
+        return cfg.to_json(indent=2)
+    session = Session.from_config(cfg)
+    if args.events:
+        session.on(
+            "phase", lambda e: print(f"[phase] {e.name}", file=sys.stderr)
+        )
+        session.on(
+            "lb_step",
+            lambda e: print(
+                f"[lb] iteration {e.iteration}: cost={e.report.cost:.4g}s "
+                f"migrated={e.report.migrated_load:.4g}",
+                file=sys.stderr,
+            ),
+        )
+    result = session.run()
+    row = {
+        "scenario": cfg.scenario.name,
+        "policy": cfg.policy.label,
+        "PEs": cfg.cluster.num_pes,
+        "iterations": result.iterations,
+        "total time [s]": round(result.total_time, 6),
+        "LB calls": result.num_lb_calls,
+        "mean utilization": f"{result.mean_utilization * 100.0:.2f}%",
+    }
+    return format_table([row], title="Session run (repro.api)")
+
+
 def _positive_int(text: str) -> int:
     """argparse type for options requiring an integer >= 1."""
     value = int(text)
@@ -239,22 +295,28 @@ def _positive_int(text: str) -> int:
 
 
 def _add_common_options(
-    parser: argparse.ArgumentParser, *, suppress_defaults: bool = False
+    parser: argparse.ArgumentParser,
+    *,
+    suppress_defaults: bool = False,
+    include_scale: bool = True,
 ) -> None:
     """Attach the ``--scale`` / ``--seed`` options every command shares.
 
     The options are declared both on the top-level parser (with real
     defaults, preserving the historical ``repro --scale smoke fig2`` order)
     and on every subparser (with suppressed defaults, so a value given
-    after the command wins without clobbering one given before it).
+    after the command wins without clobbering one given before it).  The
+    ``run`` subcommand sizes itself through its own flags / the config file
+    and therefore opts out of ``--scale``.
     """
-    parser.add_argument(
-        "--scale",
-        choices=SCALES,
-        default=argparse.SUPPRESS if suppress_defaults else "default",
-        help="experiment scale: smoke (seconds), default (benchmark scale), "
-        "paper (closest to the paper's sample sizes)",
-    )
+    if include_scale:
+        parser.add_argument(
+            "--scale",
+            choices=SCALES,
+            default=argparse.SUPPRESS if suppress_defaults else "default",
+            help="experiment scale: smoke (seconds), default (benchmark scale), "
+            "paper (closest to the paper's sample sizes)",
+        )
     parser.add_argument(
         "--seed",
         type=int,
@@ -315,6 +377,71 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered scenario catalog and exit",
     )
+    run_parser = subparsers.add_parser(
+        "run",
+        help="one declarative scenario x policy run via the repro.api Session facade",
+        description="Execute a single run through repro.api: build (or load "
+        "with --config) a serializable RunConfig, wire a Session, optionally "
+        "stream progress events, and print the trace summary.  --dump-config "
+        "prints the resolved config JSON instead of running it.",
+    )
+    # Sizing defaults come straight from the config dataclasses so the CLI
+    # can never drift from what a bare RunConfig() runs.
+    scenario_defaults = ScenarioConfig()
+    cluster_defaults = ClusterConfig()
+    _add_common_options(run_parser, suppress_defaults=True, include_scale=False)
+    run_parser.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="JSON RunConfig file to execute; the file is authoritative and "
+        "every other run flag (--scenario/--policy/--pes/--seed/...) is ignored",
+    )
+    run_parser.add_argument(
+        "--scenario",
+        default=scenario_defaults.name,
+        help="catalog scenario name (see 'campaign --list'; default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--policy",
+        default="ulba",
+        help="policy pair: standard | ulba[:alpha] | ulba-dynamic[:alpha] "
+        "(default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--pes",
+        type=_positive_int,
+        default=cluster_defaults.num_pes,
+        help="number of PEs (default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--columns-per-pe",
+        type=_positive_int,
+        default=scenario_defaults.columns_per_pe,
+        help="domain columns per PE (default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--rows",
+        type=_positive_int,
+        default=scenario_defaults.rows,
+        help="domain rows (default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--iterations",
+        type=_positive_int,
+        default=scenario_defaults.iterations,
+        help="application iterations (default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--events",
+        action="store_true",
+        help="stream phase / LB-step events to stderr while running",
+    )
+    run_parser.add_argument(
+        "--dump-config",
+        action="store_true",
+        help="print the resolved RunConfig JSON and exit without running",
+    )
     return parser
 
 
@@ -324,6 +451,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "campaign":
         report = _cmd_campaign(args)
+    elif args.command == "run":
+        try:
+            report = _cmd_run(args)
+        except (KeyError, TypeError, ValueError, OSError) as exc:
+            # Bad user input (unknown scenario/policy, invalid params,
+            # unreadable or malformed --config, wrong-typed config values)
+            # gets a clean one-line error like every argparse rejection,
+            # not a traceback.
+            detail = exc.args[0] if exc.args else exc
+            print(f"repro run: error: {detail}", file=sys.stderr)
+            return 2
     else:
         report = COMMANDS[args.command](args.scale, args.seed)
     print(report)

@@ -33,18 +33,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import format_percentage, format_table
-from repro.lb.adaptive import (
-    DegradationTrigger,
-    MenonIntervalTrigger,
-    NeverTrigger,
-    PeriodicTrigger,
-    TriggerPolicy,
-    ULBADegradationTrigger,
-)
-from repro.lb.dynamic_alpha import DynamicAlphaULBAPolicy
-from repro.lb.standard import StandardPolicy
-from repro.lb.ulba import ULBAPolicy
-from repro.lb.wir import OverloadDetector
+from repro.lb.base import TriggerPolicy
+from repro.lb.registry import make_policy, make_policy_pair, make_trigger
 from repro.runtime.skeleton import RunResult
 from repro.scenarios.erosion import ErosionScenario
 from repro.utils.stats import relative_gain
@@ -155,13 +145,16 @@ def run_trigger_ablation(
     s = scenario or ErosionScenario()
     check_positive_int(periodic_period, "periodic_period")
     variants: List[Tuple[str, TriggerPolicy]] = [
-        ("never (static partitioning)", NeverTrigger()),
-        (f"periodic (every {periodic_period})", PeriodicTrigger(period=periodic_period)),
-        ("menon interval", MenonIntervalTrigger()),
-        ("degradation (Zhai)", DegradationTrigger()),
+        ("never (static partitioning)", make_trigger("never")),
+        (
+            f"periodic (every {periodic_period})",
+            make_trigger("periodic", period=periodic_period),
+        ),
+        ("menon interval", make_trigger("menon-interval")),
+        ("degradation (Zhai)", make_trigger("degradation")),
     ]
     cases = [
-        AblationCase(label=label, run=s.run(StandardPolicy(), trigger))
+        AblationCase(label=label, run=s.run(make_policy("standard"), trigger))
         for label, trigger in variants
     ]
     return AblationResult(
@@ -184,15 +177,11 @@ def run_dissemination_ablation(
     cases = [
         AblationCase(
             label="gossip (1 step/iteration)",
-            run=s.run(
-                ULBAPolicy(alpha=alpha), ULBADegradationTrigger(alpha=alpha), use_gossip=True
-            ),
+            run=s.run(*make_policy_pair("ulba", alpha=alpha), use_gossip=True),
         ),
         AblationCase(
             label="instant (allgather)",
-            run=s.run(
-                ULBAPolicy(alpha=alpha), ULBADegradationTrigger(alpha=alpha), use_gossip=False
-            ),
+            run=s.run(*make_policy_pair("ulba", alpha=alpha), use_gossip=False),
         ),
     ]
     return AblationResult(
@@ -218,11 +207,9 @@ def run_threshold_ablation(
         raise ValueError("thresholds must not be empty")
     cases = []
     for threshold in thresholds:
-        detector = OverloadDetector(threshold=float(threshold))
-        run = s.run(
-            ULBAPolicy(alpha=alpha, detector=detector),
-            ULBADegradationTrigger(alpha=alpha, detector=detector),
-        )
+        # The registry's threshold parameter shares one detector between the
+        # policy and its trigger, as this ablation always has.
+        run = s.run(*make_policy_pair("ulba", alpha=alpha, threshold=float(threshold)))
         label = f"z-score >= {threshold:.1f}"
         extra = {"paper value": "*" if abs(threshold - 3.0) < 1e-9 else ""}
         cases.append(AblationCase(label=label, run=run, extra=extra))
@@ -252,13 +239,9 @@ def run_lb_cost_sensitivity(
     results = []
     for volume in bytes_per_load_unit:
         check_positive(volume, "bytes_per_load_unit")
-        standard = s.run(
-            StandardPolicy(), DegradationTrigger(), bytes_per_load_unit=volume
-        )
+        standard = s.run(*make_policy_pair("standard"), bytes_per_load_unit=volume)
         ulba = s.run(
-            ULBAPolicy(alpha=alpha),
-            ULBADegradationTrigger(alpha=alpha),
-            bytes_per_load_unit=volume,
+            *make_policy_pair("ulba", alpha=alpha), bytes_per_load_unit=volume
         )
         results.append(
             AblationResult(
@@ -282,21 +265,19 @@ def run_alpha_policy_comparison(
     (dynamic adjustment of ``alpha``) against the constant the paper used.
     """
     s = scenario or ErosionScenario()
-    dynamic_policy = DynamicAlphaULBAPolicy(fallback_alpha=fixed_alpha)
+    dynamic_policy, dynamic_trigger = make_policy_pair("ulba-dynamic", alpha=fixed_alpha)
     cases = [
         AblationCase(
             label="standard",
-            run=s.run(StandardPolicy(), DegradationTrigger()),
+            run=s.run(*make_policy_pair("standard")),
         ),
         AblationCase(
             label=f"ulba (alpha={fixed_alpha})",
-            run=s.run(
-                ULBAPolicy(alpha=fixed_alpha), ULBADegradationTrigger(alpha=fixed_alpha)
-            ),
+            run=s.run(*make_policy_pair("ulba", alpha=fixed_alpha)),
         ),
         AblationCase(
             label="ulba (dynamic alpha)",
-            run=s.run(dynamic_policy, ULBADegradationTrigger(alpha=fixed_alpha)),
+            run=s.run(dynamic_policy, dynamic_trigger),
             extra={
                 "alphas chosen": ", ".join(
                     f"{alpha:.2f}" for _, alpha in dynamic_policy.alpha_history()

@@ -39,13 +39,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.config import RunnerConfig, TopologyConfig
+from repro.api.session import Session
 from repro.erosion.app import ErosionApplication, ErosionConfig
 from repro.experiments.common import ExperimentSeeds, format_percentage, format_table
-from repro.lb.adaptive import DegradationTrigger, ULBADegradationTrigger
-from repro.lb.standard import StandardPolicy
-from repro.lb.ulba import ULBAPolicy
+from repro.lb.registry import make_policy_pair
 from repro.runtime.report import PolicyComparison
-from repro.runtime.skeleton import IterativeRunner, RunResult, initial_lb_cost_prior
+from repro.runtime.skeleton import RunResult
 from repro.scenarios.erosion import (
     DEFAULT_BANDWIDTH,
     DEFAULT_BYTES_PER_LOAD_UNIT,
@@ -252,13 +252,6 @@ class Fig4Result:
 # ----------------------------------------------------------------------
 # Single-case runner (shared with Figure 5).
 # ----------------------------------------------------------------------
-def _estimate_initial_lb_cost(app: ErosionApplication, num_pes: int, pe_speed: float) -> float:
-    """LB-cost prior of one erosion run (the shared half-iteration prior)."""
-    return initial_lb_cost_prior(
-        app.total_load() * app.flop_per_load_unit, num_pes, pe_speed
-    )
-
-
 def run_erosion_case(
     *,
     num_pes: int,
@@ -315,26 +308,21 @@ def run_erosion_case(
         pe_speed=pe_speed,
         cost_model=CommCostModel(latency=latency, bandwidth=bandwidth),
     )
-    lb_cost_prior = _estimate_initial_lb_cost(app, num_pes, pe_speed)
-
     if policy == "standard":
-        workload_policy = StandardPolicy()
-        trigger = DegradationTrigger()
+        workload_policy, trigger = make_policy_pair("standard")
     else:
-        workload_policy = ULBAPolicy(alpha=alpha)
-        trigger = ULBADegradationTrigger(alpha=alpha)
+        workload_policy, trigger = make_policy_pair("ulba", alpha=alpha)
 
-    runner = IterativeRunner(
+    session = Session(
         cluster,
         app,
-        workload_policy=workload_policy,
-        trigger_policy=trigger,
-        use_gossip=use_gossip,
-        initial_lb_cost_estimate=lb_cost_prior,
-        bytes_per_load_unit=bytes_per_load_unit,
+        workload_policy,
+        trigger,
+        runner_config=RunnerConfig(bytes_per_load_unit=bytes_per_load_unit),
+        topology=TopologyConfig(use_gossip=use_gossip),
         seed=seed,
     )
-    return runner.run(iterations)
+    return session.run(iterations).run
 
 
 def _median_run(runs: Sequence[RunResult]) -> RunResult:

@@ -24,6 +24,10 @@ Modules
 * :mod:`repro.lb.centralized` -- the centralized LB technique of
   Algorithm 2, binding a workload policy to the stripe partitioner and the
   virtual cluster.
+* :mod:`repro.lb.registry` -- the string-keyed registry resolving policy /
+  trigger / pair names (``"standard"``, ``"ulba"``, ``"ulba-dynamic"``) into
+  fresh policy objects; the single home of the name-to-class mapping used by
+  the campaign grid, the experiments, the CLI and :mod:`repro.api`.
 """
 
 from repro.lb.base import (
@@ -50,6 +54,17 @@ from repro.lb.adaptive import (
     ULBADegradationTrigger,
 )
 from repro.lb.centralized import CentralizedLoadBalancer, LBStepReport
+from repro.lb.registry import (
+    available_policies,
+    available_policy_pairs,
+    available_triggers,
+    make_policy,
+    make_policy_pair,
+    make_trigger,
+    register_policy,
+    register_policy_pair,
+    register_trigger,
+)
 
 __all__ = [
     "AlphaChoice",
@@ -72,4 +87,13 @@ __all__ = [
     "WIREstimate",
     "WIREstimateArray",
     "WorkloadPolicy",
+    "available_policies",
+    "available_policy_pairs",
+    "available_triggers",
+    "make_policy",
+    "make_policy_pair",
+    "make_trigger",
+    "register_policy",
+    "register_policy_pair",
+    "register_trigger",
 ]

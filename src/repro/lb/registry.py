@@ -1,0 +1,320 @@
+"""String-keyed registry of LB workload policies, triggers and policy pairs.
+
+Before this registry existed, every layer that needed to turn a policy
+*name* into policy *objects* carried its own if/else ladder: the campaign
+spec (``PolicySpec.make_policies``), the Figure 4 driver
+(``run_erosion_case``) and the CLI each hard-coded the mapping from
+``"standard"`` / ``"ulba"`` / ``"ulba-dynamic"`` to
+:class:`~repro.lb.standard.StandardPolicy`,
+:class:`~repro.lb.ulba.ULBAPolicy`,
+:class:`~repro.lb.dynamic_alpha.DynamicAlphaULBAPolicy` and their matching
+triggers.  This module is the single home of that mapping: a
+:class:`~repro.api.config.PolicyConfig` (or any caller) resolves a name plus
+a flat parameter dict into fresh policy objects, and downstream studies can
+:func:`register_policy_pair` their own variants without touching the
+campaign engine, the experiments or the CLI.
+
+Three registries are kept:
+
+* **policies** -- workload policies alone (``make_policy``);
+* **triggers** -- trigger policies alone (``make_trigger``);
+* **pairs** -- the (workload policy, trigger policy) combinations the paper
+  evaluates (``make_policy_pair``), which is what the campaign grid, the
+  erosion experiments and :class:`repro.api.session.Session` consume.
+
+All parameters are plain scalars (JSON-serializable), so a registered name
+plus its parameter dict is a complete, shippable description of a policy.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lb.adaptive import (
+    DegradationTrigger,
+    MenonIntervalTrigger,
+    NeverTrigger,
+    PeriodicTrigger,
+    ULBADegradationTrigger,
+)
+from repro.lb.base import TriggerPolicy, WorkloadPolicy
+from repro.lb.dynamic_alpha import DynamicAlphaULBAPolicy
+from repro.lb.standard import StandardPolicy
+from repro.lb.ulba import ULBAPolicy
+from repro.lb.wir import OverloadDetector
+
+__all__ = [
+    "available_policies",
+    "available_policy_pairs",
+    "available_triggers",
+    "make_policy",
+    "make_policy_pair",
+    "make_trigger",
+    "policy_pair_accepts",
+    "register_policy",
+    "register_policy_pair",
+    "register_trigger",
+    "unregister_policy",
+    "unregister_policy_pair",
+    "unregister_trigger",
+]
+
+#: A factory building a fresh workload policy from scalar parameters.
+PolicyFactory = Callable[..., WorkloadPolicy]
+#: A factory building a fresh trigger policy from scalar parameters.
+TriggerFactory = Callable[..., TriggerPolicy]
+#: A factory building a fresh (workload, trigger) pair from scalar parameters.
+PairFactory = Callable[..., Tuple[WorkloadPolicy, TriggerPolicy]]
+
+_POLICIES: Dict[str, PolicyFactory] = {}
+_TRIGGERS: Dict[str, TriggerFactory] = {}
+_PAIRS: Dict[str, PairFactory] = {}
+
+
+def _register(table: Dict[str, Callable], kind: str, name: str, factory, replace: bool):
+    if not name or name != name.lower():
+        raise ValueError(f"{kind} names must be non-empty lowercase, got {name!r}")
+    if not replace and name in table:
+        raise ValueError(f"{kind} {name!r} is already registered")
+    table[name] = factory
+    return factory
+
+
+def _lookup(table: Dict[str, Callable], kind: str, name: str) -> Callable:
+    try:
+        return table[name]
+    except KeyError:
+        known = ", ".join(sorted(table)) or "(none registered)"
+        raise KeyError(f"unknown {kind} {name!r}; registered: {known}") from None
+
+
+def _build(table: Dict[str, Callable], kind: str, name: str, params: dict):
+    factory = _lookup(table, kind, name)
+    try:
+        return factory(**params)
+    except TypeError as exc:
+        # A wrong/unknown keyword surfaces as TypeError; re-raise as a
+        # ValueError naming the policy so config validation errors read well.
+        raise ValueError(f"invalid parameters {params!r} for {kind} {name!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Registration API.
+# ----------------------------------------------------------------------
+def register_policy(name: str, factory: PolicyFactory, *, replace: bool = False) -> PolicyFactory:
+    """Register a workload-policy factory under ``name``.
+
+    The factory is called with the keyword parameters given to
+    :func:`make_policy` and must return a fresh
+    :class:`~repro.lb.base.WorkloadPolicy`.  Duplicate names raise
+    :class:`ValueError` unless ``replace`` is set.
+    """
+    return _register(_POLICIES, "workload policy", name, factory, replace)
+
+
+def register_trigger(name: str, factory: TriggerFactory, *, replace: bool = False) -> TriggerFactory:
+    """Register a trigger-policy factory under ``name`` (see :func:`register_policy`)."""
+    return _register(_TRIGGERS, "trigger policy", name, factory, replace)
+
+
+def register_policy_pair(name: str, factory: PairFactory, *, replace: bool = False) -> PairFactory:
+    """Register a (workload policy, trigger policy) pair factory under ``name``.
+
+    Pairs are what the campaign grid, :class:`repro.api.config.PolicyConfig`
+    and :class:`repro.api.session.Session` resolve; registering a pair makes
+    the name usable in campaign specs, run configs and on the command line.
+    """
+    return _register(_PAIRS, "policy pair", name, factory, replace)
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a workload-policy factory (primarily for tests)."""
+    _POLICIES.pop(name, None)
+
+
+def unregister_trigger(name: str) -> None:
+    """Remove a trigger-policy factory (primarily for tests)."""
+    _TRIGGERS.pop(name, None)
+
+
+def unregister_policy_pair(name: str) -> None:
+    """Remove a policy-pair factory (primarily for tests)."""
+    _PAIRS.pop(name, None)
+
+
+# ----------------------------------------------------------------------
+# Resolution API.
+# ----------------------------------------------------------------------
+def make_policy(name: str, **params) -> WorkloadPolicy:
+    """Build a fresh workload policy by registry name.
+
+    Unknown names raise :class:`KeyError` listing the registered names;
+    invalid parameters raise :class:`ValueError`.
+    """
+    policy = _build(_POLICIES, "workload policy", name, params)
+    if not isinstance(policy, WorkloadPolicy):
+        raise TypeError(
+            f"factory for workload policy {name!r} returned {type(policy).__name__}, "
+            "expected a WorkloadPolicy"
+        )
+    return policy
+
+
+def make_trigger(name: str, **params) -> TriggerPolicy:
+    """Build a fresh trigger policy by registry name (see :func:`make_policy`)."""
+    trigger = _build(_TRIGGERS, "trigger policy", name, params)
+    if not isinstance(trigger, TriggerPolicy):
+        raise TypeError(
+            f"factory for trigger policy {name!r} returned {type(trigger).__name__}, "
+            "expected a TriggerPolicy"
+        )
+    return trigger
+
+
+def make_policy_pair(name: str, **params) -> Tuple[WorkloadPolicy, TriggerPolicy]:
+    """Build a fresh (workload policy, trigger policy) pair by registry name.
+
+    This is the resolution path of ``PolicySpec.make_policies`` (campaign
+    grid), :meth:`repro.api.config.PolicyConfig.resolve` and the Figure 4 /
+    Figure 5 erosion drivers.
+    """
+    pair = _build(_PAIRS, "policy pair", name, params)
+    if (
+        not isinstance(pair, tuple)
+        or len(pair) != 2
+        or not isinstance(pair[0], WorkloadPolicy)
+        or not isinstance(pair[1], TriggerPolicy)
+    ):
+        raise TypeError(
+            f"factory for policy pair {name!r} must return a "
+            "(WorkloadPolicy, TriggerPolicy) tuple"
+        )
+    return pair
+
+
+def policy_pair_accepts(name: str, param_name: str) -> bool:
+    """True when the pair factory of ``name`` accepts keyword ``param_name``.
+
+    Callers that forward optional parameters to arbitrary registered pairs
+    (e.g. the campaign grid's ``alpha``) use this to skip parameters a
+    custom factory does not declare, instead of failing on them.  Factories
+    taking ``**kwargs`` accept everything; unknown names raise
+    :class:`KeyError`.
+    """
+    factory = _lookup(_PAIRS, "policy pair", name)
+    try:
+        parameters = inspect.signature(factory).parameters.values()
+    except (TypeError, ValueError):  # builtins without introspectable signature
+        return False
+    for parameter in parameters:
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == param_name and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+def available_policies() -> List[str]:
+    """Sorted names of the registered workload policies."""
+    return sorted(_POLICIES)
+
+
+def available_triggers() -> List[str]:
+    """Sorted names of the registered trigger policies."""
+    return sorted(_TRIGGERS)
+
+
+def available_policy_pairs() -> List[str]:
+    """Sorted names of the registered policy pairs."""
+    return sorted(_PAIRS)
+
+
+# ----------------------------------------------------------------------
+# Built-in catalog.
+# ----------------------------------------------------------------------
+def _detector(threshold: Optional[float]) -> Optional[OverloadDetector]:
+    return None if threshold is None else OverloadDetector(threshold=float(threshold))
+
+
+def _standard_policy() -> WorkloadPolicy:
+    return StandardPolicy()
+
+
+def _ulba_policy(alpha: float = 0.4, threshold: Optional[float] = None, majority_guard: float = 0.5) -> WorkloadPolicy:
+    detector = _detector(threshold)
+    if detector is None:
+        return ULBAPolicy(alpha=alpha, majority_guard=majority_guard)
+    return ULBAPolicy(alpha=alpha, detector=detector, majority_guard=majority_guard)
+
+
+def _ulba_dynamic_policy(
+    alpha: float = 0.4, strategy: str = "interval", horizon: int = 100
+) -> WorkloadPolicy:
+    return DynamicAlphaULBAPolicy(strategy=strategy, fallback_alpha=alpha, horizon=horizon)
+
+
+def _never_trigger() -> TriggerPolicy:
+    return NeverTrigger()
+
+
+def _periodic_trigger(period: int = 10) -> TriggerPolicy:
+    return PeriodicTrigger(period=period)
+
+
+def _menon_trigger(minimum_interval: int = 1) -> TriggerPolicy:
+    return MenonIntervalTrigger(minimum_interval=minimum_interval)
+
+
+def _degradation_trigger(cost_margin: float = 1.0) -> TriggerPolicy:
+    return DegradationTrigger(cost_margin=cost_margin)
+
+
+def _ulba_degradation_trigger(
+    alpha: float = 0.4, threshold: Optional[float] = None, cost_margin: float = 1.0
+) -> TriggerPolicy:
+    detector = _detector(threshold)
+    if detector is None:
+        return ULBADegradationTrigger(alpha, cost_margin=cost_margin)
+    return ULBADegradationTrigger(alpha, detector=detector, cost_margin=cost_margin)
+
+
+def _standard_pair() -> Tuple[WorkloadPolicy, TriggerPolicy]:
+    return StandardPolicy(), DegradationTrigger()
+
+
+def _ulba_pair(alpha: float = 0.4, threshold: Optional[float] = None) -> Tuple[WorkloadPolicy, TriggerPolicy]:
+    if threshold is None:
+        return ULBAPolicy(alpha=alpha), ULBADegradationTrigger(alpha=alpha)
+    # One shared detector, as in the threshold ablation, so the policy and
+    # its trigger always agree on which PEs are overloading.
+    detector = OverloadDetector(threshold=float(threshold))
+    return (
+        ULBAPolicy(alpha=alpha, detector=detector),
+        ULBADegradationTrigger(alpha=alpha, detector=detector),
+    )
+
+
+def _ulba_dynamic_pair(alpha: float = 0.4) -> Tuple[WorkloadPolicy, TriggerPolicy]:
+    return (
+        DynamicAlphaULBAPolicy(fallback_alpha=alpha),
+        ULBADegradationTrigger(alpha=alpha),
+    )
+
+
+register_policy("standard", _standard_policy)
+register_policy("ulba", _ulba_policy)
+register_policy("ulba-dynamic", _ulba_dynamic_policy)
+
+register_trigger("never", _never_trigger)
+register_trigger("periodic", _periodic_trigger)
+register_trigger("menon-interval", _menon_trigger)
+register_trigger("degradation", _degradation_trigger)
+register_trigger("ulba-degradation", _ulba_degradation_trigger)
+
+register_policy_pair("standard", _standard_pair)
+register_policy_pair("ulba", _ulba_pair)
+register_policy_pair("ulba-dynamic", _ulba_dynamic_pair)

@@ -15,7 +15,7 @@ implementations share the same centralized LB technique.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol, runtime_checkable
+from typing import Callable, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -150,6 +150,13 @@ class IterativeRunner:
         first nonzero degradation when set > 0.
     seed:
         Randomness for the gossip peer selection.
+    on_iteration:
+        Optional observer called as ``on_iteration(iteration, elapsed)``
+        after every completed iteration (the session facade's event bus
+        plugs in here).  ``None`` (the default) adds no per-iteration work.
+    on_lb_step:
+        Optional observer called as ``on_lb_step(iteration, report)`` after
+        every executed LB step.
     """
 
     def __init__(
@@ -165,6 +172,8 @@ class IterativeRunner:
         partition_flop_per_column: float = 50.0,
         bytes_per_load_unit: float = 800.0,
         seed: SeedLike = None,
+        on_iteration: Optional[Callable[[int, float], None]] = None,
+        on_lb_step: Optional[Callable[[int, LBStepReport], None]] = None,
     ) -> None:
         check_non_negative(initial_lb_cost_estimate, "initial_lb_cost_estimate")
         self.cluster = cluster
@@ -177,6 +186,8 @@ class IterativeRunner:
         self.workload_policy = workload_policy or StandardPolicy()
         self.trigger_policy = trigger_policy or DegradationTrigger()
         self.initial_lb_cost_estimate = initial_lb_cost_estimate
+        self._on_iteration = on_iteration
+        self._on_lb_step = on_lb_step
 
         rng = ensure_rng(seed)
         self.wir_db = WIRDatabase(cluster.size, use_gossip=use_gossip, seed=rng)
@@ -283,6 +294,8 @@ class IterativeRunner:
                     current_partition=self.partition,
                 )
                 result.lb_reports.append(report)
+                if self._on_lb_step is not None:
+                    self._on_lb_step(iteration, report)
                 self.partition = report.partition
                 self._last_lb_iteration = iteration + 1
                 self.degradation.reset()
@@ -294,5 +307,8 @@ class IterativeRunner:
                 stripe_loads = rebalanced
             else:
                 stripe_loads = new_stripe_loads
+
+            if self._on_iteration is not None:
+                self._on_iteration(iteration, step.elapsed)
 
         return result

@@ -14,8 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Optional, Protocol, runtime_checkable
 
+from repro.api.config import RunnerConfig
 from repro.core.parameters import ApplicationParameters
-from repro.runtime.skeleton import StripedApplication, initial_lb_cost_prior
+from repro.runtime.skeleton import StripedApplication
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = [
@@ -147,13 +148,18 @@ def estimate_parameters(
     ``W0`` is read off the application's current column loads; the caller
     supplies the (expected) per-PE growth rates in load units, which are
     converted to FLOP with the application's ``flop_per_load_unit``.  The LB
-    cost uses the same prior as the erosion experiments: half of one
-    perfectly balanced per-PE iteration time.
+    cost consumes the default prior owned by
+    :class:`repro.api.config.RunnerConfig` -- the same half-iteration prior
+    the erosion experiments and the campaign runner assume.  Note that this
+    Table-I estimate always uses the *default* prior: scenarios are built
+    before any runner is configured, so an explicit
+    ``RunnerConfig.lb_cost_prior`` override applies to the executed run but
+    not to the analytical ``parameters.lb_cost`` of the instance.
     """
     check_positive(pe_speed, "pe_speed")
     flop = application.flop_per_load_unit
     initial_workload = float(application.column_loads().sum()) * flop
-    lb_cost = initial_lb_cost_prior(initial_workload, spec.num_pes, pe_speed)
+    lb_cost = RunnerConfig().resolve_lb_cost_prior(initial_workload, spec.num_pes, pe_speed)
     overloading = int(min(max(num_overloading, 0), spec.num_pes - 1))
     return ApplicationParameters(
         num_pes=spec.num_pes,

@@ -12,7 +12,8 @@ application for grid campaigns).
 The interconnect defaults (latency, bandwidth, migration bytes per unit of
 cell workload) are the ones every erosion experiment uses; they place the
 cost of one LB step in the same "a few iterations" regime as the paper's
-centralized technique.
+centralized technique.  Their canonical home is :mod:`repro.api.config`;
+they are re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
@@ -20,9 +21,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.api.config import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_BYTES_PER_LOAD_UNIT,
+    DEFAULT_LATENCY,
+    RunnerConfig,
+    TopologyConfig,
+)
+from repro.api.session import Session
 from repro.erosion.app import ErosionApplication, ErosionConfig
 from repro.lb.base import TriggerPolicy, WorkloadPolicy
-from repro.runtime.skeleton import IterativeRunner, RunResult, initial_lb_cost_prior
+from repro.runtime.skeleton import RunResult
 from repro.simcluster.cluster import VirtualCluster
 from repro.simcluster.comm import CommCostModel
 from repro.utils.validation import check_positive, check_positive_int
@@ -33,13 +42,6 @@ __all__ = [
     "DEFAULT_LATENCY",
     "ErosionScenario",
 ]
-
-#: Default interconnect latency of the erosion experiments (seconds).
-DEFAULT_LATENCY: float = 5.0e-6
-#: Default interconnect bandwidth of the erosion experiments (bytes/second).
-DEFAULT_BANDWIDTH: float = 2.0e9
-#: Default migration volume charged per unit of cell workload (bytes).
-DEFAULT_BYTES_PER_LOAD_UNIT: float = 1200.0
 
 
 @dataclass(frozen=True)
@@ -90,28 +92,32 @@ class ErosionScenario:
         use_gossip: bool = True,
         bytes_per_load_unit: Optional[float] = None,
     ) -> RunResult:
-        """Execute the scenario once with the given policy pair."""
+        """Execute the scenario once with the given policy pair.
+
+        Runs through the :class:`repro.api.session.Session` facade: the
+        session owns the runner wiring and the LB-cost prior
+        (:meth:`repro.api.config.RunnerConfig.resolve_lb_cost_prior`), so
+        every erosion study assumes the same prior as the campaign engine.
+        """
         app = self.build_application()
         cluster = VirtualCluster(
             self.num_pes,
             pe_speed=self.pe_speed,
             cost_model=CommCostModel(latency=self.latency, bandwidth=self.bandwidth),
         )
-        prior = initial_lb_cost_prior(
-            app.total_load() * app.flop_per_load_unit, self.num_pes, self.pe_speed
-        )
-        runner = IterativeRunner(
+        session = Session(
             cluster,
             app,
-            workload_policy=workload_policy,
-            trigger_policy=trigger_policy,
-            use_gossip=use_gossip,
-            initial_lb_cost_estimate=prior,
-            bytes_per_load_unit=(
-                self.bytes_per_load_unit
-                if bytes_per_load_unit is None
-                else bytes_per_load_unit
+            workload_policy,
+            trigger_policy,
+            runner_config=RunnerConfig(
+                bytes_per_load_unit=(
+                    self.bytes_per_load_unit
+                    if bytes_per_load_unit is None
+                    else bytes_per_load_unit
+                )
             ),
+            topology=TopologyConfig(use_gossip=use_gossip),
             seed=self.seed,
         )
-        return runner.run(self.iterations)
+        return session.run(self.iterations).run

@@ -1,0 +1,311 @@
+"""Serialization and validation tests of the repro.api config tree."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.config import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_BYTES_PER_LOAD_UNIT,
+    DEFAULT_LATENCY,
+    ClusterConfig,
+    PolicyConfig,
+    RunConfig,
+    RunnerConfig,
+    ScenarioConfig,
+    TopologyConfig,
+)
+from repro.lb.adaptive import ULBADegradationTrigger
+from repro.lb.ulba import ULBAPolicy
+from repro.runtime.skeleton import initial_lb_cost_prior
+
+# ----------------------------------------------------------------------
+# Strategies for valid config values.
+# ----------------------------------------------------------------------
+_pos_floats = st.floats(1e-3, 1e12, allow_nan=False, allow_infinity=False)
+_nonneg_floats = st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False)
+_alphas = st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+
+cluster_configs = st.builds(
+    ClusterConfig,
+    num_pes=st.integers(1, 256),
+    pe_speed=_pos_floats,
+    latency=_nonneg_floats,
+    bandwidth=_pos_floats,
+)
+topology_configs = st.builds(
+    TopologyConfig,
+    use_gossip=st.booleans(),
+    wir_smoothing=st.floats(0.01, 1.0, allow_nan=False, allow_infinity=False),
+)
+policy_configs = st.one_of(
+    st.builds(PolicyConfig, name=st.just("standard")),
+    st.builds(
+        PolicyConfig,
+        name=st.sampled_from(["ulba", "ulba-dynamic"]),
+        params=st.fixed_dictionaries({"alpha": _alphas}),
+    ),
+    st.builds(
+        PolicyConfig,
+        name=st.just("ulba"),
+        params=st.fixed_dictionaries(
+            {"alpha": _alphas, "threshold": st.floats(0.5, 5.0, allow_nan=False)}
+        ),
+    ),
+)
+scenario_configs = st.builds(
+    ScenarioConfig,
+    name=st.sampled_from(["synthetic-hotspot", "erosion", "bursty", "trace-replay"]),
+    columns_per_pe=st.integers(1, 256),
+    rows=st.integers(1, 256),
+    iterations=st.integers(1, 1000),
+    seed=st.one_of(st.none(), st.integers(0, 2**31 - 1)),
+)
+runner_configs = st.builds(
+    RunnerConfig,
+    bytes_per_load_unit=_nonneg_floats,
+    partition_flop_per_column=_nonneg_floats,
+    lb_cost_prior=st.one_of(st.none(), _nonneg_floats),
+)
+run_configs = st.builds(
+    RunConfig,
+    cluster=cluster_configs,
+    topology=topology_configs,
+    policy=policy_configs,
+    scenario=scenario_configs,
+    runner=runner_configs,
+)
+
+
+# ----------------------------------------------------------------------
+# Round trips.
+# ----------------------------------------------------------------------
+class TestRoundTrips:
+    @settings(max_examples=50, deadline=None)
+    @given(cfg=cluster_configs)
+    def test_cluster_round_trip(self, cfg):
+        assert ClusterConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+
+    @settings(max_examples=50, deadline=None)
+    @given(cfg=topology_configs)
+    def test_topology_round_trip(self, cfg):
+        assert TopologyConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+
+    @settings(max_examples=50, deadline=None)
+    @given(cfg=policy_configs)
+    def test_policy_round_trip(self, cfg):
+        assert PolicyConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+
+    @settings(max_examples=50, deadline=None)
+    @given(cfg=scenario_configs)
+    def test_scenario_round_trip(self, cfg):
+        assert ScenarioConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+
+    @settings(max_examples=50, deadline=None)
+    @given(cfg=runner_configs)
+    def test_runner_round_trip(self, cfg):
+        assert RunnerConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+
+    @settings(max_examples=25, deadline=None)
+    @given(cfg=run_configs)
+    def test_run_config_round_trip(self, cfg):
+        assert RunConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+        assert RunConfig.from_json(cfg.to_json()) == cfg
+
+    def test_defaults_round_trip(self):
+        cfg = RunConfig()
+        assert RunConfig.from_json(cfg.to_json(indent=2)) == cfg
+
+    def test_missing_sections_default(self):
+        cfg = RunConfig.from_dict({"cluster": {"num_pes": 4}})
+        assert cfg.cluster.num_pes == 4
+        assert cfg.policy == PolicyConfig()
+        assert cfg.runner == RunnerConfig()
+
+    def test_nested_policy_params_survive(self):
+        cfg = RunConfig(policy=PolicyConfig("ulba", {"alpha": 0.35, "threshold": 2.5}))
+        restored = RunConfig.from_json(cfg.to_json())
+        assert restored.policy.params == {"alpha": 0.35, "threshold": 2.5}
+        workload, trigger = restored.policy.resolve()
+        assert isinstance(workload, ULBAPolicy)
+        assert isinstance(trigger, ULBADegradationTrigger)
+        assert workload.alpha == 0.35
+
+
+# ----------------------------------------------------------------------
+# Unknown keys.
+# ----------------------------------------------------------------------
+class TestUnknownKeys:
+    @pytest.mark.parametrize(
+        "cls",
+        [ClusterConfig, TopologyConfig, PolicyConfig, ScenarioConfig, RunnerConfig],
+    )
+    def test_unknown_key_rejected(self, cls):
+        with pytest.raises(ValueError, match="unknown key"):
+            cls.from_dict({"frobnicate": 1})
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown section"):
+            RunConfig.from_dict({"machine": {}})
+
+    def test_unknown_nested_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            RunConfig.from_dict({"cluster": {"num_pes": 4, "cores": 8}})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(TypeError, match="mapping"):
+            RunConfig.from_dict([1, 2, 3])
+        with pytest.raises(TypeError, match="mapping"):
+            ClusterConfig.from_dict("num_pes=4")
+
+
+# ----------------------------------------------------------------------
+# Bad values.
+# ----------------------------------------------------------------------
+class TestBadValues:
+    def test_cluster_bad_values(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_pes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(pe_speed=0.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(latency=-1.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(bandwidth=0.0)
+        with pytest.raises(TypeError):
+            ClusterConfig(num_pes=2.5)
+
+    def test_topology_bad_values(self):
+        with pytest.raises(TypeError):
+            TopologyConfig(use_gossip="yes")
+        with pytest.raises(ValueError):
+            TopologyConfig(wir_smoothing=0.0)
+        with pytest.raises(ValueError):
+            TopologyConfig(wir_smoothing=1.5)
+
+    def test_policy_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown policy pair"):
+            PolicyConfig(name="does-not-exist")
+
+    def test_policy_bad_name_shape(self):
+        with pytest.raises(ValueError, match="lowercase"):
+            PolicyConfig(name="ULBA")
+        with pytest.raises(ValueError, match="lowercase"):
+            PolicyConfig(name="")
+
+    def test_policy_bad_params(self):
+        with pytest.raises(ValueError):
+            PolicyConfig(name="ulba", params={"alpha": 2.0})
+        with pytest.raises(ValueError, match="invalid parameters"):
+            PolicyConfig(name="standard", params={"alpha": 0.4})
+        with pytest.raises(ValueError, match="invalid parameters"):
+            PolicyConfig(name="ulba", params={"bogus": 1})
+
+    def test_policy_non_jsonable_params(self):
+        with pytest.raises(ValueError, match="JSON-serializable"):
+            PolicyConfig(name="ulba", params={"alpha": object()})
+
+    def test_scenario_bad_values(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(name="")
+        with pytest.raises(ValueError):
+            ScenarioConfig(name="Erosion")
+        with pytest.raises(ValueError):
+            ScenarioConfig(columns_per_pe=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(iterations=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(seed=-1)
+
+    def test_runner_bad_values(self):
+        with pytest.raises(ValueError):
+            RunnerConfig(bytes_per_load_unit=-1.0)
+        with pytest.raises(ValueError):
+            RunnerConfig(partition_flop_per_column=-1.0)
+        with pytest.raises(ValueError):
+            RunnerConfig(lb_cost_prior=-0.5)
+
+    def test_run_config_section_types_enforced(self):
+        with pytest.raises(TypeError, match="ClusterConfig"):
+            RunConfig(cluster={"num_pes": 4})
+        with pytest.raises(TypeError, match="PolicyConfig"):
+            RunConfig(policy="ulba")
+
+
+# ----------------------------------------------------------------------
+# Behavioral contracts.
+# ----------------------------------------------------------------------
+class TestSemantics:
+    def test_canonical_interconnect_defaults(self):
+        assert ClusterConfig().latency == DEFAULT_LATENCY
+        assert ClusterConfig().bandwidth == DEFAULT_BANDWIDTH
+        assert DEFAULT_BYTES_PER_LOAD_UNIT == 1200.0
+
+    def test_runner_config_owns_the_prior(self):
+        auto = RunnerConfig().resolve_lb_cost_prior(1.0e9, 8, 1.0e9)
+        assert auto == initial_lb_cost_prior(1.0e9, 8, 1.0e9)
+        fixed = RunnerConfig(lb_cost_prior=0.25).resolve_lb_cost_prior(1.0e9, 8, 1.0e9)
+        assert fixed == 0.25
+
+    def test_policy_parse(self):
+        assert PolicyConfig.parse("standard") == PolicyConfig("standard")
+        assert PolicyConfig.parse("ulba:0.3") == PolicyConfig("ulba", {"alpha": 0.3})
+        assert PolicyConfig.parse(" ulba-dynamic:0.5 ") == PolicyConfig(
+            "ulba-dynamic", {"alpha": 0.5}
+        )
+        with pytest.raises(ValueError):
+            PolicyConfig.parse("standard:0.4")
+
+    def test_policy_label(self):
+        assert PolicyConfig("standard").label == "standard"
+        assert PolicyConfig("ulba", {"alpha": 0.4}).label == "ulba(alpha=0.4)"
+
+    def test_params_copied_not_aliased(self):
+        params = {"alpha": 0.4}
+        cfg = PolicyConfig("ulba", params)
+        params["alpha"] = 0.9
+        assert cfg.params == {"alpha": 0.4}
+
+    def test_params_immutable_after_construction(self):
+        cfg = PolicyConfig("ulba", {"alpha": 0.4})
+        with pytest.raises(TypeError):
+            cfg.params["alpha"] = 5.0
+        # to_dict hands out a mutable copy, never the internal mapping.
+        exported = cfg.to_dict()
+        exported["params"]["alpha"] = 5.0
+        assert cfg.params == {"alpha": 0.4}
+
+    def test_configs_pickle_and_deepcopy(self):
+        import copy
+        import pickle
+
+        cfg = RunConfig(policy=PolicyConfig("ulba", {"alpha": 0.4}))
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+        assert copy.deepcopy(cfg) == cfg
+        clone = pickle.loads(pickle.dumps(cfg))
+        with pytest.raises(TypeError):
+            clone.policy.params["alpha"] = 5.0
+
+    def test_runner_default_matches_erosion_regime(self):
+        # One front door: a bare RunConfig charges the same migration volume
+        # as the campaign engine and figure drivers.
+        assert RunnerConfig().bytes_per_load_unit == DEFAULT_BYTES_PER_LOAD_UNIT
+
+    def test_configs_are_hashable(self):
+        a = RunConfig(policy=PolicyConfig("ulba", {"alpha": 0.4}))
+        b = RunConfig(policy=PolicyConfig("ulba", {"alpha": 0.4}))
+        c = RunConfig(policy=PolicyConfig("ulba", {"alpha": 0.3}))
+        assert hash(a) == hash(b)
+        assert len({a, b, c}) == 2
+        assert {a: "x"}[b] == "x"
+
+    def test_configs_are_frozen(self):
+        cfg = RunConfig()
+        with pytest.raises(AttributeError):
+            cfg.cluster = ClusterConfig(num_pes=2)
+        with pytest.raises(AttributeError):
+            cfg.cluster.num_pes = 2

@@ -45,6 +45,44 @@ class TestPolicySpec:
         workload, _ = PolicySpec("ulba-dynamic").make_policies()
         assert isinstance(workload, DynamicAlphaULBAPolicy)
 
+    def test_custom_pair_without_alpha_usable_in_grid(self):
+        from repro.lb.adaptive import DegradationTrigger
+        from repro.lb.registry import register_policy_pair, unregister_policy_pair
+
+        register_policy_pair(
+            "custom-even", lambda: (StandardPolicy(), DegradationTrigger())
+        )
+        try:
+            spec = PolicySpec("custom-even")
+            workload, trigger = spec.make_policies()
+            assert isinstance(workload, StandardPolicy)
+            # No fabricated alpha suffix: the factory takes no alpha, so two
+            # alphas would execute identically and must share one label.
+            assert spec.label == "custom-even"
+            assert PolicySpec("custom-even", alpha=0.3).label == spec.label
+            # alpha is not forwarded to factories that do not declare it,
+            # and the declarative config form stays resolvable too.
+            assert spec.as_policy_config().params == {}
+        finally:
+            unregister_policy_pair("custom-even")
+
+    def test_custom_pair_with_alpha_receives_it(self):
+        from repro.lb.adaptive import ULBADegradationTrigger
+        from repro.lb.registry import register_policy_pair, unregister_policy_pair
+
+        register_policy_pair(
+            "custom-ulba",
+            lambda alpha=0.1: (ULBAPolicy(alpha=alpha), ULBADegradationTrigger(alpha=alpha)),
+        )
+        try:
+            workload, _ = PolicySpec("custom-ulba", alpha=0.2).make_policies()
+            assert workload.alpha == 0.2
+            config = PolicySpec("custom-ulba", alpha=0.2).as_policy_config()
+            assert dict(config.params) == {"alpha": 0.2}
+            assert PolicySpec("custom-ulba", alpha=0.2).label == "custom-ulba(a=0.20)"
+        finally:
+            unregister_policy_pair("custom-ulba")
+
 
 class TestGridExpansion:
     def test_cell_count_and_ids_unique(self):

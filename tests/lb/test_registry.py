@@ -1,0 +1,193 @@
+"""Tests of the string-keyed policy/trigger registry (repro.lb.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lb.adaptive import (
+    DegradationTrigger,
+    MenonIntervalTrigger,
+    NeverTrigger,
+    PeriodicTrigger,
+    ULBADegradationTrigger,
+)
+from repro.lb.base import TriggerPolicy, WorkloadPolicy
+from repro.lb.dynamic_alpha import DynamicAlphaULBAPolicy
+from repro.lb.registry import (
+    available_policies,
+    available_policy_pairs,
+    available_triggers,
+    make_policy,
+    make_policy_pair,
+    make_trigger,
+    register_policy,
+    register_policy_pair,
+    register_trigger,
+    unregister_policy,
+    unregister_policy_pair,
+    unregister_trigger,
+)
+from repro.lb.standard import StandardPolicy
+from repro.lb.ulba import ULBAPolicy
+
+
+class TestBuiltins:
+    def test_builtin_policies_registered(self):
+        assert {"standard", "ulba", "ulba-dynamic"} <= set(available_policies())
+
+    def test_builtin_triggers_registered(self):
+        assert {
+            "never",
+            "periodic",
+            "menon-interval",
+            "degradation",
+            "ulba-degradation",
+        } <= set(available_triggers())
+
+    def test_builtin_pairs_registered(self):
+        assert {"standard", "ulba", "ulba-dynamic"} <= set(available_policy_pairs())
+
+    def test_make_policy_types(self):
+        assert isinstance(make_policy("standard"), StandardPolicy)
+        assert isinstance(make_policy("ulba", alpha=0.3), ULBAPolicy)
+        assert isinstance(make_policy("ulba-dynamic"), DynamicAlphaULBAPolicy)
+
+    def test_make_trigger_types(self):
+        assert isinstance(make_trigger("never"), NeverTrigger)
+        assert isinstance(make_trigger("periodic", period=5), PeriodicTrigger)
+        assert isinstance(make_trigger("menon-interval"), MenonIntervalTrigger)
+        assert isinstance(make_trigger("degradation"), DegradationTrigger)
+        assert isinstance(make_trigger("ulba-degradation", alpha=0.2), ULBADegradationTrigger)
+
+    def test_policy_params_forwarded(self):
+        policy = make_policy("ulba", alpha=0.3)
+        assert policy.alpha == 0.3
+        trigger = make_trigger("ulba-degradation", alpha=0.2, cost_margin=2.0)
+        assert trigger.alpha == 0.2
+        assert trigger.cost_margin == 2.0
+
+    def test_pair_matches_direct_construction(self):
+        workload, trigger = make_policy_pair("ulba", alpha=0.25)
+        assert isinstance(workload, ULBAPolicy)
+        assert isinstance(trigger, ULBADegradationTrigger)
+        assert workload.alpha == 0.25
+        assert trigger.alpha == 0.25
+
+    def test_standard_pair(self):
+        workload, trigger = make_policy_pair("standard")
+        assert isinstance(workload, StandardPolicy)
+        assert isinstance(trigger, DegradationTrigger)
+
+    def test_dynamic_pair(self):
+        workload, trigger = make_policy_pair("ulba-dynamic", alpha=0.35)
+        assert isinstance(workload, DynamicAlphaULBAPolicy)
+        assert workload.fallback_alpha == 0.35
+        assert trigger.alpha == 0.35
+
+    def test_ulba_pair_shares_detector_when_threshold_given(self):
+        workload, trigger = make_policy_pair("ulba", alpha=0.4, threshold=2.5)
+        assert workload.detector is trigger.detector
+        assert workload.detector.threshold == 2.5
+
+    def test_fresh_objects_per_call(self):
+        first = make_policy_pair("ulba")
+        second = make_policy_pair("ulba")
+        assert first[0] is not second[0]
+        assert first[1] is not second[1]
+
+
+class TestErrors:
+    def test_unknown_names_raise_keyerror_listing_known(self):
+        with pytest.raises(KeyError, match="unknown workload policy 'nope'"):
+            make_policy("nope")
+        with pytest.raises(KeyError, match="registered"):
+            make_trigger("nope")
+        with pytest.raises(KeyError, match="standard"):
+            make_policy_pair("nope")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="invalid parameters"):
+            make_policy_pair("standard", alpha=0.4)
+        with pytest.raises(ValueError, match="invalid parameters"):
+            make_policy("ulba", frobnicate=1)
+
+    def test_bad_parameter_value_propagates(self):
+        with pytest.raises(ValueError):
+            make_policy("ulba", alpha=2.0)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy("standard", StandardPolicy)
+        with pytest.raises(ValueError, match="already registered"):
+            register_trigger("never", NeverTrigger)
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy_pair("standard", lambda: None)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError, match="lowercase"):
+            register_policy("Standard", StandardPolicy)
+        with pytest.raises(ValueError, match="lowercase"):
+            register_policy("", StandardPolicy)
+
+    def test_pair_factory_must_return_pair(self):
+        register_policy_pair("broken-pair", lambda: StandardPolicy())
+        try:
+            with pytest.raises(TypeError, match="must return"):
+                make_policy_pair("broken-pair")
+        finally:
+            unregister_policy_pair("broken-pair")
+
+
+class TestCustomRegistration:
+    def test_register_and_resolve_custom_pair(self):
+        def _pair(alpha=0.1):
+            return ULBAPolicy(alpha=alpha), ULBADegradationTrigger(alpha=alpha)
+
+        register_policy_pair("custom-ulba", _pair)
+        try:
+            workload, trigger = make_policy_pair("custom-ulba", alpha=0.15)
+            assert workload.alpha == 0.15
+            assert trigger.alpha == 0.15
+            assert "custom-ulba" in available_policy_pairs()
+        finally:
+            unregister_policy_pair("custom-ulba")
+        assert "custom-ulba" not in available_policy_pairs()
+
+    def test_replace_flag(self):
+        register_policy("temp-policy", StandardPolicy)
+        try:
+            register_policy("temp-policy", lambda: ULBAPolicy(), replace=True)
+            assert isinstance(make_policy("temp-policy"), ULBAPolicy)
+        finally:
+            unregister_policy("temp-policy")
+
+    def test_custom_trigger_roundtrip(self):
+        register_trigger("temp-trigger", lambda period=3: PeriodicTrigger(period=period))
+        try:
+            trigger = make_trigger("temp-trigger", period=7)
+            assert isinstance(trigger, PeriodicTrigger)
+            assert trigger.period == 7
+        finally:
+            unregister_trigger("temp-trigger")
+
+    def test_factory_returning_wrong_type_rejected(self):
+        register_policy("bad-policy", lambda: NeverTrigger())
+        try:
+            with pytest.raises(TypeError, match="WorkloadPolicy"):
+                make_policy("bad-policy")
+        finally:
+            unregister_policy("bad-policy")
+        register_trigger("bad-trigger", lambda: StandardPolicy())
+        try:
+            with pytest.raises(TypeError, match="TriggerPolicy"):
+                make_trigger("bad-trigger")
+        finally:
+            unregister_trigger("bad-trigger")
+
+
+class TestInterfaces:
+    def test_results_satisfy_abcs(self):
+        for name in ("standard", "ulba", "ulba-dynamic"):
+            workload, trigger = make_policy_pair(name) if name == "standard" else make_policy_pair(name, alpha=0.4)
+            assert isinstance(workload, WorkloadPolicy)
+            assert isinstance(trigger, TriggerPolicy)

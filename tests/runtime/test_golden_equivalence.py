@@ -24,6 +24,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.api import RunConfig, Session
 from repro.erosion.app import ErosionApplication, ErosionConfig
 from repro.lb.adaptive import DegradationTrigger, ULBADegradationTrigger
 from repro.lb.standard import StandardPolicy
@@ -188,3 +189,80 @@ class TestReferenceCoreEquivalence:
         assert vec.utilization_series() == pytest.approx(
             ref.utilization_series(), rel=0.0, abs=1e-12
         )
+
+
+class TestSessionFacadeEquivalence:
+    """The repro.api facade reproduces the direct IterativeRunner wiring.
+
+    One pinned fixture (the catalog erosion scenario at a fixed size and
+    seed) is executed twice: once through
+    ``Session.from_config(RunConfig.from_dict(json.loads(s)))`` -- i.e. with
+    a full JSON serialization round trip in the path -- and once through the
+    pre-redesign hand wiring (catalog build + policies + prior +
+    ``IterativeRunner``).  Trace totals and LB schedules must be
+    bit-identical: the facade is pure plumbing, not a numerical change.
+    """
+
+    ITERATIONS = 60
+
+    def _config_json(self, policy):
+        payload = {
+            "cluster": {"num_pes": 16},
+            "policy": {
+                "name": policy,
+                "params": {} if policy == "standard" else {"alpha": 0.4},
+            },
+            "scenario": {
+                "name": "erosion",
+                "columns_per_pe": 16,
+                "rows": 16,
+                "iterations": self.ITERATIONS,
+                "seed": SEED,
+            },
+        }
+        return json.dumps(payload)
+
+    def _run_direct(self, policy):
+        from repro.scenarios.base import ScenarioSpec
+        from repro.scenarios.registry import get_scenario
+        from repro.simcluster.comm import CommCostModel
+
+        spec = ScenarioSpec(
+            num_pes=16, columns_per_pe=16, rows=16, iterations=self.ITERATIONS, seed=SEED
+        )
+        instance = get_scenario("erosion").build(spec)
+        app = instance.application
+        # The config's interconnect defaults, wired by hand as every driver
+        # did before the redesign.
+        cluster = VirtualCluster(
+            16, cost_model=CommCostModel(latency=5.0e-6, bandwidth=2.0e9)
+        )
+        prior = initial_lb_cost_prior(
+            app.total_load() * app.flop_per_load_unit, 16, cluster.pe_speed
+        )
+        workload, trigger = make_policies(policy)
+        runner = IterativeRunner(
+            cluster,
+            app,
+            workload_policy=workload,
+            trigger_policy=trigger,
+            initial_lb_cost_estimate=prior,
+            bytes_per_load_unit=1200.0,  # the canonical erosion value
+            seed=SEED,
+        )
+        return runner.run(self.ITERATIONS)
+
+    @pytest.mark.parametrize("policy", ["standard", "ulba"])
+    def test_session_bit_identical_to_direct_wiring(self, policy):
+        session = Session.from_config(
+            RunConfig.from_dict(json.loads(self._config_json(policy)))
+        )
+        via_session = session.run()
+        direct = self._run_direct(policy)
+
+        assert via_session.num_lb_calls == direct.num_lb_calls
+        assert via_session.run.trace.lb_iterations() == direct.trace.lb_iterations()
+        assert via_session.total_time == direct.total_time
+        assert via_session.run.trace.iteration_time == direct.trace.iteration_time
+        assert via_session.run.trace.lb_cost_time == direct.trace.lb_cost_time
+        assert via_session.mean_utilization == direct.mean_utilization

@@ -13,6 +13,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.api import RunConfig
 from repro.cli import SCALES, build_parser, main
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
@@ -37,6 +38,15 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig9"])
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.scenario == "synthetic-hotspot"
+        assert args.policy == "ulba"
+        assert args.pes == 16
+        assert not args.events
+        assert not args.dump_config
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
@@ -76,6 +86,83 @@ class TestCLISmoke:
         assert "runtime-adaptive alpha" in out
 
 
+class TestRunCommand:
+    ARGS = [
+        "run",
+        "--scenario", "synthetic-hotspot",
+        "--pes", "8",
+        "--columns-per-pe", "16",
+        "--rows", "16",
+        "--iterations", "12",
+    ]
+
+    def test_run_smoke(self, capsys):
+        assert main(self.ARGS + ["--policy", "ulba:0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "Session run (repro.api)" in out
+        assert "ulba(alpha=0.3)" in out
+        assert "LB calls" in out
+
+    def test_run_events_stream_to_stderr(self, capsys):
+        assert main(self.ARGS + ["--events"]) == 0
+        err = capsys.readouterr().err
+        assert "[phase] run" in err
+        assert "[phase] done" in err
+        assert "[lb] iteration" in err
+
+    def test_dump_config_round_trips(self, capsys):
+        assert main(self.ARGS + ["--policy", "standard", "--dump-config"]) == 0
+        out = capsys.readouterr().out
+        cfg = RunConfig.from_json(out)
+        assert cfg.scenario.name == "synthetic-hotspot"
+        assert cfg.scenario.iterations == 12
+        assert cfg.cluster.num_pes == 8
+        assert cfg.policy.name == "standard"
+
+    def test_bad_policy_params_exit_cleanly(self, capsys):
+        assert main(["run", "--policy", "standard:0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "repro run: error:" in err
+        assert "Traceback" not in err
+
+    def test_unknown_scenario_exits_cleanly(self, capsys):
+        assert main(self.ARGS[:1] + ["--scenario", "typo"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "{not json",                      # malformed JSON
+            "[1]",                            # not a mapping
+            '{"cluster": 5}',                 # non-mapping section
+            '{"cluster": {"num_pes": "16"}}', # wrong-typed value
+            '{"topology": {"use_gossip": 1}}',# JSON 0/1 instead of bool
+        ],
+    )
+    def test_malformed_config_file_exits_cleanly(self, capsys, tmp_path, payload):
+        bad = tmp_path / "bad.json"
+        bad.write_text(payload, encoding="utf-8")
+        assert main(["run", "--config", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "repro run: error:" in err
+        assert "Traceback" not in err
+
+    def test_scale_rejected_on_run(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scale", "paper"])
+
+    def test_config_file_executes(self, capsys, tmp_path):
+        assert main(self.ARGS + ["--dump-config"]) == 0
+        payload = capsys.readouterr().out
+        config_path = tmp_path / "run.json"
+        config_path.write_text(payload, encoding="utf-8")
+        assert main(["run", "--config", str(config_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Session run (repro.api)" in out
+        assert "synthetic-hotspot" in out
+
+
 def run_example(script: str, *args: str) -> subprocess.CompletedProcess:
     return subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script), *args],
@@ -90,11 +177,22 @@ class TestExamples:
         scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         assert {
             "quickstart.py",
+            "api_quickstart.py",
             "erosion_comparison.py",
             "alpha_tuning.py",
             "optimal_intervals.py",
             "particle_drift.py",
         } <= scripts
+
+    def test_api_quickstart(self):
+        proc = run_example(
+            "api_quickstart.py",
+            "--pes", "8", "--columns-per-pe", "16", "--rows", "16",
+            "--iterations", "20",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "RunConfig round-trips through JSON" in proc.stdout
+        assert "ULBA gain over standard" in proc.stdout
 
     def test_quickstart(self):
         proc = run_example("quickstart.py", "--seed", "2")

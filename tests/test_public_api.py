@@ -19,6 +19,10 @@ import repro
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.api",
+    "repro.api.config",
+    "repro.api.events",
+    "repro.api.session",
     "repro.campaign",
     "repro.campaign.presets",
     "repro.campaign.report",
@@ -38,6 +42,7 @@ PUBLIC_MODULES = [
     "repro.experiments.ablations",
     "repro.lb",
     "repro.lb.dynamic_alpha",
+    "repro.lb.registry",
     "repro.optim",
     "repro.particles",
     "repro.partitioning",
