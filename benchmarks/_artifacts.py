@@ -1,0 +1,88 @@
+"""Persisted benchmark artifacts (``BENCH_<suite>.json``).
+
+The benchmark suites used to compute throughput numbers and print them;
+nothing was persisted, so the performance trajectory across commits was
+invisible.  :func:`record_bench` appends one measurement row to a per-suite
+JSON file (schema: ``name`` / ``params`` / ``wall_s`` / ``ops_per_s``), and
+CI uploads the files as build artifacts, so every run leaves a comparable
+perf record.
+
+The output directory defaults to the repository root (where the files are
+gitignored), never the invoker's working directory; override it with
+``REPRO_BENCH_OUT`` (CI points it at an upload directory), or set
+``REPRO_BENCH_OUT=`` (empty) to disable persistence entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["record_bench"]
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _out_dir() -> Optional[Path]:
+    raw = os.environ.get("REPRO_BENCH_OUT")
+    if raw is None:
+        return _REPO_ROOT
+    if not raw:
+        return None
+    return Path(raw)
+
+
+def record_bench(
+    suite: str,
+    name: str,
+    params: Dict[str, object],
+    wall_s: float,
+    ops_per_s: float,
+) -> Optional[Path]:
+    """Append one measurement to ``BENCH_<suite>.json``.
+
+    Parameters
+    ----------
+    suite:
+        Artifact group (``"core"``, ``"campaign"``, ``"batch"``, ...);
+        selects the output file.
+    name:
+        Measurement name, unique within the suite per run.
+    params:
+        JSON-serializable measurement parameters (sizes, modes).
+    wall_s:
+        Measured wall-clock seconds.
+    ops_per_s:
+        Throughput in suite-defined operations per second (iterations,
+        cells, replica-iterations...).
+
+    Returns the path written, or ``None`` when persistence is disabled.
+    The file holds a JSON list; a missing or corrupt file is started fresh
+    (benchmarks must never fail because a previous run was interrupted).
+    """
+    out = _out_dir()
+    if out is None:
+        return None
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{suite}.json"
+    rows = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(loaded, list):
+                rows = loaded
+        except (OSError, json.JSONDecodeError):
+            rows = []
+    rows = [row for row in rows if row.get("name") != name]
+    rows.append(
+        {
+            "name": name,
+            "params": params,
+            "wall_s": float(wall_s),
+            "ops_per_s": float(ops_per_s),
+        }
+    )
+    path.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -11,6 +11,7 @@ on the benchmark machine.
 
 from __future__ import annotations
 
+from _artifacts import record_bench
 from conftest import run_once
 
 from repro.campaign import campaign_for_scale, run_campaign
@@ -20,8 +21,18 @@ def _smoke_spec():
     return campaign_for_scale("smoke", 0)
 
 
+def _record(benchmark, name, spec, jobs):
+    record_bench(
+        "campaign",
+        name,
+        {"cells": spec.num_cells, "jobs": jobs},
+        benchmark.stats.stats.min,
+        spec.num_cells / benchmark.stats.stats.min,
+    )
+
+
 def test_bench_campaign_serial(benchmark, record_rows):
-    """Smoke campaign grid executed in-process (jobs=1)."""
+    """Smoke campaign grid executed in-process (jobs=1, seed-batched)."""
     spec = _smoke_spec()
     run = run_once(benchmark, run_campaign, spec, jobs=1)
     assert run.executed == spec.num_cells
@@ -30,6 +41,7 @@ def test_bench_campaign_serial(benchmark, record_rows):
         "campaign smoke -- serial",
         run.rows,
     )
+    _record(benchmark, "campaign-smoke-serial", spec, 1)
 
 
 def test_bench_campaign_parallel_two_jobs(benchmark, record_rows):
@@ -42,3 +54,4 @@ def test_bench_campaign_parallel_two_jobs(benchmark, record_rows):
         "campaign smoke -- 2 worker processes",
         run.rows,
     )
+    _record(benchmark, "campaign-smoke-jobs2", spec, 2)

@@ -17,6 +17,8 @@ import time
 
 import pytest
 
+from _artifacts import record_bench
+
 from repro.runtime.reference import (
     ReferenceIterativeRunner,
     ReferenceVirtualCluster,
@@ -66,6 +68,13 @@ def test_bench_runner_iterations(benchmark, num_pes):
     assert result.trace.num_iterations == THROUGHPUT_ITERATIONS
     benchmark.extra_info["num_pes"] = num_pes
     benchmark.extra_info["iterations"] = THROUGHPUT_ITERATIONS
+    record_bench(
+        "core",
+        f"runner-iterations-p{num_pes}",
+        {"num_pes": num_pes, "iterations": THROUGHPUT_ITERATIONS, "smoke": SMOKE},
+        benchmark.stats.stats.min,
+        THROUGHPUT_ITERATIONS / benchmark.stats.stats.min,
+    )
 
 
 def _best_of(factory, repetitions):
@@ -120,6 +129,18 @@ def test_vectorized_core_speedup_vs_reference():
         f"\nvectorized core: {new_time / SPEEDUP_ITERATIONS * 1e3:.3f} ms/iter, "
         f"reference core: {ref_time / SPEEDUP_ITERATIONS * 1e3:.3f} ms/iter, "
         f"speedup {speedup:.1f}x (threshold {SPEEDUP_THRESHOLD}x)"
+    )
+    record_bench(
+        "core",
+        "vectorized-vs-reference-p64",
+        {
+            "num_pes": 64,
+            "iterations": SPEEDUP_ITERATIONS,
+            "smoke": SMOKE,
+            "speedup": speedup,
+        },
+        new_time,
+        SPEEDUP_ITERATIONS / new_time,
     )
     assert speedup >= SPEEDUP_THRESHOLD, (
         f"vectorized core is only {speedup:.1f}x faster than the reference "

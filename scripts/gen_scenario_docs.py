@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Regenerate ``docs/reference/catalog.md`` from the live registries.
+
+The scenario catalog and the LB policy registry are the two string-keyed
+extension points of the library; their documentation is *generated* from
+the registered objects so the page can never drift from the code.  The
+page is checked in (the docs build needs no imports) and
+``tests/docs/test_docs_drift.py`` asserts it is up to date::
+
+    PYTHONPATH=src python scripts/gen_scenario_docs.py        # rewrite
+    PYTHONPATH=src python scripts/gen_scenario_docs.py --check  # CI mode
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+HEADER = """\
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with: PYTHONPATH=src python scripts/gen_scenario_docs.py -->
+
+# Scenario catalog & policy registry
+
+The two string-keyed extension points of the library, generated from the
+live registries (`repro.scenarios.registry` and `repro.lb.registry`).
+Register your own entries and they become usable in `RunConfig`, campaign
+grids and on the command line under the same names.
+"""
+
+
+def render() -> str:
+    import repro.scenarios  # noqa: F401 -- populates the scenario registry
+    from repro.lb.registry import (
+        available_policies,
+        available_policy_pairs,
+        available_triggers,
+    )
+    from repro.scenarios import available_scenarios
+
+    lines = [HEADER]
+    lines.append("## Scenarios\n")
+    lines.append(
+        "Every entry builds a runnable striped application plus its Table-I\n"
+        "analytical analogue from one `ScenarioSpec` "
+        "(see [the API reference](api.md)).\n"
+    )
+    lines.append("| name | description |")
+    lines.append("|------|-------------|")
+    for scenario in available_scenarios():
+        lines.append(f"| `{scenario.name}` | {scenario.description} |")
+
+    lines.append("\n## Policy pairs\n")
+    lines.append(
+        "A *pair* bundles a workload policy (how to redistribute) with its\n"
+        "matching trigger (when to redistribute); `PolicyConfig(name, params)`\n"
+        "and the CLI shorthand `--policy name[:alpha]` resolve through these\n"
+        "names via `repro.lb.registry.make_policy_pair`.\n"
+    )
+    lines.append("| pair | workload policies | triggers |")
+    lines.append("|------|-------------------|----------|")
+    pairs = ", ".join(f"`{name}`" for name in available_policy_pairs())
+    policies = ", ".join(f"`{name}`" for name in available_policies())
+    triggers = ", ".join(f"`{name}`" for name in available_triggers())
+    lines.append(f"| {pairs} | {policies} | {triggers} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv) -> int:
+    target = REPO / "docs" / "reference" / "catalog.md"
+    content = render()
+    if "--check" in argv:
+        current = target.read_text(encoding="utf-8") if target.exists() else ""
+        if current != content:
+            print(
+                f"{target} is stale; regenerate with "
+                "PYTHONPATH=src python scripts/gen_scenario_docs.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{target} is up to date")
+        return 0
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(content, encoding="utf-8")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

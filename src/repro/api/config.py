@@ -283,12 +283,18 @@ class RunnerConfig(_ConfigSection):
     #: Explicit LB-cost prior in seconds, or ``None`` for the standard
     #: half-of-one-balanced-iteration prior.
     lb_cost_prior: Optional[float] = None
+    #: Number of seeded replicas a batched run executes in one vectorized
+    #: pass (:meth:`repro.api.session.Session.run_batch`); replica ``i``
+    #: uses ``scenario.seed + i`` and is bit-identical to a solo run with
+    #: that seed.  ``1`` keeps the plain single-run behaviour.
+    replicas: int = 1
 
     def __post_init__(self) -> None:
         check_non_negative(self.bytes_per_load_unit, "bytes_per_load_unit")
         check_non_negative(self.partition_flop_per_column, "partition_flop_per_column")
         if self.lb_cost_prior is not None:
             check_non_negative(self.lb_cost_prior, "lb_cost_prior")
+        check_positive_int(self.replicas, "replicas")
 
     # ------------------------------------------------------------------
     def resolve_lb_cost_prior(self, total_flop: float, num_pes: int, pe_speed: float) -> float:
@@ -321,6 +327,18 @@ class RunConfig(_ConfigSection):
     The tree is frozen and JSON round-trippable
     (``RunConfig.from_json(cfg.to_json()) == cfg``); hand it to
     :meth:`repro.api.session.Session.from_config` to execute it.
+
+    Example
+    -------
+    >>> from repro.api import PolicyConfig, RunConfig, ScenarioConfig
+    >>> cfg = RunConfig(
+    ...     scenario=ScenarioConfig(name="erosion", iterations=80, seed=7),
+    ...     policy=PolicyConfig("ulba", {"alpha": 0.4}),
+    ... )
+    >>> RunConfig.from_json(cfg.to_json()) == cfg
+    True
+    >>> cfg.policy.label
+    'ulba(alpha=0.4)'
     """
 
     #: Virtual cluster and interconnect.

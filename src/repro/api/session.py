@@ -8,7 +8,9 @@ the campaign runner and the CLI each had their own copy of that wiring).  A
 >>> from repro.api import PolicyConfig, RunConfig, Session
 >>> cfg = RunConfig(policy=PolicyConfig("ulba", {"alpha": 0.4}))
 >>> session = Session.from_config(cfg)
->>> session.on("lb_step", lambda e: print("LB at iteration", e.iteration))
+>>> unsubscribe = session.on(
+...     "lb_step", lambda e: print("LB at iteration", e.iteration)
+... )
 >>> result = session.run()                         # doctest: +SKIP
 
 ``from_config`` resolves the scenario through the catalog and the policy
@@ -26,7 +28,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.batch.result import BatchResult
 
 from repro.api.config import RunConfig, RunnerConfig, TopologyConfig
 from repro.api.events import EventBus, IterationEvent, LBStepEvent, PhaseEvent
@@ -235,11 +240,118 @@ class Session:
             self.events.emit("lb_step", LBStepEvent(iteration=iteration, report=report))
 
     # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        seeds: Optional[Sequence[int]] = None,
+        iterations: Optional[int] = None,
+    ) -> "BatchResult":
+        """Run ``R`` seeded replicas of this config in one vectorized pass.
+
+        Builds the replica-batched engine (:class:`repro.batch.BatchRunner`)
+        from the session's declarative config: one scenario instance and one
+        policy pair per seed, all executing on shared ``(R, P)`` state.
+        Replica ``r`` of the result is bit-identical to
+        ``Session.from_config(cfg with scenario.seed = seeds[r]).run()``.
+
+        Parameters
+        ----------
+        seeds:
+            Workload/gossip seed of every replica.  Defaults to
+            ``scenario.seed + i`` for ``i in range(runner.replicas)``.
+        iterations:
+            Application iterations; defaults to ``scenario.iterations``.
+
+        Example
+        -------
+        >>> from repro.api import RunConfig, Session
+        >>> batch = Session.from_config(RunConfig()).run_batch(seeds=[0, 1, 2])
+        ...                                                    # doctest: +SKIP
+        >>> batch.aggregate()["replicas"]                      # doctest: +SKIP
+        3
+        """
+        # Imported lazily for the same layering reason as from_config: the
+        # batch engine consumes the scenario layer, which consumes this
+        # package.
+        import repro.scenarios  # noqa: F401  -- populates the scenario registry
+        from repro.batch import BatchRunner
+        from repro.scenarios.base import ScenarioSpec
+        from repro.scenarios.registry import get_scenario
+
+        if self.config is None:
+            raise ValueError(
+                "run_batch requires a declarative session: build it with "
+                "Session.from_config(RunConfig(...))"
+            )
+        config = self.config
+        if seeds is None:
+            base = config.scenario.seed if config.scenario.seed is not None else 0
+            seeds = [base + i for i in range(config.runner.replicas)]
+        seeds = list(seeds)
+        if not seeds:
+            raise ValueError("seeds must name at least one replica")
+        n = iterations if iterations is not None else config.scenario.iterations
+        check_positive_int(n, "iterations")
+
+        scenario = get_scenario(config.scenario.name)
+        spec = ScenarioSpec(
+            num_pes=config.cluster.num_pes,
+            columns_per_pe=config.scenario.columns_per_pe,
+            rows=config.scenario.rows,
+            iterations=config.scenario.iterations,
+            seed=config.scenario.seed,
+        )
+        instances = [scenario.build(spec.with_seed(seed)) for seed in seeds]
+        applications = [instance.application for instance in instances]
+        pairs = [config.policy.resolve() for _ in seeds]
+        priors = [
+            config.runner.resolve_lb_cost_prior(
+                self._total_flop(app),
+                config.cluster.num_pes,
+                config.cluster.pe_speed,
+            )
+            for app in applications
+        ]
+        runner = BatchRunner(
+            config.cluster.num_pes,
+            applications,
+            seeds=seeds,
+            pe_speed=config.cluster.pe_speed,
+            cost_model=CommCostModel(
+                latency=config.cluster.latency,
+                bandwidth=config.cluster.bandwidth,
+            ),
+            workload_policies=[pair[0] for pair in pairs],
+            trigger_policies=[pair[1] for pair in pairs],
+            use_gossip=self.topology.use_gossip,
+            wir_smoothing=self.topology.wir_smoothing,
+            initial_lb_cost_estimates=priors,
+            partition_flop_per_column=config.runner.partition_flop_per_column,
+            bytes_per_load_unit=config.runner.bytes_per_load_unit,
+        )
+        #: Kept for callers that need the per-replica scenario instances
+        #: (e.g. the campaign rows' analytical model fields).
+        self.batch_instances = instances
+        self.events.emit("phase", PhaseEvent("run_batch"))
+        result = runner.run(n)
+        self.events.emit("phase", PhaseEvent("done"))
+        return result
+
+    # ------------------------------------------------------------------
     def run(self, iterations: Optional[int] = None) -> SessionResult:
         """Execute the run and return its structured result.
 
         ``iterations`` defaults to the config's ``scenario.iterations``;
         component-built sessions without a default must pass it explicitly.
+
+        Example
+        -------
+        >>> from repro.api import RunConfig, ScenarioConfig, Session
+        >>> cfg = RunConfig(scenario=ScenarioConfig(iterations=20))
+        >>> result = Session.from_config(cfg).run()
+        >>> result.iterations
+        20
+        >>> result.total_time > 0
+        True
         """
         n = iterations if iterations is not None else self._default_iterations
         if n is None:

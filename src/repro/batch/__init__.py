@@ -1,0 +1,22 @@
+"""Replica-batched execution engine (``repro.batch``).
+
+Runs ``R`` seeded replicas of one run configuration in a single vectorized
+pass: the hot per-iteration state carries a leading replica axis (``(R, P)``
+PE state, ``(R, P, P)`` gossip boards, ``(R, P)`` WIR estimators) while
+per-replica control flow (LB triggers, partitions) runs the existing solo
+components against row views of the shared arrays -- so replica ``r`` of a
+batch is bit-identical to a solo run with seed ``seeds[r]``.
+
+Entry points:
+
+* :class:`BatchRunner` -- component-level, mirrors
+  :class:`repro.runtime.skeleton.IterativeRunner`;
+* :meth:`repro.api.session.Session.run_batch` -- declarative, from a
+  :class:`~repro.api.config.RunConfig`;
+* ``repro run --replicas N`` -- the CLI surface.
+"""
+
+from repro.batch.result import BatchResult
+from repro.batch.runner import BatchRunner
+
+__all__ = ["BatchResult", "BatchRunner"]

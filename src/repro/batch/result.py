@@ -1,0 +1,107 @@
+"""Structured outcome of one replica-batched run.
+
+The paper's figures are replica-averaged curves with confidence bands;
+:class:`BatchResult` therefore keeps both layers: the full per-replica
+:class:`~repro.runtime.skeleton.RunResult` objects (each bit-identical to a
+solo run with that replica's seed) and the cross-replica aggregates --
+means and normal-approximation confidence intervals over scalar outcomes,
+plus replica-stacked and replica-averaged trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.runtime.skeleton import RunResult
+from repro.utils.stats import mean_confidence_interval
+
+__all__ = ["BatchResult"]
+
+
+@dataclass
+class BatchResult:
+    """Per-replica results plus cross-replica aggregates of one batch run."""
+
+    #: One :class:`RunResult` per replica, in seed order; replica ``r`` is
+    #: bit-identical to a solo run with ``seeds[r]``.
+    replicas: List[RunResult] = field(default_factory=list)
+    #: The gossip/workload seed of every replica.
+    seeds: Tuple = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_replicas(self) -> int:
+        """Number of replicas in the batch."""
+        return len(self.replicas)
+
+    def __getitem__(self, replica: int) -> RunResult:
+        return self.replicas[replica]
+
+    def __iter__(self):
+        return iter(self.replicas)
+
+    # ------------------------------------------------------------------
+    def total_times(self) -> np.ndarray:
+        """Per-replica total virtual time (seconds)."""
+        return np.asarray([r.total_time for r in self.replicas], dtype=float)
+
+    def lb_calls(self) -> np.ndarray:
+        """Per-replica number of LB invocations."""
+        return np.asarray([r.num_lb_calls for r in self.replicas], dtype=int)
+
+    def mean_utilizations(self) -> np.ndarray:
+        """Per-replica time-weighted average PE utilization."""
+        return np.asarray([r.mean_utilization for r in self.replicas], dtype=float)
+
+    def utilization_trajectories(self) -> np.ndarray:
+        """``(R, iterations)`` per-iteration utilization of every replica."""
+        return np.stack([r.utilization_series() for r in self.replicas])
+
+    def mean_utilization_trajectory(self) -> np.ndarray:
+        """Replica-averaged per-iteration utilization (the Fig. 4b curve)."""
+        return self.utilization_trajectories().mean(axis=0)
+
+    def iteration_time_trajectories(self) -> np.ndarray:
+        """``(R, iterations)`` per-iteration durations of every replica."""
+        return np.stack(
+            [r.trace.iteration_time_series() for r in self.replicas]
+        )
+
+    # ------------------------------------------------------------------
+    def aggregate(self, confidence: float = 0.95) -> Dict[str, float]:
+        """Cross-replica mean and CI half-width of the scalar outcomes.
+
+        Keys: ``total_time`` / ``mean_utilization`` / ``lb_calls``, each
+        with a ``*_ci`` companion (normal-approximation half-width at
+        ``confidence``), plus ``replicas``.
+        """
+        time_mean, time_ci = mean_confidence_interval(
+            self.total_times(), confidence=confidence
+        )
+        util_mean, util_ci = mean_confidence_interval(
+            self.mean_utilizations(), confidence=confidence
+        )
+        calls_mean, calls_ci = mean_confidence_interval(
+            self.lb_calls(), confidence=confidence
+        )
+        return {
+            "replicas": self.num_replicas,
+            "total_time": time_mean,
+            "total_time_ci": time_ci,
+            "mean_utilization": util_mean,
+            "mean_utilization_ci": util_ci,
+            "lb_calls": calls_mean,
+            "lb_calls_ci": calls_ci,
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary row: aggregates plus the seeds of the batch."""
+        info = dict(self.aggregate())
+        info["seeds"] = tuple(self.seeds)
+        if self.replicas:
+            info["policy"] = self.replicas[0].policy_name
+            info["trigger"] = self.replicas[0].trigger_name
+        return info

@@ -1,0 +1,508 @@
+"""The replica-batched execution engine.
+
+Campaigns and figure drivers average every curve over seeded repetitions:
+the same configuration runs ``R`` times with different seeds and only the
+replica-averaged trajectories reach the plots.  Before this engine each
+repetition re-ran the full Python hot loop; :class:`BatchRunner` runs all
+``R`` replicas in a *single* vectorized pass instead:
+
+* the per-PE state is one ``(R, P)``
+  :class:`~repro.simcluster.pe.PEStateArrays` -- a compute phase is one
+  matrix operation for every replica at once;
+* the ``R`` gossip boards live in one ``(R, P, P)``
+  :class:`~repro.simcluster.gossip.BatchGossipBoard` with a stacked
+  per-round peer selection and a single grouped merge;
+* the ``R * P`` WIR estimators update in one batched EMA
+  (:class:`~repro.lb.wir.WIREstimateArray` with ``replicas=R``).
+
+Control flow that genuinely diverges per replica -- the LB trigger decision,
+the centralized LB step, partitions -- stays per-replica, running the
+*existing* solo components against NumPy row views of the shared state.
+That is what makes the engine exactly equivalent: replica ``r`` of a batch
+is bit-identical to a solo :class:`~repro.runtime.skeleton.IterativeRunner`
+run with seed ``seeds[r]`` (the equivalence guard in
+``tests/batch/test_batch_equivalence.py`` asserts it), while the shared
+per-iteration work no longer scales with ``R`` in Python-call terms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.batch.result import BatchResult
+from repro.lb.adaptive import DegradationTrigger, ULBADegradationTrigger
+from repro.lb.base import LBContext, TriggerPolicy, WorkloadPolicy
+from repro.lb.centralized import CentralizedLoadBalancer, LBStepReport
+from repro.lb.standard import StandardPolicy
+from repro.lb.wir import BatchWIRDatabase, OverloadDetector, WIREstimateArray
+from repro.partitioning.stripe import StripePartition, StripePartitioner
+from repro.runtime.degradation import BatchDegradationTracker
+from repro.runtime.skeleton import RunResult, StripedApplication
+from repro.simcluster.cluster import VirtualCluster
+from repro.simcluster.comm import CommCostModel
+from repro.simcluster.pe import PEStateArrays
+from repro.simcluster.tracing import IterationRecord
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+__all__ = ["BatchRunner"]
+
+
+class BatchRunner:
+    """Algorithm 1 over ``R`` seeded replicas in one vectorized pass.
+
+    Parameters
+    ----------
+    num_pes:
+        PEs per replica (every replica runs on the same cluster size).
+    applications:
+        One :class:`~repro.runtime.skeleton.StripedApplication` per replica
+        (typically the same scenario built for ``R`` different seeds).  All
+        replicas must expose the same number of columns.
+    seeds:
+        One gossip seed per replica; replica ``r`` consumes it exactly like
+        a solo runner constructed with ``seed=seeds[r]``.
+    workload_policies / trigger_policies:
+        Per-replica policy instances (policies carry state, so replicas must
+        not share them); ``None`` creates the solo runner's defaults.
+    initial_lb_cost_estimates:
+        Per-replica LB-cost prior in seconds (or one scalar for all).
+    pe_speed, cost_model, use_gossip, wir_smoothing,
+    partition_flop_per_column, bytes_per_load_unit:
+        As on :class:`~repro.runtime.skeleton.IterativeRunner`, shared by
+        every replica.
+
+    Example
+    -------
+    >>> from repro.batch import BatchRunner
+    >>> from repro.runtime.synthetic import SyntheticGrowthApplication
+    >>> apps = [SyntheticGrowthApplication(64) for _ in range(4)]
+    >>> runner = BatchRunner(8, apps, seeds=[0, 1, 2, 3])
+    >>> result = runner.run(20)
+    >>> result.num_replicas
+    4
+    """
+
+    def __init__(
+        self,
+        num_pes: int,
+        applications: Sequence[StripedApplication],
+        *,
+        seeds: Sequence[SeedLike],
+        pe_speed: float = 1.0e9,
+        cost_model: Optional[CommCostModel] = None,
+        workload_policies: Optional[Sequence[WorkloadPolicy]] = None,
+        trigger_policies: Optional[Sequence[TriggerPolicy]] = None,
+        use_gossip: bool = True,
+        wir_smoothing: float = 0.5,
+        initial_lb_cost_estimates: "Sequence[float] | float" = 0.0,
+        partition_flop_per_column: float = 50.0,
+        bytes_per_load_unit: float = 800.0,
+    ) -> None:
+        check_positive_int(num_pes, "num_pes")
+        check_positive(pe_speed, "pe_speed")
+        replicas = len(applications)
+        if replicas == 0:
+            raise ValueError("applications must name at least one replica")
+        if len(seeds) != replicas:
+            raise ValueError(
+                f"need one seed per replica: {replicas} applications, "
+                f"{len(seeds)} seeds"
+            )
+        num_columns = applications[0].num_columns
+        for app in applications:
+            if app.num_columns != num_columns:
+                raise ValueError(
+                    "all replica applications must have the same number of "
+                    f"columns; got {app.num_columns} and {num_columns}"
+                )
+        if num_columns < num_pes:
+            raise ValueError(
+                f"the applications have {num_columns} columns, fewer than "
+                f"the {num_pes} PEs"
+            )
+        if np.isscalar(initial_lb_cost_estimates):
+            priors = [float(initial_lb_cost_estimates)] * replicas
+        else:
+            priors = [float(p) for p in initial_lb_cost_estimates]
+            if len(priors) != replicas:
+                raise ValueError(
+                    f"need one LB-cost prior per replica, got {len(priors)}"
+                )
+        for prior in priors:
+            check_non_negative(prior, "initial_lb_cost_estimate")
+        if workload_policies is None:
+            workload_policies = [StandardPolicy() for _ in range(replicas)]
+        if trigger_policies is None:
+            trigger_policies = [DegradationTrigger() for _ in range(replicas)]
+        if len(workload_policies) != replicas or len(trigger_policies) != replicas:
+            raise ValueError("need one workload and one trigger policy per replica")
+        if len(set(map(id, workload_policies))) != replicas or len(
+            set(map(id, trigger_policies))
+        ) != replicas:
+            raise ValueError(
+                "policies carry per-run state; every replica needs its own instance"
+            )
+
+        self.num_pes = num_pes
+        self.num_replicas = replicas
+        self.seeds = tuple(seeds)
+        self.applications = list(applications)
+        self.workload_policies = list(workload_policies)
+        self.trigger_policies = list(trigger_policies)
+        self.initial_lb_cost_estimates = priors
+
+        #: Shared ``(R, P)`` PE state of every replica.
+        self.state = PEStateArrays(num_pes, pe_speed, replicas=replicas)
+        #: Per-replica cluster facades over the shared state rows (each with
+        #: its own trace and comm counters; LB steps charge through these).
+        self.clusters: List[VirtualCluster] = [
+            VirtualCluster(
+                num_pes,
+                pe_speed=pe_speed,
+                cost_model=cost_model,
+                state=self.state.replica_view(r),
+            )
+            for r in range(replicas)
+        ]
+        self.wir_db = BatchWIRDatabase(num_pes, seeds, use_gossip=use_gossip)
+        self.wir_estimates = WIREstimateArray(
+            num_pes, smoothing=wir_smoothing, replicas=replicas
+        )
+        #: Vectorized degradation accumulation (elementwise bit-identical to
+        #: R scalar trackers; see BatchDegradationTracker).
+        self.degradation = BatchDegradationTracker(replicas)
+        # The degradation-trigger family admits a vectorized decision path:
+        # `degradation >= margin * avg_cost` is a necessary condition for
+        # firing (the ULBA overhead only raises the threshold), so one
+        # vectorized compare gates the per-replica Python work; any custom
+        # trigger type falls back to per-replica should_balance calls with
+        # full contexts.
+        self._trigger_fast_mode = self._detect_trigger_fast_mode(trigger_policies)
+        if self._trigger_fast_mode is not None:
+            self._trigger_margins = np.asarray(
+                [t.cost_margin for t in trigger_policies], dtype=float
+            )
+            #: Per-replica average-LB-cost cache; only changes at LB steps.
+            self._avg_cost_buf = np.asarray(priors, dtype=float)
+        self._last_lb_arr = np.zeros(replicas, dtype=np.int64)
+        self.load_balancers: List[CentralizedLoadBalancer] = [
+            CentralizedLoadBalancer(
+                self.clusters[r],
+                self.workload_policies[r],
+                partition_flop_per_column=partition_flop_per_column,
+                bytes_per_load_unit=bytes_per_load_unit,
+            )
+            for r in range(replicas)
+        ]
+        self.partitioner = StripePartitioner(num_pes)
+        #: Current stripe partition of each replica (uniform until LB calls
+        #: make them diverge).
+        self.partitions: List[StripePartition] = [
+            self.partitioner.uniform_partition(num_columns) for _ in range(replicas)
+        ]
+        self._stripe_starts: List[Optional[np.ndarray]] = [
+            self._starts_of(p) for p in self.partitions
+        ]
+        self._num_columns = num_columns
+        #: Per-replica column loads, copied once per iteration so the
+        #: per-stripe sums of every replica are one concatenated reduceat.
+        self._cols_buf = np.empty((replicas, num_columns), dtype=float)
+        self._concat_starts: Optional[np.ndarray] = None
+        self._refresh_concat_starts()
+        self._last_lb_iteration = [0] * replicas
+        self._total_iterations: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _detect_trigger_fast_mode(
+        triggers: Sequence[TriggerPolicy],
+    ) -> Optional[str]:
+        """Classify the trigger set for the vectorized decision path.
+
+        ``"standard"``: every trigger is exactly a
+        :class:`~repro.lb.adaptive.DegradationTrigger` (threshold = margin x
+        average LB cost, no WIR reads).  ``"ulba"``: every trigger is
+        exactly a :class:`~repro.lb.adaptive.ULBADegradationTrigger` with
+        plain identically-parameterized :class:`OverloadDetector` instances,
+        so the per-replica overload counts batch into one stacked z-score
+        pass.  Anything else returns ``None`` and the runner calls
+        ``should_balance`` per replica with a full context -- same results,
+        just slower.
+        """
+        if all(type(t) is ULBADegradationTrigger for t in triggers):
+            detectors = [t.detector for t in triggers]
+            first = detectors[0]
+            if all(
+                type(d) is OverloadDetector
+                and d.threshold == first.threshold
+                and d.min_population == first.min_population
+                for d in detectors
+            ):
+                return "ulba"
+            return None
+        if all(type(t) is DegradationTrigger for t in triggers):
+            return "standard"
+        return None
+
+    @staticmethod
+    def _starts_of(partition: StripePartition) -> Optional[np.ndarray]:
+        """reduceat start offsets of a partition, or None when degenerate.
+
+        Mirrors the solo runner's ``_stripe_loads`` fast/slow path split:
+        ``None`` flags a partition with empty stripes, which ``reduceat``
+        mishandles and the prefix-sum fallback serves instead.
+        """
+        bounds = np.asarray(partition.partition.boundaries)
+        starts = bounds[:-1]
+        if (bounds[1:] > starts).all():
+            return starts
+        return None
+
+    def _stripe_loads(self, replica: int, column_loads: np.ndarray) -> np.ndarray:
+        """Per-stripe workload sums of one replica (solo-identical)."""
+        starts = self._stripe_starts[replica]
+        if starts is not None:
+            return np.add.reduceat(column_loads, starts)
+        bounds = np.asarray(self.partitions[replica].partition.boundaries)
+        prefix = np.concatenate(([0.0], np.cumsum(column_loads)))
+        return prefix[bounds[1:]] - prefix[bounds[:-1]]
+
+    def _refresh_concat_starts(self) -> None:
+        """Rebuild the concatenated reduceat offsets of all replicas.
+
+        One ``np.add.reduceat`` over the flattened ``(R * C,)`` column
+        buffer computes every replica's stripe sums at once; segment sums
+        are independent, so the result is bit-identical to ``R`` separate
+        reduceats.  Degenerate partitions (empty stripes) disable the
+        concatenation and fall back to the per-replica path.
+        """
+        if all(starts is not None for starts in self._stripe_starts):
+            columns = self._num_columns
+            self._concat_starts = np.concatenate(
+                [
+                    self._stripe_starts[r] + r * columns
+                    for r in range(self.num_replicas)
+                ]
+            )
+        else:
+            self._concat_starts = None
+
+    def _stripe_loads_all(self) -> np.ndarray:
+        """``(R, P)`` stripe sums of every replica from the column buffer."""
+        if self._concat_starts is not None:
+            flat = np.add.reduceat(self._cols_buf.reshape(-1), self._concat_starts)
+            return flat.reshape(self.num_replicas, self.num_pes)
+        return np.stack(
+            [
+                self._stripe_loads(r, self._cols_buf[r])
+                for r in range(self.num_replicas)
+            ]
+        )
+
+    def _fill_columns(self) -> None:
+        """Copy every application's current column loads into the buffer."""
+        for r in range(self.num_replicas):
+            np.copyto(self._cols_buf[r], self.applications[r].column_loads())
+
+    def _average_lb_cost(self, replica: int) -> float:
+        measured = self.load_balancers[replica].average_cost
+        if measured > 0.0:
+            return measured
+        return self.initial_lb_cost_estimates[replica]
+
+    def _build_context(
+        self, replica: int, iteration: int, stripe_loads: np.ndarray
+    ) -> LBContext:
+        workloads = stripe_loads * self.applications[replica].flop_per_load_unit
+        return LBContext(
+            iteration=iteration,
+            pe_workloads=tuple(workloads.tolist()),
+            wir_views=self.wir_db.replica(replica).views(),
+            last_lb_iteration=self._last_lb_iteration[replica],
+            accumulated_degradation=self.degradation.degradation_of(replica),
+            average_lb_cost=self._average_lb_cost(replica),
+            pe_speed=self.state.speed,
+            total_iterations=self._total_iterations,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute_lb_step(
+        self,
+        r: int,
+        iteration: int,
+        new_stripe_loads: np.ndarray,
+        stripe_loads: np.ndarray,
+        lb_reports: List[List[LBStepReport]],
+        context: Optional[LBContext] = None,
+    ) -> None:
+        """Run one replica's centralized LB step (solo-identical sequence)."""
+        if context is None:
+            context = self._build_context(r, iteration, new_stripe_loads[r])
+        report = self.load_balancers[r].execute(
+            context,
+            self._cols_buf[r],
+            current_partition=self.partitions[r],
+        )
+        lb_reports[r].append(report)
+        self.partitions[r] = report.partition
+        self._stripe_starts[r] = self._starts_of(report.partition)
+        self._refresh_concat_starts()
+        self._last_lb_iteration[r] = iteration + 1
+        self._last_lb_arr[r] = iteration + 1
+        if self._trigger_fast_mode is not None:
+            self._avg_cost_buf[r] = self._average_lb_cost(r)
+        self.degradation.reset_replica(r)
+        self.trigger_policies[r].notify_balanced(context)
+        rebalanced = self._stripe_loads(r, self._cols_buf[r])
+        self.wir_estimates.reset_replica_after_migration(
+            r, rebalanced * self.applications[r].flop_per_load_unit
+        )
+        stripe_loads[r] = rebalanced
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: int) -> BatchResult:
+        """Execute ``iterations`` application iterations on every replica."""
+        check_positive_int(iterations, "iterations")
+        self._total_iterations = iterations
+        R, P = self.num_replicas, self.num_pes
+        state = self.state
+        comm = self.clusters[0].comm.cost_model
+        sync_cost = comm.collective(P, 8.0)
+        flop_per_load = np.asarray(
+            [app.flop_per_load_unit for app in self.applications], dtype=float
+        )[:, None]
+
+        lb_reports: List[List[LBStepReport]] = [[] for _ in range(R)]
+        # Deferred per-iteration trace buffers (one bulk write per run
+        # instead of R Python record calls per iteration).
+        pe_times_buf = np.empty((iterations, R, P), dtype=float)
+        elapsed_buf = np.empty((iterations, R), dtype=float)
+        timestamp_buf = np.empty((iterations, R), dtype=float)
+
+        fast_mode = self._trigger_fast_mode
+        self._fill_columns()
+        stripe_loads = self._stripe_loads_all()
+
+        for iteration in range(iterations):
+            flop_per_pe = stripe_loads * flop_per_load
+
+            # Line 10, batched: one bulk-synchronous compute phase of every
+            # replica (identical elementwise ops to R solo compute_steps).
+            start = state.clock.max(axis=1)
+            pe_times = flop_per_pe / state.speed
+            state.clock += pe_times
+            state.busy_time += pe_times
+            end = state.clock.max(axis=1) + sync_cost
+            state.clock[:] = end[:, None]
+            elapsed = end - start
+            pe_times_buf[iteration] = pe_times
+            elapsed_buf[iteration] = elapsed
+            timestamp_buf[iteration] = end
+            for cluster in self.clusters:
+                cluster.comm.num_collectives += 1
+                cluster.comm.comm_time += sync_cost
+
+            # Application dynamics (per replica: each owns its instance).
+            for app in self.applications:
+                app.advance()
+            self._fill_columns()
+            new_stripe_loads = self._stripe_loads_all()
+
+            # WIR estimation and dissemination, batched over all replicas.
+            rates = self.wir_estimates.observe(new_stripe_loads * flop_per_load)
+            self.wir_db.publish_all(rates)
+            self.wir_db.disseminate()
+
+            # Lines 11-15, batched: every replica's degradation accumulates
+            # in one vectorized update.
+            degradations = self.degradation.observe(elapsed)
+
+            # Line 16: the trigger decision diverges per replica.  For the
+            # degradation-trigger family, `degradation >= margin * avg
+            # cost` is a necessary firing condition (the ULBA overhead of
+            # Eq. 11 only raises the threshold), so one vectorized compare
+            # selects the candidate replicas and only those pay the full
+            # per-replica threshold (and context, if they fire); custom
+            # triggers get the generic per-replica path.  The LB step
+            # itself charges through the replica's cluster facade into the
+            # shared (R, P) state.
+            if fast_mode is not None:
+                base_thresholds = self._trigger_margins * self._avg_cost_buf
+                candidates = np.flatnonzero(
+                    (iteration > self._last_lb_arr)
+                    & (degradations >= base_thresholds)
+                )
+                fired = []
+                for r in candidates:
+                    r = int(r)
+                    threshold = float(base_thresholds[r])
+                    if fast_mode == "ulba":
+                        trigger = self.trigger_policies[r]
+                        n = trigger.detector.overloading_count(
+                            self.wir_db.known_values(r, 0)
+                        )
+                        if 0 < n < P:
+                            workloads = (
+                                new_stripe_loads[r]
+                                * self.applications[r].flop_per_load_unit
+                            )
+                            threshold = threshold + (
+                                trigger.alpha
+                                * n
+                                / (P - n)
+                                * sum(workloads.tolist())
+                                / (state.speed * P)
+                            )
+                    if self.degradation.degradation_of(r) >= threshold:
+                        fired.append(r)
+                np.copyto(stripe_loads, new_stripe_loads)
+                for r in fired:
+                    self._execute_lb_step(
+                        r, iteration, new_stripe_loads, stripe_loads, lb_reports
+                    )
+            else:
+                for r in range(R):
+                    context = self._build_context(r, iteration, new_stripe_loads[r])
+                    if self.trigger_policies[r].should_balance(context):
+                        self._execute_lb_step(
+                            r,
+                            iteration,
+                            new_stripe_loads,
+                            stripe_loads,
+                            lb_reports,
+                            context=context,
+                        )
+                    else:
+                        stripe_loads[r] = new_stripe_loads[r]
+
+        # Materialize the deferred iteration records (same float values the
+        # solo cluster would have recorded live; tolist() already yields
+        # Python floats, so the records are built without per-element
+        # conversion).
+        results: List[RunResult] = []
+        for r in range(R):
+            trace = self.clusters[r].trace
+            elapsed_list = elapsed_buf[:, r].tolist()
+            timestamp_list = timestamp_buf[:, r].tolist()
+            pe_times_list = pe_times_buf[:, r, :].tolist()
+            trace.iterations.extend(
+                IterationRecord(
+                    iteration=iteration,
+                    elapsed=elapsed_list[iteration],
+                    pe_compute_times=tuple(pe_times_list[iteration]),
+                    timestamp=timestamp_list[iteration],
+                )
+                for iteration in range(iterations)
+            )
+            results.append(
+                RunResult(
+                    trace=trace,
+                    lb_reports=lb_reports[r],
+                    policy_name=self.workload_policies[r].name,
+                    trigger_name=self.trigger_policies[r].name,
+                )
+            )
+        return BatchResult(replicas=results, seeds=self.seeds)

@@ -8,14 +8,18 @@ executes the cells whose ids are not on disk yet, so an interrupted campaign
 (Ctrl-C, crashed worker, killed CI job) continues where it stopped instead
 of starting over.
 
-Each worker rebuilds its cell from the picklable
-:class:`~repro.campaign.spec.CampaignCell` descriptor alone -- the cell's
-declarative :meth:`~repro.campaign.spec.CampaignCell.run_config` is handed
-to :meth:`repro.api.session.Session.from_config`, which constructs the
-scenario instance, virtual cluster and policies inside the worker -- so
-results are identical whether a cell runs serially, under ``--jobs N`` or
-in a resumed invocation (the simulation is deterministic; only the
-bookkeeping field ``wall_time`` varies).
+Work is dispatched as *seed-batches*: the pending cells are grouped into
+(scenario, policy) groups whose members differ only in their repetition
+seed, and each group executes all of its seeds as one vectorized replica
+batch (:meth:`repro.api.session.Session.run_batch` on the replica-batched
+engine of :mod:`repro.batch`).  Worker processes therefore parallelize over
+the groups while the replica axis is vectorized inside each worker.  Each
+worker rebuilds its cells from the picklable
+:class:`~repro.campaign.spec.CampaignCell` descriptors alone, so results
+are identical whether a cell runs serially, under ``--jobs N``, in a
+resumed invocation or as one replica of a batch (the batch engine is
+bit-identical to solo runs; only the bookkeeping field ``wall_time``
+varies).
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ import multiprocessing
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.api.session import Session
 from repro.campaign.spec import CampaignCell, CampaignSpec
@@ -35,6 +39,7 @@ __all__ = [
     "load_results",
     "run_campaign",
     "run_cell",
+    "run_cell_batch",
 ]
 
 #: One persisted result row: plain JSON-serialisable cell outcome.
@@ -74,6 +79,76 @@ def run_cell(cell: CampaignCell) -> CellRow:
         "model_N": session.scenario_instance.parameters.num_overloading,
         "wall_time": time.perf_counter() - started,
     }
+
+
+def run_cell_batch(cells: Sequence[CampaignCell]) -> List[CellRow]:
+    """Execute one seed-batch -- all repetitions of one (scenario, policy).
+
+    The cells must differ only in their seeding (the runner groups them that
+    way); their shared :class:`~repro.api.config.RunConfig` is handed to
+    :meth:`repro.api.session.Session.run_batch`, which executes every seed
+    as one replica of a single vectorized pass.  Multiprocessing therefore
+    parallelizes over (scenario, policy) groups while the replica axis is
+    vectorized inside each worker.  Each returned row is bit-identical to
+    what :func:`run_cell` computes for that cell (only the bookkeeping
+    ``wall_time``, here the per-replica share of the batch, differs).
+    """
+    started = time.perf_counter()
+    if len(cells) == 1:
+        return [run_cell(cells[0])]
+    session = Session.from_config(cells[0].run_config())
+    batch = session.run_batch(seeds=[cell.seed for cell in cells])
+    wall_share = (time.perf_counter() - started) / len(cells)
+    rows: List[CellRow] = []
+    for cell, result, instance in zip(cells, batch.replicas, session.batch_instances):
+        rows.append(
+            {
+                "cell_id": cell.cell_id,
+                "scenario": cell.scenario,
+                "policy": cell.policy.label,
+                "policy_kind": cell.policy.kind,
+                "alpha": cell.policy.alpha,
+                "seed_index": cell.seed_index,
+                "seed": cell.seed,
+                "num_pes": cell.num_pes,
+                "iterations": cell.iterations,
+                "latency": cell.latency,
+                "bandwidth": cell.bandwidth,
+                "bytes_per_load_unit": cell.bytes_per_load_unit,
+                "pe_speed": cell.pe_speed,
+                "total_time": result.total_time,
+                "num_lb_calls": result.num_lb_calls,
+                "mean_utilization": result.mean_utilization,
+                "model_N": instance.parameters.num_overloading,
+                "wall_time": wall_share,
+            }
+        )
+    return rows
+
+
+def _seed_batches(cells: Sequence[CampaignCell]) -> List[List[CampaignCell]]:
+    """Group cells into seed-batches: same cell in everything but the seed.
+
+    Grouping preserves first-appearance order of both the groups and the
+    cells inside them, so batched execution visits cells in the same
+    deterministic order as the flat grid.
+    """
+    groups: Dict[tuple, List[CampaignCell]] = {}
+    for cell in cells:
+        key = (
+            cell.scenario,
+            cell.policy,
+            cell.num_pes,
+            cell.columns_per_pe,
+            cell.rows,
+            cell.iterations,
+            cell.latency,
+            cell.bandwidth,
+            cell.bytes_per_load_unit,
+            cell.pe_speed,
+        )
+        groups.setdefault(key, []).append(cell)
+    return list(groups.values())
 
 
 def load_results(path: Union[str, Path]) -> List[CellRow]:
@@ -179,7 +254,11 @@ def run_campaign(
     out_path:
         JSONL file results are appended to as cells complete (flushed per
         row, so progress survives interruption).  ``None`` disables
-        persistence (and therefore resume).
+        persistence (and therefore resume).  Note that seed-batching makes
+        one (scenario, policy) seed group the unit of completion: an
+        interruption mid-batch loses that group's in-flight seeds (they
+        simply re-run, again as one batch, on resume), whereas completed
+        groups are fully persisted.
     name_filter:
         Substring filter on cell ids (the CLI's ``--filter``).
     resume:
@@ -215,13 +294,17 @@ def run_campaign(
 
     fresh: Dict[str, CellRow] = {}
     if pending:
+        # Seed-batches: every (scenario, policy) group runs its repetition
+        # seeds as one vectorized replica batch (repro.batch); worker
+        # processes parallelize over the groups.
+        batches = _seed_batches(pending)
         if out is not None:
             out.parent.mkdir(parents=True, exist_ok=True)
             _heal_torn_tail(out)
         sink = out.open("a", encoding="utf-8") if out is not None else None
         try:
-            if jobs == 1 or len(pending) == 1:
-                completed = map(run_cell, pending)
+            if jobs == 1 or len(batches) == 1:
+                completed = map(run_cell_batch, batches)
                 pool = None
             else:
                 # Prefer fork so scenarios registered by the caller's process
@@ -232,16 +315,17 @@ def run_campaign(
                 context = multiprocessing.get_context(
                     "fork" if "fork" in methods else None
                 )
-                pool = context.Pool(processes=min(jobs, len(pending)))
-                completed = pool.imap_unordered(run_cell, pending)
+                pool = context.Pool(processes=min(jobs, len(batches)))
+                completed = pool.imap_unordered(run_cell_batch, batches)
             try:
-                for row in completed:
-                    fresh[str(row["cell_id"])] = row
-                    if sink is not None:
-                        sink.write(json.dumps(row) + "\n")
-                        sink.flush()
-                    if on_cell_done is not None:
-                        on_cell_done(row)
+                for batch_rows in completed:
+                    for row in batch_rows:
+                        fresh[str(row["cell_id"])] = row
+                        if sink is not None:
+                            sink.write(json.dumps(row) + "\n")
+                            sink.flush()
+                        if on_cell_done is not None:
+                            on_cell_done(row)
             except BaseException:
                 # Ctrl-C or a failing callback/worker: kill the queued cells
                 # instead of draining them -- the JSONL log already holds

@@ -192,6 +192,19 @@ class CampaignSpec:
     cell runs at the same size (``num_pes`` / ``columns_per_pe`` / ``rows`` /
     ``iterations``) and on the same interconnect model, so aggregate tables
     compare policies and scenarios, not sizes.
+
+    Example
+    -------
+    >>> from repro.campaign.spec import CampaignSpec, PolicySpec
+    >>> spec = CampaignSpec(
+    ...     scenarios=("synthetic-hotspot",),
+    ...     policies=(PolicySpec("standard"), PolicySpec("ulba", alpha=0.4)),
+    ...     num_seeds=3,
+    ... )
+    >>> spec.num_cells
+    6
+    >>> [cell.seed_index for cell in spec.cells()][:3]
+    [0, 1, 2]
     """
 
     #: Campaign name (used in report titles and default output file names).

@@ -39,6 +39,7 @@ from repro.api import (
     ClusterConfig,
     PolicyConfig,
     RunConfig,
+    RunnerConfig,
     ScenarioConfig,
     Session,
 )
@@ -257,9 +258,12 @@ def _cmd_run(args: argparse.Namespace) -> str:
                 iterations=args.iterations,
                 seed=args.seed,
             ),
+            runner=RunnerConfig(replicas=args.replicas),
         )
     if args.dump_config:
         return cfg.to_json(indent=2)
+    if cfg.runner.replicas > 1:
+        return _run_batch(cfg, events=args.events)
     session = Session.from_config(cfg)
     if args.events:
         session.on(
@@ -284,6 +288,43 @@ def _cmd_run(args: argparse.Namespace) -> str:
         "mean utilization": f"{result.mean_utilization * 100.0:.2f}%",
     }
     return format_table([row], title="Session run (repro.api)")
+
+
+def _run_batch(cfg: RunConfig, *, events: bool = False) -> str:
+    """Execute a replica-batched run and print per-replica + aggregate rows."""
+    session = Session.from_config(cfg)
+    if events:
+        # Batched runs stream phase events only: per-iteration/LB events of
+        # individual replicas are not emitted by the vectorized pass.
+        session.on("phase", lambda e: print(f"[phase] {e.name}", file=sys.stderr))
+    batch = session.run_batch()
+    rows = []
+    for seed, result in zip(batch.seeds, batch.replicas):
+        rows.append(
+            {
+                "replica (seed)": seed,
+                "total time [s]": round(result.total_time, 6),
+                "LB calls": result.num_lb_calls,
+                "mean utilization": f"{result.mean_utilization * 100.0:.2f}%",
+            }
+        )
+    agg = batch.aggregate()
+    rows.append(
+        {
+            "replica (seed)": "mean +/- CI95",
+            "total time [s]": f"{agg['total_time']:.6g} +/- {agg['total_time_ci']:.3g}",
+            "LB calls": f"{agg['lb_calls']:.4g} +/- {agg['lb_calls_ci']:.3g}",
+            "mean utilization": (
+                f"{agg['mean_utilization'] * 100.0:.2f}% "
+                f"+/- {agg['mean_utilization_ci'] * 100.0:.2f}%"
+            ),
+        }
+    )
+    title = (
+        f"Batched session run: {cfg.scenario.name} x {cfg.policy.label}, "
+        f"{batch.num_replicas} replicas (repro.batch)"
+    )
+    return format_table(rows, title=title)
 
 
 def _positive_int(text: str) -> int:
@@ -395,7 +436,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="JSON RunConfig file to execute; the file is authoritative and "
-        "every other run flag (--scenario/--policy/--pes/--seed/...) is ignored",
+        "every other run flag (--scenario/--policy/--pes/--seed/--replicas/...) "
+        "is ignored (the file's runner.replicas decides batching)",
     )
     run_parser.add_argument(
         "--scenario",
@@ -431,6 +473,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=scenario_defaults.iterations,
         help="application iterations (default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=RunnerConfig().replicas,
+        help="seeded replicas executed in one vectorized batch; replica i "
+        "runs with seed+i and the report adds mean +/- CI rows "
+        "(default: %(default)s)",
     )
     run_parser.add_argument(
         "--events",

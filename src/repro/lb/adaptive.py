@@ -16,7 +16,7 @@ import math
 from typing import Optional
 
 from repro.lb.base import LBContext, TriggerPolicy
-from repro.lb.wir import OverloadDetector
+from repro.lb.wir import LazyWIRViews, OverloadDetector
 from repro.utils.validation import check_fraction, check_non_negative, check_positive_int
 
 __all__ = [
@@ -141,12 +141,25 @@ class ULBADegradationTrigger(DegradationTrigger):
         self.detector = detector or OverloadDetector()
 
     def _estimate_overhead(self, context: LBContext) -> float:
-        view = context.wir_view_of(0)
-        if not view:
-            return 0.0
         num_pes = context.num_pes
-        overloading = self.detector.overloading_ranks(view)
-        n = len(overloading)
+        # Only the *number* of overloading PEs enters Eq. 11, so the fast
+        # path counts z-score exceedances on rank 0's compacted view array
+        # (same statistics, same comparisons as the dict-based ranks list);
+        # this runs every iteration, not just at LB steps.
+        views = context.wir_views
+        if (
+            isinstance(views, LazyWIRViews)
+            and type(self.detector) is OverloadDetector
+        ):
+            rates = views.known_values(0)
+            if rates.size == 0:
+                return 0.0
+            n = self.detector.overloading_count(rates)
+        else:
+            view = context.wir_view_of(0)
+            if not view:
+                return 0.0
+            n = len(self.detector.overloading_ranks(view))
         if n == 0 or n >= num_pes:
             return 0.0
         return (

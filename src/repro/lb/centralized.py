@@ -87,14 +87,24 @@ class CentralizedLoadBalancer:
         self.partitioner = StripePartitioner(cluster.size)
         #: Running history of LB step reports.
         self.history: list[LBStepReport] = []
+        self._average_cache: "tuple[int, float]" = (0, 0.0)
 
     # ------------------------------------------------------------------
     @property
     def average_cost(self) -> float:
-        """Average virtual cost of the LB steps performed so far (seconds)."""
+        """Average virtual cost of the LB steps performed so far (seconds).
+
+        Memoized on the history length: the runner reads this every
+        iteration while the history only grows at LB steps, so the mean is
+        recomputed only when a new report was appended.
+        """
         if not self.history:
             return 0.0
-        return float(np.mean([report.cost for report in self.history]))
+        cached_len, cached_mean = self._average_cache
+        if cached_len != len(self.history):
+            cached_mean = float(np.mean([report.cost for report in self.history]))
+            self._average_cache = (len(self.history), cached_mean)
+        return cached_mean
 
     def execute(
         self,

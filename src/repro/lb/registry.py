@@ -124,6 +124,20 @@ def register_policy_pair(name: str, factory: PairFactory, *, replace: bool = Fal
     Pairs are what the campaign grid, :class:`repro.api.config.PolicyConfig`
     and :class:`repro.api.session.Session` resolve; registering a pair makes
     the name usable in campaign specs, run configs and on the command line.
+
+    Example
+    -------
+    >>> from repro.lb.registry import (
+    ...     make_policy_pair, register_policy_pair, unregister_policy_pair,
+    ... )
+    >>> from repro.lb.standard import StandardPolicy
+    >>> from repro.lb.adaptive import PeriodicTrigger
+    >>> _ = register_policy_pair(
+    ...     "every-10", lambda: (StandardPolicy(), PeriodicTrigger(10))
+    ... )
+    >>> make_policy_pair("every-10")[1].period
+    10
+    >>> unregister_policy_pair("every-10")
     """
     return _register(_PAIRS, "policy pair", name, factory, replace)
 
@@ -178,6 +192,13 @@ def make_policy_pair(name: str, **params) -> Tuple[WorkloadPolicy, TriggerPolicy
     This is the resolution path of ``PolicySpec.make_policies`` (campaign
     grid), :meth:`repro.api.config.PolicyConfig.resolve` and the Figure 4 /
     Figure 5 erosion drivers.
+
+    Example
+    -------
+    >>> from repro.lb.registry import make_policy_pair
+    >>> workload, trigger = make_policy_pair("ulba", alpha=0.3)
+    >>> workload.name, trigger.name
+    ('ulba', 'ulba-degradation')
     """
     pair = _build(_PAIRS, "policy pair", name, params)
     if (

@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.lb.base import LBContext, LBDecision, WorkloadPolicy
-from repro.lb.wir import OverloadDetector
+from repro.lb.wir import LazyWIRViews, OverloadDetector
 from repro.partitioning.weighted import target_shares_from_alphas
 from repro.utils.validation import check_fraction
 
@@ -69,15 +69,36 @@ class ULBAPolicy(WorkloadPolicy):
         """
         num_pes = context.num_pes
         requested = np.zeros(num_pes, dtype=float)
-        overloading = []
-        for rank in range(num_pes):
-            view = context.wir_view_of(rank)
-            own = view.get(rank)
-            if own is None:
-                continue
-            if self.detector.is_overloading(own, list(view.values())):
-                requested[rank] = self.alpha
-                overloading.append(rank)
+        # Three equivalent evaluation paths for the per-rank rule, fastest
+        # applicable first; all produce the same floats (the matrix path's
+        # row-wise reductions are bitwise identical to per-rank ones):
+        # 1. complete views as one (P, P) matrix -> one vectorized pass;
+        # 2. lazily materialized views -> per-rank compacted arrays;
+        # 3. plain per-rank dict views (sequences handed in by tests).
+        views = context.wir_views
+        fast = isinstance(views, LazyWIRViews)
+        matrix = views.complete_matrix() if fast else None
+        if matrix is not None and type(self.detector) is OverloadDetector:
+            flags = self.detector.overloading_mask_from_views(matrix)
+            overloading = [int(rank) for rank in np.flatnonzero(flags)]
+            requested[flags] = self.alpha
+        else:
+            overloading = []
+            for rank in range(num_pes):
+                if fast:
+                    own = views.own_rate(rank)
+                    if own is None:
+                        continue
+                    rates = views.known_values(rank)
+                else:
+                    view = context.wir_view_of(rank)
+                    own = view.get(rank)
+                    if own is None:
+                        continue
+                    rates = list(view.values())
+                if self.detector.is_overloading(own, rates):
+                    requested[rank] = self.alpha
+                    overloading.append(rank)
 
         downgraded = False
         if overloading and len(overloading) >= self.majority_guard * num_pes:
@@ -97,8 +118,8 @@ class ULBAPolicy(WorkloadPolicy):
 
         shares = target_shares_from_alphas(requested)
         return LBDecision(
-            target_shares=tuple(float(s) for s in shares),
-            alphas=tuple(float(a) for a in requested),
+            target_shares=tuple(shares.tolist()),
+            alphas=tuple(requested.tolist()),
             overloading_ranks=tuple(overloading),
             downgraded_to_standard=False,
             policy=self.name,

@@ -27,12 +27,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.simcluster.gossip import GossipBoard, GossipConfig
+from repro.simcluster.gossip import BatchGossipBoard, GossipBoard, GossipConfig
 from repro.utils.rng import SeedLike
 from repro.utils.stats import zscore
 from repro.utils.validation import check_fraction, check_positive, check_positive_int
 
 __all__ = [
+    "BatchWIRDatabase",
     "LazyWIRViews",
     "OverloadDetector",
     "WIRDatabase",
@@ -138,30 +139,45 @@ class WIREstimateArray:
     previous list-of-estimators API.
     """
 
-    def __init__(self, num_pes: int, *, smoothing: float = 0.5) -> None:
+    def __init__(
+        self,
+        num_pes: int,
+        *,
+        smoothing: float = 0.5,
+        replicas: Optional[int] = None,
+    ) -> None:
         check_positive_int(num_pes, "num_pes")
         check_fraction(smoothing, "smoothing")
         if smoothing == 0.0:
             raise ValueError("smoothing must be > 0 (0 would never update)")
+        if replicas is not None:
+            check_positive_int(replicas, "replicas")
+            shape: "tuple[int, ...]" = (replicas, num_pes)
+        else:
+            shape = (num_pes,)
         self.num_pes = num_pes
+        #: Number of batched replicas, or ``None`` for the plain per-PE form.
+        self.replicas = replicas
         self.smoothing = float(smoothing)
-        self._last_workloads = np.zeros(num_pes, dtype=float)
-        self._has_last = np.zeros(num_pes, dtype=bool)
-        self._rates = np.zeros(num_pes, dtype=float)
-        self._num_observations = np.zeros(num_pes, dtype=np.int64)
+        self._shape = shape
+        self._last_workloads = np.zeros(shape, dtype=float)
+        self._has_last = np.zeros(shape, dtype=bool)
+        self._rates = np.zeros(shape, dtype=float)
+        self._num_observations = np.zeros(shape, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def observe(self, workloads: np.ndarray) -> np.ndarray:
         """Record every PE's workload at the current iteration.
 
-        Returns the updated per-PE WIR vector (a reference to internal
-        state; copy before mutating).
+        With ``replicas=R`` the input is the ``(R, P)`` workload matrix and
+        all ``R * P`` estimators update in one batched EMA -- elementwise
+        identical to ``R`` solo arrays.  Returns the updated WIR array (a
+        reference to internal state; copy before mutating).
         """
         w = np.asarray(workloads, dtype=float)
-        if w.shape != (self.num_pes,):
+        if w.shape != self._shape:
             raise ValueError(
-                f"workloads must have one entry per PE ({self.num_pes}), "
-                f"got {w.shape}"
+                f"workloads must have shape {self._shape}, got {w.shape}"
             )
         if (w < 0).any():
             raise ValueError("workloads must all be >= 0")
@@ -182,6 +198,27 @@ class WIREstimateArray:
         (persistence), only the anchor workloads are replaced.
         """
         w = np.asarray(workloads, dtype=float)
+        if w.shape != self._shape:
+            raise ValueError(
+                f"workloads must have shape {self._shape}, got {w.shape}"
+            )
+        if (w < 0).any():
+            raise ValueError("workloads must all be >= 0")
+        np.copyto(self._last_workloads, w)
+
+    def reset_replica_after_migration(
+        self, replica: int, workloads: np.ndarray
+    ) -> None:
+        """Re-anchor the estimators of one replica row (batched form only).
+
+        The batched runner calls this when a single replica's LB step moved
+        work around while the other replicas kept their anchors.
+        """
+        if self.replicas is None:
+            raise ValueError("reset_replica_after_migration requires replicas=R")
+        if not 0 <= replica < self.replicas:
+            raise ValueError(f"replica {replica} outside [0, {self.replicas})")
+        w = np.asarray(workloads, dtype=float)
         if w.shape != (self.num_pes,):
             raise ValueError(
                 f"workloads must have one entry per PE ({self.num_pes}), "
@@ -189,7 +226,7 @@ class WIREstimateArray:
             )
         if (w < 0).any():
             raise ValueError("workloads must all be >= 0")
-        np.copyto(self._last_workloads, w)
+        self._last_workloads[replica] = w
 
     # ------------------------------------------------------------------
     @property
@@ -201,6 +238,11 @@ class WIREstimateArray:
         return self.num_pes
 
     def __getitem__(self, rank: int) -> _WIREstimateRankView:
+        if self.replicas is not None:
+            raise TypeError(
+                "per-rank views are only available on the unbatched form; "
+                "index the .rates matrix instead"
+            )
         if not 0 <= rank < self.num_pes:
             raise IndexError(f"rank {rank} outside [0, {self.num_pes})")
         return _WIREstimateRankView(self, rank)
@@ -239,6 +281,31 @@ class LazyWIRViews:
 
     def __iter__(self):
         return (self[rank] for rank in range(self._db.num_ranks))
+
+    # -- compacted fast path (same numbers as the dict views) -----------
+    def own_rate(self, rank: int) -> Optional[float]:
+        """The WIR ``rank`` published for itself, without building a dict."""
+        return self._db.own_rate(rank)
+
+    def known_values(self, rank: int) -> np.ndarray:
+        """``rank``'s known WIRs in ascending source order (no dict).
+
+        Identical values, in identical order, to
+        ``list(self[rank].values())`` -- the ULBA policy's per-rank overload
+        rule consumes this instead of materializing ``P`` dictionaries per
+        LB step.
+        """
+        return self._db.known_values(rank)
+
+    def complete_matrix(self) -> Optional[np.ndarray]:
+        """The full ``(P, P)`` view matrix once every entry is known.
+
+        Row ``r`` is rank ``r``'s complete view; ``None`` while any view is
+        still partial (or when the backing database does not expose the
+        matrix form).  Read-only.
+        """
+        accessor = getattr(self._db, "complete_matrix", None)
+        return accessor() if accessor is not None else None
 
 
 class WIRDatabase:
@@ -331,13 +398,191 @@ class WIRDatabase:
         """Known WIR values as a list (order unspecified)."""
         return list(self.view(rank).values())
 
+    def known_values(self, rank: int) -> np.ndarray:
+        """``rank``'s known WIRs, compacted in ascending source order.
+
+        Same numbers as ``list(view(rank).values())`` without the dict.
+        """
+        if self._board is not None:
+            return self._board.known_values_row(rank)
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")
+        return self._instant_values[self._instant_known]
+
     def own_rate(self, rank: int) -> Optional[float]:
         """The WIR rank ``rank`` published for itself, if any."""
-        return self.view(rank).get(rank)
+        if self._board is not None:
+            if not self._board.known_mask(rank)[rank]:
+                return None
+            return float(self._board.values_row(rank)[rank])
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")
+        if not self._instant_known[rank]:
+            return None
+        return float(self._instant_values[rank])
+
+    def complete_matrix(self) -> Optional[np.ndarray]:
+        """The full ``(P, P)`` view matrix once every entry is known.
+
+        In instant mode every rank shares the same (complete) view, so the
+        matrix is a broadcast of the value vector.  Read-only.
+        """
+        if self._board is not None:
+            return self._board.complete_matrix()
+        if not self._instant_known.all():
+            return None
+        return np.broadcast_to(
+            self._instant_values, (self.num_ranks, self.num_ranks)
+        )
 
     def coverage(self, rank: int) -> float:
         """Fraction of ranks whose WIR is known by ``rank``."""
         return len(self.view(rank)) / self.num_ranks
+
+
+class _ReplicaWIRDatabase:
+    """Read-only ``WIRDatabase`` facade over one replica of a batch database.
+
+    Implements exactly the surface :class:`LazyWIRViews` and the LB policies
+    consume (``num_ranks`` / ``view``), so per-replica trigger and workload
+    policies run unchanged against the batched state.
+    """
+
+    __slots__ = ("_batch", "_replica")
+
+    def __init__(self, batch: "BatchWIRDatabase", replica: int) -> None:
+        self._batch = batch
+        self._replica = replica
+
+    @property
+    def num_ranks(self) -> int:
+        """PEs per replica."""
+        return self._batch.num_ranks
+
+    def view(self, rank: int) -> Dict[int, float]:
+        """WIR values known by ``rank`` in this replica."""
+        return self._batch.view(self._replica, rank)
+
+    def known_values(self, rank: int) -> np.ndarray:
+        """Compacted known WIRs of ``rank`` (ascending source order)."""
+        return self._batch.known_values(self._replica, rank)
+
+    def own_rate(self, rank: int) -> Optional[float]:
+        """The WIR ``rank`` published for itself in this replica, if any."""
+        return self._batch.own_rate(self._replica, rank)
+
+    def complete_matrix(self) -> Optional[np.ndarray]:
+        """This replica's full ``(P, P)`` view matrix, or None while partial."""
+        return self._batch.complete_matrix(self._replica)
+
+    def views(self) -> LazyWIRViews:
+        """Lazily materialized per-rank views of this replica."""
+        return LazyWIRViews(self)
+
+
+class BatchWIRDatabase:
+    """``R`` replicated WIR databases advanced in lock step.
+
+    The batched counterpart of :class:`WIRDatabase`: gossip mode stores all
+    replicas in one :class:`~repro.simcluster.gossip.BatchGossipBoard`
+    (``(R, P, P)`` state, one batched dissemination round per call), instant
+    mode keeps an ``(R, P)`` value matrix.  Each replica consumes its own
+    seed exactly like a solo database, so replica ``r`` is bit-identical to
+    ``WIRDatabase(P, seed=seeds[r])``.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        seeds: Sequence[SeedLike],
+        *,
+        use_gossip: bool = True,
+        gossip_config: Optional["GossipConfig"] = None,
+    ) -> None:
+        check_positive_int(num_ranks, "num_ranks")
+        if len(seeds) == 0:
+            raise ValueError("seeds must name at least one replica")
+        self.num_ranks = num_ranks
+        self.num_replicas = len(seeds)
+        self.use_gossip = use_gossip
+        self._board = (
+            BatchGossipBoard(num_ranks, seeds, config=gossip_config)
+            if use_gossip
+            else None
+        )
+        self._instant_values = np.zeros((self.num_replicas, num_ranks), dtype=float)
+        self._instant_known = np.zeros((self.num_replicas, num_ranks), dtype=bool)
+
+    # ------------------------------------------------------------------
+    def publish_all(self, wirs: np.ndarray) -> None:
+        """Every rank of every replica publishes its WIR; ``wirs`` is (R, P)."""
+        wirs = np.asarray(wirs, dtype=float)
+        expected = (self.num_replicas, self.num_ranks)
+        if wirs.shape != expected:
+            raise ValueError(
+                f"wirs must be (replicas, ranks) = {expected}, got {wirs.shape}"
+            )
+        if self._board is not None:
+            self._board.publish_all(wirs)
+        else:
+            np.copyto(self._instant_values, wirs)
+            self._instant_known[:] = True
+
+    def disseminate(self) -> None:
+        """One batched gossip round across every replica (no-op instant)."""
+        if self._board is not None:
+            self._board.step()
+
+    def view(self, replica: int, rank: int) -> Dict[int, float]:
+        """WIR values known by ``rank`` of ``replica``."""
+        if self._board is not None:
+            return self._board.local_view(replica, rank)
+        if not 0 <= replica < self.num_replicas:
+            raise ValueError(f"replica {replica} outside [0, {self.num_replicas})")
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")
+        known = np.flatnonzero(self._instant_known[replica])
+        row = self._instant_values[replica]
+        return {int(r): float(row[r]) for r in known}
+
+    def known_values(self, replica: int, rank: int) -> np.ndarray:
+        """Compacted known WIRs of one rank (ascending source order)."""
+        if self._board is not None:
+            return self._board.known_values_row(replica, rank)
+        self._check_indices(replica, rank)
+        return self._instant_values[replica][self._instant_known[replica]]
+
+    def own_rate(self, replica: int, rank: int) -> Optional[float]:
+        """The WIR ``rank`` of ``replica`` published for itself, if any."""
+        if self._board is not None:
+            return self._board.own_value(replica, rank)
+        self._check_indices(replica, rank)
+        if not self._instant_known[replica, rank]:
+            return None
+        return float(self._instant_values[replica, rank])
+
+    def complete_matrix(self, replica: int) -> Optional[np.ndarray]:
+        """One replica's full view matrix, or None while partial (read-only)."""
+        if self._board is not None:
+            return self._board.complete_matrix(replica)
+        self._check_indices(replica, 0)
+        if not self._instant_known[replica].all():
+            return None
+        return np.broadcast_to(
+            self._instant_values[replica], (self.num_ranks, self.num_ranks)
+        )
+
+    def _check_indices(self, replica: int, rank: int) -> None:
+        if not 0 <= replica < self.num_replicas:
+            raise ValueError(f"replica {replica} outside [0, {self.num_replicas})")
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")
+
+    def replica(self, replica: int) -> _ReplicaWIRDatabase:
+        """A solo-``WIRDatabase``-shaped facade over one replica."""
+        if not 0 <= replica < self.num_replicas:
+            raise ValueError(f"replica {replica} outside [0, {self.num_replicas})")
+        return _ReplicaWIRDatabase(self, replica)
 
 
 @dataclass(frozen=True)
@@ -365,10 +610,59 @@ class OverloadDetector:
         return zscore(own_rate, rates) >= self.threshold
 
     def overloading_ranks(self, rates_by_rank: Dict[int, float]) -> List[int]:
-        """All ranks flagged as overloading within a common view."""
+        """All ranks flagged as overloading within a common view.
+
+        The population statistics are computed once and applied to every
+        rank (same floats as per-rank :meth:`is_overloading` calls, which
+        would recompute the identical mean/std ``P`` times).
+        """
         values = list(rates_by_rank.values())
+        if len(values) < self.min_population:
+            return []
+        pop = np.asarray(values, dtype=float)
+        mean = float(pop.mean())
+        std = float(pop.std())
+        if std == 0.0:
+            # zscore defines a constant population as all-zero scores, and
+            # the threshold is strictly positive.
+            return []
         return [
             rank
             for rank, rate in sorted(rates_by_rank.items())
-            if self.is_overloading(rate, values)
+            if (float(rate) - mean) / std >= self.threshold
         ]
+
+    def overloading_count(self, rates: "np.ndarray") -> int:
+        """Number of overloading entries within one common view, vectorized.
+
+        ``rates`` is a compacted value array (one rank's view); the count
+        equals ``len(overloading_ranks(...))`` on the corresponding dict --
+        same mean/std, same per-entry z comparison -- without building it.
+        """
+        if rates.size < self.min_population:
+            return 0
+        mean = rates.mean()
+        std = rates.std()
+        if std == 0.0:
+            return 0
+        return int(np.count_nonzero((rates - mean) / std >= self.threshold))
+
+    def overloading_mask_from_views(self, matrix: "np.ndarray") -> "np.ndarray":
+        """Per-rank overload flags from a complete ``(P, P)`` view matrix.
+
+        Row ``r`` of ``matrix`` is the full WIR view of rank ``r``; flag
+        ``r`` answers "does rank ``r`` consider *itself* overloading within
+        its own view" -- the per-rank rule of Algorithm 1 for every rank in
+        one shot.  Row-wise reductions along the contiguous last axis are
+        bitwise identical to reducing each row separately, so the flags
+        match ``P`` scalar :meth:`is_overloading` calls exactly.
+        """
+        num = matrix.shape[0]
+        if matrix.shape[1] < self.min_population:
+            return np.zeros(num, dtype=bool)
+        means = matrix.mean(axis=1)
+        stds = matrix.std(axis=1)
+        own = np.diagonal(matrix)
+        safe = np.where(stds == 0.0, 1.0, stds)
+        z = np.where(stds == 0.0, 0.0, (own - means) / safe)
+        return z >= self.threshold

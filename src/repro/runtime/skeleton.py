@@ -10,6 +10,11 @@ centralized load balancer (Algorithm 2) when the trigger policy fires.
 The same runner serves the standard method and ULBA -- only the injected
 policies differ -- which mirrors the paper's statement that both
 implementations share the same centralized LB technique.
+
+For replica-averaged studies (the unit of work of every paper figure),
+:class:`repro.batch.BatchRunner` executes ``R`` seeded instances of this
+loop in one vectorized pass over ``(R, P)`` state; replica ``r`` of a batch
+is bit-identical to running this runner solo with seed ``r``.
 """
 
 from __future__ import annotations

@@ -62,10 +62,22 @@ class VirtualCluster:
         *,
         pe_speed: float = 1.0e9,
         cost_model: Optional[CommCostModel] = None,
+        state: Optional[PEStateArrays] = None,
     ) -> None:
         check_positive_int(num_pes, "num_pes")
         check_positive(pe_speed, "pe_speed")
-        self.state = PEStateArrays(num_pes, pe_speed)
+        if state is not None:
+            # Externally owned state (e.g. a replica row view of a batched
+            # (R, P) PEStateArrays): the cluster charges its costs into the
+            # shared arrays while keeping its own trace and comm counters.
+            if state.replicas is not None or state.size != num_pes:
+                raise ValueError(
+                    "state must be an unbatched PEStateArrays with "
+                    f"{num_pes} PEs"
+                )
+            self.state = state
+        else:
+            self.state = PEStateArrays(num_pes, pe_speed)
         self.pes: List[ProcessingElementView] = [
             ProcessingElementView(self.state, r) for r in range(num_pes)
         ]

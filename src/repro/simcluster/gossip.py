@@ -28,14 +28,20 @@ Version tie-break rule (applied consistently):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["GossipConfig", "GossipBoard", "select_push_targets"]
+__all__ = [
+    "BatchGossipBoard",
+    "GossipConfig",
+    "GossipBoard",
+    "merge_pushes",
+    "select_push_targets",
+]
 
 
 @dataclass(frozen=True)
@@ -95,6 +101,55 @@ def select_push_targets(
     return src, dst
 
 
+def merge_pushes(
+    values: np.ndarray, versions: np.ndarray, src: np.ndarray, dst: np.ndarray
+) -> None:
+    """Vectorized freshest-version merge of one round's pushes, in place.
+
+    ``values`` / ``versions`` are ``(V, P)`` matrices whose row ``v`` is one
+    *view* (what its owner knows about the ``P`` source entries); push ``e``
+    sends the pre-round snapshot of row ``src[e]`` to row ``dst[e]``.  The
+    same function merges a solo board (``V = P`` views) and a replica batch
+    (``V = R * P`` views, rows of replica ``r`` offset by ``r * P`` -- views
+    of different replicas never push to each other, so the grouped merge
+    below never mixes them).
+
+    Each push's per-entry version is packed with its push index into one
+    int64 key, so a grouped ``np.maximum.reduceat`` per receiver yields both
+    the freshest incoming version and a push that carries it; entries whose
+    version strictly increases take that push's value.  Which of several
+    equal-version pushes wins is immaterial: copies of the same ``(source,
+    version)`` pair hold the same value.
+    """
+    num_pushes = src.shape[0]
+    order = np.argsort(dst, kind="stable")
+    dst_sorted = dst[order]
+    boundaries = np.empty(num_pushes, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(dst_sorted[1:], dst_sorted[:-1], out=boundaries[1:])
+    group_starts = np.flatnonzero(boundaries)
+    receivers = dst_sorted[group_starts]
+    src_sorted = src[order]
+
+    # key = version * num_pushes + push_position: max key <=> max version,
+    # ties resolved towards later (value-identical) pushes.
+    keys = versions[src_sorted] * num_pushes
+    keys += np.arange(num_pushes)[:, None]
+    best = np.maximum.reduceat(keys, group_starts, axis=0)
+    incoming_ver = best // num_pushes
+
+    current_ver = versions[receivers]
+    improved = incoming_ver > current_ver
+    if not improved.any():
+        return
+    # Gather only the winning pushes' values (still the pre-round state:
+    # nothing has been written yet).
+    entry = np.arange(values.shape[1])
+    incoming_val = values[src_sorted[best % num_pushes], entry]
+    values[receivers] = np.where(improved, incoming_val, values[receivers])
+    versions[receivers] = np.where(improved, incoming_ver, current_ver)
+
+
 class GossipBoard:
     """Replicated ``rank -> value`` board maintained by push gossip."""
 
@@ -114,6 +169,9 @@ class GossipBoard:
         self._values = np.zeros((num_ranks, num_ranks), dtype=float)
         self._versions = np.full((num_ranks, num_ranks), -1, dtype=np.int64)
         self._steps = 0
+        # Completeness is monotone (versions never regress), so the check is
+        # cached once it first succeeds.
+        self._complete = False
 
     # ------------------------------------------------------------------
     @property
@@ -174,6 +232,15 @@ class GossipBoard:
         self._check_rank(rank)
         return self._versions[rank] >= 0
 
+    def known_values_row(self, rank: int) -> np.ndarray:
+        """The values ``rank`` knows, compacted in ascending source order.
+
+        Same numbers as ``local_view(rank).values()`` without building the
+        dictionary -- the hot path of the ULBA per-rank overload rule.
+        """
+        self._check_rank(rank)
+        return self._values[rank][self._versions[rank] >= 0]
+
     def values_row(self, rank: int) -> np.ndarray:
         """Raw value row of ``rank`` (entries only valid where known)."""
         self._check_rank(rank)
@@ -186,7 +253,19 @@ class GossipBoard:
 
     def is_complete(self) -> bool:
         """True when every rank knows a value for every other rank."""
-        return bool((self._versions >= 0).all())
+        if not self._complete:
+            self._complete = bool((self._versions >= 0).all())
+        return self._complete
+
+    def complete_matrix(self) -> Optional[np.ndarray]:
+        """The full ``(P, P)`` view matrix once every entry is known.
+
+        Row ``r`` is rank ``r``'s complete view in ascending source order --
+        the same numbers every per-rank dict view would yield.  Returns
+        ``None`` while any entry is still unknown.  The array is internal
+        state: callers must treat it as read-only.
+        """
+        return self._values if self.is_complete() else None
 
     # ------------------------------------------------------------------
     def step(self) -> None:
@@ -223,17 +302,221 @@ class GossipBoard:
 
     # ------------------------------------------------------------------
     def _merge_pushes(self, src: np.ndarray, dst: np.ndarray) -> None:
-        """Vectorized freshest-version merge of one round's pushes.
+        """One round's freshest-version merge (see :func:`merge_pushes`)."""
+        merge_pushes(self._values, self._versions, src, dst)
 
-        All pushes carry the *pre-round* snapshot of the sender's row.  Each
-        push's per-entry version is packed with its push index into one
-        int64 key, so a grouped ``np.maximum.reduceat`` per receiver yields
-        both the freshest incoming version and a push that carries it;
-        entries whose version strictly increases take that push's value.
-        Which of several equal-version pushes wins is immaterial: copies of
-        the same ``(source, version)`` pair hold the same value.
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")
+
+
+class BatchGossipBoard:
+    """``R`` independent gossip boards advanced in lock step, batched.
+
+    The replica-batched execution engine (:mod:`repro.batch`) runs ``R``
+    seeded replicas of one configuration; each replica owns an independent
+    gossip board with its own RNG stream.  This class stores all of them as
+    one ``(R, P, P)`` value/version pair and performs the per-round work --
+    target selection and the freshest-version merge -- as single batched
+    array operations over every replica at once.
+
+    Bit-identical to ``R`` solo boards: each replica's peer selection
+    consumes its own generator exactly like a solo
+    :class:`GossipBoard` seeded the same way (one ``(P, P)`` uniform draw
+    per round), the stacked draws go through one vectorized batched
+    selection, and each replica's round merge applies the same
+    freshest-version rule as :func:`merge_pushes` (any winner difference on
+    version ties is value-neutral).
+
+    Parameters
+    ----------
+    num_ranks:
+        PEs per replica (``P``).
+    seeds:
+        One seed (or ready generator) per replica; the batch width ``R`` is
+        the length of this sequence.
+    config:
+        Shared :class:`GossipConfig` of all replicas.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        seeds: Sequence[SeedLike],
+        *,
+        config: Optional[GossipConfig] = None,
+    ) -> None:
+        check_positive_int(num_ranks, "num_ranks")
+        if len(seeds) == 0:
+            raise ValueError("seeds must name at least one replica")
+        self.num_ranks = num_ranks
+        self.num_replicas = len(seeds)
+        self.config = config or GossipConfig()
+        self._rngs: List[np.random.Generator] = [ensure_rng(s) for s in seeds]
+        self._values = np.zeros(
+            (self.num_replicas, num_ranks, num_ranks), dtype=float
+        )
+        self._versions = np.full(
+            (self.num_replicas, num_ranks, num_ranks), -1, dtype=np.int64
+        )
+        self._steps = 0
+        # Per-replica completeness is monotone; cached once reached.
+        self._replica_complete = np.zeros(self.num_replicas, dtype=bool)
+
+    # ------------------------------------------------------------------
+    @property
+    def steps(self) -> int:
+        """Number of dissemination steps performed so far (all replicas)."""
+        return self._steps
+
+    def publish_all(
+        self, values: np.ndarray, *, version: Optional[int] = None
+    ) -> None:
+        """Every rank of every replica publishes its own value.
+
+        ``values`` is ``(R, P)``; equivalent to
+        ``board_r.publish_all(values[r])`` on ``R`` solo boards.
+        """
+        values = np.asarray(values, dtype=float)
+        expected = (self.num_replicas, self.num_ranks)
+        if values.shape != expected:
+            raise ValueError(
+                f"values must be (replicas, ranks) = {expected}, got {values.shape}"
+            )
+        v = self._steps if version is None else int(version)
+        if v < 0:
+            raise ValueError(f"version must be >= 0, got {v}")
+        diag = np.arange(self.num_ranks)
+        diag_versions = self._versions[:, diag, diag]
+        rep_idx, rank_idx = np.nonzero(v >= diag_versions)
+        self._values[rep_idx, rank_idx, rank_idx] = values[rep_idx, rank_idx]
+        self._versions[rep_idx, rank_idx, rank_idx] = v
+
+    def local_view(self, replica: int, rank: int) -> Dict[int, float]:
+        """The values rank ``rank`` of ``replica`` knows, keyed by source."""
+        self._check_indices(replica, rank)
+        known = np.flatnonzero(self._versions[replica, rank] >= 0)
+        row = self._values[replica, rank]
+        return {int(src): float(row[src]) for src in known}
+
+    def known_values_row(self, replica: int, rank: int) -> np.ndarray:
+        """Compacted known values of one rank (ascending source order)."""
+        self._check_indices(replica, rank)
+        row = self._values[replica, rank]
+        return row[self._versions[replica, rank] >= 0]
+
+    def own_value(self, replica: int, rank: int) -> Optional[float]:
+        """The value ``rank`` of ``replica`` published for itself, if any."""
+        self._check_indices(replica, rank)
+        if self._versions[replica, rank, rank] < 0:
+            return None
+        return float(self._values[replica, rank, rank])
+
+    def is_complete(self) -> bool:
+        """True when every rank of every replica knows every value."""
+        return all(self.replica_complete(r) for r in range(self.num_replicas))
+
+    def replica_complete(self, replica: int) -> bool:
+        """True when every rank of ``replica`` knows every value."""
+        if not self._replica_complete[replica]:
+            self._replica_complete[replica] = bool(
+                (self._versions[replica] >= 0).all()
+            )
+        return bool(self._replica_complete[replica])
+
+    def complete_matrix(self, replica: int) -> Optional[np.ndarray]:
+        """One replica's full ``(P, P)`` view matrix, or None while partial.
+
+        Same contract as :meth:`GossipBoard.complete_matrix`; read-only.
+        """
+        self._check_indices(replica, 0)
+        return self._values[replica] if self.replica_complete(replica) else None
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """One synchronous push round across every replica.
+
+        Per replica the RNG consumption matches a solo board exactly (one
+        ``(P, P)`` uniform draw); the selection of every replica's targets
+        is one stacked vectorized pass over the ``(R, P, P)`` keys, and the
+        merges run per replica on shared pre-packed versions (cache-resident
+        ``(P, P)`` operands).
+        """
+        num_ranks = self.num_ranks
+        if num_ranks > 1:
+            k = min(self.config.fanout, num_ranks - 1)
+            keys = np.stack(
+                [rng.random((num_ranks, num_ranks)) for rng in self._rngs]
+            )
+            diag = np.arange(num_ranks)
+            keys[:, diag, diag] = np.inf
+            if k <= 3:
+                # k repeated argmin passes select exactly the k smallest
+                # keys per lane (the same set argpartition yields, in a
+                # different order -- which push is enumerated first only
+                # affects value-neutral merge tie-breaks).  Vectorized mins
+                # are several times faster than introselect here.
+                mins = []
+                for _ in range(k):
+                    low = keys.argmin(axis=2)
+                    mins.append(low)
+                    np.put_along_axis(keys, low[:, :, None], np.inf, axis=2)
+                targets = np.stack(mins, axis=2)
+            else:
+                targets = np.argpartition(keys, k - 1, axis=2)[:, :, :k]
+
+            # Per-replica local edges: the fanout sources are the same for
+            # every replica, only the targets differ.  Versions are packed
+            # once for the whole batch ((version << s) | edge index), and
+            # each replica merges inside its own (P, P) board -- small
+            # enough to stay cache-resident, which measures faster than one
+            # flattened (R*P, P) merge over megabyte-sized operands.
+            src = np.repeat(np.arange(num_ranks, dtype=np.intp), k)
+            max_edges = src.shape[0] + (
+                num_ranks if self.config.include_root else 0
+            )
+            shift = max(1, int(max_edges - 1).bit_length())
+            packed = np.left_shift(self._versions, shift)
+            entry = np.arange(num_ranks)
+            for rep in range(self.num_replicas):
+                rep_src = src
+                rep_dst = targets[rep].reshape(-1).astype(np.intp)
+                if self.config.include_root:
+                    missing = np.flatnonzero(~(targets[rep] == 0).any(axis=1))
+                    missing = missing[missing != 0]
+                    if missing.size:
+                        rep_src = np.concatenate([src, missing.astype(np.intp)])
+                        rep_dst = np.concatenate(
+                            [rep_dst, np.zeros(missing.size, dtype=np.intp)]
+                        )
+                self._merge_replica(rep, rep_src, rep_dst, packed[rep], shift, entry)
+        self._steps += 1
+
+    def _merge_replica(
+        self,
+        rep: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        packed: np.ndarray,
+        shift: int,
+        entry: np.ndarray,
+    ) -> None:
+        """One replica's grouped freshest-version merge.
+
+        Same semantics as :func:`merge_pushes` (per-receiver freshest
+        version; equal-version winners are value-identical) with a cheaper
+        key scheme for the batch hot loop: versions arrive pre-shifted
+        (``packed``), the packed key is ``(version << s) | edge_index``,
+        and unpacking is two bit operations instead of an int64 division
+        and modulo.  Shift-packing preserves the lexicographic (version,
+        edge) order, so merged versions are identical to
+        :func:`merge_pushes` and any winner difference on version ties is
+        value-neutral.
         """
         num_pushes = src.shape[0]
+        versions = self._versions[rep]
+        values = self._values[rep]
+
         order = np.argsort(dst, kind="stable")
         dst_sorted = dst[order]
         boundaries = np.empty(num_pushes, dtype=bool)
@@ -243,26 +526,22 @@ class GossipBoard:
         receivers = dst_sorted[group_starts]
         src_sorted = src[order]
 
-        # key = version * num_pushes + push_position: max key <=> max version,
-        # ties resolved towards later (value-identical) pushes.
-        keys = self._versions[src_sorted] * num_pushes
-        keys += np.arange(num_pushes)[:, None]
+        keys = packed[src_sorted]
+        keys += np.arange(num_pushes, dtype=np.int64)[:, None]
         best = np.maximum.reduceat(keys, group_starts, axis=0)
-        incoming_ver = best // num_pushes
+        incoming_ver = best >> shift
 
-        current_ver = self._versions[receivers]
+        current_ver = versions[receivers]
         improved = incoming_ver > current_ver
         if not improved.any():
             return
-        # Gather only the winning pushes' values (still the pre-round state:
-        # nothing has been written yet).
-        entry = np.arange(self.num_ranks)
-        incoming_val = self._values[src_sorted[best % num_pushes], entry]
-        self._values[receivers] = np.where(
-            improved, incoming_val, self._values[receivers]
-        )
-        self._versions[receivers] = np.where(improved, incoming_ver, current_ver)
+        winner = best & ((1 << shift) - 1)
+        incoming_val = values[src_sorted[winner], entry]
+        values[receivers] = np.where(improved, incoming_val, values[receivers])
+        versions[receivers] = np.where(improved, incoming_ver, current_ver)
 
-    def _check_rank(self, rank: int) -> None:
+    def _check_indices(self, replica: int, rank: int) -> None:
+        if not 0 <= replica < self.num_replicas:
+            raise ValueError(f"replica {replica} outside [0, {self.num_replicas})")
         if not 0 <= rank < self.num_ranks:
             raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")

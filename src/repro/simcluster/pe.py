@@ -119,32 +119,80 @@ class PEStateArrays:
     by rank.  The cluster's bulk operations (compute phases, collective
     synchronisation, LB charging) are a handful of array operations on this
     state instead of Python loops over PE objects.
+
+    With ``replicas=R`` the arrays gain a leading replica axis and become
+    ``(R, P)``-shaped: row ``r`` is the full PE state of replica ``r``, and
+    the replica-batched execution engine (:mod:`repro.batch`) updates all
+    rows with single array operations.  :meth:`replica_view` hands out a
+    plain ``(P,)``-shaped :class:`PEStateArrays` whose vectors are NumPy
+    *views* of one row, so per-replica code (LB charging, PE views, traces)
+    runs unchanged -- and bit-identically -- against the shared batch state.
     """
 
-    __slots__ = ("clock", "busy_time", "lb_time", "speed")
+    __slots__ = ("clock", "busy_time", "lb_time", "speed", "replicas")
 
-    def __init__(self, num_pes: int, speed: float) -> None:
+    def __init__(
+        self, num_pes: int, speed: float, *, replicas: Optional[int] = None
+    ) -> None:
         check_positive_int(num_pes, "num_pes")
         check_positive(speed, "speed")
-        self.clock = np.zeros(num_pes, dtype=float)
-        self.busy_time = np.zeros(num_pes, dtype=float)
-        self.lb_time = np.zeros(num_pes, dtype=float)
+        if replicas is not None:
+            check_positive_int(replicas, "replicas")
+            shape: "tuple[int, ...]" = (replicas, num_pes)
+        else:
+            shape = (num_pes,)
+        self.clock = np.zeros(shape, dtype=float)
+        self.busy_time = np.zeros(shape, dtype=float)
+        self.lb_time = np.zeros(shape, dtype=float)
         #: Common speed of the (homogeneous) PEs in FLOP/s.
         self.speed = float(speed)
+        #: Number of replica rows, or ``None`` for the plain ``(P,)`` form.
+        self.replicas = replicas
 
     @property
     def size(self) -> int:
-        """Number of PEs."""
-        return self.clock.shape[0]
+        """Number of PEs (per replica, when batched)."""
+        return self.clock.shape[-1]
+
+    def replica_view(self, replica: int) -> "PEStateArrays":
+        """A ``(P,)``-shaped state sharing the memory of one replica row.
+
+        Mutations through the view (LB charging, per-PE spends) are visible
+        in the batch arrays and vice versa.  Only valid on batched state.
+        """
+        if self.replicas is None:
+            raise ValueError("replica_view requires batched state (replicas=R)")
+        if not 0 <= replica < self.replicas:
+            raise ValueError(f"replica {replica} outside [0, {self.replicas})")
+        view = PEStateArrays.__new__(PEStateArrays)
+        view.clock = self.clock[replica]
+        view.busy_time = self.busy_time[replica]
+        view.lb_time = self.lb_time[replica]
+        view.speed = self.speed
+        view.replicas = None
+        return view
 
     def now(self) -> float:
         """Common virtual time: the clock of the latest PE."""
         return float(self.clock.max())
 
+    def now_per_replica(self) -> np.ndarray:
+        """Per-replica common virtual time (batched state only)."""
+        return self.clock.max(axis=-1)
+
     def synchronize(self, extra_cost: float = 0.0) -> float:
-        """Align every clock to the common maximum plus ``extra_cost``."""
+        """Align every clock to the common maximum plus ``extra_cost``.
+
+        On batched state every replica row aligns to its *own* maximum (plus
+        the shared ``extra_cost``) and the return value is the latest of the
+        per-replica targets.
+        """
         if extra_cost < 0:
             raise ValueError(f"extra_cost must be >= 0, got {extra_cost}")
+        if self.replicas is not None:
+            targets = self.clock.max(axis=-1) + float(extra_cost)
+            self.clock[:] = targets[:, None]
+            return float(targets.max())
         target = float(self.clock.max()) + float(extra_cost)
         self.clock[:] = target
         return target

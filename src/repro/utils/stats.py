@@ -25,12 +25,59 @@ __all__ = [
     "zscores",
     "rolling_median",
     "relative_gain",
+    "mean_confidence_interval",
     "BoxPlotSummary",
     "box_plot_summary",
     "HistogramSummary",
     "histogram_summary",
     "weighted_imbalance",
 ]
+
+
+def _normal_quantile(p: float) -> float:
+    """Standard-normal quantile by bisection on ``math.erf`` (no SciPy).
+
+    Accurate to ~1e-12 over the confidence levels used here; the classic
+    values come out exactly (``_normal_quantile(0.975)`` ~ 1.95996).
+    """
+    import math
+
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must lie in (0, 1), got {p}")
+    lo, hi = -10.0, 10.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if 0.5 * (1.0 + math.erf(mid / math.sqrt(2.0))) < p:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def mean_confidence_interval(
+    values: Sequence[float], *, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Mean and CI half-width of ``values`` (normal approximation).
+
+    Returns ``(mean, half_width)`` where the interval is ``mean +/-
+    half_width`` at the requested ``confidence`` level, using the
+    sample standard deviation (``ddof=1``) and the normal quantile --
+    the replica counts of batched runs (tens of replicas) make the
+    normal approximation adequate for reporting, and it keeps the
+    library dependency-free.  Fewer than two samples yield a zero
+    half-width.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("values must not be empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    mean = float(arr.mean())
+    if arr.size < 2:
+        return mean, 0.0
+    sem = float(arr.std(ddof=1)) / float(np.sqrt(arr.size))
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    return mean, z * sem
 
 
 def zscore(value: float, population: Sequence[float]) -> float:
@@ -147,13 +194,19 @@ def box_plot_summary(samples: Sequence[float]) -> BoxPlotSummary:
     if arr.size == 0:
         raise ValueError("samples must not be empty")
     q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    minimum = float(arr.min())
+    maximum = float(arr.max())
+    # The clamp guards against pairwise summation rounding the mean one ulp
+    # outside [min, max] for near-constant samples (same class of artifact
+    # as the clamp in weighted_imbalance).
+    mean = min(max(float(arr.mean()), minimum), maximum)
     return BoxPlotSummary(
-        minimum=float(arr.min()),
+        minimum=minimum,
         q1=float(q1),
         median=float(med),
         q3=float(q3),
-        maximum=float(arr.max()),
-        mean=float(arr.mean()),
+        maximum=maximum,
+        mean=mean,
         count=int(arr.size),
     )
 

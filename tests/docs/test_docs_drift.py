@@ -1,0 +1,173 @@
+"""Documentation drift guards.
+
+The documentation makes executable promises; this module holds it to them:
+
+* every fenced ``python`` block in README.md and the narrative docs pages
+  actually runs (top-to-bottom per file, sharing one namespace);
+* the CLI command table documents exactly the subcommands ``repro --help``
+  exposes;
+* the generated catalog reference matches the live registries;
+* the mkdocs nav only lists pages that exist, and relative markdown links
+  between docs pages resolve;
+* the public-API docstring examples (doctests) pass;
+* when mkdocs + mkdocstrings are installed (as in the CI docs job),
+  ``mkdocs build --strict`` succeeds.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib.util
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent.parent
+DOCS = REPO / "docs"
+
+#: Narrative pages whose python blocks must execute (reference pages hold
+#: generated tables and mkdocstrings directives, not runnable snippets).
+EXECUTABLE_PAGES = [
+    REPO / "README.md",
+    DOCS / "getting-started.md",
+    DOCS / "campaigns.md",
+    DOCS / "batch-engine.md",
+]
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(path: Path):
+    return _FENCE.findall(path.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize(
+    "page", EXECUTABLE_PAGES, ids=[p.name for p in EXECUTABLE_PAGES]
+)
+def test_fenced_python_blocks_execute(page, tmp_path, monkeypatch):
+    """Every ``python`` fence runs; blocks of one page share a namespace."""
+    blocks = python_blocks(page)
+    assert blocks, f"{page} has no python blocks (update EXECUTABLE_PAGES?)"
+    # Snippets that persist files (campaign out_path) must not litter the repo.
+    monkeypatch.chdir(tmp_path)
+    namespace = {"__name__": "__docs__"}
+    for index, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"{page.name}[block {index}]", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - the assert is the point
+            pytest.fail(f"{page.name} block {index} failed: {exc!r}\n{block}")
+
+
+def documented_cli_commands(text: str):
+    """Command names from a markdown table whose first column is `cmd`."""
+    commands = []
+    for match in re.finditer(r"^\|\s*`([a-z0-9][a-z0-9-]*)`\s*\|", text, re.MULTILINE):
+        commands.append(match.group(1))
+    return commands
+
+
+def cli_subcommands():
+    import argparse
+
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return sorted(action.choices)
+    raise AssertionError("no subparsers found on the repro CLI parser")
+
+
+@pytest.mark.parametrize(
+    "page", [REPO / "README.md", DOCS / "reference" / "cli.md"], ids=["README", "cli.md"]
+)
+def test_cli_command_table_matches_parser(page):
+    documented = documented_cli_commands(page.read_text(encoding="utf-8"))
+    assert sorted(documented) == cli_subcommands(), (
+        f"{page} documents {sorted(documented)} but `repro --help` exposes "
+        f"{cli_subcommands()}; update the table (or the CLI)"
+    )
+
+
+def test_repro_help_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={**__import__("os").environ, "PYTHONPATH": str(REPO / "src")},
+    )
+    assert result.returncode == 0, result.stderr
+    for command in cli_subcommands():
+        assert command in result.stdout
+
+
+def test_generated_catalog_page_is_current():
+    sys.path.insert(0, str(REPO / "scripts"))
+    try:
+        import gen_scenario_docs
+    finally:
+        sys.path.pop(0)
+    expected = gen_scenario_docs.render()
+    current = (DOCS / "reference" / "catalog.md").read_text(encoding="utf-8")
+    assert current == expected, (
+        "docs/reference/catalog.md is stale; regenerate with "
+        "PYTHONPATH=src python scripts/gen_scenario_docs.py"
+    )
+
+
+def test_mkdocs_nav_pages_exist():
+    text = (REPO / "mkdocs.yml").read_text(encoding="utf-8")
+    pages = re.findall(r":\s*([\w./-]+\.md)\s*$", text, re.MULTILINE)
+    assert pages, "no nav pages found in mkdocs.yml"
+    for page in pages:
+        assert (DOCS / page).exists(), f"mkdocs.yml nav lists missing page {page}"
+
+
+def test_relative_markdown_links_resolve():
+    link = re.compile(r"\]\((?!https?://|mailto:)([^)#]+)(#[^)]*)?\)")
+    for page in DOCS.rglob("*.md"):
+        for match in link.finditer(page.read_text(encoding="utf-8")):
+            target = (page.parent / match.group(1)).resolve()
+            assert target.exists(), f"{page}: broken relative link {match.group(1)}"
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.api.config",
+        "repro.api.session",
+        "repro.lb.registry",
+        "repro.campaign.spec",
+        "repro.scenarios.registry",
+        "repro.batch.runner",
+    ],
+)
+def test_public_api_doctests(module_name):
+    import importlib
+
+    import repro.scenarios  # noqa: F401 -- doctest examples use the catalog
+
+    module = importlib.import_module(module_name)
+    failures, _ = doctest.testmod(
+        module, optionflags=doctest.ELLIPSIS, verbose=False
+    )
+    assert failures == 0
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mkdocs") is None
+    or importlib.util.find_spec("mkdocstrings") is None,
+    reason="mkdocs + mkdocstrings not installed (CI docs job installs them)",
+)
+def test_mkdocs_strict_build(tmp_path):
+    result = subprocess.run(
+        [sys.executable, "-m", "mkdocs", "build", "--strict", "-d", str(tmp_path / "site")],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
