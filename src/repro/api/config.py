@@ -34,6 +34,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from repro.lb.base import TriggerPolicy, WorkloadPolicy
 from repro.lb.registry import make_policy_pair
 from repro.runtime.skeleton import initial_lb_cost_prior
+from repro.simcluster.gossip import GossipConfig
 from repro.utils.validation import (
     check_fraction,
     check_non_negative,
@@ -136,13 +137,34 @@ class ClusterConfig(_ConfigSection):
 
 @dataclass(frozen=True)
 class TopologyConfig(_ConfigSection):
-    """How WIR values propagate between PEs."""
+    """How WIR values propagate between PEs.
+
+    ``gossip_mode`` selects the board implementation of the gossip
+    substrate: ``"dense"`` is the historical full ``(P, P)`` replicated
+    database (quadratic memory -- fine up to a few hundred PEs), and
+    ``"sparse"`` is the memory-bounded board for the large-P regime
+    (``O(P * view_size)``; see
+    :class:`repro.simcluster.gossip.SparseGossipBoard`).  The remaining
+    knobs map one-to-one onto
+    :class:`repro.simcluster.gossip.GossipConfig` and are validated by it
+    at construction.
+    """
 
     #: Gossip dissemination (one push round per iteration, stale views as in
     #: the paper) when true; instant allgather-like dissemination when false.
     use_gossip: bool = True
     #: Smoothing factor of the per-PE WIR estimators, in (0, 1].
     wir_smoothing: float = 0.5
+    #: Gossip board implementation: ``"dense"`` (full ``(P, P)`` views) or
+    #: ``"sparse"`` (memory-bounded per-rank views).
+    gossip_mode: str = "dense"
+    #: Peers each rank pushes its view to per dissemination round.
+    fanout: int = 2
+    #: Push topology: ``"random"``, ``"ring"`` or ``"hypercube"``.
+    push_topology: str = "random"
+    #: Sparse mode only: maximum entries one rank's view retains (``None`` =
+    #: unbounded).  The per-rank own entry is never evicted.
+    view_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.use_gossip, bool):
@@ -150,6 +172,19 @@ class TopologyConfig(_ConfigSection):
         check_fraction(self.wir_smoothing, "wir_smoothing")
         if self.wir_smoothing == 0.0:
             raise ValueError("wir_smoothing must be > 0 (0 would never update)")
+        # Eager validation of the gossip knobs (mode / topology / fanout /
+        # view_size) through the config they resolve to.
+        self.gossip_config()
+
+    # ------------------------------------------------------------------
+    def gossip_config(self) -> "GossipConfig":
+        """The :class:`repro.simcluster.gossip.GossipConfig` these knobs select."""
+        return GossipConfig(
+            fanout=self.fanout,
+            mode=self.gossip_mode,
+            topology=self.push_topology,
+            view_size=self.view_size,
+        )
 
 
 @dataclass(frozen=True)
@@ -288,6 +323,12 @@ class RunnerConfig(_ConfigSection):
     #: uses ``scenario.seed + i`` and is bit-identical to a solo run with
     #: that seed.  ``1`` keeps the plain single-run behaviour.
     replicas: int = 1
+    #: Memory budget (MiB) for the resident gossip-board state of a batched
+    #: run.  When the full replica batch would exceed it, the batch engine
+    #: transparently splits the replicas into sequential sub-batches that
+    #: each fit (bit-identical results; see
+    #: :class:`repro.batch.runner.BatchRunner`).  ``None`` never chunks.
+    memory_budget_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         check_non_negative(self.bytes_per_load_unit, "bytes_per_load_unit")
@@ -295,6 +336,8 @@ class RunnerConfig(_ConfigSection):
         if self.lb_cost_prior is not None:
             check_non_negative(self.lb_cost_prior, "lb_cost_prior")
         check_positive_int(self.replicas, "replicas")
+        if self.memory_budget_mb is not None:
+            check_positive(self.memory_budget_mb, "memory_budget_mb")
 
     # ------------------------------------------------------------------
     def resolve_lb_cost_prior(self, total_flop: float, num_pes: int, pe_speed: float) -> float:

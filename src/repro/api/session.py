@@ -141,6 +141,7 @@ class Session:
             workload_policy=workload_policy,
             trigger_policy=trigger_policy,
             use_gossip=self.topology.use_gossip,
+            gossip_config=self.topology.gossip_config(),
             wir_smoothing=self.topology.wir_smoothing,
             initial_lb_cost_estimate=prior,
             partition_flop_per_column=self.runner_config.partition_flop_per_column,
@@ -323,10 +324,16 @@ class Session:
             workload_policies=[pair[0] for pair in pairs],
             trigger_policies=[pair[1] for pair in pairs],
             use_gossip=self.topology.use_gossip,
+            gossip_config=self.topology.gossip_config(),
             wir_smoothing=self.topology.wir_smoothing,
             initial_lb_cost_estimates=priors,
             partition_flop_per_column=config.runner.partition_flop_per_column,
             bytes_per_load_unit=config.runner.bytes_per_load_unit,
+            memory_budget_bytes=(
+                config.runner.memory_budget_mb * 2**20
+                if config.runner.memory_budget_mb is not None
+                else None
+            ),
         )
         #: Kept for callers that need the per-replica scenario instances
         #: (e.g. the campaign rows' analytical model fields).

@@ -23,6 +23,21 @@ is bit-identical to a solo :class:`~repro.runtime.skeleton.IterativeRunner`
 run with seed ``seeds[r]`` (the equivalence guard in
 ``tests/batch/test_batch_equivalence.py`` asserts it), while the shared
 per-iteration work no longer scales with ``R`` in Python-call terms.
+
+**Memory model.**  The dominant state of a dense-gossip batch is the
+``(R, P, P)`` board -- 16 bytes per entry, so 16 replicas at ``P = 1024``
+already need 256 MiB of board alone and the batch engine would fall off a
+memory cliff long before the CPU saturates.  Two escape hatches compose:
+
+* ``gossip_config=GossipConfig(mode="sparse", ...)`` swaps the quadratic
+  board for per-replica memory-bounded sparse boards
+  (``O(R * P * view_size)``);
+* ``memory_budget_bytes`` caps the resident board state: when the requested
+  batch would exceed it, the replicas are **chunked** into sequential
+  sub-batches that each fit the budget, transparently -- the returned
+  :class:`~repro.batch.result.BatchResult` is indistinguishable from an
+  unchunked run, and every replica stays bit-identical (replicas share no
+  state, so splitting the batch cannot perturb them).
 """
 
 from __future__ import annotations
@@ -42,6 +57,7 @@ from repro.runtime.degradation import BatchDegradationTracker
 from repro.runtime.skeleton import RunResult, StripedApplication
 from repro.simcluster.cluster import VirtualCluster
 from repro.simcluster.comm import CommCostModel
+from repro.simcluster.gossip import GossipConfig
 from repro.simcluster.pe import PEStateArrays
 from repro.simcluster.tracing import IterationRecord
 from repro.utils.rng import SeedLike
@@ -69,10 +85,19 @@ class BatchRunner:
         not share them); ``None`` creates the solo runner's defaults.
     initial_lb_cost_estimates:
         Per-replica LB-cost prior in seconds (or one scalar for all).
-    pe_speed, cost_model, use_gossip, wir_smoothing,
+    pe_speed, cost_model, use_gossip, gossip_config, wir_smoothing,
     partition_flop_per_column, bytes_per_load_unit:
         As on :class:`~repro.runtime.skeleton.IterativeRunner`, shared by
         every replica.
+    memory_budget_bytes:
+        Upper bound on the peak gossip state of one sub-batch (resident
+        board plus the per-round merge transients, which are equally
+        quadratic in dense mode).  ``None`` (default) never chunks.  When the full ``R``-replica board
+        would exceed the budget, :meth:`run` transparently executes the
+        replicas as sequential sub-batches of ``chunk_size`` replicas each
+        (at least one -- a single replica above budget still runs);
+        component attributes (``state``, ``clusters``, ...) are then built
+        per chunk and not exposed on this facade.
 
     Example
     -------
@@ -96,10 +121,12 @@ class BatchRunner:
         workload_policies: Optional[Sequence[WorkloadPolicy]] = None,
         trigger_policies: Optional[Sequence[TriggerPolicy]] = None,
         use_gossip: bool = True,
+        gossip_config: Optional[GossipConfig] = None,
         wir_smoothing: float = 0.5,
         initial_lb_cost_estimates: "Sequence[float] | float" = 0.0,
         partition_flop_per_column: float = 50.0,
         bytes_per_load_unit: float = 800.0,
+        memory_budget_bytes: Optional[float] = None,
     ) -> None:
         check_positive_int(num_pes, "num_pes")
         check_positive(pe_speed, "pe_speed")
@@ -153,6 +180,72 @@ class BatchRunner:
         self.workload_policies = list(workload_policies)
         self.trigger_policies = list(trigger_policies)
         self.initial_lb_cost_estimates = priors
+        self._pe_speed = pe_speed
+        self._cost_model = cost_model
+        self._use_gossip = use_gossip
+        self._gossip_config = gossip_config
+        self._wir_smoothing = wir_smoothing
+        self._partition_flop_per_column = partition_flop_per_column
+        self._bytes_per_load_unit = bytes_per_load_unit
+        self._num_columns = num_columns
+
+        if memory_budget_bytes is not None:
+            check_positive(memory_budget_bytes, "memory_budget_bytes")
+        self.memory_budget_bytes = memory_budget_bytes
+        per_replica = self._per_replica_board_bytes(
+            num_pes, use_gossip, gossip_config
+        )
+        if memory_budget_bytes is None:
+            chunk = replicas
+        else:
+            chunk = min(replicas, max(1, int(memory_budget_bytes // per_replica)))
+        #: Replicas executed per resident sub-batch (== ``num_replicas``
+        #: when the whole batch fits the budget).
+        self.chunk_size = chunk
+        #: Number of sequential sub-batches :meth:`run` will execute.
+        self.num_chunks = -(-replicas // chunk)
+        if self.num_chunks > 1:
+            # Deferred construction: each chunk builds (and frees) its own
+            # engine inside run(), so the resident board state never
+            # exceeds the budget.
+            return
+        self._build_engine()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _per_replica_board_bytes(
+        num_pes: int, use_gossip: bool, gossip_config: Optional[GossipConfig]
+    ) -> int:
+        """Peak gossip-state bytes one replica adds to the batch.
+
+        Dense gossip costs ``P * P * 32`` bytes per replica: the resident
+        ``(R, P, P)`` value/version board (16 bytes per entry) **plus** the
+        equally quadratic per-round transients of
+        :meth:`~repro.simcluster.gossip.BatchGossipBoard.step` -- the
+        stacked ``(R, P, P)`` float64 key draw and the ``(R, P, P)`` int64
+        shift-packed versions allocate another 16 bytes per entry at the
+        peak of every dissemination round, so budgeting the board alone
+        would overshoot the requested ceiling by ~2x.  Sparse gossip is the
+        resident ``P * view_size * 24`` (its merge transients are one
+        replica's worth regardless of ``R``: sparse boards step
+        sequentially); instant dissemination keeps only ``(R, P)`` rows.
+        Buffers proportional to ``R * columns`` are excluded -- the budget
+        targets the quadratic cliff.
+        """
+        if not use_gossip:
+            return num_pes * 9
+        cfg = gossip_config or GossipConfig()
+        if cfg.mode == "sparse":
+            return cfg.board_nbytes(num_pes)
+        return 2 * cfg.board_nbytes(num_pes)
+
+    def _build_engine(self) -> None:
+        """Materialize the vectorized ``(R, P)`` engine state (one chunk)."""
+        num_pes = self.num_pes
+        replicas = self.num_replicas
+        pe_speed = self._pe_speed
+        cost_model = self._cost_model
+        num_columns = self._num_columns
 
         #: Shared ``(R, P)`` PE state of every replica.
         self.state = PEStateArrays(num_pes, pe_speed, replicas=replicas)
@@ -167,9 +260,14 @@ class BatchRunner:
             )
             for r in range(replicas)
         ]
-        self.wir_db = BatchWIRDatabase(num_pes, seeds, use_gossip=use_gossip)
+        self.wir_db = BatchWIRDatabase(
+            num_pes,
+            self.seeds,
+            use_gossip=self._use_gossip,
+            gossip_config=self._gossip_config,
+        )
         self.wir_estimates = WIREstimateArray(
-            num_pes, smoothing=wir_smoothing, replicas=replicas
+            num_pes, smoothing=self._wir_smoothing, replicas=replicas
         )
         #: Vectorized degradation accumulation (elementwise bit-identical to
         #: R scalar trackers; see BatchDegradationTracker).
@@ -180,20 +278,22 @@ class BatchRunner:
         # vectorized compare gates the per-replica Python work; any custom
         # trigger type falls back to per-replica should_balance calls with
         # full contexts.
-        self._trigger_fast_mode = self._detect_trigger_fast_mode(trigger_policies)
+        self._trigger_fast_mode = self._detect_trigger_fast_mode(self.trigger_policies)
         if self._trigger_fast_mode is not None:
             self._trigger_margins = np.asarray(
-                [t.cost_margin for t in trigger_policies], dtype=float
+                [t.cost_margin for t in self.trigger_policies], dtype=float
             )
             #: Per-replica average-LB-cost cache; only changes at LB steps.
-            self._avg_cost_buf = np.asarray(priors, dtype=float)
+            self._avg_cost_buf = np.asarray(
+                self.initial_lb_cost_estimates, dtype=float
+            )
         self._last_lb_arr = np.zeros(replicas, dtype=np.int64)
         self.load_balancers: List[CentralizedLoadBalancer] = [
             CentralizedLoadBalancer(
                 self.clusters[r],
                 self.workload_policies[r],
-                partition_flop_per_column=partition_flop_per_column,
-                bytes_per_load_unit=bytes_per_load_unit,
+                partition_flop_per_column=self._partition_flop_per_column,
+                bytes_per_load_unit=self._bytes_per_load_unit,
             )
             for r in range(replicas)
         ]
@@ -206,7 +306,6 @@ class BatchRunner:
         self._stripe_starts: List[Optional[np.ndarray]] = [
             self._starts_of(p) for p in self.partitions
         ]
-        self._num_columns = num_columns
         #: Per-replica column loads, copied once per iteration so the
         #: per-stripe sums of every replica are one concatenated reduceat.
         self._cols_buf = np.empty((replicas, num_columns), dtype=float)
@@ -363,8 +462,42 @@ class BatchRunner:
         stripe_loads[r] = rebalanced
 
     # ------------------------------------------------------------------
+    def _run_chunked(self, iterations: int) -> BatchResult:
+        """Execute the replicas as sequential budget-sized sub-batches.
+
+        Each chunk builds a fresh full :class:`BatchRunner` over its slice
+        of applications / seeds / policies and frees it before the next one
+        starts, so the resident board state never exceeds the budget.
+        Replicas share no state across the batch, so the concatenated
+        result is bit-identical to one unchunked pass (guarded by
+        ``tests/batch/test_batch_chunking.py``).
+        """
+        check_positive_int(iterations, "iterations")
+        replicas: List[RunResult] = []
+        for start in range(0, self.num_replicas, self.chunk_size):
+            stop = min(start + self.chunk_size, self.num_replicas)
+            sub = BatchRunner(
+                self.num_pes,
+                self.applications[start:stop],
+                seeds=self.seeds[start:stop],
+                pe_speed=self._pe_speed,
+                cost_model=self._cost_model,
+                workload_policies=self.workload_policies[start:stop],
+                trigger_policies=self.trigger_policies[start:stop],
+                use_gossip=self._use_gossip,
+                gossip_config=self._gossip_config,
+                wir_smoothing=self._wir_smoothing,
+                initial_lb_cost_estimates=self.initial_lb_cost_estimates[start:stop],
+                partition_flop_per_column=self._partition_flop_per_column,
+                bytes_per_load_unit=self._bytes_per_load_unit,
+            )
+            replicas.extend(sub.run(iterations).replicas)
+        return BatchResult(replicas=replicas, seeds=self.seeds)
+
     def run(self, iterations: int) -> BatchResult:
         """Execute ``iterations`` application iterations on every replica."""
+        if self.num_chunks > 1:
+            return self._run_chunked(iterations)
         check_positive_int(iterations, "iterations")
         self._total_iterations = iterations
         R, P = self.num_replicas, self.num_pes

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import pickle
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -155,12 +156,17 @@ def load_results(path: Union[str, Path]) -> List[CellRow]:
     """Load previously persisted rows from a JSONL file (missing file: []).
 
     Malformed trailing lines (e.g. a run killed mid-write) are ignored, so a
-    resumed campaign simply re-executes the affected cell.
+    resumed campaign simply re-executes the affected cell.  Rows sharing a
+    ``cell_id`` are de-duplicated keeping the **newest** (last appended) row:
+    the log is append-only, so a rerun that re-executed a cell -- e.g. after
+    :func:`_heal_torn_tail` invalidated a torn duplicate of it -- appends a
+    fresh row after the stale one, and the fresh row is the one a resume (or
+    a report over the loaded rows) must trust.
     """
     path = Path(path)
     if not path.exists():
         return []
-    rows: List[CellRow] = []
+    by_id: Dict[str, CellRow] = {}
     with path.open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -171,8 +177,11 @@ def load_results(path: Union[str, Path]) -> List[CellRow]:
             except json.JSONDecodeError:
                 continue
             if isinstance(row, dict) and "cell_id" in row:
-                rows.append(row)
-    return rows
+                # Last occurrence wins; re-inserting moves nothing (dicts
+                # keep first-insertion order), so the returned order is the
+                # first-appearance order of the cell ids.
+                by_id[str(row["cell_id"])] = row
+    return list(by_id.values())
 
 
 def _heal_torn_tail(path: Path) -> None:
@@ -212,6 +221,59 @@ def _row_matches_cell(row: CellRow, cell: CampaignCell) -> bool:
     return all(row.get(key) == value for key, value in checks.items())
 
 
+def _shippable_scenarios() -> List[object]:
+    """Snapshot of the scenario registry that can travel to worker processes.
+
+    Under the ``spawn`` / ``forkserver`` start methods, workers re-import
+    the library and therefore only see the built-in catalog -- a campaign
+    over a scenario the caller registered at runtime would die mid-run with
+    an unknown-scenario error.  The snapshot is re-registered by the pool
+    initializer (:func:`_init_worker`).  Entries that cannot pickle (e.g. a
+    scenario built around a lambda or a closure) are skipped: ``fork``
+    workers inherit them anyway, and under ``spawn`` they were never going
+    to cross the process boundary -- their cells then fail with the same
+    clear unknown-scenario error as before instead of poisoning the pool.
+    """
+    import repro.scenarios  # noqa: F401  -- populates the built-in catalog
+    from repro.scenarios import available_scenarios
+
+    shippable: List[object] = []
+    for scenario in available_scenarios():
+        try:
+            pickle.dumps(scenario)
+        except Exception:
+            continue
+        shippable.append(scenario)
+    return shippable
+
+
+def _init_worker(scenarios: Sequence[object]) -> None:
+    """Pool initializer: mirror the parent's scenario catalog in the worker."""
+    from repro.scenarios.registry import register
+
+    for scenario in scenarios:
+        register(scenario, replace=True)
+
+
+def _pool_context(mp_start_method: Optional[str]) -> multiprocessing.context.BaseContext:
+    """Resolve the multiprocessing context of the worker pool.
+
+    ``None`` prefers ``fork`` where available (cheapest start-up; workers
+    inherit even unpicklable registry entries) and otherwise falls back to
+    the platform default.  An explicit method must be supported on the
+    platform.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if mp_start_method is None:
+        return multiprocessing.get_context("fork" if "fork" in methods else None)
+    if mp_start_method not in methods:
+        raise ValueError(
+            f"mp_start_method must be one of {methods} on this platform, "
+            f"got {mp_start_method!r}"
+        )
+    return multiprocessing.get_context(mp_start_method)
+
+
 @dataclass(frozen=True)
 class CampaignRun:
     """Outcome of one :func:`run_campaign` invocation."""
@@ -241,6 +303,7 @@ def run_campaign(
     name_filter: Optional[str] = None,
     resume: bool = True,
     on_cell_done: Optional[Callable[[CellRow], None]] = None,
+    mp_start_method: Optional[str] = None,
 ) -> CampaignRun:
     """Execute a campaign, resuming from ``out_path`` when it already exists.
 
@@ -266,6 +329,13 @@ def run_campaign(
         are loaded instead of re-executed.
     on_cell_done:
         Progress callback invoked with each freshly executed row.
+    mp_start_method:
+        Start method of the worker pool (``"fork"`` / ``"spawn"`` /
+        ``"forkserver"``); ``None`` prefers ``fork`` where available.
+        Scenarios registered by the calling process are shipped to the
+        workers through the pool initializer either way, so campaigns over
+        user-registered scenarios work under ``spawn`` too (previously they
+        crashed mid-run with an unknown-scenario error).
 
     Returns
     -------
@@ -307,15 +377,16 @@ def run_campaign(
                 completed = map(run_cell_batch, batches)
                 pool = None
             else:
-                # Prefer fork so scenarios registered by the caller's process
-                # (register_scenario in a user script) remain visible in the
-                # workers; under spawn, workers re-import and only see the
-                # built-in catalog.
-                methods = multiprocessing.get_all_start_methods()
-                context = multiprocessing.get_context(
-                    "fork" if "fork" in methods else None
+                # The initializer re-registers the caller's scenario catalog
+                # in every worker, so user-registered scenarios survive the
+                # spawn/forkserver start methods (fork workers inherit the
+                # registry anyway and the re-registration is a no-op).
+                context = _pool_context(mp_start_method)
+                pool = context.Pool(
+                    processes=min(jobs, len(batches)),
+                    initializer=_init_worker,
+                    initargs=(_shippable_scenarios(),),
                 )
-                pool = context.Pool(processes=min(jobs, len(batches)))
                 completed = pool.imap_unordered(run_cell_batch, batches)
             try:
                 for batch_rows in completed:

@@ -42,6 +42,7 @@ from repro.api import (
     RunnerConfig,
     ScenarioConfig,
     Session,
+    TopologyConfig,
 )
 from repro.campaign import campaign_for_scale, format_campaign_report, run_campaign
 from repro.experiments.common import format_table
@@ -231,6 +232,7 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         out_path=out_path,
         name_filter=args.filter,
         on_cell_done=_echo,
+        mp_start_method=args.mp_start_method,
     )
     header = (
         f"Campaign '{spec.name}': {run.num_cells} cells "
@@ -250,6 +252,13 @@ def _cmd_run(args: argparse.Namespace) -> str:
     else:
         cfg = RunConfig(
             cluster=ClusterConfig(num_pes=args.pes),
+            topology=TopologyConfig(
+                use_gossip=args.gossip != "instant",
+                gossip_mode="sparse" if args.gossip == "sparse" else "dense",
+                fanout=args.fanout,
+                push_topology=args.push_topology,
+                view_size=args.view_size,
+            ),
             policy=PolicyConfig.parse(args.policy),
             scenario=ScenarioConfig(
                 name=args.scenario,
@@ -258,7 +267,10 @@ def _cmd_run(args: argparse.Namespace) -> str:
                 iterations=args.iterations,
                 seed=args.seed,
             ),
-            runner=RunnerConfig(replicas=args.replicas),
+            runner=RunnerConfig(
+                replicas=args.replicas,
+                memory_budget_mb=args.memory_budget_mb,
+            ),
         )
     if args.dump_config:
         return cfg.to_json(indent=2)
@@ -418,6 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered scenario catalog and exit",
     )
+    campaign.add_argument(
+        "--mp-start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method of the worker pool (default: fork "
+        "where available; user-registered scenarios are shipped to the "
+        "workers either way)",
+    )
     run_parser = subparsers.add_parser(
         "run",
         help="one declarative scenario x policy run via the repro.api Session facade",
@@ -481,6 +501,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded replicas executed in one vectorized batch; replica i "
         "runs with seed+i and the report adds mean +/- CI rows "
         "(default: %(default)s)",
+    )
+    topology_defaults = TopologyConfig()
+    run_parser.add_argument(
+        "--gossip",
+        choices=("dense", "sparse", "instant"),
+        default="dense",
+        help="WIR dissemination: dense gossip board ((P, P) views, the "
+        "paper's default), sparse gossip board (memory-bounded views for "
+        "large P), or instant allgather-like dissemination "
+        "(default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--fanout",
+        type=_positive_int,
+        default=topology_defaults.fanout,
+        help="peers each rank pushes its view to per gossip round "
+        "(default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--push-topology",
+        choices=("random", "ring", "hypercube"),
+        default=topology_defaults.push_topology,
+        help="gossip push topology (default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--view-size",
+        type=_positive_int,
+        default=topology_defaults.view_size,
+        metavar="M",
+        help="sparse gossip only: max WIR entries each rank's view retains "
+        "(>= 2; default: unbounded)",
+    )
+    run_parser.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=RunnerConfig().memory_budget_mb,
+        metavar="MB",
+        help="gossip-board memory budget of a batched run; a batch that "
+        "would exceed it is split into sequential bit-identical sub-batches "
+        "(default: unbounded)",
     )
     run_parser.add_argument(
         "--events",

@@ -27,7 +27,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.simcluster.gossip import BatchGossipBoard, GossipBoard, GossipConfig
+from repro.simcluster.gossip import (
+    BatchGossipBoard,
+    GossipBoard,
+    GossipConfig,
+    SparseGossipBoard,
+    make_gossip_board,
+)
 from repro.utils.rng import SeedLike
 from repro.utils.stats import zscore
 from repro.utils.validation import check_fraction, check_positive, check_positive_int
@@ -313,10 +319,14 @@ class WIRDatabase:
 
     The database can operate in two modes:
 
-    * **gossip mode** (default): values propagate through a
-      :class:`GossipBoard`, one dissemination step per application
-      iteration, so each rank's view may be slightly stale -- exactly the
-      mechanism of Section III-C;
+    * **gossip mode** (default): values propagate through a gossip board,
+      one dissemination step per application iteration, so each rank's view
+      may be slightly stale -- exactly the mechanism of Section III-C.  The
+      board implementation follows ``gossip_config.mode``: the dense
+      ``(P, P)`` :class:`GossipBoard` (default), or the memory-bounded
+      :class:`~repro.simcluster.gossip.SparseGossipBoard` for large
+      clusters, whose views are partial by design (the consumers' dense
+      ``complete_matrix`` fast paths then degrade to the per-rank rule);
     * **instant mode** (``use_gossip=False``): every publish is immediately
       visible to all ranks, modelling an allgather-based implementation and
       convenient for deterministic tests.
@@ -334,7 +344,7 @@ class WIRDatabase:
         self.num_ranks = num_ranks
         self.use_gossip = use_gossip
         self._board = (
-            GossipBoard(num_ranks, config=gossip_config, seed=seed)
+            make_gossip_board(num_ranks, config=gossip_config, seed=seed)
             if use_gossip
             else None
         )
@@ -412,9 +422,7 @@ class WIRDatabase:
     def own_rate(self, rank: int) -> Optional[float]:
         """The WIR rank ``rank`` published for itself, if any."""
         if self._board is not None:
-            if not self._board.known_mask(rank)[rank]:
-                return None
-            return float(self._board.values_row(rank)[rank])
+            return self._board.own_value(rank)
         if not 0 <= rank < self.num_ranks:
             raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")
         if not self._instant_known[rank]:
@@ -483,12 +491,16 @@ class _ReplicaWIRDatabase:
 class BatchWIRDatabase:
     """``R`` replicated WIR databases advanced in lock step.
 
-    The batched counterpart of :class:`WIRDatabase`: gossip mode stores all
-    replicas in one :class:`~repro.simcluster.gossip.BatchGossipBoard`
-    (``(R, P, P)`` state, one batched dissemination round per call), instant
-    mode keeps an ``(R, P)`` value matrix.  Each replica consumes its own
-    seed exactly like a solo database, so replica ``r`` is bit-identical to
-    ``WIRDatabase(P, seed=seeds[r])``.
+    The batched counterpart of :class:`WIRDatabase`: dense gossip mode
+    stores all replicas in one
+    :class:`~repro.simcluster.gossip.BatchGossipBoard` (``(R, P, P)`` state,
+    one batched dissemination round per call), sparse gossip mode
+    (``gossip_config.mode == "sparse"``) keeps one memory-bounded
+    :class:`~repro.simcluster.gossip.SparseGossipBoard` per replica
+    (``O(R * P * view_size)`` total), and instant mode keeps an ``(R, P)``
+    value matrix.  Each replica consumes its own seed exactly like a solo
+    database, so replica ``r`` is bit-identical to
+    ``WIRDatabase(P, seed=seeds[r])`` under the same config.
     """
 
     def __init__(
@@ -505,11 +517,19 @@ class BatchWIRDatabase:
         self.num_ranks = num_ranks
         self.num_replicas = len(seeds)
         self.use_gossip = use_gossip
-        self._board = (
-            BatchGossipBoard(num_ranks, seeds, config=gossip_config)
-            if use_gossip
-            else None
-        )
+        self.gossip_config = gossip_config
+        self._board = None
+        self._sparse_boards: Optional[List[SparseGossipBoard]] = None
+        if use_gossip:
+            if gossip_config is not None and gossip_config.mode == "sparse":
+                self._sparse_boards = [
+                    SparseGossipBoard(num_ranks, config=gossip_config, seed=s)
+                    for s in seeds
+                ]
+            else:
+                self._board = BatchGossipBoard(
+                    num_ranks, seeds, config=gossip_config
+                )
         self._instant_values = np.zeros((self.num_replicas, num_ranks), dtype=float)
         self._instant_known = np.zeros((self.num_replicas, num_ranks), dtype=bool)
 
@@ -524,19 +544,28 @@ class BatchWIRDatabase:
             )
         if self._board is not None:
             self._board.publish_all(wirs)
+        elif self._sparse_boards is not None:
+            for r, board in enumerate(self._sparse_boards):
+                board.publish_all(wirs[r])
         else:
             np.copyto(self._instant_values, wirs)
             self._instant_known[:] = True
 
     def disseminate(self) -> None:
-        """One batched gossip round across every replica (no-op instant)."""
+        """One gossip round across every replica (no-op in instant mode)."""
         if self._board is not None:
             self._board.step()
+        elif self._sparse_boards is not None:
+            for board in self._sparse_boards:
+                board.step()
 
     def view(self, replica: int, rank: int) -> Dict[int, float]:
         """WIR values known by ``rank`` of ``replica``."""
         if self._board is not None:
             return self._board.local_view(replica, rank)
+        if self._sparse_boards is not None:
+            self._check_indices(replica, rank)
+            return self._sparse_boards[replica].local_view(rank)
         if not 0 <= replica < self.num_replicas:
             raise ValueError(f"replica {replica} outside [0, {self.num_replicas})")
         if not 0 <= rank < self.num_ranks:
@@ -550,6 +579,8 @@ class BatchWIRDatabase:
         if self._board is not None:
             return self._board.known_values_row(replica, rank)
         self._check_indices(replica, rank)
+        if self._sparse_boards is not None:
+            return self._sparse_boards[replica].known_values_row(rank)
         return self._instant_values[replica][self._instant_known[replica]]
 
     def own_rate(self, replica: int, rank: int) -> Optional[float]:
@@ -557,6 +588,8 @@ class BatchWIRDatabase:
         if self._board is not None:
             return self._board.own_value(replica, rank)
         self._check_indices(replica, rank)
+        if self._sparse_boards is not None:
+            return self._sparse_boards[replica].own_value(rank)
         if not self._instant_known[replica, rank]:
             return None
         return float(self._instant_values[replica, rank])
@@ -566,6 +599,8 @@ class BatchWIRDatabase:
         if self._board is not None:
             return self._board.complete_matrix(replica)
         self._check_indices(replica, 0)
+        if self._sparse_boards is not None:
+            return self._sparse_boards[replica].complete_matrix()
         if not self._instant_known[replica].all():
             return None
         return np.broadcast_to(

@@ -32,6 +32,7 @@ from repro.lb.wir import WIRDatabase, WIREstimateArray
 from repro.partitioning.stripe import StripePartition, StripePartitioner
 from repro.runtime.degradation import DegradationTracker
 from repro.simcluster.cluster import VirtualCluster
+from repro.simcluster.gossip import GossipConfig
 from repro.simcluster.tracing import ClusterTrace
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_non_negative, check_positive, check_positive_int
@@ -147,6 +148,12 @@ class IterativeRunner:
     use_gossip:
         Whether WIR values propagate by gossip (one step per iteration) or
         instantly.
+    gossip_config:
+        Tuning of the gossip substrate
+        (:class:`~repro.simcluster.gossip.GossipConfig`): fanout, push
+        topology, and -- through ``mode="sparse"`` -- the memory-bounded
+        board for large clusters.  ``None`` keeps the historical dense
+        defaults (bit-identical seeded runs).
     wir_smoothing:
         Smoothing factor of the per-PE WIR estimators.
     initial_lb_cost_estimate:
@@ -172,6 +179,7 @@ class IterativeRunner:
         workload_policy: Optional[WorkloadPolicy] = None,
         trigger_policy: Optional[TriggerPolicy] = None,
         use_gossip: bool = True,
+        gossip_config: Optional[GossipConfig] = None,
         wir_smoothing: float = 0.5,
         initial_lb_cost_estimate: float = 0.0,
         partition_flop_per_column: float = 50.0,
@@ -195,7 +203,12 @@ class IterativeRunner:
         self._on_lb_step = on_lb_step
 
         rng = ensure_rng(seed)
-        self.wir_db = WIRDatabase(cluster.size, use_gossip=use_gossip, seed=rng)
+        self.wir_db = WIRDatabase(
+            cluster.size,
+            use_gossip=use_gossip,
+            gossip_config=gossip_config,
+            seed=rng,
+        )
         self.wir_estimates = WIREstimateArray(cluster.size, smoothing=wir_smoothing)
         self.degradation = DegradationTracker()
         self.load_balancer = CentralizedLoadBalancer(

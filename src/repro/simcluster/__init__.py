@@ -31,7 +31,13 @@ from repro.simcluster.clock import VirtualClock
 from repro.simcluster.comm import CommCostModel, SimCommunicator
 from repro.simcluster.pe import PEStateArrays, ProcessingElement, ProcessingElementView
 from repro.simcluster.cluster import VirtualCluster
-from repro.simcluster.gossip import GossipBoard, GossipConfig, select_push_targets
+from repro.simcluster.gossip import (
+    GossipBoard,
+    GossipConfig,
+    SparseGossipBoard,
+    make_gossip_board,
+    select_push_targets,
+)
 from repro.simcluster.tracing import (
     ClusterTrace,
     IterationRecord,
@@ -49,7 +55,9 @@ __all__ = [
     "ProcessingElement",
     "ProcessingElementView",
     "SimCommunicator",
+    "SparseGossipBoard",
     "VirtualClock",
     "VirtualCluster",
+    "make_gossip_board",
     "select_push_targets",
 ]

@@ -23,6 +23,23 @@ Version tie-break rule (applied consistently):
 * **self-publish always wins ties** -- a rank re-publishing its own value at
   an unchanged version replaces its local entry, so the latest published
   value is what starts propagating.
+
+Two board implementations share those semantics:
+
+* :class:`GossipBoard` -- the **dense** board above: ``O(P^2)`` memory,
+  every rank eventually knows every value, and the ULBA fast paths can read
+  the full view matrix.  The right choice up to a few hundred PEs.
+* :class:`SparseGossipBoard` -- the **memory-bounded** board for the large-P
+  regime (P >= 1024): each rank keeps at most ``view_size`` entries
+  (``O(P * view_size)`` memory total), pushes along a configurable topology
+  (``random`` / ``ring`` / ``hypercube``) and evicts the stalest entries
+  when a view overflows.  Views are *partial by design*; consumers must
+  tolerate incomplete views (the ULBA policies already do -- their
+  ``complete_matrix`` fast paths return ``None`` and degrade to the
+  per-rank rule).
+
+:func:`make_gossip_board` selects the implementation from
+:attr:`GossipConfig.mode`.
 """
 
 from __future__ import annotations
@@ -39,23 +56,84 @@ __all__ = [
     "BatchGossipBoard",
     "GossipConfig",
     "GossipBoard",
+    "SparseGossipBoard",
+    "make_gossip_board",
     "merge_pushes",
     "select_push_targets",
+    "sparse_random_push_targets",
+    "topology_push_targets",
 ]
+
+#: Recognised board implementations (see module docstring).
+GOSSIP_MODES = ("dense", "sparse")
+#: Recognised push topologies of the sparse board; the dense board accepts
+#: them too (``random`` keeps its historical batched ``(P, P)`` draw).
+GOSSIP_TOPOLOGIES = ("random", "ring", "hypercube")
 
 
 @dataclass(frozen=True)
 class GossipConfig:
     """Tuning knobs of the push-gossip dissemination."""
 
-    #: Number of random peers each rank pushes its view to per step.
+    #: Number of peers each rank pushes its view to per step.
     fanout: int = 2
     #: When True, every rank also pushes to rank 0 every step, mimicking
-    #: implementations that piggy-back metrics on an existing reduction tree.
+    #: implementations that piggy-back metrics on an existing reduction tree
+    #: (dense board with ``random`` topology only).
     include_root: bool = False
+    #: Board implementation: ``"dense"`` keeps the full ``(P, P)`` view
+    #: matrix, ``"sparse"`` bounds every rank's view to ``view_size`` entries
+    #: (``O(P * view_size)`` memory -- the large-P execution path).
+    mode: str = "dense"
+    #: Push topology: ``"random"`` (uniform random peers, one batched RNG
+    #: draw per round), ``"ring"`` (the ``fanout`` clockwise neighbours,
+    #: deterministic) or ``"hypercube"`` (dimension-exchange partners,
+    #: deterministic, completes fastest for power-of-two ``P``).
+    topology: str = "random"
+    #: Maximum entries a sparse view retains per rank (``None`` = unbounded,
+    #: i.e. up to ``P`` entries).  Ignored by the dense board.  When a view
+    #: overflows, the stalest (lowest-version) entries are evicted; a rank's
+    #: own entry is never evicted.
+    view_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.fanout, "fanout")
+        if self.mode not in GOSSIP_MODES:
+            raise ValueError(
+                f"mode must be one of {GOSSIP_MODES}, got {self.mode!r}"
+            )
+        if self.topology not in GOSSIP_TOPOLOGIES:
+            raise ValueError(
+                f"topology must be one of {GOSSIP_TOPOLOGIES}, got {self.topology!r}"
+            )
+        if self.view_size is not None:
+            check_positive_int(self.view_size, "view_size")
+            if self.view_size < 2:
+                raise ValueError(
+                    "view_size must be >= 2 (a view needs the rank's own "
+                    f"entry plus at least one neighbour), got {self.view_size}"
+                )
+        if self.include_root and (self.mode != "dense" or self.topology != "random"):
+            raise ValueError(
+                "include_root is only supported on the dense board with the "
+                "random topology"
+            )
+
+    # ------------------------------------------------------------------
+    def board_nbytes(self, num_ranks: int) -> int:
+        """Steady-state bytes of one board's value/version state at ``P`` ranks.
+
+        Dense: ``P * P * 16`` (one float64 + one int64 per entry).  Sparse:
+        ``P * M * 24`` (source + value + version per retained entry, ``M``
+        the effective view size).  This is what the batch engine's replica
+        chunking and the large-P benchmarks budget against; transient
+        per-round merge buffers are not included.
+        """
+        check_positive_int(num_ranks, "num_ranks")
+        if self.mode == "sparse":
+            m = num_ranks if self.view_size is None else min(self.view_size, num_ranks)
+            return num_ranks * m * 24
+        return num_ranks * num_ranks * 16
 
 
 def select_push_targets(
@@ -99,6 +177,69 @@ def select_push_targets(
                 [dst, np.zeros(missing_root.size, dtype=np.intp)]
             )
     return src, dst
+
+
+def topology_push_targets(
+    step: int, num_ranks: int, fanout: int, topology: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic push edges of one round for ``ring`` / ``hypercube``.
+
+    * ``ring``: every rank pushes to its ``fanout`` clockwise neighbours
+      ``(rank + 1) ... (rank + fanout) mod P`` -- static, no RNG.
+    * ``hypercube``: at round ``step`` every rank pushes to its partners
+      across dimensions ``step ... step + fanout - 1`` (mod the hypercube
+      dimension), i.e. ``rank XOR 2^d``; partners >= ``P`` are skipped for
+      non-power-of-two ``P``.  One dimension per round with ``fanout=1``
+      completes a broadcast in ``ceil(log2 P)`` rounds for power-of-two
+      ``P``.
+
+    Returns ``(src, dst)`` index arrays like :func:`select_push_targets`.
+    """
+    check_positive_int(num_ranks, "num_ranks")
+    if num_ranks == 1:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    ranks = np.arange(num_ranks, dtype=np.intp)
+    if topology == "ring":
+        k = min(fanout, num_ranks - 1)
+        offsets = np.arange(1, k + 1, dtype=np.intp)
+        dst = (ranks[:, None] + offsets[None, :]) % num_ranks
+        src = np.repeat(ranks, k)
+        return src, dst.reshape(-1)
+    if topology == "hypercube":
+        dim = max(1, int(num_ranks - 1).bit_length())
+        k = min(fanout, dim)
+        bits = (step + np.arange(k)) % dim
+        dst = ranks[:, None] ^ (1 << bits.astype(np.intp))[None, :]
+        src = np.repeat(ranks, k)
+        dst = dst.reshape(-1)
+        valid = dst < num_ranks
+        return src[valid], dst[valid]
+    raise ValueError(f"no deterministic target rule for topology {topology!r}")
+
+
+def sparse_random_push_targets(
+    rng: np.random.Generator, num_ranks: int, fanout: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniform random push edges with ``O(P * fanout)`` memory.
+
+    One batched integer draw selects ``fanout`` peers per rank (uniform over
+    the other ranks, duplicates within a rank possible -- sampling *with*
+    replacement, unlike the dense board's ``(P, P)``-keyed subset draw,
+    whose key matrix alone would defeat the sparse board's memory bound).
+    """
+    check_positive_int(num_ranks, "num_ranks")
+    if num_ranks == 1:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    k = min(fanout, num_ranks - 1)
+    ranks = np.arange(num_ranks, dtype=np.intp)
+    draws = rng.integers(0, num_ranks - 1, size=(num_ranks, k))
+    # Shift draws at or above the drawing rank by one: uniform over the
+    # other P-1 ranks, never self.
+    dst = draws + (draws >= ranks[:, None])
+    src = np.repeat(ranks, k)
+    return src, dst.reshape(-1).astype(np.intp, copy=False)
 
 
 def merge_pushes(
@@ -251,6 +392,13 @@ class GossipBoard:
         self._check_rank(rank)
         return float((self._versions[rank] >= 0).sum()) / self.num_ranks
 
+    def own_value(self, rank: int) -> Optional[float]:
+        """The value ``rank`` published for itself, if any."""
+        self._check_rank(rank)
+        if self._versions[rank, rank] < 0:
+            return None
+        return float(self._values[rank, rank])
+
     def is_complete(self) -> bool:
         """True when every rank knows a value for every other rank."""
         if not self._complete:
@@ -271,18 +419,25 @@ class GossipBoard:
     def step(self) -> None:
         """Perform one push-gossip dissemination round.
 
-        Each rank selects ``fanout`` distinct random peers (one batched RNG
-        draw for the whole round) and pushes its whole view; receivers keep
-        the freshest version of each entry.  The pushes of a round are based
-        on the views at the *start* of the round (synchronous gossip),
-        matching one dissemination step per application iteration.
+        With the (default) ``random`` topology each rank selects ``fanout``
+        distinct random peers (one batched RNG draw for the whole round);
+        the deterministic ``ring`` / ``hypercube`` topologies consume no
+        randomness.  Every rank pushes its whole view; receivers keep the
+        freshest version of each entry.  The pushes of a round are based on
+        the views at the *start* of the round (synchronous gossip), matching
+        one dissemination step per application iteration.
         """
-        src, dst = select_push_targets(
-            self._rng,
-            self.num_ranks,
-            self.config.fanout,
-            include_root=self.config.include_root,
-        )
+        if self.config.topology == "random":
+            src, dst = select_push_targets(
+                self._rng,
+                self.num_ranks,
+                self.config.fanout,
+                include_root=self.config.include_root,
+            )
+        else:
+            src, dst = topology_push_targets(
+                self._steps, self.num_ranks, self.config.fanout, self.config.topology
+            )
         if src.size:
             self._merge_pushes(src, dst)
         self._steps += 1
@@ -308,6 +463,321 @@ class GossipBoard:
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.num_ranks:
             raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")
+
+
+class SparseGossipBoard:
+    """Memory-bounded ``rank -> value`` board for the large-P regime.
+
+    The dense :class:`GossipBoard` stores the fully replicated database as a
+    ``(P, P)`` matrix pair -- 256 MiB of board state alone at ``P = 4096``
+    and quadratic beyond, which caps experiments at a few hundred PEs.  This
+    board bounds every rank's view to at most ``view_size`` entries, stored
+    as three ``(P, view_size)`` arrays (source rank, value, version; source
+    ``-1`` marks an empty slot), so total memory is ``O(P * view_size)``
+    regardless of cluster size.
+
+    The merge semantics are shared with the dense board: a pushed entry only
+    overwrites a strictly older one, the receiver keeps its entry on version
+    ties, and a self-publish at an unchanged version always wins.  What the
+    bounded view adds is **eviction**: when a merged view exceeds
+    ``view_size`` entries, the freshest ``view_size - 1`` non-self entries
+    are retained (ties broken towards lower source ranks, so eviction is
+    deterministic) and a rank's own entry -- pinned in slot 0 -- is never
+    evicted.  Views are therefore *partial by design* and consumers must
+    treat them like early-phase dense gossip views (the ULBA policies
+    already do); :meth:`complete_matrix` returns ``None`` whenever the view
+    bound can hide entries, which makes the dense fast paths degrade
+    gracefully instead of reading a wrong matrix.
+
+    Push targets come from :attr:`GossipConfig.topology`: ``random`` draws
+    ``fanout`` uniform peers per rank with one batched ``(P, fanout)``
+    integer draw per round (bounded memory, unlike the dense board's
+    ``(P, P)`` key matrix), ``ring`` and ``hypercube`` are deterministic.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        *,
+        config: Optional[GossipConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive_int(num_ranks, "num_ranks")
+        self.num_ranks = num_ranks
+        self.config = config or GossipConfig(mode="sparse")
+        self._rng = ensure_rng(seed)
+        m = self.config.view_size
+        #: Effective per-rank view bound (never useful beyond ``P``).
+        self.view_size = num_ranks if m is None else min(m, num_ranks)
+        # Row r holds rank r's bounded view; slot 0 is pinned to rank r
+        # itself (version -1 until it publishes).
+        self._src = np.full((num_ranks, self.view_size), -1, dtype=np.int64)
+        self._val = np.zeros((num_ranks, self.view_size), dtype=float)
+        self._ver = np.full((num_ranks, self.view_size), -1, dtype=np.int64)
+        self._src[:, 0] = np.arange(num_ranks)
+        self._steps = 0
+        self._complete = False
+
+    # ------------------------------------------------------------------
+    @property
+    def steps(self) -> int:
+        """Number of dissemination steps performed so far."""
+        return self._steps
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the board's steady-state view arrays."""
+        return int(self._src.nbytes + self._val.nbytes + self._ver.nbytes)
+
+    def publish(self, rank: int, value: float, *, version: Optional[int] = None) -> None:
+        """Rank ``rank`` publishes a new ``value`` for itself.
+
+        Same contract as :meth:`GossipBoard.publish`: the version defaults
+        to the step count, and a self-publish at an unchanged version wins.
+        """
+        self._check_rank(rank)
+        v = self._steps if version is None else int(version)
+        if v < 0:
+            raise ValueError(f"version must be >= 0, got {v}")
+        if v >= self._ver[rank, 0]:
+            self._val[rank, 0] = float(value)
+            self._ver[rank, 0] = v
+
+    def publish_all(
+        self, values: np.ndarray, *, version: Optional[int] = None
+    ) -> None:
+        """Every rank publishes its own value in one vectorized update."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.num_ranks,):
+            raise ValueError(
+                f"values must have one entry per rank ({self.num_ranks}), "
+                f"got {values.shape}"
+            )
+        v = self._steps if version is None else int(version)
+        if v < 0:
+            raise ValueError(f"version must be >= 0, got {v}")
+        mask = v >= self._ver[:, 0]
+        self._val[mask, 0] = values[mask]
+        self._ver[mask, 0] = v
+
+    # ------------------------------------------------------------------
+    def local_view(self, rank: int) -> Dict[int, float]:
+        """The values rank ``rank`` currently knows, keyed by source rank."""
+        self._check_rank(rank)
+        valid = np.flatnonzero(self._ver[rank] >= 0)
+        srcs = self._src[rank, valid]
+        vals = self._val[rank, valid]
+        order = np.argsort(srcs)
+        return {int(srcs[i]): float(vals[i]) for i in order}
+
+    def known_mask(self, rank: int) -> np.ndarray:
+        """Boolean mask over source ranks whose value ``rank`` knows."""
+        self._check_rank(rank)
+        mask = np.zeros(self.num_ranks, dtype=bool)
+        mask[self._src[rank][self._ver[rank] >= 0]] = True
+        return mask
+
+    def known_values_row(self, rank: int) -> np.ndarray:
+        """The values ``rank`` knows, compacted in ascending source order.
+
+        Same contract as :meth:`GossipBoard.known_values_row` (the ULBA hot
+        path); the slots are stored by freshness, so a small sort by source
+        restores the canonical order.
+        """
+        self._check_rank(rank)
+        valid = self._ver[rank] >= 0
+        srcs = self._src[rank][valid]
+        return self._val[rank][valid][np.argsort(srcs)]
+
+    def own_value(self, rank: int) -> Optional[float]:
+        """The value ``rank`` published for itself, if any."""
+        self._check_rank(rank)
+        if self._ver[rank, 0] < 0:
+            return None
+        return float(self._val[rank, 0])
+
+    def known_fraction(self, rank: int) -> float:
+        """Fraction of ranks whose value is known by ``rank``."""
+        self._check_rank(rank)
+        return float((self._ver[rank] >= 0).sum()) / self.num_ranks
+
+    def is_complete(self) -> bool:
+        """True when every rank knows every value (requires an unbounded view)."""
+        if self.view_size < self.num_ranks:
+            return False
+        if not self._complete:
+            self._complete = bool((self._ver >= 0).all())
+        return self._complete
+
+    def complete_matrix(self) -> Optional[np.ndarray]:
+        """The full ``(P, P)`` view matrix, or ``None`` while any view is partial.
+
+        Only an unbounded sparse board (``view_size >= P``) can ever be
+        complete; a bounded board always returns ``None`` here, which is
+        exactly what makes the dense fast paths (e.g.
+        :meth:`repro.lb.wir.OverloadDetector.overloading_mask_from_views`)
+        degrade gracefully to the per-rank rule.  Unlike the dense board
+        this materializes a fresh matrix per call; callers cache it per LB
+        step.
+        """
+        if not self.is_complete():
+            return None
+        rows = np.repeat(np.arange(self.num_ranks), self.view_size)
+        matrix = np.empty((self.num_ranks, self.num_ranks), dtype=float)
+        matrix[rows, self._src.reshape(-1)] = self._val.reshape(-1)
+        return matrix
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """One synchronous push round: select targets, merge, evict.
+
+        All pushes of a round see the views at the start of the round, like
+        the dense board.  The whole round is a constant number of array
+        passes over ``O(P * fanout * view_size)`` candidate entries -- no
+        ``(P, P)`` operand is ever formed.
+        """
+        if self.num_ranks > 1:
+            if self.config.topology == "random":
+                src, dst = sparse_random_push_targets(
+                    self._rng, self.num_ranks, self.config.fanout
+                )
+            else:
+                src, dst = topology_push_targets(
+                    self._steps, self.num_ranks, self.config.fanout, self.config.topology
+                )
+            if src.size:
+                self._merge(src, dst)
+        self._steps += 1
+
+    def run_until_complete(self, max_steps: int = 1_000) -> int:
+        """Gossip until every rank knows every value; returns the step count.
+
+        Only meaningful on an unbounded board: with ``view_size < P`` a view
+        can never hold all entries and the call raises immediately.
+        """
+        check_positive_int(max_steps, "max_steps")
+        if self.view_size < self.num_ranks:
+            raise RuntimeError(
+                f"a bounded view (view_size={self.view_size} < {self.num_ranks} "
+                "ranks) can never become complete"
+            )
+        initial = self._steps
+        while not self.is_complete():
+            if self._steps - initial >= max_steps:
+                raise RuntimeError(
+                    f"gossip did not converge within {max_steps} steps; "
+                    "did every rank publish a value?"
+                )
+            self.step()
+        return self._steps - initial
+
+    # ------------------------------------------------------------------
+    def _merge(self, push_src: np.ndarray, push_dst: np.ndarray) -> None:
+        """Freshest-version merge + bounded eviction of one round's pushes.
+
+        Candidate entries are every receiver's current entries plus every
+        slot of each pushed view.  Per ``(receiver, source)`` pair the
+        freshest version survives, with the receiver's existing entry
+        winning ties (value-neutral, as in :func:`merge_pushes`).  Per
+        receiver, the own entry is pinned to slot 0 and the freshest
+        ``view_size - 1`` other entries are retained (version ties evict
+        higher source ranks first).
+        """
+        num_ranks, m = self.num_ranks, self.view_size
+
+        # Candidate pool: existing entries first (lower priority bit wins
+        # version ties for the receiver's own copy).
+        recv = np.concatenate(
+            [
+                np.repeat(np.arange(num_ranks, dtype=np.int64), m),
+                np.repeat(push_dst.astype(np.int64), m),
+            ]
+        )
+        src = np.concatenate([self._src.reshape(-1), self._src[push_src].reshape(-1)])
+        val = np.concatenate([self._val.reshape(-1), self._val[push_src].reshape(-1)])
+        ver = np.concatenate([self._ver.reshape(-1), self._ver[push_src].reshape(-1)])
+        existing = np.zeros(recv.size, dtype=bool)
+        existing[: num_ranks * m] = True
+
+        known = ver >= 0
+        recv, src, val, ver, existing = (
+            recv[known],
+            src[known],
+            val[known],
+            ver[known],
+            existing[known],
+        )
+        if recv.size == 0:
+            return
+
+        # Dedupe per (receiver, source): after the lexsort the last element
+        # of each group carries the max (version, existing) pair, i.e. the
+        # freshest version with receiver-keeps-ties semantics.
+        pair = recv * num_ranks + src
+        order = np.lexsort((existing, ver, pair))
+        pair_sorted = pair[order]
+        last = np.empty(pair_sorted.size, dtype=bool)
+        last[-1] = True
+        np.not_equal(pair_sorted[1:], pair_sorted[:-1], out=last[:-1])
+        winners = order[last]
+        recv, src, val, ver = recv[winners], src[winners], val[winners], ver[winners]
+
+        new_src = np.full((num_ranks, m), -1, dtype=np.int64)
+        new_val = np.zeros((num_ranks, m), dtype=float)
+        new_ver = np.full((num_ranks, m), -1, dtype=np.int64)
+        new_src[:, 0] = np.arange(num_ranks)
+
+        self_mask = src == recv
+        self_recv = recv[self_mask]
+        new_val[self_recv, 0] = val[self_mask]
+        new_ver[self_recv, 0] = ver[self_mask]
+
+        other = ~self_mask
+        o_recv, o_src = recv[other], src[other]
+        o_val, o_ver = val[other], ver[other]
+        if o_recv.size:
+            # Freshest (view_size - 1) other entries per receiver: sort by
+            # (receiver, -version, source) and keep the first m-1 positions
+            # of each receiver group.
+            order = np.lexsort((o_src, -o_ver, o_recv))
+            recv_sorted = o_recv[order]
+            boundary = np.empty(recv_sorted.size, dtype=bool)
+            boundary[0] = True
+            np.not_equal(recv_sorted[1:], recv_sorted[:-1], out=boundary[1:])
+            starts = np.flatnonzero(boundary)
+            group = np.cumsum(boundary) - 1
+            pos = np.arange(recv_sorted.size) - starts[group]
+            keep = pos < m - 1
+            kept = order[keep]
+            slot = pos[keep] + 1
+            new_src[o_recv[kept], slot] = o_src[kept]
+            new_val[o_recv[kept], slot] = o_val[kept]
+            new_ver[o_recv[kept], slot] = o_ver[kept]
+
+        self._src, self._val, self._ver = new_src, new_val, new_ver
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")
+
+
+def make_gossip_board(
+    num_ranks: int,
+    *,
+    config: Optional[GossipConfig] = None,
+    seed: SeedLike = None,
+) -> "GossipBoard | SparseGossipBoard":
+    """Build the board implementation selected by ``config.mode``.
+
+    ``dense`` (the default) returns the exact historical
+    :class:`GossipBoard` -- bit-identical RNG stream and merges -- so
+    existing seeded runs are unaffected; ``sparse`` returns the
+    memory-bounded :class:`SparseGossipBoard`.
+    """
+    cfg = config or GossipConfig()
+    if cfg.mode == "sparse":
+        return SparseGossipBoard(num_ranks, config=cfg, seed=seed)
+    return GossipBoard(num_ranks, config=cfg, seed=seed)
 
 
 class BatchGossipBoard:
@@ -436,13 +906,29 @@ class BatchGossipBoard:
     def step(self) -> None:
         """One synchronous push round across every replica.
 
-        Per replica the RNG consumption matches a solo board exactly (one
-        ``(P, P)`` uniform draw); the selection of every replica's targets
-        is one stacked vectorized pass over the ``(R, P, P)`` keys, and the
-        merges run per replica on shared pre-packed versions (cache-resident
-        ``(P, P)`` operands).
+        With the (default) ``random`` topology, per replica the RNG
+        consumption matches a solo board exactly (one ``(P, P)`` uniform
+        draw); the selection of every replica's targets is one stacked
+        vectorized pass over the ``(R, P, P)`` keys, and the merges run per
+        replica on shared pre-packed versions (cache-resident ``(P, P)``
+        operands).  The deterministic ``ring`` / ``hypercube`` topologies
+        share one edge list across all replicas (no RNG), exactly like the
+        solo board, so batch replicas stay bit-identical to solo boards
+        under every topology.
         """
         num_ranks = self.num_ranks
+        if num_ranks > 1 and self.config.topology != "random":
+            src, dst = topology_push_targets(
+                self._steps, num_ranks, self.config.fanout, self.config.topology
+            )
+            if src.size:
+                shift = max(1, int(src.shape[0] - 1).bit_length())
+                packed = np.left_shift(self._versions, shift)
+                entry = np.arange(num_ranks)
+                for rep in range(self.num_replicas):
+                    self._merge_replica(rep, src, dst, packed[rep], shift, entry)
+            self._steps += 1
+            return
         if num_ranks > 1:
             k = min(self.config.fanout, num_ranks - 1)
             keys = np.stack(

@@ -41,6 +41,10 @@ topology_configs = st.builds(
     TopologyConfig,
     use_gossip=st.booleans(),
     wir_smoothing=st.floats(0.01, 1.0, allow_nan=False, allow_infinity=False),
+    gossip_mode=st.sampled_from(["dense", "sparse"]),
+    fanout=st.integers(1, 8),
+    push_topology=st.sampled_from(["random", "ring", "hypercube"]),
+    view_size=st.one_of(st.none(), st.integers(2, 512)),
 )
 policy_configs = st.one_of(
     st.builds(PolicyConfig, name=st.just("standard")),
@@ -70,6 +74,7 @@ runner_configs = st.builds(
     bytes_per_load_unit=_nonneg_floats,
     partition_flop_per_column=_nonneg_floats,
     lb_cost_prior=st.one_of(st.none(), _nonneg_floats),
+    memory_budget_mb=st.one_of(st.none(), _pos_floats),
 )
 run_configs = st.builds(
     RunConfig,

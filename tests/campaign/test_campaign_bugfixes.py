@@ -1,0 +1,234 @@
+"""Regression tests for the campaign/runner bugfix sweep.
+
+Three latent bugs are pinned here:
+
+* **spawn-safe scenario registry** -- a campaign over a user-registered
+  scenario used to crash mid-run with an unknown-scenario error whenever
+  the worker pool used the ``spawn`` start method (the only option on some
+  platforms); the pool initializer now ships the caller's registry snapshot
+  to every worker, and an ``mp_start_method`` knob makes the start method
+  explicit instead of silently depending on ``fork``;
+* **resume de-duplication** -- :func:`repro.campaign.runner.load_results`
+  keeps the newest row when an append-only log contains several rows for
+  one ``cell_id`` (e.g. a rerun after a torn duplicate row), instead of
+  resurrecting the stale one;
+* **mid-batch interruption** -- an interrupted campaign only re-executes
+  the seed group that was in flight; completed groups resume from disk.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    PolicySpec,
+    load_results,
+    run_campaign,
+)
+from repro.campaign.runner import _pool_context, _shippable_scenarios
+from repro.scenarios import register_scenario
+from repro.scenarios.base import estimate_parameters
+from repro.scenarios.registry import unregister
+from repro.runtime.synthetic import SyntheticGrowthApplication
+
+SPEC = CampaignSpec(
+    scenarios=("synthetic-hotspot", "bursty"),
+    policies=(PolicySpec("standard"), PolicySpec("ulba")),
+    num_seeds=2,
+    num_pes=8,
+    columns_per_pe=16,
+    rows=16,
+    iterations=10,
+)
+
+VOLATILE = ("wall_time",)
+
+
+def stable(rows):
+    return sorted(
+        ({k: v for k, v in row.items() if k not in VOLATILE} for row in rows),
+        key=lambda row: row["cell_id"],
+    )
+
+
+# Module-level builder: picklable by reference, so it can cross a spawn
+# boundary (a lambda or closure could not).
+def _flat_builder(spec):
+    app = SyntheticGrowthApplication(spec.num_columns, uniform_growth=0.0)
+    params = estimate_parameters(
+        app, spec, num_overloading=0, uniform_rate=0.0, overload_rate=0.0
+    )
+    return app, params
+
+
+@pytest.fixture
+def user_scenario():
+    register_scenario("test-user-flat", "constant loads (spawn fixture)")(
+        _flat_builder
+    )
+    try:
+        yield "test-user-flat"
+    finally:
+        unregister("test-user-flat")
+
+
+class TestLoadResultsDeduplication:
+    def test_newest_duplicate_wins(self, tmp_path):
+        out = tmp_path / "log.jsonl"
+        rows = [
+            {"cell_id": "a", "total_time": 1.0},
+            {"cell_id": "b", "total_time": 2.0},
+            {"cell_id": "a", "total_time": 9.0},  # rerun appended later
+        ]
+        out.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        loaded = load_results(out)
+        assert len(loaded) == 2
+        assert loaded[0] == {"cell_id": "a", "total_time": 9.0}
+        assert loaded[1] == {"cell_id": "b", "total_time": 2.0}
+
+    def test_order_is_first_appearance(self, tmp_path):
+        out = tmp_path / "log.jsonl"
+        rows = [
+            {"cell_id": "x", "v": 0},
+            {"cell_id": "y", "v": 0},
+            {"cell_id": "x", "v": 1},
+            {"cell_id": "z", "v": 0},
+        ]
+        out.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        assert [r["cell_id"] for r in load_results(out)] == ["x", "y", "z"]
+
+    def test_resume_after_duplicate_rows_runs_nothing_twice(self, tmp_path):
+        out = tmp_path / "campaign.jsonl"
+        first = run_campaign(SPEC, out_path=out)
+        assert first.executed == SPEC.num_cells
+        # Simulate a historical rerun that appended a duplicate of one cell
+        # (e.g. after _heal_torn_tail invalidated its torn twin).
+        rows = load_results(out)
+        duplicate = dict(rows[0])
+        with out.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(duplicate) + "\n")
+        resumed = run_campaign(SPEC, out_path=out)
+        assert resumed.executed == 0
+        assert resumed.skipped == SPEC.num_cells
+        assert stable(resumed.rows) == stable(first.rows)
+
+
+class TestMidBatchInterruption:
+    def test_resume_reexecutes_only_inflight_seed_group(self, tmp_path):
+        out = tmp_path / "campaign.jsonl"
+        group_size = SPEC.num_seeds  # rows per (scenario, policy) seed group
+
+        class Interrupt(RuntimeError):
+            pass
+
+        seen = []
+
+        def interrupt_after_first_group(row):
+            seen.append(row)
+            if len(seen) == group_size:
+                raise Interrupt()
+
+        with pytest.raises(Interrupt):
+            run_campaign(SPEC, out_path=out, on_cell_done=interrupt_after_first_group)
+        persisted = load_results(out)
+        # The completed seed group reached the log before the interrupt.
+        assert len(persisted) == group_size
+
+        resumed = run_campaign(SPEC, out_path=out)
+        assert resumed.skipped == group_size
+        assert resumed.executed == SPEC.num_cells - group_size
+        # The log holds every cell exactly once.
+        final = load_results(out)
+        assert len(final) == SPEC.num_cells
+        assert len({row["cell_id"] for row in final}) == SPEC.num_cells
+        # And the result matches an uninterrupted campaign bit for bit.
+        clean = run_campaign(SPEC, out_path=tmp_path / "clean.jsonl")
+        assert stable(resumed.rows) == stable(clean.rows)
+
+
+class TestSpawnSafeRegistry:
+    def test_user_scenario_ships_to_spawn_workers(self, tmp_path, user_scenario):
+        spec = CampaignSpec(
+            scenarios=(user_scenario,),
+            policies=(PolicySpec("standard"), PolicySpec("ulba")),
+            num_seeds=2,
+            num_pes=8,
+            columns_per_pe=16,
+            rows=16,
+            iterations=6,
+        )
+        run = run_campaign(
+            spec,
+            jobs=2,
+            out_path=tmp_path / "spawned.jsonl",
+            mp_start_method="spawn",
+        )
+        assert run.executed == spec.num_cells
+        assert all(row["scenario"] == user_scenario for row in run.rows)
+
+    def test_spawn_matches_serial(self, tmp_path, user_scenario):
+        spec = CampaignSpec(
+            scenarios=(user_scenario, "synthetic-hotspot"),
+            policies=(PolicySpec("standard"),),
+            num_seeds=2,
+            num_pes=8,
+            columns_per_pe=16,
+            rows=16,
+            iterations=6,
+        )
+        serial = run_campaign(spec, out_path=tmp_path / "serial.jsonl")
+        spawned = run_campaign(
+            spec,
+            jobs=2,
+            out_path=tmp_path / "spawned.jsonl",
+            mp_start_method="spawn",
+        )
+        assert stable(spawned.rows) == stable(serial.rows)
+
+    def test_registry_snapshot_contains_user_scenario(self, user_scenario):
+        names = [scenario.name for scenario in _shippable_scenarios()]
+        assert user_scenario in names
+        assert "synthetic-hotspot" in names  # built-ins ship too
+
+    def test_unpicklable_scenarios_are_skipped_not_fatal(self):
+        from repro.scenarios.base import FunctionScenario
+        from repro.scenarios.registry import register
+
+        register(
+            FunctionScenario(
+                name="test-lambda-scenario",
+                description="unpicklable builder",
+                builder=lambda spec: _flat_builder(spec),
+            )
+        )
+        try:
+            names = [scenario.name for scenario in _shippable_scenarios()]
+            assert "test-lambda-scenario" not in names
+        finally:
+            unregister("test-lambda-scenario")
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ValueError, match="mp_start_method"):
+            _pool_context("threads")
+
+    def test_explicit_fork_still_works(self, tmp_path, user_scenario):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork start method")
+        spec = CampaignSpec(
+            scenarios=(user_scenario,),
+            policies=(PolicySpec("standard"), PolicySpec("ulba")),
+            num_seeds=1,
+            num_pes=8,
+            columns_per_pe=16,
+            rows=16,
+            iterations=6,
+        )
+        run = run_campaign(
+            spec, jobs=2, out_path=tmp_path / "forked.jsonl", mp_start_method="fork"
+        )
+        assert run.executed == spec.num_cells

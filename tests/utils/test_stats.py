@@ -14,6 +14,7 @@ from repro.utils.stats import (
     HistogramSummary,
     box_plot_summary,
     histogram_summary,
+    mean_confidence_interval,
     relative_gain,
     rolling_median,
     weighted_imbalance,
@@ -149,6 +150,71 @@ class TestWeightedImbalance:
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
     def test_property_non_negative(self, loads):
         assert weighted_imbalance(loads) >= 0.0
+
+
+class TestMeanConfidenceInterval:
+    """Degenerate-sample regression guard.
+
+    The interval feeds :meth:`repro.batch.result.BatchResult.aggregate` and
+    from there the persisted JSON artifacts, so a single-sample batch must
+    yield a finite zero-width interval -- never a NaN that silently
+    propagates into the reports.
+    """
+
+    def test_two_samples_known_value(self):
+        mean, half = mean_confidence_interval([1.0, 3.0], confidence=0.95)
+        assert mean == 2.0
+        # std(ddof=1) = sqrt(2), sem = 1; z(0.975) ~ 1.95996.
+        assert half == pytest.approx(1.959964, rel=1e-5)
+
+    def test_single_sample_zero_width(self):
+        mean, half = mean_confidence_interval([4.25])
+        assert (mean, half) == (4.25, 0.0)
+        assert math.isfinite(mean) and math.isfinite(half)
+
+    def test_single_sample_ndarray_zero_width(self):
+        mean, half = mean_confidence_interval(np.asarray([7]))
+        assert (mean, half) == (7.0, 0.0)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            mean_confidence_interval([])
+        with pytest.raises(ValueError, match="must not be empty"):
+            mean_confidence_interval(np.empty(0))
+
+    def test_constant_samples_zero_width(self):
+        mean, half = mean_confidence_interval([2.5] * 8)
+        assert (mean, half) == (2.5, 0.0)
+
+    def test_bad_confidence_rejected(self):
+        for confidence in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ValueError, match="confidence"):
+                mean_confidence_interval([1.0, 2.0], confidence=confidence)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=30))
+    def test_property_always_finite(self, samples):
+        mean, half = mean_confidence_interval(samples)
+        assert math.isfinite(mean)
+        assert math.isfinite(half) and half >= 0.0
+
+    def test_single_replica_batch_aggregate_is_nan_free(self):
+        """End-to-end: a one-replica batch produces finite JSON aggregates."""
+        import json
+
+        from repro.api import RunConfig, ScenarioConfig, Session
+
+        cfg = RunConfig(
+            scenario=ScenarioConfig(
+                columns_per_pe=16, rows=16, iterations=8, seed=0
+            )
+        )
+        batch = Session.from_config(cfg).run_batch(seeds=[0])
+        aggregate = batch.aggregate()
+        assert aggregate["replicas"] == 1
+        for key, value in aggregate.items():
+            assert math.isfinite(float(value)), key
+        assert aggregate["total_time_ci"] == 0.0
+        json.dumps(batch.summary())  # artifact-ready, no NaN tokens
 
 
 class TestBoxPlotSummary:
