@@ -17,12 +17,45 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
+from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Optional
 
-__all__ = ["record_bench"]
+__all__ = ["env_metadata", "record_bench"]
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@lru_cache(maxsize=1)
+def env_metadata() -> Dict[str, object]:
+    """Execution-environment stamp attached to every measurement row.
+
+    Comparing ``ops_per_s`` across commits is only meaningful when the
+    machine and toolchain are known; the stamp records the interpreter and
+    NumPy versions, the CPU count and the git commit the row was measured
+    at (``None`` outside a git checkout).  Computed once per process.
+    """
+    import numpy
+
+    try:
+        sha: Optional[str] = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+        "git_sha": sha,
+    }
 
 
 def _out_dir() -> Optional[Path]:
@@ -82,6 +115,9 @@ def record_bench(
             "params": params,
             "wall_s": float(wall_s),
             "ops_per_s": float(ops_per_s),
+            # Environment stamp (new key; the measurement fields above keep
+            # their schema so existing consumers are unaffected).
+            "env": env_metadata(),
         }
     )
     path.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")

@@ -10,16 +10,26 @@ figure-level reproductions.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
+
+from _artifacts import record_bench
 
 from repro.core.parameters import TableIISampler
 from repro.core.schedule import evaluate_schedule, sigma_plus_schedule
 from repro.erosion.app import ErosionApplication, ErosionConfig
+from repro.obs import StageProfiler
 from repro.optim.schedule_search import anneal_schedule
 from repro.partitioning.stripe import StripePartitioner
+from repro.runtime.skeleton import IterativeRunner, initial_lb_cost_prior
+from repro.runtime.synthetic import SyntheticGrowthApplication
 from repro.simcluster.cluster import VirtualCluster
 from repro.simcluster.gossip import GossipBoard
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
 
 @pytest.fixture(scope="module")
@@ -97,3 +107,98 @@ def test_bench_gossip_round(benchmark):
 
     benchmark(board.step)
     assert board.steps >= 1
+
+
+# --------------------------------------------------------------------------
+# Observability overhead
+# --------------------------------------------------------------------------
+
+OBS_ITERATIONS = 60 if SMOKE else 300
+OBS_REPS = 2 if SMOKE else 4
+#: Allowed profiled-on slowdown relative to the profiled-off run.  The
+#: probes are seven perf_counter_ns pairs per iteration against ms-scale
+#: iterations, so the true cost is well under a percent; the bound only
+#: guards against the probes growing allocations or Python-level work.
+#: (The <=2% *off*-overhead acceptance bar is enforced across commits by
+#: comparing the runner-iterations rows in BENCH_core.json, since the
+#: pre-instrumentation loop no longer exists in-tree to time against.)
+OBS_ON_OVERHEAD_LIMIT = 0.40 if SMOKE else 0.15
+OBS_COVERAGE_FLOOR = 0.80 if SMOKE else 0.90
+
+
+def _obs_bench_runner(profiler):
+    num_pes, columns_per_pe = 64, 8
+    num_columns = num_pes * columns_per_pe
+    app = SyntheticGrowthApplication(
+        num_columns,
+        hot_regions=[(0, num_columns // 16)],
+        hot_growth=5.0,
+    )
+    cluster = VirtualCluster(num_pes)
+    prior = initial_lb_cost_prior(
+        app.total_load() * app.flop_per_load_unit, num_pes, cluster.pe_speed
+    )
+    return IterativeRunner(
+        cluster,
+        app,
+        use_gossip=True,
+        initial_lb_cost_estimate=prior,
+        seed=123,
+        profiler=profiler,
+    )
+
+
+def _best_obs_wall(profiled: bool) -> float:
+    best = float("inf")
+    for _ in range(OBS_REPS):
+        runner = _obs_bench_runner(StageProfiler() if profiled else None)
+        start = time.perf_counter()
+        runner.run(OBS_ITERATIONS)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_obs_profiler_overhead():
+    """Stage profiling of the P=64 gossip loop: cheap probes, >=90% coverage.
+
+    Times the identical seeded workload with the profiler detached and
+    attached (best-of-N wall clock, interleave-free), records both
+    throughputs to ``BENCH_core.json``, and asserts the attached run stays
+    within :data:`OBS_ON_OVERHEAD_LIMIT` of the detached one.  The profiled
+    run must also attribute at least 90% of measured loop time to named
+    stages (80% in smoke mode) -- the acceptance bar for the probe layout.
+    """
+    off_wall = _best_obs_wall(profiled=False)
+    on_wall = _best_obs_wall(profiled=True)
+
+    profiler = StageProfiler()
+    _obs_bench_runner(profiler).run(OBS_ITERATIONS)
+    coverage = profiler.profile().coverage()
+
+    overhead = on_wall / off_wall - 1.0
+    print(
+        f"\nobs off: {off_wall / OBS_ITERATIONS * 1e3:.3f} ms/iter, "
+        f"obs on: {on_wall / OBS_ITERATIONS * 1e3:.3f} ms/iter, "
+        f"overhead {overhead * 100:+.1f}%, coverage {coverage * 100:.1f}%"
+    )
+    for mode, wall in (("off", off_wall), ("on", on_wall)):
+        record_bench(
+            "core",
+            f"obs-{mode}-p64",
+            {
+                "num_pes": 64,
+                "iterations": OBS_ITERATIONS,
+                "smoke": SMOKE,
+                "profiled": mode == "on",
+            },
+            wall,
+            OBS_ITERATIONS / wall,
+        )
+    assert coverage >= OBS_COVERAGE_FLOOR, (
+        f"stage probes only cover {coverage * 100:.1f}% of the hot loop "
+        f"(floor {OBS_COVERAGE_FLOOR * 100:.0f}%)"
+    )
+    assert overhead <= OBS_ON_OVERHEAD_LIMIT, (
+        f"attached profiler slows the loop by {overhead * 100:.1f}% "
+        f"(limit {OBS_ON_OVERHEAD_LIMIT * 100:.0f}%)"
+    )

@@ -13,7 +13,9 @@ Layering (consumers above, substrate below)::
     cli  |  campaign  |  experiments (fig4/fig5, ablations)  |  user code
     -----------------------------------------------------------------
                 repro.api:  RunConfig -> Session -> SessionResult
-                            EventBus: phase / iteration / lb_step
+                            EventBus: phase / iteration / lb_step /
+                                      batch_chunk / campaign_cell
+                            repro.obs: metrics / profiler / tracing
     -----------------------------------------------------------------
     scenarios (catalog)   lb.registry (policies)   runtime (Algorithm 1)
     erosion / particles / generators               simcluster / partitioning
@@ -38,6 +40,7 @@ from repro.api.config import (
     DEFAULT_BYTES_PER_LOAD_UNIT,
     DEFAULT_LATENCY,
     ClusterConfig,
+    ObsConfig,
     PolicyConfig,
     RunConfig,
     RunnerConfig,
@@ -46,6 +49,8 @@ from repro.api.config import (
 )
 from repro.api.events import (
     EVENT_TYPES,
+    BatchChunkEvent,
+    CampaignCellEvent,
     EventBus,
     IterationEvent,
     LBStepEvent,
@@ -54,6 +59,8 @@ from repro.api.events import (
 from repro.api.session import Session, SessionResult
 
 __all__ = [
+    "BatchChunkEvent",
+    "CampaignCellEvent",
     "ClusterConfig",
     "DEFAULT_BANDWIDTH",
     "DEFAULT_BYTES_PER_LOAD_UNIT",
@@ -62,6 +69,7 @@ __all__ = [
     "EventBus",
     "IterationEvent",
     "LBStepEvent",
+    "ObsConfig",
     "PhaseEvent",
     "PolicyConfig",
     "RunConfig",

@@ -48,6 +48,7 @@ __all__ = [
     "DEFAULT_BYTES_PER_LOAD_UNIT",
     "DEFAULT_LATENCY",
     "ClusterConfig",
+    "ObsConfig",
     "PolicyConfig",
     "RunConfig",
     "RunnerConfig",
@@ -353,6 +354,50 @@ class RunnerConfig(_ConfigSection):
         return initial_lb_cost_prior(total_flop, num_pes, pe_speed)
 
 
+@dataclass(frozen=True)
+class ObsConfig(_ConfigSection):
+    """Observability switches of a run (all off by default).
+
+    The default -- everything disabled -- is the zero-cost contract of
+    :mod:`repro.obs`: the execution layers skip the instrumentation
+    entirely, golden seeded runs stay bit-identical and the hot loop pays
+    nothing.  Each switch is independent:
+
+    * ``profile`` attaches a :class:`~repro.obs.profiler.StageProfiler` to
+      the runner's hot-loop stages (compute step, gossip round, stripe
+      reduceat, WIR update, LB decide/apply) and exposes the resulting
+      :class:`~repro.obs.profiler.StageProfile` on the run result;
+    * ``metrics`` gives the session a
+      :class:`~repro.obs.metrics.MetricsRegistry` and records run-level
+      counters/gauges/histograms into it;
+    * ``trace`` records Chrome trace events (stage spans when ``profile``
+      is also on, plus phase/LB-step/batch-chunk events) into a
+      :class:`~repro.obs.trace.TraceWriter` exposed by the session.
+    """
+
+    #: Attach the hot-loop stage profiler.
+    profile: bool = False
+    #: Record run-level metrics into a session-owned registry.
+    metrics: bool = False
+    #: Record Chrome trace events into a session-owned trace writer.
+    trace: bool = False
+    #: Safety cap on retained trace events (see :class:`~repro.obs.trace.TraceWriter`).
+    trace_max_events: int = 200_000
+
+    def __post_init__(self) -> None:
+        for name in ("profile", "metrics", "trace"):
+            value = getattr(self, name)
+            if not isinstance(value, bool):
+                raise TypeError(f"{name} must be a bool, got {type(value).__name__}")
+        check_positive_int(self.trace_max_events, "trace_max_events")
+
+    # ------------------------------------------------------------------
+    @property
+    def any_enabled(self) -> bool:
+        """True when at least one instrument is switched on."""
+        return self.profile or self.metrics or self.trace
+
+
 #: Section name -> config class of the RunConfig tree.
 _RUN_SECTIONS: Dict[str, type] = {
     "cluster": ClusterConfig,
@@ -360,6 +405,7 @@ _RUN_SECTIONS: Dict[str, type] = {
     "policy": PolicyConfig,
     "scenario": ScenarioConfig,
     "runner": RunnerConfig,
+    "obs": ObsConfig,
 }
 
 
@@ -394,6 +440,8 @@ class RunConfig(_ConfigSection):
     scenario: ScenarioConfig = ScenarioConfig()
     #: Runner knobs (migration volume, LB-cost prior).
     runner: RunnerConfig = RunnerConfig()
+    #: Observability switches (profiler, metrics, tracing; all off by default).
+    obs: ObsConfig = ObsConfig()
 
     def __post_init__(self) -> None:
         for name, section_cls in _RUN_SECTIONS.items():

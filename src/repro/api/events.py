@@ -12,6 +12,14 @@ typed events while a run executes:
 ``"lb_step"``
     :class:`LBStepEvent` -- one executed load-balancing step, carrying the
     full :class:`~repro.lb.centralized.LBStepReport`.
+``"batch_chunk"``
+    :class:`BatchChunkEvent` -- one completed sub-batch of a
+    memory-budgeted replica-batched run (see
+    :class:`~repro.batch.runner.BatchRunner`).
+``"campaign_cell"``
+    :class:`CampaignCellEvent` -- one campaign cell freshly executed by
+    :func:`~repro.campaign.runner.run_campaign`; the live
+    ``repro campaign --progress`` line feeds on these.
 
 Subscribers attach with :meth:`EventBus.on` and receive events synchronously
 in subscription order; progress reporting, tracing and future async or
@@ -30,6 +38,8 @@ from repro.lb.centralized import LBStepReport
 
 __all__ = [
     "EVENT_TYPES",
+    "BatchChunkEvent",
+    "CampaignCellEvent",
     "EventBus",
     "IterationEvent",
     "LBStepEvent",
@@ -37,7 +47,13 @@ __all__ = [
 ]
 
 #: Event names a session emits (plus the ``"*"`` wildcard accepted by ``on``).
-EVENT_TYPES: Tuple[str, ...] = ("phase", "iteration", "lb_step")
+EVENT_TYPES: Tuple[str, ...] = (
+    "phase",
+    "iteration",
+    "lb_step",
+    "batch_chunk",
+    "campaign_cell",
+)
 
 
 @dataclass(frozen=True)
@@ -66,6 +82,42 @@ class LBStepEvent:
     iteration: int
     #: Full report of the step (decision, partition, migrated load, cost).
     report: LBStepReport
+
+
+@dataclass(frozen=True)
+class BatchChunkEvent:
+    """One completed sub-batch of a memory-budgeted batched run."""
+
+    #: 0-based index of the chunk within the batch.
+    chunk: int
+    #: Total number of sequential chunks of the run.
+    num_chunks: int
+    #: Number of replicas this chunk executed.
+    replicas: int
+    #: Host wall-clock duration of the chunk (seconds).
+    wall_time: float
+
+
+@dataclass(frozen=True)
+class CampaignCellEvent:
+    """One campaign cell freshly executed (resumed cells emit nothing)."""
+
+    #: Unique id of the cell within the campaign grid.
+    cell_id: str
+    #: Scenario name of the cell.
+    scenario: str
+    #: Policy label of the cell (e.g. ``"ulba(alpha=0.4)"``).
+    policy: str
+    #: Total virtual time of the cell's run (seconds).
+    total_time: float
+    #: Number of LB invocations of the cell's run.
+    num_lb_calls: int
+    #: Pid of the worker process that executed the cell.
+    worker_pid: int
+    #: 1-based completion rank of the cell within this invocation.
+    index: int
+    #: Cells this invocation set out to execute (pending, not resumed).
+    total: int
 
 
 class _Subscription:

@@ -33,10 +33,19 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.batch.result import BatchResult
 
-from repro.api.config import RunConfig, RunnerConfig, TopologyConfig
-from repro.api.events import EventBus, IterationEvent, LBStepEvent, PhaseEvent
+from repro.api.config import ObsConfig, RunConfig, RunnerConfig, TopologyConfig
+from repro.api.events import (
+    BatchChunkEvent,
+    EventBus,
+    IterationEvent,
+    LBStepEvent,
+    PhaseEvent,
+)
 from repro.lb.base import TriggerPolicy, WorkloadPolicy
 from repro.lb.centralized import LBStepReport
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import StageProfiler
+from repro.obs.trace import TraceWriter
 from repro.runtime.skeleton import IterativeRunner, RunResult, StripedApplication
 from repro.simcluster.cluster import VirtualCluster
 from repro.simcluster.comm import CommCostModel
@@ -44,6 +53,10 @@ from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
 
 __all__ = ["Session", "SessionResult"]
+
+#: Fixed bucket edges of the per-iteration virtual-duration histogram
+#: (seconds, decade-spaced); fixed so worker snapshots merge by addition.
+_ITERATION_ELAPSED_EDGES = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
 
 
 @dataclass(frozen=True)
@@ -63,6 +76,11 @@ class SessionResult:
     config: Optional[RunConfig] = None
 
     # ------------------------------------------------------------------
+    @property
+    def profile(self):
+        """Stage profile of the run (None unless ``obs.profile`` was on)."""
+        return self.run.profile
+
     @property
     def total_time(self) -> float:
         """Total virtual time of the run (seconds)."""
@@ -131,6 +149,31 @@ class Session:
         self.runner_config = runner_config if runner_config is not None else RunnerConfig()
         self.topology = topology if topology is not None else TopologyConfig()
         self._default_iterations = iterations
+        #: Observability settings (all off for component-built sessions).
+        self.obs = config.obs if config is not None else ObsConfig()
+        #: Chrome-trace writer of the session (None unless ``obs.trace``).
+        self.trace_writer: Optional[TraceWriter] = (
+            TraceWriter(max_events=self.obs.trace_max_events)
+            if self.obs.trace
+            else None
+        )
+        #: Metrics registry of the session (None unless ``obs.metrics``).
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if self.obs.metrics else None
+        )
+        #: Hot-loop stage profiler; built for ``obs.profile`` and also for
+        #: ``obs.trace`` (the trace's stage spans come from its probes).
+        self.profiler: Optional[StageProfiler] = (
+            StageProfiler(trace=self.trace_writer)
+            if (self.obs.profile or self.obs.trace)
+            else None
+        )
+        if self.trace_writer is not None:
+            self.trace_writer.set_process_name(
+                f"repro:{scenario_name}" if scenario_name else "repro:session"
+            )
+            self.trace_writer.set_thread_name("hot-loop")
+            self._subscribe_trace(self.trace_writer)
         prior = self.runner_config.resolve_lb_cost_prior(
             self._total_flop(application), cluster.size, cluster.pe_speed
         )
@@ -149,6 +192,7 @@ class Session:
             seed=seed,
             on_iteration=self._emit_iteration,
             on_lb_step=self._emit_lb_step,
+            profiler=self.profiler,
         )
 
     # ------------------------------------------------------------------
@@ -239,6 +283,58 @@ class Session:
     def _emit_lb_step(self, iteration: int, report: LBStepReport) -> None:
         if self.events.has_listeners("lb_step"):
             self.events.emit("lb_step", LBStepEvent(iteration=iteration, report=report))
+
+    # ------------------------------------------------------------------
+    def _subscribe_trace(self, writer: TraceWriter) -> None:
+        """Mirror bus events into the Chrome trace as instant marks."""
+
+        def _on_phase(event: object) -> None:
+            writer.instant(
+                f"phase:{event.name}", time.perf_counter_ns(), cat="phase"
+            )
+
+        def _on_lb_step(event: object) -> None:
+            writer.instant(
+                "lb_step",
+                time.perf_counter_ns(),
+                cat="lb",
+                args={"iteration": event.iteration},
+            )
+
+        self.events.on("phase", _on_phase)
+        self.events.on("lb_step", _on_lb_step)
+
+    def _record_run_metrics(self, result: RunResult, iterations: int) -> None:
+        """Fold one solo run's outcome into the metrics registry."""
+        registry = self.metrics
+        if registry is None:
+            return
+        registry.inc("run/iterations", iterations)
+        registry.inc("run/lb_calls", result.num_lb_calls)
+        registry.set_gauge("run/total_time_s", result.total_time)
+        registry.set_gauge("run/mean_utilization", result.mean_utilization)
+        registry.register_histogram(
+            "run/iteration_elapsed_s", _ITERATION_ELAPSED_EDGES
+        )
+        registry.observe(
+            "run/iteration_elapsed_s", result.trace.iteration_time_series()
+        )
+
+    def _record_batch_metrics(self, result: "BatchResult", iterations: int) -> None:
+        """Fold a batched run's outcome into the metrics registry."""
+        registry = self.metrics
+        if registry is None:
+            return
+        registry.inc("batch/replicas", result.num_replicas)
+        registry.register_histogram(
+            "run/iteration_elapsed_s", _ITERATION_ELAPSED_EDGES
+        )
+        for replica in result.replicas:
+            registry.inc("run/iterations", iterations)
+            registry.inc("run/lb_calls", replica.num_lb_calls)
+            registry.observe(
+                "run/iteration_elapsed_s", replica.trace.iteration_time_series()
+            )
 
     # ------------------------------------------------------------------
     def run_batch(
@@ -334,6 +430,10 @@ class Session:
                 if config.runner.memory_budget_mb is not None
                 else None
             ),
+            profiler=self.profiler,
+            on_chunk=(
+                self._on_batch_chunk if self._wants_chunk_telemetry() else None
+            ),
         )
         #: Kept for callers that need the per-replica scenario instances
         #: (e.g. the campaign rows' analytical model fields).
@@ -341,7 +441,47 @@ class Session:
         self.events.emit("phase", PhaseEvent("run_batch"))
         result = runner.run(n)
         self.events.emit("phase", PhaseEvent("done"))
+        self._record_batch_metrics(result, n)
         return result
+
+    def _wants_chunk_telemetry(self) -> bool:
+        """Only attach the chunk callback when someone will consume it."""
+        return (
+            self.trace_writer is not None
+            or self.metrics is not None
+            or self.events.has_listeners("batch_chunk")
+        )
+
+    def _on_batch_chunk(
+        self, chunk: int, num_chunks: int, replicas: int, wall_time: float
+    ) -> None:
+        """Turn one completed sub-batch into trace/metrics/bus telemetry."""
+        if self.trace_writer is not None:
+            dur_ns = int(wall_time * 1e9)
+            self.trace_writer.complete(
+                f"batch_chunk[{chunk}]",
+                time.perf_counter_ns() - dur_ns,
+                dur_ns,
+                cat="chunk",
+                args={
+                    "chunk": chunk,
+                    "num_chunks": num_chunks,
+                    "replicas": replicas,
+                },
+            )
+        if self.metrics is not None:
+            self.metrics.inc("batch/chunks")
+            self.metrics.inc("batch/chunk_wall_s", wall_time)
+        if self.events.has_listeners("batch_chunk"):
+            self.events.emit(
+                "batch_chunk",
+                BatchChunkEvent(
+                    chunk=chunk,
+                    num_chunks=num_chunks,
+                    replicas=replicas,
+                    wall_time=wall_time,
+                ),
+            )
 
     # ------------------------------------------------------------------
     def run(self, iterations: Optional[int] = None) -> SessionResult:
@@ -372,6 +512,7 @@ class Session:
         result = self.runner.run(n)
         wall_time = time.perf_counter() - started
         self.events.emit("phase", PhaseEvent("done"))
+        self._record_run_metrics(result, n)
         return SessionResult(
             run=result,
             scenario=self.scenario_name,

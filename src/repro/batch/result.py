@@ -11,12 +11,15 @@ plus replica-stacked and replica-averaged trajectories.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.runtime.skeleton import RunResult
 from repro.utils.stats import mean_confidence_interval
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is optional)
+    from repro.obs.profiler import StageProfile
 
 __all__ = ["BatchResult"]
 
@@ -30,6 +33,9 @@ class BatchResult:
     replicas: List[RunResult] = field(default_factory=list)
     #: The gossip/workload seed of every replica.
     seeds: Tuple = ()
+    #: Per-stage wall-time attribution of the batched hot loop (all chunks
+    #: merged), or ``None`` when the run was not profiled.
+    profile: "Optional[StageProfile]" = None
 
     # ------------------------------------------------------------------
     @property

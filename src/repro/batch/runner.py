@@ -42,7 +42,8 @@ memory cliff long before the CPU saturates.  Two escape hatches compose:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import time
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -62,6 +63,9 @@ from repro.simcluster.pe import PEStateArrays
 from repro.simcluster.tracing import IterationRecord
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only (obs stays optional)
+    from repro.obs.profiler import StageProfiler
 
 __all__ = ["BatchRunner"]
 
@@ -98,6 +102,18 @@ class BatchRunner:
         (at least one -- a single replica above budget still runs);
         component attributes (``state``, ``clusters``, ...) are then built
         per chunk and not exposed on this facade.
+    profiler:
+        Optional :class:`~repro.obs.profiler.StageProfiler` timing the
+        named hot-loop stages (``compute_step`` / ``advance`` /
+        ``stripe_sum`` / ``wir_update`` / ``gossip_round`` / ``lb_decide``
+        / ``lb_apply`` -- the same names the solo runner uses, so solo and
+        batch snapshots merge).  Chunked runs share one profiler across
+        every sub-batch.  ``None`` (default) disables all probes.
+    on_chunk:
+        Optional callback ``(chunk, num_chunks, replicas, wall_time)``
+        invoked after each completed sub-batch (once with ``(0, 1, R,
+        wall)`` for an unchunked run); the session turns these into
+        ``"batch_chunk"`` events.
 
     Example
     -------
@@ -127,6 +143,8 @@ class BatchRunner:
         partition_flop_per_column: float = 50.0,
         bytes_per_load_unit: float = 800.0,
         memory_budget_bytes: Optional[float] = None,
+        profiler: "Optional[StageProfiler]" = None,
+        on_chunk: Optional[Callable[[int, int, int, float], None]] = None,
     ) -> None:
         check_positive_int(num_pes, "num_pes")
         check_positive(pe_speed, "pe_speed")
@@ -188,6 +206,8 @@ class BatchRunner:
         self._partition_flop_per_column = partition_flop_per_column
         self._bytes_per_load_unit = bytes_per_load_unit
         self._num_columns = num_columns
+        self._profiler = profiler
+        self._on_chunk = on_chunk
 
         if memory_budget_bytes is not None:
             check_positive(memory_budget_bytes, "memory_budget_bytes")
@@ -474,8 +494,9 @@ class BatchRunner:
         """
         check_positive_int(iterations, "iterations")
         replicas: List[RunResult] = []
-        for start in range(0, self.num_replicas, self.chunk_size):
+        for chunk, start in enumerate(range(0, self.num_replicas, self.chunk_size)):
             stop = min(start + self.chunk_size, self.num_replicas)
+            wall_start = time.perf_counter()
             sub = BatchRunner(
                 self.num_pes,
                 self.applications[start:stop],
@@ -490,15 +511,29 @@ class BatchRunner:
                 initial_lb_cost_estimates=self.initial_lb_cost_estimates[start:stop],
                 partition_flop_per_column=self._partition_flop_per_column,
                 bytes_per_load_unit=self._bytes_per_load_unit,
+                profiler=self._profiler,
             )
             replicas.extend(sub.run(iterations).replicas)
-        return BatchResult(replicas=replicas, seeds=self.seeds)
+            if self._on_chunk is not None:
+                self._on_chunk(
+                    chunk,
+                    self.num_chunks,
+                    stop - start,
+                    time.perf_counter() - wall_start,
+                )
+        prof = self._profiler
+        return BatchResult(
+            replicas=replicas,
+            seeds=self.seeds,
+            profile=prof.profile() if prof is not None else None,
+        )
 
     def run(self, iterations: int) -> BatchResult:
         """Execute ``iterations`` application iterations on every replica."""
         if self.num_chunks > 1:
             return self._run_chunked(iterations)
         check_positive_int(iterations, "iterations")
+        wall_start = time.perf_counter()
         self._total_iterations = iterations
         R, P = self.num_replicas, self.num_pes
         state = self.state
@@ -519,11 +554,19 @@ class BatchRunner:
         self._fill_columns()
         stripe_loads = self._stripe_loads_all()
 
+        # Hot-loop stage attribution (repro.obs): identical probe pattern
+        # and stage names to the solo runner, one `is not None` check per
+        # probe when disabled.
+        prof = self._profiler
+        if prof is not None:
+            prof.loop_start()
+
         for iteration in range(iterations):
             flop_per_pe = stripe_loads * flop_per_load
 
             # Line 10, batched: one bulk-synchronous compute phase of every
             # replica (identical elementwise ops to R solo compute_steps).
+            t0 = prof.start() if prof is not None else 0
             start = state.clock.max(axis=1)
             pe_times = flop_per_pe / state.speed
             state.clock += pe_times
@@ -537,17 +580,32 @@ class BatchRunner:
             for cluster in self.clusters:
                 cluster.comm.num_collectives += 1
                 cluster.comm.comm_time += sync_cost
+            if prof is not None:
+                prof.stop("compute_step", t0)
+                t0 = prof.start()
 
             # Application dynamics (per replica: each owns its instance).
             for app in self.applications:
                 app.advance()
+            if prof is not None:
+                prof.stop("advance", t0)
+                t0 = prof.start()
             self._fill_columns()
             new_stripe_loads = self._stripe_loads_all()
+            if prof is not None:
+                prof.stop("stripe_sum", t0)
+                t0 = prof.start()
 
             # WIR estimation and dissemination, batched over all replicas.
             rates = self.wir_estimates.observe(new_stripe_loads * flop_per_load)
             self.wir_db.publish_all(rates)
+            if prof is not None:
+                prof.stop("wir_update", t0)
+                t0 = prof.start()
             self.wir_db.disseminate()
+            if prof is not None:
+                prof.stop("gossip_round", t0)
+                t0 = prof.start()
 
             # Lines 11-15, batched: every replica's degradation accumulates
             # in one vectorized update.
@@ -592,14 +650,26 @@ class BatchRunner:
                     if self.degradation.degradation_of(r) >= threshold:
                         fired.append(r)
                 np.copyto(stripe_loads, new_stripe_loads)
+                if prof is not None:
+                    prof.stop("lb_decide", t0)
                 for r in fired:
+                    t0 = prof.start() if prof is not None else 0
                     self._execute_lb_step(
                         r, iteration, new_stripe_loads, stripe_loads, lb_reports
                     )
+                    if prof is not None:
+                        prof.stop("lb_apply", t0)
             else:
+                if prof is not None:
+                    prof.stop("lb_decide", t0)
                 for r in range(R):
+                    t0 = prof.start() if prof is not None else 0
                     context = self._build_context(r, iteration, new_stripe_loads[r])
-                    if self.trigger_policies[r].should_balance(context):
+                    fire = self.trigger_policies[r].should_balance(context)
+                    if prof is not None:
+                        prof.stop("lb_decide", t0)
+                    if fire:
+                        t0 = prof.start() if prof is not None else 0
                         self._execute_lb_step(
                             r,
                             iteration,
@@ -608,8 +678,13 @@ class BatchRunner:
                             lb_reports,
                             context=context,
                         )
+                        if prof is not None:
+                            prof.stop("lb_apply", t0)
                     else:
                         stripe_loads[r] = new_stripe_loads[r]
+
+        if prof is not None:
+            prof.loop_stop()
 
         # Materialize the deferred iteration records (same float values the
         # solo cluster would have recorded live; tolist() already yields
@@ -638,4 +713,10 @@ class BatchRunner:
                     trigger_name=self.trigger_policies[r].name,
                 )
             )
-        return BatchResult(replicas=results, seeds=self.seeds)
+        if self._on_chunk is not None:
+            self._on_chunk(0, 1, R, time.perf_counter() - wall_start)
+        return BatchResult(
+            replicas=results,
+            seeds=self.seeds,
+            profile=prof.profile() if prof is not None else None,
+        )

@@ -24,16 +24,23 @@ varies).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import multiprocessing
+import os
 import pickle
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.api.config import ObsConfig
+from repro.api.events import CampaignCellEvent, EventBus
 from repro.api.session import Session
 from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import StageProfile, merge_stage_snapshots
+from repro.obs.trace import TraceWriter
 
 __all__ = [
     "CampaignRun",
@@ -46,8 +53,36 @@ __all__ = [
 #: One persisted result row: plain JSON-serialisable cell outcome.
 CellRow = Dict[str, object]
 
+#: Worker-side execution info shipped back next to the rows: worker pid,
+#: epoch start, wall time and (when observability is on) profiler/metrics
+#: snapshots -- everything is plain dicts so it crosses the Pool boundary.
+BatchInfo = Dict[str, object]
 
-def run_cell(cell: CampaignCell) -> CellRow:
+
+def _cell_config(cell: CampaignCell, obs: Optional[ObsConfig]):
+    """The cell's run config, with the campaign's obs section grafted on."""
+    config = cell.run_config()
+    if obs is not None and obs.any_enabled:
+        config = dataclasses.replace(config, obs=obs)
+    return config
+
+
+def _session_telemetry(session: Session, telemetry: Optional[dict]) -> None:
+    """Snapshot a session's profiler/metrics into the telemetry dict."""
+    if telemetry is None:
+        return
+    if session.profiler is not None:
+        telemetry["profile"] = session.profiler.snapshot()
+    if session.metrics is not None:
+        telemetry["metrics"] = session.metrics.snapshot()
+
+
+def run_cell(
+    cell: CampaignCell,
+    *,
+    obs: Optional[ObsConfig] = None,
+    telemetry: Optional[dict] = None,
+) -> CellRow:
     """Execute one campaign cell and return its JSON-serialisable row.
 
     Hands the cell's declarative run config to the
@@ -55,11 +90,14 @@ def run_cell(cell: CampaignCell) -> CellRow:
     instance for the cell's seed, the virtual cluster with the campaign's
     interconnect model and the policy pair via the LB registry -- and
     summarises the trace.  Deterministic except for the ``wall_time``
-    bookkeeping field.
+    bookkeeping field.  ``obs`` grafts an observability section onto the
+    cell's config (profiling never perturbs the simulated results);
+    ``telemetry`` receives the profiler/metrics snapshots when provided.
     """
     started = time.perf_counter()
-    session = Session.from_config(cell.run_config())
+    session = Session.from_config(_cell_config(cell, obs))
     result = session.run()
+    _session_telemetry(session, telemetry)
     return {
         "cell_id": cell.cell_id,
         "scenario": cell.scenario,
@@ -82,7 +120,12 @@ def run_cell(cell: CampaignCell) -> CellRow:
     }
 
 
-def run_cell_batch(cells: Sequence[CampaignCell]) -> List[CellRow]:
+def run_cell_batch(
+    cells: Sequence[CampaignCell],
+    *,
+    obs: Optional[ObsConfig] = None,
+    telemetry: Optional[dict] = None,
+) -> List[CellRow]:
     """Execute one seed-batch -- all repetitions of one (scenario, policy).
 
     The cells must differ only in their seeding (the runner groups them that
@@ -93,12 +136,14 @@ def run_cell_batch(cells: Sequence[CampaignCell]) -> List[CellRow]:
     vectorized inside each worker.  Each returned row is bit-identical to
     what :func:`run_cell` computes for that cell (only the bookkeeping
     ``wall_time``, here the per-replica share of the batch, differs).
+    ``obs``/``telemetry`` behave as on :func:`run_cell`.
     """
     started = time.perf_counter()
     if len(cells) == 1:
-        return [run_cell(cells[0])]
-    session = Session.from_config(cells[0].run_config())
+        return [run_cell(cells[0], obs=obs, telemetry=telemetry)]
+    session = Session.from_config(_cell_config(cells[0], obs))
     batch = session.run_batch(seeds=[cell.seed for cell in cells])
+    _session_telemetry(session, telemetry)
     wall_share = (time.perf_counter() - started) / len(cells)
     rows: List[CellRow] = []
     for cell, result, instance in zip(cells, batch.replicas, session.batch_instances):
@@ -125,6 +170,78 @@ def run_cell_batch(cells: Sequence[CampaignCell]) -> List[CellRow]:
             }
         )
     return rows
+
+
+def _run_batch_task(
+    task: "Tuple[List[CampaignCell], Optional[ObsConfig]]",
+) -> "Tuple[List[CellRow], BatchInfo]":
+    """Pool task: one seed-batch plus its worker-side execution info.
+
+    Returns the rows unchanged (the persisted row schema stays exactly what
+    :func:`run_cell` produces) and a separate info dict carrying the worker
+    pid, the epoch-clock start (``time.time_ns`` -- the only clock that is
+    meaningful across processes) and the optional obs snapshots; the parent
+    turns these into ``"campaign_cell"`` events, worker-pid trace tracks and
+    merged metrics/profiles.
+    """
+    cells, obs = task
+    start_ns = time.time_ns()
+    started = time.perf_counter()
+    telemetry: dict = {}
+    rows = run_cell_batch(cells, obs=obs, telemetry=telemetry)
+    telemetry.update(
+        worker_pid=os.getpid(),
+        start_ns=start_ns,
+        wall_time=time.perf_counter() - started,
+    )
+    return rows, telemetry
+
+
+def _trace_batch(
+    writer: TraceWriter,
+    rows: Sequence[CellRow],
+    info: BatchInfo,
+    named_pids: set,
+) -> None:
+    """Record one seed-batch on its worker's trace track.
+
+    One complete event spans the whole batch (tid 0) and each cell gets an
+    evenly divided sub-span (tid 1) -- the worker measures only the batch
+    wall time, mirroring the ``wall_time`` = per-replica-share convention of
+    the persisted rows.  All timestamps are epoch nanoseconds shipped from
+    the worker, so tracks from different pids line up in the viewer.
+    """
+    pid = int(info.get("worker_pid", 0))
+    if pid not in named_pids:
+        writer.set_process_name(f"worker {pid}", pid=pid)
+        writer.set_thread_name("seed batches", pid=pid, tid=0)
+        writer.set_thread_name("cells", pid=pid, tid=1)
+        named_pids.add(pid)
+    start_ns = int(info.get("start_ns", 0))
+    dur_ns = max(int(float(info.get("wall_time", 0.0)) * 1e9), 1)
+    first = rows[0]
+    writer.complete(
+        f"batch:{first['scenario']}|{first['policy']}",
+        start_ns,
+        dur_ns,
+        cat="campaign_batch",
+        pid=pid,
+        args={"cells": len(rows)},
+    )
+    share = max(dur_ns // len(rows), 1)
+    for index, row in enumerate(rows):
+        writer.complete(
+            f"cell:{row['cell_id']}",
+            start_ns + index * share,
+            share,
+            cat="campaign_cell",
+            pid=pid,
+            tid=1,
+            args={
+                "total_time": float(row["total_time"]),
+                "num_lb_calls": int(row["num_lb_calls"]),
+            },
+        )
 
 
 def _seed_batches(cells: Sequence[CampaignCell]) -> List[List[CampaignCell]]:
@@ -288,6 +405,12 @@ class CampaignRun:
     skipped: int
     #: Output path the rows were persisted to (None = no persistence).
     out_path: Optional[Path]
+    #: Merged hot-loop stage profile across every worker (``obs.profile``).
+    profile: Optional[StageProfile] = None
+    #: Merged metrics across every worker (``obs.metrics``).
+    metrics: Optional[MetricsRegistry] = None
+    #: Campaign-level Chrome trace, one track per worker pid (``obs.trace``).
+    trace: Optional[TraceWriter] = None
 
     @property
     def num_cells(self) -> int:
@@ -304,6 +427,8 @@ def run_campaign(
     resume: bool = True,
     on_cell_done: Optional[Callable[[CellRow], None]] = None,
     mp_start_method: Optional[str] = None,
+    events: Optional[EventBus] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> CampaignRun:
     """Execute a campaign, resuming from ``out_path`` when it already exists.
 
@@ -336,6 +461,20 @@ def run_campaign(
         workers through the pool initializer either way, so campaigns over
         user-registered scenarios work under ``spawn`` too (previously they
         crashed mid-run with an unknown-scenario error).
+    events:
+        Optional :class:`~repro.api.events.EventBus`; one
+        :class:`~repro.api.events.CampaignCellEvent` is emitted per freshly
+        executed cell (resumed cells emit nothing) -- the live
+        ``--progress`` line subscribes here.
+    obs:
+        Optional :class:`~repro.api.config.ObsConfig` enabling campaign
+        observability: ``profile``/``metrics`` run inside every worker and
+        their snapshots merge into :attr:`CampaignRun.profile` /
+        :attr:`CampaignRun.metrics`; ``trace`` builds a campaign-level
+        Chrome trace (:attr:`CampaignRun.trace`) with one track per worker
+        pid, one span per seed-batch and one sub-span per cell (epoch
+        clock, so tracks from different processes line up).  Rows are
+        unaffected either way.
 
     Returns
     -------
@@ -346,6 +485,22 @@ def run_campaign(
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     cells = spec.cells(name_filter=name_filter)
+
+    obs_enabled = obs is not None and obs.any_enabled
+    merged_metrics = MetricsRegistry() if (obs_enabled and obs.metrics) else None
+    profile_snapshots: List[dict] = []
+    trace_writer: Optional[TraceWriter] = None
+    campaign_start_ns = 0
+    # Workers never build their own TraceWriter: perf_counter_ns spans from
+    # different processes share no clock, so the campaign trace is
+    # synthesized parent-side on the epoch clock (time.time_ns) instead.
+    worker_obs = dataclasses.replace(obs, trace=False) if obs_enabled else None
+    if worker_obs is not None and not worker_obs.any_enabled:
+        worker_obs = None
+    if obs_enabled and obs.trace:
+        trace_writer = TraceWriter(max_events=obs.trace_max_events)
+        trace_writer.set_process_name("campaign driver")
+        campaign_start_ns = time.time_ns()
 
     by_id = {cell.cell_id: cell for cell in cells}
     done: Dict[str, CellRow] = {}
@@ -368,13 +523,16 @@ def run_campaign(
         # seeds as one vectorized replica batch (repro.batch); worker
         # processes parallelize over the groups.
         batches = _seed_batches(pending)
+        tasks = [(batch, worker_obs) for batch in batches]
         if out is not None:
             out.parent.mkdir(parents=True, exist_ok=True)
             _heal_torn_tail(out)
         sink = out.open("a", encoding="utf-8") if out is not None else None
+        completed_cells = 0
+        named_pids: set = set()
         try:
             if jobs == 1 or len(batches) == 1:
-                completed = map(run_cell_batch, batches)
+                completed = map(_run_batch_task, tasks)
                 pool = None
             else:
                 # The initializer re-registers the caller's scenario catalog
@@ -387,16 +545,46 @@ def run_campaign(
                     initializer=_init_worker,
                     initargs=(_shippable_scenarios(),),
                 )
-                completed = pool.imap_unordered(run_cell_batch, batches)
+                completed = pool.imap_unordered(_run_batch_task, tasks)
             try:
-                for batch_rows in completed:
+                for batch_rows, info in completed:
+                    worker_pid = int(info.get("worker_pid", 0))
+                    if merged_metrics is not None:
+                        snapshot = info.get("metrics")
+                        if snapshot:
+                            merged_metrics.merge(snapshot)
+                        merged_metrics.inc("campaign/cells", len(batch_rows))
+                        merged_metrics.inc(
+                            f"campaign/worker/{worker_pid}/cells", len(batch_rows)
+                        )
+                    if obs_enabled and obs.profile and info.get("profile"):
+                        profile_snapshots.append(info["profile"])
+                    if trace_writer is not None:
+                        _trace_batch(trace_writer, batch_rows, info, named_pids)
                     for row in batch_rows:
                         fresh[str(row["cell_id"])] = row
+                        completed_cells += 1
                         if sink is not None:
                             sink.write(json.dumps(row) + "\n")
                             sink.flush()
                         if on_cell_done is not None:
                             on_cell_done(row)
+                        if events is not None and events.has_listeners(
+                            "campaign_cell"
+                        ):
+                            events.emit(
+                                "campaign_cell",
+                                CampaignCellEvent(
+                                    cell_id=str(row["cell_id"]),
+                                    scenario=str(row["scenario"]),
+                                    policy=str(row["policy"]),
+                                    total_time=float(row["total_time"]),
+                                    num_lb_calls=int(row["num_lb_calls"]),
+                                    worker_pid=worker_pid,
+                                    index=completed_cells,
+                                    total=len(pending),
+                                ),
+                            )
             except BaseException:
                 # Ctrl-C or a failing callback/worker: kill the queued cells
                 # instead of draining them -- the JSONL log already holds
@@ -417,10 +605,25 @@ def run_campaign(
         done.get(cell.cell_id) or fresh[cell.cell_id]
         for cell in cells
     ]
+    if trace_writer is not None:
+        trace_writer.complete(
+            "campaign",
+            campaign_start_ns,
+            time.time_ns() - campaign_start_ns,
+            cat="campaign",
+            args={"executed": len(fresh), "skipped": skipped},
+        )
     return CampaignRun(
         spec=spec,
         rows=rows,
         executed=len(fresh),
         skipped=skipped,
         out_path=out,
+        profile=(
+            merge_stage_snapshots(profile_snapshots)
+            if obs_enabled and obs.profile
+            else None
+        ),
+        metrics=merged_metrics,
+        trace=trace_writer,
     )

@@ -31,12 +31,15 @@ skips completed cells), ``--filter SUBSTR`` (run only matching cells) and
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.api import (
     ClusterConfig,
+    EventBus,
+    ObsConfig,
     PolicyConfig,
     RunConfig,
     RunnerConfig,
@@ -45,6 +48,7 @@ from repro.api import (
     TopologyConfig,
 )
 from repro.campaign import campaign_for_scale, format_campaign_report, run_campaign
+from repro.obs import CampaignProgress
 from repro.experiments.common import format_table
 from repro.experiments.ablations import (
     run_alpha_policy_comparison,
@@ -210,6 +214,37 @@ def _list_scenarios() -> str:
     return "\n".join(lines)
 
 
+def _obs_config(args: argparse.Namespace) -> Optional[ObsConfig]:
+    """The ObsConfig implied by --profile/--metrics-out/--trace-out, or None."""
+    profile = bool(getattr(args, "profile", False))
+    metrics = getattr(args, "metrics_out", None) is not None
+    trace = getattr(args, "trace_out", None) is not None
+    if not (profile or metrics or trace):
+        return None
+    return ObsConfig(profile=profile, metrics=metrics, trace=trace)
+
+
+def _emit_obs_outputs(
+    args: argparse.Namespace,
+    *,
+    profile: Optional[object] = None,
+    metrics: Optional[object] = None,
+    trace: Optional[object] = None,
+) -> None:
+    """Print the stage table and write the metrics/trace files when asked."""
+    if getattr(args, "profile", False) and profile is not None:
+        print("\nHot-loop stage profile:\n" + profile.stage_table(), file=sys.stderr)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None and metrics is not None:
+        path = Path(metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(metrics.to_json() + "\n", encoding="utf-8")
+        print(f"metrics written to {path}", file=sys.stderr)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None and trace is not None:
+        print(f"trace written to {trace.write(trace_out)}", file=sys.stderr)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> str:
     """Run (or list) a campaign according to the parsed CLI arguments."""
     if args.list:
@@ -226,13 +261,31 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
             file=sys.stderr,
         )
 
+    bus: Optional[EventBus] = None
+    live: Optional[CampaignProgress] = None
+    if args.progress:
+        # The live line replaces the one-print-per-cell echo; it renders
+        # only on a TTY (piped logs stay clean) and the summary prints
+        # either way.
+        bus = EventBus()
+        live = CampaignProgress(
+            total_cells=len(spec.cells(name_filter=args.filter)), stream=sys.stderr
+        )
+        bus.on("campaign_cell", live.update)
     run = run_campaign(
         spec,
         jobs=args.jobs,
         out_path=out_path,
         name_filter=args.filter,
-        on_cell_done=_echo,
+        on_cell_done=None if args.progress else _echo,
         mp_start_method=args.mp_start_method,
+        events=bus,
+        obs=_obs_config(args),
+    )
+    if live is not None:
+        live.finish()
+    _emit_obs_outputs(
+        args, profile=run.profile, metrics=run.metrics, trace=run.trace
     )
     header = (
         f"Campaign '{spec.name}': {run.num_cells} cells "
@@ -272,10 +325,15 @@ def _cmd_run(args: argparse.Namespace) -> str:
                 memory_budget_mb=args.memory_budget_mb,
             ),
         )
+    # Observability flags graft onto the config even when --config is
+    # authoritative: they change what is recorded, never what is simulated.
+    obs = _obs_config(args)
+    if obs is not None:
+        cfg = dataclasses.replace(cfg, obs=obs)
     if args.dump_config:
         return cfg.to_json(indent=2)
     if cfg.runner.replicas > 1:
-        return _run_batch(cfg, events=args.events)
+        return _run_batch(cfg, args, events=args.events)
     session = Session.from_config(cfg)
     if args.events:
         session.on(
@@ -290,6 +348,12 @@ def _cmd_run(args: argparse.Namespace) -> str:
             ),
         )
     result = session.run()
+    _emit_obs_outputs(
+        args,
+        profile=result.run.profile,
+        metrics=session.metrics,
+        trace=session.trace_writer,
+    )
     row = {
         "scenario": cfg.scenario.name,
         "policy": cfg.policy.label,
@@ -302,7 +366,9 @@ def _cmd_run(args: argparse.Namespace) -> str:
     return format_table([row], title="Session run (repro.api)")
 
 
-def _run_batch(cfg: RunConfig, *, events: bool = False) -> str:
+def _run_batch(
+    cfg: RunConfig, args: argparse.Namespace, *, events: bool = False
+) -> str:
     """Execute a replica-batched run and print per-replica + aggregate rows."""
     session = Session.from_config(cfg)
     if events:
@@ -310,6 +376,12 @@ def _run_batch(cfg: RunConfig, *, events: bool = False) -> str:
         # individual replicas are not emitted by the vectorized pass.
         session.on("phase", lambda e: print(f"[phase] {e.name}", file=sys.stderr))
     batch = session.run_batch()
+    _emit_obs_outputs(
+        args,
+        profile=batch.profile,
+        metrics=session.metrics,
+        trace=session.trace_writer,
+    )
     rows = []
     for seed, result in zip(batch.seeds, batch.replicas):
         rows.append(
@@ -378,6 +450,30 @@ def _add_common_options(
     )
 
 
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the observability flags shared by ``run`` and ``campaign``."""
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the named hot-loop stages and print the stage table "
+        "(wall totals, shares, counts) to stderr after the run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the metrics registry snapshot (counters / gauges / "
+        "histograms) as JSON to FILE",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON timeline to FILE (open in "
+        "Perfetto or chrome://tracing)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -438,6 +534,13 @@ def build_parser() -> argparse.ArgumentParser:
         "where available; user-registered scenarios are shipped to the "
         "workers either way)",
     )
+    campaign.add_argument(
+        "--progress",
+        action="store_true",
+        help="show one live status line (cells/s, ETA, per-worker occupancy) "
+        "instead of printing every completed cell (renders on TTYs only)",
+    )
+    _add_obs_options(campaign)
     run_parser = subparsers.add_parser(
         "run",
         help="one declarative scenario x policy run via the repro.api Session facade",
@@ -552,6 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the resolved RunConfig JSON and exit without running",
     )
+    _add_obs_options(run_parser)
     return parser
 
 

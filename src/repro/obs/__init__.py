@@ -1,0 +1,51 @@
+"""Observability layer: metrics, hot-loop profiling and Chrome tracing.
+
+The paper's central evidence is observational -- Figure 4b is a
+per-iteration utilization trace -- yet until this package the repository
+could only observe *virtual* time (:class:`~repro.simcluster.tracing.ClusterTrace`),
+never where the *wall-clock* time of a run actually went.  ``repro.obs``
+closes that gap with three independent, composable instruments:
+
+:class:`MetricsRegistry`
+    Counters, gauges and fixed-bucket histograms as plain dicts + NumPy
+    arrays.  Snapshots are JSON-serializable and **mergeable**, so campaign
+    workers ship theirs back through the existing multiprocessing results
+    and the parent folds them into one registry.
+:class:`StageProfiler`
+    Wall-clock attribution of the named hot-loop stages of
+    :class:`~repro.runtime.skeleton.IterativeRunner` and
+    :class:`~repro.batch.runner.BatchRunner` (compute step, gossip round,
+    stripe reduceat, WIR update, LB decide/apply).  The runners guard every
+    probe behind a single ``profiler is not None`` check, so the disabled
+    default adds no measurable work to the hot loop.
+:class:`TraceWriter`
+    Chrome trace-event JSON (the format ``chrome://tracing`` and Perfetto
+    load) built from profiler spans plus
+    :class:`~repro.api.events.EventBus` subscriptions: solo-run stages,
+    batch chunks and campaign cells, one track per worker pid.
+
+:class:`CampaignProgress` renders the live one-line campaign telemetry of
+``repro campaign --progress`` (cells/s, ETA, worker occupancy) from
+``"campaign_cell"`` events.
+
+Everything here is zero-cost when off: the default
+:class:`~repro.api.config.ObsConfig` disables all three instruments and the
+execution layers then skip the instrumentation entirely (golden seeded runs
+stay bit-identical; the core bench holds the off-overhead to <= 2 %).
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import StageProfile, StageProfiler, merge_stage_snapshots
+from repro.obs.progress import CampaignProgress, render_progress_line
+from repro.obs.trace import TraceWriter, validate_trace
+
+__all__ = [
+    "CampaignProgress",
+    "MetricsRegistry",
+    "StageProfile",
+    "StageProfiler",
+    "TraceWriter",
+    "merge_stage_snapshots",
+    "render_progress_line",
+    "validate_trace",
+]

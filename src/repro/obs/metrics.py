@@ -1,0 +1,174 @@
+"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is deliberately minimal -- plain dicts plus NumPy
+count arrays, no label sets, no background threads -- because its job is to
+be cheap enough to leave on in library code and simple enough to merge
+across processes:
+
+* a **counter** accumulates monotonically (``inc``);
+* a **gauge** holds the latest value of something (``set_gauge``);
+* a **histogram** buckets observations into *fixed* bin edges declared at
+  registration time, which is what makes histograms from different worker
+  processes mergeable by plain elementwise addition.
+
+``snapshot()`` returns a JSON-serializable plain-dict view, ``merge`` folds
+another registry (or a snapshot shipped back from a worker through the
+campaign's multiprocessing results) into this one, and ``from_snapshot``
+rebuilds a registry from persisted JSON.  Naming convention: path-like
+lowercase keys, e.g. ``"run/iterations"`` or ``"campaign/worker/1234/cells"``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["MetricsRegistry"]
+
+#: A registry or the plain-dict snapshot of one.
+Mergeable = Union["MetricsRegistry", Mapping[str, object]]
+
+
+class MetricsRegistry:
+    """Counters, gauges and fixed-bucket histograms with mergeable snapshots.
+
+    Example
+    -------
+    >>> registry = MetricsRegistry()
+    >>> registry.inc("run/iterations", 40)
+    >>> registry.set_gauge("run/mean_utilization", 0.93)
+    >>> registry.register_histogram("run/iteration_utilization", [0.0, 0.5, 0.9, 1.0])
+    >>> registry.observe("run/iteration_utilization", [0.95, 0.97, 0.4])
+    >>> registry.snapshot()["counters"]["run/iterations"]
+    40
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._hist_edges: Dict[str, np.ndarray] = {}
+        self._hist_counts: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Counters and gauges.
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` (>= 0) to the counter ``name``, creating it at 0."""
+        amount = float(amount)
+        if amount < 0:
+            raise ValueError(f"counter {name!r} cannot decrease (amount {amount})")
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Current value of a gauge, or ``None`` when never set."""
+        return self._gauges.get(name)
+
+    # ------------------------------------------------------------------
+    # Histograms.
+    # ------------------------------------------------------------------
+    def register_histogram(self, name: str, edges: Sequence[float]) -> None:
+        """Declare the fixed bin edges of histogram ``name``.
+
+        ``edges`` must be strictly increasing and define ``len(edges) - 1``
+        in-range bins; observations outside ``[edges[0], edges[-1]]`` land in
+        two extra underflow/overflow bins so no sample is silently dropped.
+        Re-registering with identical edges is a no-op; with different edges
+        it is an error (merges rely on the bins being fixed).
+        """
+        arr = np.asarray(list(edges), dtype=float)
+        if arr.size < 2 or not (np.diff(arr) > 0).all():
+            raise ValueError(
+                f"histogram {name!r} needs >= 2 strictly increasing edges, got {arr.tolist()}"
+            )
+        if name in self._hist_edges:
+            if not np.array_equal(self._hist_edges[name], arr):
+                raise ValueError(
+                    f"histogram {name!r} already registered with different edges"
+                )
+            return
+        self._hist_edges[name] = arr
+        # Layout: [underflow, bin 0, ..., bin B-1, overflow].
+        self._hist_counts[name] = np.zeros(arr.size + 1, dtype=np.int64)
+
+    def observe(self, name: str, values: Union[float, Iterable[float]]) -> None:
+        """Bucket one value or an array of values into histogram ``name``."""
+        edges = self._hist_edges.get(name)
+        if edges is None:
+            raise KeyError(
+                f"histogram {name!r} is not registered; call register_histogram first"
+            )
+        arr = np.atleast_1d(np.asarray(values, dtype=float))
+        # searchsorted('right') maps v < edges[0] to 0 (underflow) and
+        # v >= edges[-1] to len(edges) (overflow); the exact upper edge is
+        # folded back into the last in-range bin.
+        idx = np.searchsorted(edges, arr, side="right")
+        idx[arr == edges[-1]] = edges.size - 1
+        np.add.at(self._hist_counts[name], idx, 1)
+
+    def histogram_counts(self, name: str) -> np.ndarray:
+        """Copy of the count vector ``[underflow, bins..., overflow]``."""
+        return self._hist_counts[name].copy()
+
+    # ------------------------------------------------------------------
+    # Snapshots and merging.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable plain-dict view of every metric."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                name: {
+                    "edges": self._hist_edges[name].tolist(),
+                    "counts": self._hist_counts[name].tolist(),
+                }
+                for name in sorted(self._hist_edges)
+            },
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """The snapshot as JSON text (stable key order)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict (inverse)."""
+        registry = cls()
+        registry.merge(data)
+        return registry
+
+    def merge(self, other: Mergeable) -> "MetricsRegistry":
+        """Fold another registry (or snapshot dict) into this one.
+
+        Counters and histogram counts add; gauges take the other side's
+        value (last write wins -- merge workers in completion order).
+        Histograms merge only when their edges agree exactly, which the
+        fixed-at-registration contract guarantees for same-code workers.
+        Returns ``self`` so merges chain.
+        """
+        data = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for name, value in dict(data.get("counters", {})).items():
+            self._counters[name] = self._counters.get(name, 0.0) + float(value)
+        for name, value in dict(data.get("gauges", {})).items():
+            self._gauges[name] = float(value)
+        for name, hist in dict(data.get("histograms", {})).items():
+            edges = list(hist["edges"])
+            counts = np.asarray(hist["counts"], dtype=np.int64)
+            self.register_histogram(name, edges)
+            if counts.size != self._hist_counts[name].size:
+                raise ValueError(
+                    f"histogram {name!r} snapshot has {counts.size} counts, "
+                    f"expected {self._hist_counts[name].size}"
+                )
+            self._hist_counts[name] += counts
+        return self

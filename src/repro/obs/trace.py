@@ -1,0 +1,266 @@
+"""Chrome trace-event JSON emission (Perfetto / ``chrome://tracing``).
+
+A :class:`TraceWriter` collects *complete* events (spans with a start and a
+duration), *instant* events (points in time, e.g. an LB call) and *counter*
+events (sampled values), then serializes them in the Trace Event Format's
+JSON-object flavour::
+
+    {"traceEvents": [{"name": "compute_step", "ph": "X", "ts": ..., "dur": ...,
+                      "pid": 4242, "tid": 0, "cat": "stage", "args": {}}, ...],
+     "displayTimeUnit": "ms", "otherData": {...}}
+
+which both Perfetto and ``chrome://tracing`` open directly.  The writers
+feed from two sources: :class:`~repro.obs.profiler.StageProfiler` probes
+(one span per hot-loop stage entry) and
+:class:`~repro.api.events.EventBus` subscriptions (LB steps, phases, batch
+chunks, campaign cells).  Campaign workers build event lists with
+epoch-based timestamps and ship them back through the multiprocessing
+results; :meth:`TraceWriter.extend` folds them in, and the per-event
+``pid`` gives each worker its own track in the viewer.
+
+Timestamps are taken in nanoseconds (``perf_counter_ns`` within one
+process, ``time_ns`` across processes -- never mix the two in one writer)
+and normalized to microseconds relative to the earliest event at
+serialization time, so traces start at t=0 regardless of clock source.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+__all__ = ["TraceWriter", "validate_trace"]
+
+#: One raw trace event (internal: ``ts``/``dur`` still in nanoseconds).
+RawEvent = Dict[str, object]
+
+
+class TraceWriter:
+    """Accumulates trace events and serializes Chrome trace-event JSON.
+
+    Parameters
+    ----------
+    pid:
+        Default process id stamped on events (defaults to ``os.getpid()``).
+        The pid is what separates tracks in the viewer, so campaign workers
+        must record their own.
+    max_events:
+        Safety cap on retained events; once reached, further span/instant
+        events are counted in ``otherData.dropped_events`` instead of
+        stored (metadata events are always kept).  Long campaigns stay
+        loadable in the viewer instead of producing a gigabyte of JSON.
+    """
+
+    def __init__(self, *, pid: Optional[int] = None, max_events: int = 200_000) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.pid = os.getpid() if pid is None else int(pid)
+        self.max_events = int(max_events)
+        self._events: List[RawEvent] = []
+        self._metadata: List[RawEvent] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def _append(self, event: RawEvent) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    def complete(
+        self,
+        name: str,
+        start_ns: int,
+        dur_ns: int,
+        *,
+        cat: str = "span",
+        pid: Optional[int] = None,
+        tid: int = 0,
+        args: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Record one complete event (``ph: "X"``): a span with a duration."""
+        event: RawEvent = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": int(start_ns),
+            "dur": max(int(dur_ns), 0),
+            "pid": self.pid if pid is None else int(pid),
+            "tid": int(tid),
+        }
+        if args:
+            event["args"] = dict(args)
+        self._append(event)
+
+    def instant(
+        self,
+        name: str,
+        ts_ns: int,
+        *,
+        cat: str = "event",
+        pid: Optional[int] = None,
+        tid: int = 0,
+        args: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Record one instant event (``ph: "i"``, thread-scoped)."""
+        event: RawEvent = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": int(ts_ns),
+            "pid": self.pid if pid is None else int(pid),
+            "tid": int(tid),
+        }
+        if args:
+            event["args"] = dict(args)
+        self._append(event)
+
+    def counter(
+        self,
+        name: str,
+        ts_ns: int,
+        values: Mapping[str, float],
+        *,
+        pid: Optional[int] = None,
+    ) -> None:
+        """Record one counter sample (``ph: "C"``, plotted as a track)."""
+        self._append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": int(ts_ns),
+                "pid": self.pid if pid is None else int(pid),
+                "args": {key: float(value) for key, value in values.items()},
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def set_process_name(self, name: str, *, pid: Optional[int] = None) -> None:
+        """Label a pid's track group in the viewer (``process_name`` metadata)."""
+        self._metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": self.pid if pid is None else int(pid),
+                "args": {"name": name},
+            }
+        )
+
+    def set_thread_name(
+        self, name: str, *, tid: int = 0, pid: Optional[int] = None
+    ) -> None:
+        """Label one thread track within a pid's group."""
+        self._metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": self.pid if pid is None else int(pid),
+                "tid": int(tid),
+                "args": {"name": name},
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[RawEvent]:
+        """Copy of the raw (nanosecond-timestamped) non-metadata events."""
+        return [dict(event) for event in self._events]
+
+    def extend(self, events: Iterable[Mapping[str, object]]) -> None:
+        """Fold raw events from another writer (e.g. a campaign worker) in.
+
+        The events keep their own ``pid``/``tid``/timestamps -- this is the
+        cross-process merge path, so the shipped timestamps must share a
+        clock (``time.time_ns``) with every other writer being merged.
+        """
+        for event in events:
+            self._append(dict(event))
+
+    @property
+    def num_events(self) -> int:
+        """Number of retained non-metadata events."""
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The Chrome trace-event JSON object (timestamps in microseconds)."""
+        origin = min((int(e["ts"]) for e in self._events), default=0)
+        trace_events: List[Dict[str, object]] = []
+        for event in self._events:
+            out = dict(event)
+            out["ts"] = (int(event["ts"]) - origin) / 1e3
+            if "dur" in out:
+                out["dur"] = int(event["dur"]) / 1e3
+            trace_events.append(out)
+        trace_events.extend(dict(event) for event in self._metadata)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs.TraceWriter",
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Serialized trace (compact by default; traces get large)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the trace JSON to ``path`` (parents created) and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+
+def validate_trace(
+    data: Mapping[str, object], *, require_stages: Iterable[str] = ()
+) -> List[str]:
+    """Structurally validate a Chrome trace-event JSON object.
+
+    Checks the JSON-object flavour of the Trace Event Format: a
+    ``traceEvents`` list whose members carry the per-phase required keys
+    (``X`` needs ``ts`` + ``dur``, ``i``/``C`` need ``ts``, every non-``M``
+    event needs a ``pid``), with finite non-negative timings.  When
+    ``require_stages`` names stages, each must appear as >= 1 complete
+    event.  Returns a list of human-readable problems -- empty means valid
+    (the CI observability smoke step asserts exactly that).
+    """
+    problems: List[str] = []
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    seen_complete: Dict[str, int] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(event.get("name"), str) and phase != "C":
+            problems.append(f"event {index} has no name")
+        if phase not in {"X", "B", "E", "i", "I", "C", "M"}:
+            problems.append(f"event {index} has unsupported phase {phase!r}")
+            continue
+        if phase == "M":
+            continue
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"event {index} ({event.get('name')!r}) has no integer pid")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {index} ({event.get('name')!r}) has invalid ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"event {index} ({event.get('name')!r}) has invalid dur {dur!r}"
+                )
+            name = event.get("name")
+            if isinstance(name, str):
+                seen_complete[name] = seen_complete.get(name, 0) + 1
+    for stage in require_stages:
+        if not seen_complete.get(stage):
+            problems.append(f"no complete event for required stage {stage!r}")
+    return problems

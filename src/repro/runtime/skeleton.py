@@ -20,9 +20,12 @@ is bit-identical to running this runner solo with seed ``r``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, runtime_checkable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profiler import StageProfile, StageProfiler
 
 from repro.lb.adaptive import DegradationTrigger
 from repro.lb.base import LBContext, TriggerPolicy, WorkloadPolicy
@@ -100,6 +103,10 @@ class RunResult:
     policy_name: str = ""
     #: Name of the trigger policy that was used.
     trigger_name: str = ""
+    #: Wall-clock stage attribution of the run
+    #: (:class:`~repro.obs.profiler.StageProfile`); ``None`` unless the
+    #: runner was built with a profiler.
+    profile: "Optional[StageProfile]" = None
 
     # ------------------------------------------------------------------
     @property
@@ -169,6 +176,12 @@ class IterativeRunner:
     on_lb_step:
         Optional observer called as ``on_lb_step(iteration, report)`` after
         every executed LB step.
+    profiler:
+        Optional :class:`~repro.obs.profiler.StageProfiler` timing the
+        named hot-loop stages (``compute_step`` / ``advance`` /
+        ``stripe_sum`` / ``wir_update`` / ``gossip_round`` / ``lb_decide``
+        / ``lb_apply``).  ``None`` (the default) leaves the hot loop
+        untouched apart from one ``is not None`` check per stage.
     """
 
     def __init__(
@@ -187,10 +200,12 @@ class IterativeRunner:
         seed: SeedLike = None,
         on_iteration: Optional[Callable[[int, float], None]] = None,
         on_lb_step: Optional[Callable[[int, LBStepReport], None]] = None,
+        profiler: "Optional[StageProfiler]" = None,
     ) -> None:
         check_non_negative(initial_lb_cost_estimate, "initial_lb_cost_estimate")
         self.cluster = cluster
         self.application = application
+        self._profiler = profiler
         if application.num_columns < cluster.size:
             raise ValueError(
                 f"the application has {application.num_columns} columns, "
@@ -282,30 +297,57 @@ class IterativeRunner:
         column_loads = self.application.column_loads()
         stripe_loads = self._stripe_loads(column_loads)
 
+        # Hot-loop stage attribution (repro.obs): every probe is guarded by
+        # one `prof is not None` check, so the disabled default adds no
+        # calls, no allocation and no branch beyond this comparison.
+        prof = self._profiler
+        if prof is not None:
+            prof.loop_start()
+
         for iteration in range(iterations):
             flop_per_pe = stripe_loads * flop_per_load
 
             # Line 10: data movements and computation of the step.
+            t0 = prof.start() if prof is not None else 0
             step = self.cluster.compute_step(flop_per_pe, iteration=iteration)
+            if prof is not None:
+                prof.stop("compute_step", t0)
+                t0 = prof.start()
 
             # Application dynamics (erosion, refinement, ...).
             self.application.advance()
+            if prof is not None:
+                prof.stop("advance", t0)
+                t0 = prof.start()
 
             # WIR estimation and dissemination (Section III-C): each PE
             # publishes the increase rate of its own stripe workload, all in
             # one batched estimator update.
             column_loads = self.application.column_loads()
             new_stripe_loads = self._stripe_loads(column_loads)
+            if prof is not None:
+                prof.stop("stripe_sum", t0)
+                t0 = prof.start()
             rates = self.wir_estimates.observe(new_stripe_loads * flop_per_load)
             self.wir_db.publish_all(rates)
+            if prof is not None:
+                prof.stop("wir_update", t0)
+                t0 = prof.start()
             self.wir_db.disseminate()
+            if prof is not None:
+                prof.stop("gossip_round", t0)
+                t0 = prof.start()
 
             # Lines 11-15: degradation tracking with median smoothing.
             self.degradation.observe(step.elapsed)
 
             # Line 16: adaptive LB trigger.
             context = self._build_context(iteration, new_stripe_loads)
-            if self.trigger_policy.should_balance(context):
+            fire = self.trigger_policy.should_balance(context)
+            if prof is not None:
+                prof.stop("lb_decide", t0)
+            if fire:
+                t0 = prof.start() if prof is not None else 0
                 report = self.load_balancer.execute(
                     context,
                     column_loads,
@@ -323,10 +365,15 @@ class IterativeRunner:
                 rebalanced = self._stripe_loads(column_loads)
                 self.wir_estimates.reset_after_migration(rebalanced * flop_per_load)
                 stripe_loads = rebalanced
+                if prof is not None:
+                    prof.stop("lb_apply", t0)
             else:
                 stripe_loads = new_stripe_loads
 
             if self._on_iteration is not None:
                 self._on_iteration(iteration, step.elapsed)
 
+        if prof is not None:
+            prof.loop_stop()
+            result.profile = prof.profile()
         return result

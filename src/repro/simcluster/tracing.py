@@ -154,7 +154,14 @@ class ClusterTrace:
         return int((self.utilization_series() < threshold).sum())
 
     def summary(self) -> dict:
-        """Plain-dictionary summary used by experiment tables."""
+        """Plain-dictionary summary used by experiment tables.
+
+        Besides the totals, two derived health indicators:
+        ``utilization_drops`` counts the iterations whose average
+        utilization fell below the default 0.8 threshold (Fig. 4b's "drops
+        in the CPU usage"), and ``lb_call_fraction`` is the share of
+        iterations that invoked the load balancer (0.0 for an empty trace).
+        """
         return {
             "num_pes": self.num_pes,
             "iterations": self.num_iterations,
@@ -163,4 +170,10 @@ class ClusterTrace:
             "iteration_time": self.iteration_time,
             "lb_cost_time": self.lb_cost_time,
             "mean_utilization": self.mean_utilization(),
+            "utilization_drops": self.utilization_drops(),
+            "lb_call_fraction": (
+                self.num_lb_calls / self.num_iterations
+                if self.num_iterations
+                else 0.0
+            ),
         }

@@ -1,0 +1,152 @@
+"""Re-entrancy and new-event-type tests of :class:`repro.api.events.EventBus`.
+
+The observability layer subscribes and unsubscribes listeners while runs
+are emitting (the live progress line, trace mirrors), so the bus must stay
+correct when callbacks mutate the subscriber list *mid-emit*: emission
+snapshots the subscriber tuple, so removals and additions apply from the
+next emit on, never to the in-flight delivery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.events import (
+    EVENT_TYPES,
+    BatchChunkEvent,
+    CampaignCellEvent,
+    EventBus,
+)
+
+
+def _chunk_event() -> BatchChunkEvent:
+    return BatchChunkEvent(chunk=0, num_chunks=2, replicas=4, wall_time=0.25)
+
+
+def _cell_event() -> CampaignCellEvent:
+    return CampaignCellEvent(
+        cell_id="c0",
+        scenario="erosion",
+        policy="ulba(a=0.40)",
+        total_time=1.5,
+        num_lb_calls=3,
+        worker_pid=4242,
+        index=1,
+        total=8,
+    )
+
+
+class TestNewEventTypes:
+    def test_new_event_names_registered(self):
+        assert "batch_chunk" in EVENT_TYPES
+        assert "campaign_cell" in EVENT_TYPES
+
+    @pytest.mark.parametrize("event", ["batch_chunk", "campaign_cell"])
+    def test_subscribe_emit_round_trip(self, event):
+        bus = EventBus()
+        seen = []
+        bus.on(event, seen.append)
+        payload = _chunk_event() if event == "batch_chunk" else _cell_event()
+        bus.emit(event, payload)
+        assert seen == [payload]
+
+    def test_wildcard_covers_new_event_types(self):
+        bus = EventBus()
+        seen = []
+        bus.on("*", seen.append)
+        bus.emit("batch_chunk", _chunk_event())
+        bus.emit("campaign_cell", _cell_event())
+        assert [type(e).__name__ for e in seen] == [
+            "BatchChunkEvent",
+            "CampaignCellEvent",
+        ]
+
+    def test_wildcard_unsubscribe_drops_new_event_types_too(self):
+        bus = EventBus()
+        seen = []
+        off = bus.on("*", seen.append)
+        off()
+        bus.emit("batch_chunk", _chunk_event())
+        bus.emit("campaign_cell", _cell_event())
+        assert seen == []
+        assert not bus.has_listeners("batch_chunk")
+        assert not bus.has_listeners("campaign_cell")
+
+    @pytest.mark.parametrize("method", ["on", "emit", "has_listeners"])
+    def test_unknown_event_rejected_with_known_names(self, method):
+        bus = EventBus()
+        with pytest.raises(ValueError, match="batch_chunk"):
+            if method == "on":
+                bus.on("batch_chnk", lambda e: None)
+            elif method == "emit":
+                bus.emit("campaign_cel", object())
+            else:
+                bus.has_listeners("chunk")
+
+
+class TestReentrancy:
+    def test_callback_unsubscribing_itself_mid_emit(self):
+        bus = EventBus()
+        seen = []
+
+        def once(event):
+            seen.append(event)
+            off()
+
+        off = bus.on("batch_chunk", once)
+        bus.emit("batch_chunk", _chunk_event())
+        bus.emit("batch_chunk", _chunk_event())
+        assert len(seen) == 1
+
+    def test_callback_unsubscribing_a_later_listener_mid_emit(self):
+        # The snapshot means the removal applies to the *next* emit: the
+        # in-flight delivery still reaches the already-snapshotted listener.
+        bus = EventBus()
+        order = []
+
+        def first(event):
+            order.append("first")
+            off_second()
+
+        def second(event):
+            order.append("second")
+
+        bus.on("campaign_cell", first)
+        off_second = bus.on("campaign_cell", second)
+        bus.emit("campaign_cell", _cell_event())
+        assert order == ["first", "second"]
+        bus.emit("campaign_cell", _cell_event())
+        assert order == ["first", "second", "first"]
+
+    def test_callback_subscribing_new_listener_mid_emit(self):
+        # A listener added mid-emit must not see the in-flight event (the
+        # subscriber tuple was snapshotted) but does see the next one.
+        bus = EventBus()
+        late = []
+
+        def subscriber(event):
+            bus.on("batch_chunk", late.append)
+
+        bus.on("batch_chunk", subscriber)
+        bus.emit("batch_chunk", _chunk_event())
+        assert late == []
+        bus.emit("batch_chunk", _chunk_event())
+        assert len(late) == 1
+
+    def test_self_unsubscribe_does_not_skip_siblings(self):
+        # Removing yourself from the underlying list mid-iteration is the
+        # classic skip-the-next-listener bug; the snapshot prevents it.
+        bus = EventBus()
+        order = []
+
+        def first(event):
+            order.append("first")
+            off_first()
+
+        def second(event):
+            order.append("second")
+
+        off_first = bus.on("campaign_cell", first)
+        bus.on("campaign_cell", second)
+        bus.emit("campaign_cell", _cell_event())
+        assert order == ["first", "second"]

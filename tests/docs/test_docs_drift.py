@@ -35,6 +35,7 @@ EXECUTABLE_PAGES = [
     DOCS / "getting-started.md",
     DOCS / "campaigns.md",
     DOCS / "batch-engine.md",
+    DOCS / "observability.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -1,0 +1,242 @@
+"""End-to-end observability wiring: session, batch engine, campaign, CLI.
+
+The overriding contract: observability never perturbs the simulation.  A
+profiled/traced/metered run produces bit-identical virtual results to the
+default run, on every execution path (solo, batched, chunked, campaign).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (
+    EventBus,
+    ObsConfig,
+    RunConfig,
+    RunnerConfig,
+    ScenarioConfig,
+    Session,
+)
+from repro.campaign.presets import campaign_for_scale
+from repro.campaign.runner import run_campaign
+from repro.obs import validate_trace
+
+#: Stage names every instrumented hot loop must attribute time to
+#: (lb_apply only appears when the trigger fires, so it is not required).
+ALWAYS_STAGES = (
+    "compute_step",
+    "advance",
+    "stripe_sum",
+    "wir_update",
+    "gossip_round",
+    "lb_decide",
+)
+
+
+def base_config(**obs) -> RunConfig:
+    return RunConfig(
+        scenario=ScenarioConfig(iterations=25, seed=11),
+        obs=ObsConfig(**obs),
+    )
+
+
+class TestSessionObs:
+    def test_off_by_default(self):
+        session = Session.from_config(RunConfig(scenario=ScenarioConfig(iterations=5)))
+        assert session.profiler is None
+        assert session.metrics is None
+        assert session.trace_writer is None
+        assert session.run().run.profile is None
+
+    def test_profiled_run_bit_identical_to_plain_run(self):
+        plain = Session.from_config(base_config()).run()
+        profiled = Session.from_config(
+            base_config(profile=True, metrics=True, trace=True)
+        ).run()
+        assert profiled.total_time == plain.total_time
+        assert profiled.num_lb_calls == plain.num_lb_calls
+        assert profiled.mean_utilization == plain.mean_utilization
+
+    def test_profile_covers_the_loop(self):
+        result = Session.from_config(base_config(profile=True)).run()
+        profile = result.run.profile
+        assert profile is not None
+        for stage in ALWAYS_STAGES:
+            assert profile.counts[stage] == 25
+        assert profile.coverage() >= 0.5  # >=0.9 asserted by the benchmark
+
+    def test_trace_validates_with_required_stages(self):
+        session = Session.from_config(base_config(trace=True))
+        session.run()
+        data = session.trace_writer.to_dict()
+        assert validate_trace(data, require_stages=ALWAYS_STAGES) == []
+        names = {e["name"] for e in data["traceEvents"]}
+        assert "phase:run" in names
+        assert "phase:done" in names
+
+    def test_metrics_recorded(self):
+        session = Session.from_config(base_config(metrics=True))
+        result = session.run()
+        snapshot = session.metrics.snapshot()
+        assert snapshot["counters"]["run/iterations"] == 25
+        assert snapshot["counters"]["run/lb_calls"] == result.num_lb_calls
+        assert snapshot["gauges"]["run/total_time_s"] == result.total_time
+        hist = snapshot["histograms"]["run/iteration_elapsed_s"]
+        assert sum(hist["counts"]) == 25
+
+    def test_trace_without_profile_flag_keeps_result_profile_none_semantics(self):
+        # trace=True builds a profiler internally (spans need probes), so
+        # the result exposes the profile too -- documented behaviour.
+        result = Session.from_config(base_config(trace=True)).run()
+        assert result.run.profile is not None
+
+
+class TestBatchObs:
+    def test_batch_profile_and_equivalence(self):
+        cfg = base_config(profile=True)
+        session = Session.from_config(cfg)
+        batch = session.run_batch(seeds=[0, 1, 2])
+        assert batch.profile is not None
+        for stage in ALWAYS_STAGES:
+            assert batch.profile.counts[stage] == 25
+        plain = Session.from_config(base_config()).run_batch(seeds=[0, 1, 2])
+        assert batch.total_times().tolist() == plain.total_times().tolist()
+
+    def test_chunked_batch_emits_chunk_events_and_merges_profile(self):
+        cfg = dataclasses.replace(
+            base_config(profile=True, metrics=True),
+            runner=RunnerConfig(memory_budget_mb=1e-3),
+        )
+        session = Session.from_config(cfg)
+        chunks = []
+        session.on("batch_chunk", chunks.append)
+        batch = session.run_batch(seeds=[0, 1, 2, 3])
+        assert len(chunks) > 1
+        assert [c.chunk for c in chunks] == list(range(chunks[0].num_chunks))
+        assert all(c.wall_time > 0 for c in chunks)
+        # One merged profile across all chunks: stage counts still R * n.
+        assert batch.profile.counts["compute_step"] == 4 * 25
+        assert session.metrics.counter("batch/chunks") == len(chunks)
+
+    def test_unchunked_batch_emits_single_chunk_event(self):
+        session = Session.from_config(base_config(metrics=True))
+        chunks = []
+        session.on("batch_chunk", chunks.append)
+        session.run_batch(seeds=[0, 1])
+        assert len(chunks) == 1
+        assert chunks[0].num_chunks == 1
+        assert chunks[0].replicas == 2
+
+    def test_no_chunk_callback_without_consumers(self):
+        session = Session.from_config(base_config())
+        assert not session._wants_chunk_telemetry()
+
+
+class TestCampaignObs:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        spec = campaign_for_scale("smoke")
+        bus = EventBus()
+        events = []
+        bus.on("campaign_cell", events.append)
+        run = run_campaign(
+            spec,
+            out_path=tmp_path_factory.mktemp("obs") / "campaign.jsonl",
+            events=bus,
+            obs=ObsConfig(profile=True, metrics=True, trace=True),
+        )
+        return run, events
+
+    def test_cell_events_cover_every_fresh_cell(self, campaign):
+        run, events = campaign
+        assert len(events) == run.executed
+        assert [e.index for e in events] == list(range(1, run.executed + 1))
+        assert all(e.total == run.executed for e in events)
+        assert all(e.worker_pid > 0 for e in events)
+        assert {e.cell_id for e in events} == {
+            str(row["cell_id"]) for row in run.rows
+        }
+
+    def test_worker_profiles_merged(self, campaign):
+        run, _ = campaign
+        assert run.profile is not None
+        assert run.profile.counts["compute_step"] > 0
+        assert run.profile.coverage() > 0.5
+
+    def test_metrics_merged_across_workers(self, campaign):
+        run, _ = campaign
+        counters = run.metrics.snapshot()["counters"]
+        assert counters["campaign/cells"] == run.executed
+        assert counters["run/lb_calls"] == sum(
+            int(row["num_lb_calls"]) for row in run.rows
+        )
+
+    def test_trace_valid_with_batch_and_cell_spans(self, campaign):
+        run, _ = campaign
+        data = run.trace.to_dict()
+        assert validate_trace(data) == []
+        names = [e["name"] for e in data["traceEvents"]]
+        assert sum(name.startswith("cell:") for name in names) == run.executed
+        assert any(name.startswith("batch:") for name in names)
+        assert "campaign" in names
+
+    def test_rows_identical_with_and_without_obs(self, campaign, tmp_path):
+        run, _ = campaign
+        plain = run_campaign(
+            campaign_for_scale("smoke"), out_path=tmp_path / "plain.jsonl"
+        )
+        for with_obs, without in zip(run.rows, plain.rows):
+            for key, value in without.items():
+                if key == "wall_time":
+                    continue
+                assert with_obs[key] == value, key
+
+    def test_resumed_campaign_emits_no_events(self, campaign):
+        run, _ = campaign
+        bus = EventBus()
+        events = []
+        bus.on("campaign_cell", events.append)
+        resumed = run_campaign(
+            campaign_for_scale("smoke"),
+            out_path=run.out_path,
+            events=bus,
+            obs=ObsConfig(profile=True),
+        )
+        assert resumed.executed == 0
+        assert events == []
+        assert resumed.profile.total_ns == 0
+
+    def test_campaign_without_obs_has_no_telemetry(self, tmp_path):
+        run = run_campaign(
+            campaign_for_scale("smoke"),
+            name_filter="synthetic-hotspot|standard",
+            out_path=tmp_path / "min.jsonl",
+        )
+        assert run.profile is None
+        assert run.metrics is None
+        assert run.trace is None
+
+
+class TestObsConfig:
+    def test_defaults_disabled(self):
+        obs = ObsConfig()
+        assert not obs.any_enabled
+
+    def test_round_trips_through_run_config_json(self):
+        cfg = base_config(profile=True, trace=True, metrics=False)
+        rebuilt = RunConfig.from_json(cfg.to_json())
+        assert rebuilt.obs == cfg.obs
+        assert rebuilt == cfg
+
+    def test_missing_obs_section_defaults(self):
+        cfg = RunConfig.from_json(json.dumps({"scenario": {"iterations": 5}}))
+        assert cfg.obs == ObsConfig()
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError):
+            ObsConfig(profile=1)
+        with pytest.raises(ValueError):
+            ObsConfig(trace_max_events=0)

@@ -1,0 +1,138 @@
+"""Tests of :class:`repro.obs.metrics.MetricsRegistry`."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("run/iterations")
+        registry.inc("run/iterations", 9)
+        assert registry.counter("run/iterations") == 10
+
+    def test_counter_defaults_to_zero(self):
+        assert MetricsRegistry().counter("never") == 0.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            MetricsRegistry().inc("x", -1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("util", 0.5)
+        registry.set_gauge("util", 0.9)
+        assert registry.gauge("util") == 0.9
+        assert registry.gauge("unset") is None
+
+
+class TestHistograms:
+    def test_observe_buckets_with_under_and_overflow(self):
+        registry = MetricsRegistry()
+        registry.register_histogram("h", [0.0, 1.0, 2.0])
+        registry.observe("h", [-0.5, 0.5, 1.5, 5.0])
+        # Layout: [underflow, bin [0,1), bin [1,2), overflow].
+        assert registry.histogram_counts("h").tolist() == [1, 1, 1, 1]
+
+    def test_exact_upper_edge_folds_into_last_bin(self):
+        registry = MetricsRegistry()
+        registry.register_histogram("h", [0.0, 1.0, 2.0])
+        registry.observe("h", 2.0)
+        assert registry.histogram_counts("h").tolist() == [0, 0, 1, 0]
+
+    def test_scalar_observation(self):
+        registry = MetricsRegistry()
+        registry.register_histogram("h", [0.0, 10.0])
+        registry.observe("h", 3.0)
+        assert registry.histogram_counts("h").sum() == 1
+
+    def test_reregister_identical_edges_is_noop(self):
+        registry = MetricsRegistry()
+        registry.register_histogram("h", [0.0, 1.0])
+        registry.observe("h", 0.5)
+        registry.register_histogram("h", [0.0, 1.0])
+        assert registry.histogram_counts("h").sum() == 1
+
+    def test_reregister_different_edges_rejected(self):
+        registry = MetricsRegistry()
+        registry.register_histogram("h", [0.0, 1.0])
+        with pytest.raises(ValueError, match="different edges"):
+            registry.register_histogram("h", [0.0, 2.0])
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            MetricsRegistry().register_histogram("h", [1.0, 1.0, 2.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            MetricsRegistry().register_histogram("h", [3.0])
+
+    def test_observe_unregistered_rejected(self):
+        with pytest.raises(KeyError, match="not registered"):
+            MetricsRegistry().observe("h", 1.0)
+
+
+class TestSnapshotsAndMerge:
+    def make_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.inc("cells", 3)
+        registry.set_gauge("util", 0.8)
+        registry.register_histogram("t", [0.0, 1.0, 2.0])
+        registry.observe("t", [0.5, 1.5, 1.6])
+        return registry
+
+    def test_snapshot_is_json_serializable(self):
+        snapshot = self.make_registry().snapshot()
+        rebuilt = json.loads(json.dumps(snapshot))
+        assert rebuilt == snapshot
+
+    def test_to_json_round_trip(self):
+        registry = self.make_registry()
+        rebuilt = MetricsRegistry.from_snapshot(json.loads(registry.to_json()))
+        assert rebuilt.snapshot() == registry.snapshot()
+
+    def test_merge_adds_counters_and_histograms(self):
+        merged = self.make_registry().merge(self.make_registry())
+        assert merged.counter("cells") == 6
+        assert merged.histogram_counts("t").tolist() == [0, 2, 4, 0]
+
+    def test_merge_accepts_snapshot_dicts(self):
+        # The campaign workers ship snapshots (plain dicts), not registries.
+        merged = MetricsRegistry().merge(self.make_registry().snapshot())
+        assert merged.counter("cells") == 3
+
+    def test_merge_gauge_last_write_wins(self):
+        left = MetricsRegistry()
+        left.set_gauge("util", 0.1)
+        right = MetricsRegistry()
+        right.set_gauge("util", 0.9)
+        assert left.merge(right).gauge("util") == 0.9
+
+    def test_merge_mismatched_histogram_edges_rejected(self):
+        left = MetricsRegistry()
+        left.register_histogram("t", [0.0, 1.0])
+        right = MetricsRegistry()
+        right.register_histogram("t", [0.0, 2.0])
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_merge_returns_self_for_chaining(self):
+        registry = MetricsRegistry()
+        assert registry.merge(MetricsRegistry()) is registry
+
+    def test_merge_is_associative_on_counts(self):
+        parts = [self.make_registry() for _ in range(3)]
+        left = MetricsRegistry()
+        for part in parts:
+            left.merge(part)
+        right = MetricsRegistry().merge(
+            MetricsRegistry().merge(parts[0]).merge(parts[1])
+        ).merge(parts[2])
+        assert np.array_equal(
+            left.histogram_counts("t"), right.histogram_counts("t")
+        )
+        assert left.counter("cells") == right.counter("cells")

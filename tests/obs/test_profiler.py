@@ -1,0 +1,96 @@
+"""Tests of :class:`repro.obs.profiler.StageProfiler` / :class:`StageProfile`."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import StageProfile, StageProfiler, TraceWriter, merge_stage_snapshots
+
+
+class TestStageProfiler:
+    def test_accumulates_totals_and_counts(self):
+        profiler = StageProfiler()
+        for _ in range(3):
+            t0 = profiler.start()
+            profiler.stop("compute_step", t0)
+        assert profiler.counts["compute_step"] == 3
+        assert profiler.totals_ns["compute_step"] >= 0
+
+    def test_loop_time_accumulates_across_runs(self):
+        # Chunked batches share one profiler: every loop_start/loop_stop
+        # pair adds to loop_ns instead of overwriting it.
+        profiler = StageProfiler()
+        for _ in range(2):
+            profiler.loop_start()
+            profiler.loop_stop()
+        first = profiler.loop_ns
+        profiler.loop_start()
+        profiler.loop_stop()
+        assert profiler.loop_ns >= first
+
+    def test_loop_stop_without_start_is_noop(self):
+        profiler = StageProfiler()
+        profiler.loop_stop()
+        assert profiler.loop_ns == 0
+
+    def test_stop_feeds_attached_trace(self):
+        writer = TraceWriter(pid=1)
+        profiler = StageProfiler(trace=writer)
+        t0 = profiler.start()
+        profiler.stop("gossip_round", t0)
+        (event,) = writer.events()
+        assert event["name"] == "gossip_round"
+        assert event["ph"] == "X"
+        assert event["cat"] == "stage"
+
+    def test_snapshot_json_serializable_and_mergeable(self):
+        profiler = StageProfiler()
+        t0 = profiler.start()
+        profiler.stop("advance", t0)
+        snapshot = json.loads(json.dumps(profiler.snapshot()))
+        merged = merge_stage_snapshots([snapshot, snapshot])
+        assert merged.counts["advance"] == 2
+        assert merged.totals_ns["advance"] == 2 * profiler.totals_ns["advance"]
+
+    def test_merge_returns_self(self):
+        profiler = StageProfiler()
+        assert profiler.merge({"stages": {}, "loop_ns": 0}) is profiler
+
+
+class TestStageProfile:
+    def make_profile(self) -> StageProfile:
+        return StageProfile(
+            totals_ns={"compute_step": 600, "gossip_round": 300},
+            counts={"compute_step": 3, "gossip_round": 3},
+            loop_ns=1000,
+        )
+
+    def test_total_and_coverage(self):
+        profile = self.make_profile()
+        assert profile.total_ns == 900
+        assert profile.coverage() == 0.9
+
+    def test_coverage_zero_when_loop_unmeasured(self):
+        assert StageProfile(totals_ns={"a": 5}, counts={"a": 1}).coverage() == 0.0
+
+    def test_to_dict_round_trips_through_merge(self):
+        profile = self.make_profile()
+        rebuilt = merge_stage_snapshots([profile.to_dict()])
+        assert rebuilt.totals_ns == dict(profile.totals_ns)
+        assert rebuilt.counts == dict(profile.counts)
+        assert rebuilt.loop_ns == profile.loop_ns
+
+    def test_stage_table_lists_stages_by_share(self):
+        table = self.make_profile().stage_table()
+        lines = table.splitlines()
+        assert lines[1].startswith("compute_step")
+        assert lines[2].startswith("gossip_round")
+        assert "coverage 90.0%" in lines[-1]
+
+    def test_stage_table_empty(self):
+        assert StageProfile().stage_table() == "(no stages profiled)"
+
+    def test_merge_stage_snapshots_empty(self):
+        profile = merge_stage_snapshots([])
+        assert profile.total_ns == 0
+        assert profile.coverage() == 0.0

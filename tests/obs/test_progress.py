@@ -1,0 +1,98 @@
+"""Tests of the live campaign progress line (:mod:`repro.obs.progress`)."""
+
+from __future__ import annotations
+
+import io
+
+from repro.api.events import CampaignCellEvent
+from repro.obs import CampaignProgress, render_progress_line
+
+
+def cell_event(pid: int = 100, index: int = 1) -> CampaignCellEvent:
+    return CampaignCellEvent(
+        cell_id=f"c{index}",
+        scenario="erosion",
+        policy="ulba",
+        total_time=1.0,
+        num_lb_calls=2,
+        worker_pid=pid,
+        index=index,
+        total=4,
+    )
+
+
+class TestRenderProgressLine:
+    def test_basic_fields(self):
+        line = render_progress_line(37, 120, 3.0, {})
+        assert line.startswith("[ 37/120")
+        assert "30.8%" in line
+        assert "cells/s" in line
+        assert "ETA" in line
+
+    def test_eta_unknown_before_first_cell(self):
+        assert "ETA -:--" in render_progress_line(0, 10, 0.0, {})
+
+    def test_eta_hours_format(self):
+        # 1 cell/s, 4000 remaining -> 1:06:40.
+        line = render_progress_line(100, 4100, 100.0, {})
+        assert "ETA 1:06:40" in line
+
+    def test_worker_sparkline_present(self):
+        line = render_progress_line(4, 8, 1.0, {11: 1, 22: 3})
+        assert "workers(2)" in line
+
+    def test_no_worker_section_without_workers(self):
+        assert "workers" not in render_progress_line(1, 2, 1.0, {})
+
+    def test_total_zero_does_not_divide_by_zero(self):
+        assert "[0/1" in render_progress_line(0, 0, 1.0, {})
+
+
+class TestCampaignProgress:
+    def test_inactive_on_non_tty(self):
+        stream = io.StringIO()  # StringIO has no isatty -> not a TTY
+        progress = CampaignProgress(4, stream=stream)
+        progress.update(cell_event())
+        progress.finish()
+        assert stream.getvalue() == ""
+
+    def test_force_renders_with_carriage_return(self):
+        stream = io.StringIO()
+        progress = CampaignProgress(
+            4, stream=stream, force=True, min_interval_s=0.0
+        )
+        progress.update(cell_event(pid=10, index=1))
+        progress.update(cell_event(pid=20, index=2))
+        progress.finish()
+        text = stream.getvalue()
+        assert text.startswith("\r")
+        assert text.endswith("\n")
+        assert "2/4" in text
+
+    def test_counts_per_worker(self):
+        progress = CampaignProgress(4, stream=io.StringIO(), force=True)
+        progress.update(cell_event(pid=10))
+        progress.update(cell_event(pid=10))
+        progress.update(cell_event(pid=20))
+        assert progress.per_worker == {10: 2, 20: 1}
+        assert progress.done == 3
+
+    def test_min_interval_drops_intermediate_frames(self):
+        stream = io.StringIO()
+        progress = CampaignProgress(
+            100, stream=stream, force=True, min_interval_s=3600.0
+        )
+        first_len = None
+        for i in range(5):
+            progress.update(cell_event(index=i))
+            if first_len is None:
+                first_len = len(stream.getvalue())
+        # Only the first update painted (the next repaint is an hour away).
+        assert len(stream.getvalue()) == first_len
+        progress.finish()
+        assert "5/100" in stream.getvalue()
+
+    def test_line_is_pure_render(self):
+        progress = CampaignProgress(4, stream=io.StringIO())
+        progress.update(cell_event())
+        assert "1/4" in progress.line()

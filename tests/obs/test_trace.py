@@ -1,0 +1,130 @@
+"""Tests of :class:`repro.obs.trace.TraceWriter` and :func:`validate_trace`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import TraceWriter, validate_trace
+
+
+class TestTraceWriter:
+    def test_complete_event_shape(self):
+        writer = TraceWriter(pid=7)
+        writer.complete("compute_step", 1000, 500, cat="stage", args={"i": 0})
+        data = writer.to_dict()
+        (event,) = data["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["pid"] == 7
+        assert event["ts"] == 0.0  # normalized to the earliest event
+        assert event["dur"] == 0.5  # ns -> us
+        assert event["args"] == {"i": 0}
+
+    def test_timestamps_normalized_to_origin(self):
+        writer = TraceWriter(pid=1)
+        writer.complete("a", 5_000, 1_000)
+        writer.instant("b", 7_000)
+        events = writer.to_dict()["traceEvents"]
+        assert [e["ts"] for e in events] == [0.0, 2.0]
+
+    def test_instant_is_thread_scoped(self):
+        writer = TraceWriter(pid=1)
+        writer.instant("lb_step", 123)
+        (event,) = writer.events()
+        assert event["ph"] == "i"
+        assert event["s"] == "t"
+
+    def test_counter_event(self):
+        writer = TraceWriter(pid=1)
+        writer.counter("cells", 10, {"done": 3})
+        (event,) = writer.to_dict()["traceEvents"]
+        assert event["ph"] == "C"
+        assert event["args"] == {"done": 3.0}
+
+    def test_metadata_kept_and_appended_last(self):
+        writer = TraceWriter(pid=1, max_events=1)
+        writer.set_process_name("worker 1")
+        writer.set_thread_name("hot-loop")
+        writer.complete("a", 0, 1)
+        writer.complete("dropped", 0, 1)
+        data = writer.to_dict()
+        assert [e["ph"] for e in data["traceEvents"]] == ["X", "M", "M"]
+        assert data["otherData"]["dropped_events"] == 1
+
+    def test_max_events_cap_counts_drops(self):
+        writer = TraceWriter(pid=1, max_events=2)
+        for i in range(5):
+            writer.instant(f"e{i}", i)
+        assert writer.num_events == 2
+        assert writer.dropped == 3
+
+    def test_max_events_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceWriter(max_events=0)
+
+    def test_extend_merges_foreign_events_keeping_pids(self):
+        worker = TraceWriter(pid=1001)
+        worker.complete("cell", 100, 50)
+        parent = TraceWriter(pid=1)
+        parent.complete("campaign", 0, 500)
+        parent.extend(worker.events())
+        pids = {e["pid"] for e in parent.to_dict()["traceEvents"]}
+        assert pids == {1, 1001}
+
+    def test_negative_duration_clamped(self):
+        writer = TraceWriter(pid=1)
+        writer.complete("a", 100, -5)
+        assert writer.events()[0]["dur"] == 0
+
+    def test_write_creates_parents_and_valid_json(self, tmp_path):
+        writer = TraceWriter(pid=1)
+        writer.complete("a", 0, 10)
+        path = writer.write(tmp_path / "nested" / "trace.json")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_trace(data) == []
+
+    def test_empty_trace_serializes(self):
+        data = TraceWriter(pid=1).to_dict()
+        assert data["traceEvents"] == []
+        assert validate_trace(data) == []
+
+
+class TestValidateTrace:
+    def make_valid(self) -> dict:
+        writer = TraceWriter(pid=1)
+        writer.complete("compute_step", 0, 10)
+        writer.instant("lb_step", 5)
+        writer.set_process_name("p")
+        return writer.to_dict()
+
+    def test_valid_trace_has_no_problems(self):
+        assert validate_trace(self.make_valid()) == []
+
+    def test_trace_events_must_be_list(self):
+        assert validate_trace({"traceEvents": {}}) == ["traceEvents must be a list"]
+
+    def test_missing_dur_flagged(self):
+        data = {"traceEvents": [{"name": "a", "ph": "X", "ts": 0, "pid": 1}]}
+        assert any("dur" in p for p in validate_trace(data))
+
+    def test_missing_pid_flagged(self):
+        data = {"traceEvents": [{"name": "a", "ph": "i", "s": "t", "ts": 0}]}
+        assert any("pid" in p for p in validate_trace(data))
+
+    def test_unsupported_phase_flagged(self):
+        data = {"traceEvents": [{"name": "a", "ph": "Z", "ts": 0, "pid": 1}]}
+        assert any("unsupported phase" in p for p in validate_trace(data))
+
+    def test_require_stages_present(self):
+        assert (
+            validate_trace(self.make_valid(), require_stages=["compute_step"]) == []
+        )
+
+    def test_require_stages_missing_reported(self):
+        problems = validate_trace(self.make_valid(), require_stages=["gossip_round"])
+        assert problems == ["no complete event for required stage 'gossip_round'"]
+
+    def test_negative_ts_flagged(self):
+        data = {"traceEvents": [{"name": "a", "ph": "i", "ts": -1, "pid": 1}]}
+        assert any("invalid ts" in p for p in validate_trace(data))

@@ -112,10 +112,29 @@ class TestClusterTrace:
         assert summary["total_time"] == pytest.approx(9.5)
         assert summary["mean_utilization"] == pytest.approx(trace.mean_utilization())
 
+    def test_summary_golden(self):
+        # Golden regression pin: the full summary of the canonical trace.
+        # Any key added, removed or recomputed differently must be a
+        # deliberate schema change (experiment tables and persisted
+        # campaign artifacts consume these keys).
+        assert make_trace().summary() == {
+            "num_pes": 4,
+            "iterations": 3,
+            "lb_calls": 1,
+            "total_time": pytest.approx(9.5),
+            "iteration_time": pytest.approx(8.0),
+            "lb_cost_time": pytest.approx(1.5),
+            "mean_utilization": pytest.approx(0.6875),
+            "utilization_drops": 2,
+            "lb_call_fraction": pytest.approx(1.0 / 3.0),
+        }
+
     def test_empty_trace_summary(self):
         summary = ClusterTrace(num_pes=1).summary()
         assert summary["iterations"] == 0
         assert summary["total_time"] == 0.0
+        assert summary["utilization_drops"] == 0
+        assert summary["lb_call_fraction"] == 0.0
 
     def test_record_returns_records(self):
         trace = ClusterTrace(num_pes=2)
