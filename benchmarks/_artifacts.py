@@ -120,5 +120,9 @@ def record_bench(
             "env": env_metadata(),
         }
     )
-    path.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
-    return path
+    # Atomic replace: concurrent/interrupted bench runs can never leave a
+    # torn artifact (the "corrupt file is started fresh" fallback above
+    # then only covers pre-existing damage, not our own writes).
+    from repro.utils.io import atomic_write_text
+
+    return atomic_write_text(path, json.dumps(rows, indent=2) + "\n")

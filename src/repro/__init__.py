@@ -33,6 +33,9 @@ depends on:
   adversarial, multi-phase and trace-replay generators).
 * :mod:`repro.campaign` -- a parallel campaign engine crossing scenarios
   with LB policies and seeds, with JSONL persistence and resume.
+* :mod:`repro.resilience` -- fault-tolerant campaign execution: a
+  supervised worker pool with retries and deadlines, poison-cell
+  quarantine and a deterministic chaos harness.
 * :mod:`repro.api` -- the unified declarative run API: a serializable
   :class:`~repro.api.config.RunConfig` tree, the
   :class:`~repro.api.session.Session` facade executing it, and a streaming
@@ -50,6 +53,7 @@ True
 
 from repro.api import PolicyConfig, RunConfig, Session, SessionResult
 from repro.campaign import CampaignSpec, PolicySpec, run_campaign
+from repro.resilience import ChaosConfig, RetryPolicy, SupervisedPool
 from repro.core import (
     ApplicationParameters,
     GainReport,
@@ -91,6 +95,7 @@ __all__ = [
     "ApplicationParameters",
     "CampaignSpec",
     "CentralizedLoadBalancer",
+    "ChaosConfig",
     "DegradationTrigger",
     "ErosionApplication",
     "ErosionConfig",
@@ -99,6 +104,7 @@ __all__ = [
     "LBSchedule",
     "PolicyConfig",
     "PolicySpec",
+    "RetryPolicy",
     "RunConfig",
     "RunResult",
     "ScenarioSpec",
@@ -107,6 +113,7 @@ __all__ = [
     "ScheduleEvaluation",
     "StandardLBModel",
     "StandardPolicy",
+    "SupervisedPool",
     "SyntheticGrowthApplication",
     "TableIISampler",
     "ULBADegradationTrigger",

@@ -51,16 +51,20 @@ from repro.api.events import (
     EVENT_TYPES,
     BatchChunkEvent,
     CampaignCellEvent,
+    CampaignFaultEvent,
     EventBus,
     IterationEvent,
     LBStepEvent,
     PhaseEvent,
+    WorkerHeartbeatEvent,
 )
 from repro.api.session import Session, SessionResult
+from repro.resilience.errors import SessionStateError
 
 __all__ = [
     "BatchChunkEvent",
     "CampaignCellEvent",
+    "CampaignFaultEvent",
     "ClusterConfig",
     "DEFAULT_BANDWIDTH",
     "DEFAULT_BYTES_PER_LOAD_UNIT",
@@ -77,5 +81,7 @@ __all__ = [
     "ScenarioConfig",
     "Session",
     "SessionResult",
+    "SessionStateError",
     "TopologyConfig",
+    "WorkerHeartbeatEvent",
 ]

@@ -20,6 +20,13 @@ typed events while a run executes:
     :class:`CampaignCellEvent` -- one campaign cell freshly executed by
     :func:`~repro.campaign.runner.run_campaign`; the live
     ``repro campaign --progress`` line feeds on these.
+``"campaign_fault"``
+    :class:`CampaignFaultEvent` -- one supervision event of a fault-tolerant
+    campaign (worker crash, task timeout, retry, batch split, quarantine);
+    see :mod:`repro.resilience`.
+``"worker_heartbeat"``
+    :class:`WorkerHeartbeatEvent` -- one liveness beat from a supervised
+    campaign worker, piggybacked on the telemetry channel.
 
 Subscribers attach with :meth:`EventBus.on` and receive events synchronously
 in subscription order; progress reporting, tracing and future async or
@@ -40,10 +47,12 @@ __all__ = [
     "EVENT_TYPES",
     "BatchChunkEvent",
     "CampaignCellEvent",
+    "CampaignFaultEvent",
     "EventBus",
     "IterationEvent",
     "LBStepEvent",
     "PhaseEvent",
+    "WorkerHeartbeatEvent",
 ]
 
 #: Event names a session emits (plus the ``"*"`` wildcard accepted by ``on``).
@@ -53,6 +62,8 @@ EVENT_TYPES: Tuple[str, ...] = (
     "lb_step",
     "batch_chunk",
     "campaign_cell",
+    "campaign_fault",
+    "worker_heartbeat",
 )
 
 
@@ -118,6 +129,44 @@ class CampaignCellEvent:
     index: int
     #: Cells this invocation set out to execute (pending, not resumed).
     total: int
+
+
+@dataclass(frozen=True)
+class CampaignFaultEvent:
+    """One supervision event of a fault-tolerant campaign run.
+
+    Emitted by :func:`~repro.campaign.runner.run_campaign` when its
+    supervised pool observes a failure or reacts to one; ``kind`` is one of
+    ``"crash"`` / ``"timeout"`` / ``"error"`` / ``"retry"`` / ``"split"`` /
+    ``"restart"`` / ``"quarantine"``.
+    """
+
+    #: What happened (see class docstring for the vocabulary).
+    kind: str
+    #: Ids of the affected cells (empty for worker-only events).
+    cell_ids: Tuple[str, ...]
+    #: 0-based attempt index the fault happened on.
+    attempt: int
+    #: Pid of the affected worker (0 when unknown).
+    worker_pid: int
+    #: Backoff delay before the re-dispatch (0.0 when not retrying).
+    retry_in: float
+    #: Human-readable description of the fault.
+    message: str
+
+
+@dataclass(frozen=True)
+class WorkerHeartbeatEvent:
+    """One liveness beat from a supervised campaign worker."""
+
+    #: Worker slot id within the pool.
+    worker_id: int
+    #: Pid of the worker process.
+    pid: int
+    #: Worker-side epoch timestamp of the beat (``time.time()``).
+    timestamp: float
+    #: True when the worker was executing a task at beat time.
+    busy: bool
 
 
 class _Subscription:

@@ -46,6 +46,7 @@ from repro.lb.centralized import LBStepReport
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import StageProfiler
 from repro.obs.trace import TraceWriter
+from repro.resilience.errors import SessionStateError
 from repro.runtime.skeleton import IterativeRunner, RunResult, StripedApplication
 from repro.simcluster.cluster import VirtualCluster
 from repro.simcluster.comm import CommCostModel
@@ -375,7 +376,7 @@ class Session:
         from repro.scenarios.registry import get_scenario
 
         if self.config is None:
-            raise ValueError(
+            raise SessionStateError(
                 "run_batch requires a declarative session: build it with "
                 "Session.from_config(RunConfig(...))"
             )
@@ -502,7 +503,7 @@ class Session:
         """
         n = iterations if iterations is not None else self._default_iterations
         if n is None:
-            raise ValueError(
+            raise SessionStateError(
                 "iterations not set: pass Session.run(iterations=...) or build "
                 "the session from a RunConfig (whose scenario section sets it)"
             )

@@ -20,6 +20,17 @@ are identical whether a cell runs serially, under ``--jobs N``, in a
 resumed invocation or as one replica of a batch (the batch engine is
 bit-identical to solo runs; only the bookkeeping field ``wall_time``
 varies).
+
+Multi-process dispatch is *supervised* (:mod:`repro.resilience`): every
+in-flight seed-batch has a deadline and its worker a heartbeat, dead or
+hung workers are killed and restarted, lost batches re-dispatch under
+bounded backoff, and a batch that keeps failing is split into single cells
+to isolate the culprit.  With a ``quarantine`` sidecar configured the
+poisoned cell is recorded there (with full replay context) and the campaign
+continues; without one the first irrecoverable failure raises with the
+original worker traceback attached (fail-fast, the library default).  A
+first SIGINT/SIGTERM drains in-flight batches and returns the partial run
+(``interrupted=True``); a second one hard-kills.
 """
 
 from __future__ import annotations
@@ -29,18 +40,32 @@ import json
 import multiprocessing
 import os
 import pickle
+import signal
+import threading
 import time
+import traceback as traceback_module
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.api.config import ObsConfig
-from repro.api.events import CampaignCellEvent, EventBus
+from repro.api.events import (
+    CampaignCellEvent,
+    CampaignFaultEvent,
+    EventBus,
+    WorkerHeartbeatEvent,
+)
 from repro.api.session import Session
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import StageProfile, merge_stage_snapshots
 from repro.obs.trace import TraceWriter
+from repro.resilience.chaos import ChaosConfig
+from repro.resilience.errors import CellError
+from repro.resilience.pool import SupervisedPool, TaskFailure, TaskResult
+from repro.resilience.quarantine import QuarantineEntry, QuarantineLog
+from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "CampaignRun",
@@ -195,6 +220,41 @@ def _run_batch_task(
         wall_time=time.perf_counter() - started,
     )
     return rows, telemetry
+
+
+#: A supervised task payload: the seed-batch, the worker-side obs config
+#: and the chaos injector (None outside chaos runs).
+TaskPayload = Tuple[List[CampaignCell], Optional[ObsConfig], Optional[ChaosConfig]]
+
+
+def _supervised_batch_task(
+    payload: TaskPayload, attempt: int
+) -> "Tuple[List[CellRow], BatchInfo]":
+    """Supervised-pool task function: chaos gate, then the real seed-batch.
+
+    The fault injector runs *before* any simulation work, so a cell that
+    survives injection produces a row bit-identical to a fault-free run;
+    ``attempt`` feeds the injector's per-attempt decision (transient faults
+    stop firing once a cell used up its injection cap).
+    """
+    cells, obs, chaos = payload
+    if chaos is not None and chaos.any_enabled:
+        chaos.inject([cell.cell_id for cell in cells], attempt)
+    return _run_batch_task((cells, obs))
+
+
+def _subdivide_payload(payload: TaskPayload) -> Optional[List[TaskPayload]]:
+    """Split a failed multi-cell payload into single-cell payloads.
+
+    The supervised pool calls this when a seed-batch exhausts its retries
+    (or fails deterministically): re-running the cells one by one isolates
+    the poisoned cell while its siblings complete normally.  Single-cell
+    payloads return ``None`` -- they are already irreducible.
+    """
+    cells, obs, chaos = payload
+    if len(cells) <= 1:
+        return None
+    return [([cell], obs, chaos) for cell in cells]
 
 
 def _trace_batch(
@@ -411,11 +471,26 @@ class CampaignRun:
     metrics: Optional[MetricsRegistry] = None
     #: Campaign-level Chrome trace, one track per worker pid (``obs.trace``).
     trace: Optional[TraceWriter] = None
+    #: Cell ids quarantined by this invocation (empty on a clean run).
+    quarantined: Tuple[str, ...] = ()
+    #: Pending cells skipped because an earlier run quarantined them.
+    skipped_quarantined: int = 0
+    #: True when a SIGINT/SIGTERM drained the run before it finished.
+    interrupted: bool = False
 
     @property
     def num_cells(self) -> int:
         """Number of result rows."""
         return len(self.rows)
+
+    @property
+    def clean(self) -> bool:
+        """True when the run completed fully with nothing quarantined."""
+        return (
+            not self.interrupted
+            and not self.quarantined
+            and self.skipped_quarantined == 0
+        )
 
 
 def run_campaign(
@@ -429,6 +504,12 @@ def run_campaign(
     mp_start_method: Optional[str] = None,
     events: Optional[EventBus] = None,
     obs: Optional[ObsConfig] = None,
+    retry: Optional[RetryPolicy] = None,
+    task_timeout: Optional[float] = None,
+    quarantine: Optional[Union[str, Path]] = None,
+    retry_quarantined: bool = False,
+    chaos: Optional[ChaosConfig] = None,
+    install_signal_handlers: Optional[bool] = None,
 ) -> CampaignRun:
     """Execute a campaign, resuming from ``out_path`` when it already exists.
 
@@ -438,7 +519,9 @@ def run_campaign(
         The campaign grid to run.
     jobs:
         Worker processes; ``1`` runs serially in-process, ``N > 1`` fans the
-        pending cells out over a :class:`multiprocessing.Pool`.
+        pending cells out over a supervised worker pool
+        (:class:`~repro.resilience.pool.SupervisedPool`) that detects dead
+        and hung workers, restarts them and re-dispatches lost batches.
     out_path:
         JSONL file results are appended to as cells complete (flushed per
         row, so progress survives interruption).  ``None`` disables
@@ -465,7 +548,10 @@ def run_campaign(
         Optional :class:`~repro.api.events.EventBus`; one
         :class:`~repro.api.events.CampaignCellEvent` is emitted per freshly
         executed cell (resumed cells emit nothing) -- the live
-        ``--progress`` line subscribes here.
+        ``--progress`` line subscribes here.  Supervised runs additionally
+        emit :class:`~repro.api.events.CampaignFaultEvent` per supervision
+        event and :class:`~repro.api.events.WorkerHeartbeatEvent` per
+        worker liveness beat.
     obs:
         Optional :class:`~repro.api.config.ObsConfig` enabling campaign
         observability: ``profile``/``metrics`` run inside every worker and
@@ -475,15 +561,56 @@ def run_campaign(
         pid, one span per seed-batch and one sub-span per cell (epoch
         clock, so tracks from different processes line up).  Rows are
         unaffected either way.
+    retry:
+        :class:`~repro.resilience.retry.RetryPolicy` bounding how often a
+        crashed or timed-out batch is re-dispatched (default: 2 retries
+        under exponential backoff with full jitter).  Deterministic task
+        exceptions are never retried -- the same code on the same cell
+        reproduces the same error.
+    task_timeout:
+        Per-batch deadline in seconds; a batch running longer has its
+        worker killed and counts as a (retryable) timeout.  ``None``
+        disables deadlines.  Setting a timeout forces pool dispatch even
+        for ``jobs=1`` (an in-process hang cannot be interrupted).
+    quarantine:
+        Path of the ``*.quarantine.jsonl`` sidecar.  When set, a cell that
+        keeps failing after isolation is recorded there -- with the
+        exception, worker traceback, attempt count, environment stamp and
+        its exact :class:`~repro.api.config.RunConfig` for replay -- and
+        the campaign **continues** (check :attr:`CampaignRun.quarantined`).
+        When ``None`` (the library default) the first irrecoverable
+        failure raises, fail-fast, with the worker traceback attached.  On
+        resume, cells quarantined by an earlier run are skipped (counted in
+        :attr:`CampaignRun.skipped_quarantined`).
+    retry_quarantined:
+        Re-execute previously quarantined cells instead of skipping them; a
+        cell that now succeeds gets a resolution marker appended to the
+        sidecar so later resumes treat it normally.
+    chaos:
+        Optional :class:`~repro.resilience.chaos.ChaosConfig` fault
+        injector (testing/CI only): workers deterministically crash, hang,
+        raise or slow down per ``(seed, cell id, attempt)``.  Forces pool
+        dispatch so injected crashes kill a worker, never the caller.
+    install_signal_handlers:
+        Install SIGINT/SIGTERM handlers while executing: the first signal
+        drains in-flight batches and returns the partial run
+        (:attr:`CampaignRun.interrupted` set, rows persisted as usual); the
+        second hard-kills via :class:`KeyboardInterrupt`.  ``None`` (the
+        default) auto-installs when running on the main thread; handlers
+        are always restored afterwards.
 
     Returns
     -------
     CampaignRun
-        All rows of the (possibly filtered) grid in deterministic cell
-        order, plus executed/skipped bookkeeping.
+        All known rows of the (possibly filtered) grid in deterministic
+        cell order -- quarantined and drained cells have no row -- plus
+        executed/skipped/quarantined/interrupted bookkeeping.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if task_timeout is not None and task_timeout <= 0:
+        raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+    retry_policy = retry if retry is not None else RetryPolicy()
     cells = spec.cells(name_filter=name_filter)
 
     obs_enabled = obs is not None and obs.any_enabled
@@ -517,94 +644,289 @@ def run_campaign(
     pending = [cell for cell in cells if cell.cell_id not in done]
     skipped = len(cells) - len(pending)
 
+    quarantine_log = QuarantineLog(quarantine) if quarantine is not None else None
+    previously_quarantined = quarantine_log.load() if quarantine_log is not None else {}
+    skipped_quarantined = 0
+    if previously_quarantined and not retry_quarantined:
+        unquarantined = [
+            cell for cell in pending if cell.cell_id not in previously_quarantined
+        ]
+        skipped_quarantined = len(pending) - len(unquarantined)
+        pending = unquarantined
+    to_resolve = set(previously_quarantined) if retry_quarantined else set()
+
+    quarantined: List[str] = []
     fresh: Dict[str, CellRow] = {}
+    completed_cells = 0
+    named_pids: set = set()
+    interrupt = {"signals": 0}
+    drain_hooks: List[Callable[[], None]] = []
+    pool_stats: Dict[str, int] = {}
+
+    def _emit_fault(
+        kind: str,
+        cell_ids: Sequence[str],
+        attempt: int,
+        worker_pid: Optional[int],
+        retry_in: Optional[float],
+        message: str,
+    ) -> None:
+        if merged_metrics is not None:
+            merged_metrics.inc(f"campaign/faults/{kind}")
+        if events is not None and events.has_listeners("campaign_fault"):
+            events.emit(
+                "campaign_fault",
+                CampaignFaultEvent(
+                    kind=kind,
+                    cell_ids=tuple(cell_ids),
+                    attempt=attempt,
+                    worker_pid=worker_pid or 0,
+                    retry_in=retry_in or 0.0,
+                    message=message,
+                ),
+            )
+
+    def _on_signal(signum, frame) -> None:
+        interrupt["signals"] += 1
+        if interrupt["signals"] >= 2:
+            # Second signal: stop cooperating.  The KeyboardInterrupt
+            # unwinds through the supervision loop, which tears every
+            # worker down on the way out.
+            raise KeyboardInterrupt
+        for hook in drain_hooks:
+            hook()
+
+    def _consume(batch_rows: List[CellRow], info: BatchInfo, sink) -> None:
+        nonlocal completed_cells
+        worker_pid = int(info.get("worker_pid", 0))
+        if merged_metrics is not None:
+            snapshot = info.get("metrics")
+            if snapshot:
+                merged_metrics.merge(snapshot)
+            merged_metrics.inc("campaign/cells", len(batch_rows))
+            merged_metrics.inc(f"campaign/worker/{worker_pid}/cells", len(batch_rows))
+        if obs_enabled and obs.profile and info.get("profile"):
+            profile_snapshots.append(info["profile"])
+        if trace_writer is not None:
+            _trace_batch(trace_writer, batch_rows, info, named_pids)
+        for row in batch_rows:
+            cell_id = str(row["cell_id"])
+            fresh[cell_id] = row
+            completed_cells += 1
+            if sink is not None:
+                sink.write(json.dumps(row) + "\n")
+                sink.flush()
+            if quarantine_log is not None and cell_id in to_resolve:
+                # A previously quarantined cell just completed: retract its
+                # quarantine entry so later resumes run it normally.
+                quarantine_log.resolve(cell_id)
+                to_resolve.discard(cell_id)
+            if on_cell_done is not None:
+                on_cell_done(row)
+            if events is not None and events.has_listeners("campaign_cell"):
+                events.emit(
+                    "campaign_cell",
+                    CampaignCellEvent(
+                        cell_id=cell_id,
+                        scenario=str(row["scenario"]),
+                        policy=str(row["policy"]),
+                        total_time=float(row["total_time"]),
+                        num_lb_calls=int(row["num_lb_calls"]),
+                        worker_pid=worker_pid,
+                        index=completed_cells,
+                        total=len(pending),
+                    ),
+                )
+
+    def _quarantine_failure(failure: TaskFailure) -> None:
+        failed_cells = failure.payload[0]
+        error = failure.error
+        for cell in failed_cells:
+            quarantine_log.append(
+                QuarantineEntry(
+                    cell_id=cell.cell_id,
+                    error_type=error.error_type,
+                    message=str(error),
+                    traceback=error.worker_traceback or "",
+                    attempts=max(int(failure.attempts), 1),
+                    run_config=cell.run_config().to_dict(),
+                )
+            )
+            quarantined.append(cell.cell_id)
+            _emit_fault(
+                "quarantine",
+                [cell.cell_id],
+                max(failure.attempts - 1, 0),
+                error.worker_pid,
+                None,
+                f"quarantined after {failure.attempts} attempt(s): {error}",
+            )
+
+    def _pool_fault(fault) -> None:
+        cell_ids = (
+            [cell.cell_id for cell in fault.payload[0]]
+            if fault.payload is not None
+            else []
+        )
+        _emit_fault(
+            fault.kind,
+            cell_ids,
+            fault.attempt,
+            fault.worker_pid,
+            fault.retry_in,
+            fault.message,
+        )
+
+    def _pool_heartbeat(worker_id: int, pid: int, stamp: float, busy: bool) -> None:
+        if events is not None and events.has_listeners("worker_heartbeat"):
+            events.emit(
+                "worker_heartbeat",
+                WorkerHeartbeatEvent(
+                    worker_id=worker_id, pid=pid, timestamp=stamp, busy=busy
+                ),
+            )
+
+    def _serial_results(payloads: List[TaskPayload]) -> Iterator[object]:
+        """In-process dispatch with the same result/failure vocabulary.
+
+        Fail-fast mode re-raises the original exception untouched (the
+        historical serial behaviour); quarantine mode mirrors the pool's
+        isolate-then-report flow, minus retries -- an in-process failure is
+        deterministic by definition.
+        """
+        queue = deque(payloads)
+        drained = {"flag": False}
+        drain_hooks.append(lambda: drained.__setitem__("flag", True))
+        while queue:
+            if drained["flag"]:
+                return
+            payload = queue.popleft()
+            payload_cells = payload[0]
+            try:
+                value = _supervised_batch_task(payload, 0)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                if quarantine_log is None:
+                    raise
+                if len(payload_cells) > 1:
+                    _emit_fault(
+                        "split",
+                        [cell.cell_id for cell in payload_cells],
+                        0,
+                        os.getpid(),
+                        None,
+                        "splitting failed seed-batch into single cells",
+                    )
+                    for single in reversed(_subdivide_payload(payload) or []):
+                        queue.appendleft(single)
+                    continue
+                if isinstance(exc, CellError):
+                    error = exc
+                    if error.worker_traceback is None:
+                        error.worker_traceback = traceback_module.format_exc()
+                else:
+                    error = CellError(
+                        f"{type(exc).__name__}: {exc}",
+                        cell_ids=(payload_cells[0].cell_id,),
+                        attempts=1,
+                        error_type=type(exc).__name__,
+                        worker_traceback=traceback_module.format_exc(),
+                    )
+                yield TaskFailure(payload=payload, error=error, attempts=1)
+                continue
+            yield TaskResult(
+                payload=payload, value=value, attempts=1, worker_pid=os.getpid()
+            )
+
+    def _pool_results(payloads: List[TaskPayload]) -> Iterator[object]:
+        """Supervised multi-process dispatch (crash/hang/retry aware)."""
+        pool = SupervisedPool(
+            _supervised_batch_task,
+            processes=max(1, min(jobs, len(payloads))),
+            context=_pool_context(mp_start_method),
+            retry=retry_policy,
+            task_timeout=task_timeout,
+            initializer=_init_worker,
+            initargs=(_shippable_scenarios(),),
+            subdivide=_subdivide_payload,
+            on_fault=_pool_fault,
+            on_heartbeat=_pool_heartbeat,
+        )
+        drain_hooks.append(pool.drain)
+        try:
+            for item in pool.run(payloads):
+                yield item
+        finally:
+            pool_stats.update(pool.stats)
+
     if pending:
         # Seed-batches: every (scenario, policy) group runs its repetition
         # seeds as one vectorized replica batch (repro.batch); worker
         # processes parallelize over the groups.
         batches = _seed_batches(pending)
-        tasks = [(batch, worker_obs) for batch in batches]
+        payloads: List[TaskPayload] = [(batch, worker_obs, chaos) for batch in batches]
         if out is not None:
             out.parent.mkdir(parents=True, exist_ok=True)
             _heal_torn_tail(out)
         sink = out.open("a", encoding="utf-8") if out is not None else None
-        completed_cells = 0
-        named_pids: set = set()
+        # Chaos and deadlines force pool dispatch even serially: an injected
+        # crash must kill a worker (never the caller) and an in-process hang
+        # cannot be interrupted.
+        use_pool = (jobs > 1 and len(batches) > 1) or (
+            chaos is not None and chaos.any_enabled
+        ) or task_timeout is not None
+        install = install_signal_handlers
+        if install is None:
+            install = threading.current_thread() is threading.main_thread()
+        installed: List[tuple] = []
+        results = _pool_results(payloads) if use_pool else _serial_results(payloads)
         try:
-            if jobs == 1 or len(batches) == 1:
-                completed = map(_run_batch_task, tasks)
-                pool = None
-            else:
-                # The initializer re-registers the caller's scenario catalog
-                # in every worker, so user-registered scenarios survive the
-                # spawn/forkserver start methods (fork workers inherit the
-                # registry anyway and the re-registration is a no-op).
-                context = _pool_context(mp_start_method)
-                pool = context.Pool(
-                    processes=min(jobs, len(batches)),
-                    initializer=_init_worker,
-                    initargs=(_shippable_scenarios(),),
-                )
-                completed = pool.imap_unordered(_run_batch_task, tasks)
+            if install:
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    try:
+                        installed.append((signum, signal.signal(signum, _on_signal)))
+                    except (ValueError, OSError):  # pragma: no cover - non-main thread
+                        pass
             try:
-                for batch_rows, info in completed:
-                    worker_pid = int(info.get("worker_pid", 0))
-                    if merged_metrics is not None:
-                        snapshot = info.get("metrics")
-                        if snapshot:
-                            merged_metrics.merge(snapshot)
-                        merged_metrics.inc("campaign/cells", len(batch_rows))
-                        merged_metrics.inc(
-                            f"campaign/worker/{worker_pid}/cells", len(batch_rows)
-                        )
-                    if obs_enabled and obs.profile and info.get("profile"):
-                        profile_snapshots.append(info["profile"])
-                    if trace_writer is not None:
-                        _trace_batch(trace_writer, batch_rows, info, named_pids)
-                    for row in batch_rows:
-                        fresh[str(row["cell_id"])] = row
-                        completed_cells += 1
-                        if sink is not None:
-                            sink.write(json.dumps(row) + "\n")
-                            sink.flush()
-                        if on_cell_done is not None:
-                            on_cell_done(row)
-                        if events is not None and events.has_listeners(
-                            "campaign_cell"
-                        ):
-                            events.emit(
-                                "campaign_cell",
-                                CampaignCellEvent(
-                                    cell_id=str(row["cell_id"]),
-                                    scenario=str(row["scenario"]),
-                                    policy=str(row["policy"]),
-                                    total_time=float(row["total_time"]),
-                                    num_lb_calls=int(row["num_lb_calls"]),
-                                    worker_pid=worker_pid,
-                                    index=completed_cells,
-                                    total=len(pending),
-                                ),
-                            )
+                for item in results:
+                    if isinstance(item, TaskResult):
+                        _consume(*item.value, sink)
+                    elif item.dropped:
+                        # Abandoned mid-drain: the cells simply re-run on
+                        # the next resume; quarantining them would be wrong.
+                        continue
+                    elif quarantine_log is None:
+                        raise item.error
+                    else:
+                        _quarantine_failure(item)
             except BaseException:
-                # Ctrl-C or a failing callback/worker: kill the queued cells
-                # instead of draining them -- the JSONL log already holds
-                # every completed row, so a rerun resumes from there.
-                if pool is not None:
-                    pool.terminate()
-                    pool.join()
+                # Ctrl-C (second signal), a failing callback or fail-fast:
+                # close the dispatch generator *now* -- its finally tears
+                # every worker down -- instead of leaving orphaned workers
+                # alive until the traceback releases the frame.  The JSONL
+                # log already holds every completed row, so a rerun resumes.
+                results.close()
                 raise
-            else:
-                if pool is not None:
-                    pool.close()
-                    pool.join()
         finally:
+            for signum, previous in installed:
+                try:
+                    signal.signal(signum, previous)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
             if sink is not None:
                 sink.close()
+        if merged_metrics is not None:
+            for key, value in pool_stats.items():
+                if value:
+                    merged_metrics.inc(f"campaign/pool/{key}", value)
 
-    rows = [
-        done.get(cell.cell_id) or fresh[cell.cell_id]
-        for cell in cells
-    ]
+    rows: List[CellRow] = []
+    for cell in cells:
+        row = done.get(cell.cell_id) or fresh.get(cell.cell_id)
+        # Quarantined, drained and skipped-quarantined cells have no row.
+        if row is not None:
+            rows.append(row)
     if trace_writer is not None:
         trace_writer.complete(
             "campaign",
@@ -626,4 +948,7 @@ def run_campaign(
         ),
         metrics=merged_metrics,
         trace=trace_writer,
+        quarantined=tuple(quarantined),
+        skipped_quarantined=skipped_quarantined,
+        interrupted=interrupt["signals"] > 0,
     )

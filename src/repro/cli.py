@@ -26,6 +26,17 @@ The campaign command additionally accepts ``--jobs N`` (worker processes),
 ``--out FILE`` (JSONL result log; a rerun with the same file resumes and
 skips completed cells), ``--filter SUBSTR`` (run only matching cells) and
 ``--list`` (print the scenario catalog and exit).
+
+Campaign execution is fault-tolerant (:mod:`repro.resilience`): worker
+crashes and hangs are detected, retried (``--max-retries``, under a
+``--task-timeout`` deadline) and, when a cell keeps failing, quarantined to
+a ``*.quarantine.jsonl`` sidecar (``--quarantine``) while the campaign
+continues; ``--retry-quarantined`` re-executes such cells.  A
+``--chaos``/``--chaos-poison`` fault injector exercises all of this
+deterministically.  Exit codes distinguish the outcomes: ``0`` clean,
+``3`` completed but with quarantined (or quarantine-skipped) cells,
+``130`` interrupted by SIGINT/SIGTERM (first signal drains in-flight work
+and persists everything; a second one hard-kills).
 """
 
 from __future__ import annotations
@@ -34,7 +45,7 @@ import argparse
 import dataclasses
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api import (
     ClusterConfig,
@@ -49,6 +60,8 @@ from repro.api import (
 )
 from repro.campaign import campaign_for_scale, format_campaign_report, run_campaign
 from repro.obs import CampaignProgress
+from repro.resilience import RetryPolicy, parse_chaos
+from repro.utils.io import atomic_write_text
 from repro.experiments.common import format_table
 from repro.experiments.ablations import (
     run_alpha_policy_comparison,
@@ -63,10 +76,18 @@ from repro.experiments.fig5_alpha_tuning import Fig5Config, run_fig5
 from repro.scenarios import available_scenarios
 from repro.scenarios.erosion import ErosionScenario
 
-__all__ = ["main", "build_parser", "SCALES"]
+__all__ = ["EXIT_INTERRUPTED", "EXIT_QUARANTINED", "main", "build_parser", "SCALES"]
 
 #: Recognised values of the ``--scale`` option.
 SCALES = ("smoke", "default", "paper")
+
+#: Exit code of a campaign that completed but quarantined (or skipped
+#: previously quarantined) cells -- distinguishable from clean success.
+EXIT_QUARANTINED = 3
+
+#: Exit code of a campaign drained by SIGINT/SIGTERM (mirrors the shell's
+#: 128+SIGINT convention).
+EXIT_INTERRUPTED = 130
 
 
 # ----------------------------------------------------------------------
@@ -236,21 +257,38 @@ def _emit_obs_outputs(
         print("\nHot-loop stage profile:\n" + profile.stage_table(), file=sys.stderr)
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out is not None and metrics is not None:
-        path = Path(metrics_out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(metrics.to_json() + "\n", encoding="utf-8")
+        # Atomic replace: an interrupted run leaves either the previous
+        # snapshot or the new one, never a torn file.
+        path = atomic_write_text(metrics_out, metrics.to_json() + "\n")
         print(f"metrics written to {path}", file=sys.stderr)
     trace_out = getattr(args, "trace_out", None)
     if trace_out is not None and trace is not None:
         print(f"trace written to {trace.write(trace_out)}", file=sys.stderr)
 
 
-def _cmd_campaign(args: argparse.Namespace) -> str:
-    """Run (or list) a campaign according to the parsed CLI arguments."""
+def _cmd_campaign(args: argparse.Namespace) -> Tuple[str, int]:
+    """Run (or list) a campaign; returns the report and the exit code."""
     if args.list:
-        return _list_scenarios()
+        return _list_scenarios(), 0
     spec = campaign_for_scale(args.scale, args.seed)
     out_path = args.out if args.out is not None else f"campaign-{spec.name}.jsonl"
+    # The quarantine sidecar is always on for the CLI (a grid campaign must
+    # never lose thousands of cells to one poisoned one); it defaults to
+    # living next to the result log.
+    quarantine_path = (
+        Path(args.quarantine)
+        if args.quarantine is not None
+        else Path(out_path).with_suffix(".quarantine.jsonl")
+    )
+    chaos = None
+    if args.chaos is not None or args.chaos_poison:
+        try:
+            chaos = parse_chaos(
+                args.chaos or "", poison=tuple(args.chaos_poison or ())
+            )
+        except ValueError as exc:
+            print(f"repro campaign: error: {exc}", file=sys.stderr)
+            return "", 2
     progress = {"done": 0}
 
     def _echo(row):
@@ -281,6 +319,11 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         mp_start_method=args.mp_start_method,
         events=bus,
         obs=_obs_config(args),
+        retry=RetryPolicy(max_retries=args.max_retries),
+        task_timeout=args.task_timeout,
+        quarantine=quarantine_path,
+        retry_quarantined=args.retry_quarantined,
+        chaos=chaos,
     )
     if live is not None:
         live.finish()
@@ -293,9 +336,25 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         f"x {spec.num_seeds} seeds{', filtered' if args.filter else ''}), "
         f"{run.executed} executed, {run.skipped} resumed from {run.out_path}"
     )
+    code = 0
+    if run.quarantined or run.skipped_quarantined:
+        quarantined_now = ", ".join(run.quarantined) or "none new"
+        header += (
+            f"\nQUARANTINED: {len(run.quarantined)} cell(s) this run "
+            f"({quarantined_now}); {run.skipped_quarantined} previously "
+            f"quarantined cell(s) skipped -- see {quarantine_path} "
+            f"(re-run with --retry-quarantined to retry them)"
+        )
+        code = EXIT_QUARANTINED
+    if run.interrupted:
+        header += (
+            "\nINTERRUPTED: in-flight work drained and persisted; rerun "
+            "with the same --out to resume"
+        )
+        code = EXIT_INTERRUPTED
     if not run.rows:
-        return header + "\n(no cells matched)"
-    return header + "\n\n" + format_campaign_report(run.rows)
+        return header + "\n(no cells matched)", code
+    return header + "\n\n" + format_campaign_report(run.rows), code
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
@@ -540,6 +599,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="show one live status line (cells/s, ETA, per-worker occupancy) "
         "instead of printing every completed cell (renders on TTYs only)",
     )
+    campaign.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-dispatches of a seed-batch lost to a worker crash or "
+        "timeout before it is split into single cells (exponential backoff "
+        "with full jitter between attempts; default: %(default)s)",
+    )
+    campaign.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline per seed-batch; a batch running longer has its "
+        "worker killed and counts as a retryable timeout (default: none)",
+    )
+    campaign.add_argument(
+        "--quarantine",
+        default=None,
+        metavar="FILE",
+        help="quarantine sidecar recording cells that keep failing (with "
+        "the error, worker traceback and exact replay config) while the "
+        "campaign continues (default: <out>.quarantine.jsonl); exit code "
+        f"{EXIT_QUARANTINED} flags a run with quarantined cells",
+    )
+    campaign.add_argument(
+        "--retry-quarantined",
+        action="store_true",
+        help="re-execute previously quarantined cells instead of skipping "
+        "them; a cell that now succeeds is marked resolved in the sidecar",
+    )
+    campaign.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for testing the supervisor: "
+        "comma-separated rates 'crash=0.2,hang=0.1,raise=0.1,slow=0.3' "
+        "plus knobs seed=/hang_seconds=/slow_seconds=/max_faults= "
+        "(faults are seeded per cell and capped, so the campaign still "
+        "completes; pair hang rates with --task-timeout)",
+    )
+    campaign.add_argument(
+        "--chaos-poison",
+        action="append",
+        default=None,
+        metavar="SUBSTR",
+        help="cell-id substring that fails on every attempt under --chaos "
+        "(repeatable); such cells must end up quarantined, everything else "
+        "must complete",
+    )
     _add_obs_options(campaign)
     run_parser = subparsers.add_parser(
         "run",
@@ -664,7 +774,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "campaign":
-        report = _cmd_campaign(args)
+        try:
+            report, code = _cmd_campaign(args)
+        except KeyboardInterrupt:
+            # Second signal (or a plain Ctrl-C outside the drain window):
+            # workers are already torn down; exit like a shell would.
+            print("repro campaign: interrupted (hard kill)", file=sys.stderr)
+            return EXIT_INTERRUPTED
+        if report:
+            print(report)
+        return code
     elif args.command == "run":
         try:
             report = _cmd_run(args)

@@ -209,11 +209,14 @@ class TraceWriter:
         return json.dumps(self.to_dict(), indent=indent)
 
     def write(self, path: Union[str, Path]) -> Path:
-        """Write the trace JSON to ``path`` (parents created) and return it."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
-        return path
+        """Write the trace JSON to ``path`` (parents created) and return it.
+
+        The write is atomic (temp file + rename), so a run killed mid-write
+        leaves the previous trace intact instead of a torn file.
+        """
+        from repro.utils.io import atomic_write_text
+
+        return atomic_write_text(path, self.to_json() + "\n")
 
 
 def validate_trace(

@@ -1,0 +1,55 @@
+"""Fault-tolerant campaign execution: supervision, retries, chaos, quarantine.
+
+The resilience layer turns campaign dispatch from "hope every worker
+survives" into a supervised system with an explicit failure model:
+
+* :mod:`repro.resilience.errors` -- the structured error taxonomy
+  (:class:`CellError` and friends) that replaces bare ``Exception`` flows;
+* :mod:`repro.resilience.retry` -- bounded exponential backoff with full
+  jitter (:class:`RetryPolicy`);
+* :mod:`repro.resilience.pool` -- :class:`SupervisedPool`, a self-healing
+  worker pool with per-task deadlines, heartbeat liveness and task
+  subdivision;
+* :mod:`repro.resilience.quarantine` -- the append-only
+  ``*.quarantine.jsonl`` sidecar isolating poison cells with full replay
+  context;
+* :mod:`repro.resilience.chaos` -- the deterministic fault injector that
+  lets CI prove all of the above actually works.
+"""
+
+from repro.resilience.chaos import CHAOS_EXIT_CODE, ChaosConfig, parse_chaos
+from repro.resilience.errors import (
+    CellError,
+    ChaosInjectedError,
+    RetryExhausted,
+    SessionStateError,
+    TaskTimeout,
+    WorkerCrash,
+)
+from repro.resilience.pool import PoolFault, SupervisedPool, TaskFailure, TaskResult
+from repro.resilience.quarantine import (
+    QuarantineEntry,
+    QuarantineLog,
+    validate_quarantine,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "CHAOS_EXIT_CODE",
+    "CellError",
+    "ChaosConfig",
+    "ChaosInjectedError",
+    "PoolFault",
+    "QuarantineEntry",
+    "QuarantineLog",
+    "RetryExhausted",
+    "RetryPolicy",
+    "SessionStateError",
+    "SupervisedPool",
+    "TaskFailure",
+    "TaskResult",
+    "TaskTimeout",
+    "WorkerCrash",
+    "parse_chaos",
+    "validate_quarantine",
+]

@@ -1,0 +1,227 @@
+"""Deterministic fault injection for the supervised campaign engine.
+
+Testing a supervisor against *real* failures -- worker processes dying
+mid-campaign, batches hanging, transient exceptions -- normally means flaky
+tests.  This module makes the failures reproducible: a :class:`ChaosConfig`
+decides, purely from ``(seed, cell id, attempt, fault kind)``, whether a
+worker executing that cell crashes (``os._exit``), hangs, raises or slows
+down.  Two properties follow:
+
+* **determinism** -- the same chaos seed over the same campaign injects the
+  exact same faults in the exact same places, regardless of worker count,
+  dispatch order or start method (the decision function is a pure hash);
+* **convergence** -- every rate-based fault is *transient by construction*:
+  a cell injects at most :attr:`ChaosConfig.max_faults_per_cell` faults
+  across its retry attempts, so a supervisor with ``max_retries >
+  max_faults_per_cell`` always completes the campaign.  Only cells named in
+  :attr:`ChaosConfig.poison` fail on *every* attempt -- those are the cells
+  a correct supervisor must isolate and quarantine.
+
+Workers consult the injector once per dispatched batch
+(:meth:`ChaosConfig.inject`), before any simulation work, so every
+completed cell's row is bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.resilience.errors import ChaosInjectedError
+from repro.utils.validation import check_fraction, check_non_negative
+
+__all__ = ["CHAOS_EXIT_CODE", "ChaosConfig", "parse_chaos"]
+
+#: Exit status used by injected worker crashes (distinguishable from a
+#: normal worker exit in process tables and supervisor telemetry).
+CHAOS_EXIT_CODE = 86
+
+#: Fault kinds in decision-precedence order (a cell that draws both a crash
+#: and a slow-down crashes).
+_KINDS = ("crash", "hang", "error", "slow")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded fault-injection rates consulted by campaign workers.
+
+    Rates are per *cell and attempt*: a batch of cells injects the highest
+    -precedence fault any of its cells drew for the current attempt.
+
+    Example
+    -------
+    >>> chaos = ChaosConfig(crash=1.0, max_faults_per_cell=1, seed=3)
+    >>> chaos.decide("some|cell", attempt=0)
+    'crash'
+    >>> chaos.decide("some|cell", attempt=1) is None  # capped: converges
+    True
+    """
+
+    #: Probability a cell kills its worker via ``os._exit``.
+    crash: float = 0.0
+    #: Probability a cell hangs for :attr:`hang_seconds`.
+    hang: float = 0.0
+    #: Probability a cell raises a (retryable) :class:`ChaosInjectedError`.
+    error: float = 0.0
+    #: Probability a cell sleeps :attr:`slow_seconds` before executing.
+    slow: float = 0.0
+    #: Seed of the decision hash.
+    seed: int = 0
+    #: How long an injected hang sleeps (seconds); pair with a supervisor
+    #: ``task_timeout`` well below it.
+    hang_seconds: float = 30.0
+    #: How long an injected slow-down sleeps (seconds).
+    slow_seconds: float = 0.05
+    #: Injection cap per cell across retry attempts; rate-based faults stop
+    #: firing from this attempt on, guaranteeing convergence whenever the
+    #: supervisor's ``max_retries`` exceeds it.
+    max_faults_per_cell: int = 2
+    #: Cell-id substrings that fail (non-retryably) on *every* attempt --
+    #: the deterministic poison a supervisor must quarantine.
+    poison: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for kind in _KINDS:
+            check_fraction(getattr(self, kind), kind)
+        check_non_negative(self.hang_seconds, "hang_seconds")
+        check_non_negative(self.slow_seconds, "slow_seconds")
+        if self.max_faults_per_cell < 0:
+            raise ValueError(
+                f"max_faults_per_cell must be >= 0, got {self.max_faults_per_cell}"
+            )
+        object.__setattr__(self, "poison", tuple(self.poison))
+
+    # ------------------------------------------------------------------
+    @property
+    def any_enabled(self) -> bool:
+        """True when any fault can ever fire."""
+        return bool(self.poison) or any(getattr(self, kind) for kind in _KINDS)
+
+    def _draw(self, cell_id: str, attempt: int, kind: str) -> float:
+        # blake2b, not crc32: CRC is linear over GF(2), so near-identical
+        # cell ids (and seeds differing in one byte) produce strongly
+        # correlated draws -- a cryptographic hash gives uniform,
+        # independent-looking draws for any input family.
+        token = f"{self.seed}|{kind}|{cell_id}|{attempt}".encode("utf-8")
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def is_poisoned(self, cell_id: str) -> bool:
+        """True when ``cell_id`` matches a poison substring."""
+        return any(marker in cell_id for marker in self.poison)
+
+    def decide(self, cell_id: str, attempt: int) -> Optional[str]:
+        """Fault (or None) injected for ``cell_id`` on retry ``attempt``.
+
+        A pure function of ``(seed, cell_id, attempt)`` -- the same inputs
+        decide the same fault in any process on any platform.
+        """
+        if self.is_poisoned(cell_id):
+            return "poison"
+        if attempt >= self.max_faults_per_cell:
+            return None
+        for kind in _KINDS:
+            rate = getattr(self, kind)
+            if rate > 0.0 and self._draw(cell_id, attempt, kind) < rate:
+                return kind
+        return None
+
+    def inject(self, cell_ids: Sequence[str], attempt: int) -> None:
+        """Act on the decisions for one dispatched batch (worker-side).
+
+        Evaluates every cell and executes the highest-precedence fault
+        drawn: ``poison``/``error`` raise, ``crash`` kills the process
+        (``os._exit`` in worker processes; an in-process run raises a
+        retryable error instead -- killing the caller's interpreter is
+        never acceptable collateral), ``hang``/``slow`` sleep.  Returns
+        normally when nothing fires.
+        """
+        decisions: Dict[str, str] = {}
+        for cell_id in cell_ids:
+            kind = self.decide(cell_id, attempt)
+            if kind is not None:
+                decisions[cell_id] = kind
+        if not decisions:
+            return
+        for kind in ("poison", "crash", "hang", "error", "slow"):
+            victims = [cid for cid, k in decisions.items() if k == kind]
+            if not victims:
+                continue
+            if kind == "poison":
+                raise ChaosInjectedError(
+                    f"chaos: poisoned cell(s) {victims}",
+                    kind="poison",
+                    cell_ids=victims,
+                    attempts=attempt + 1,
+                )
+            if kind == "crash":
+                if multiprocessing.parent_process() is not None:
+                    os._exit(CHAOS_EXIT_CODE)
+                raise ChaosInjectedError(
+                    f"chaos: crash injected for {victims} (in-process run: "
+                    "raised instead of killing the interpreter)",
+                    kind="error",
+                    cell_ids=victims,
+                    attempts=attempt + 1,
+                )
+            if kind == "hang":
+                time.sleep(self.hang_seconds)
+                return  # a survived hang (timeout > hang) just ran slowly
+            if kind == "error":
+                raise ChaosInjectedError(
+                    f"chaos: transient error injected for {victims}",
+                    kind="error",
+                    cell_ids=victims,
+                    attempts=attempt + 1,
+                )
+            if kind == "slow":
+                time.sleep(self.slow_seconds)
+                return
+
+
+def parse_chaos(text: str, *, poison: Sequence[str] = ()) -> ChaosConfig:
+    """Parse the CLI chaos shorthand into a :class:`ChaosConfig`.
+
+    ``text`` is a comma-separated ``key=value`` list; rate keys are
+    ``crash`` / ``hang`` / ``raise`` (alias of ``error``) / ``slow``, knob
+    keys are ``seed`` / ``hang_seconds`` / ``slow_seconds`` /
+    ``max_faults``.  ``poison`` substrings arrive via the separate
+    ``--chaos-poison`` flag (cell ids contain commas' neighbours like
+    ``|``, so they never parse cleanly inline).
+
+    >>> parse_chaos("crash=0.2,hang=0.1,seed=7").crash
+    0.2
+    """
+    values: Dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(
+                f"chaos spec entries must look like key=value, got {part!r}"
+            )
+        values[key.strip().replace("-", "_")] = float(value)
+    aliases = {"raise": "error", "max_faults": "max_faults_per_cell"}
+    kwargs: Dict[str, object] = {}
+    known = {
+        "crash", "hang", "error", "slow", "seed",
+        "hang_seconds", "slow_seconds", "max_faults_per_cell",
+    }
+    for key, value in values.items():
+        key = aliases.get(key, key)
+        if key not in known:
+            raise ValueError(
+                f"unknown chaos key {key!r}; known keys: "
+                f"{sorted(known | set(aliases))}"
+            )
+        if key in ("seed", "max_faults_per_cell"):
+            kwargs[key] = int(value)
+        else:
+            kwargs[key] = value
+    return ChaosConfig(poison=tuple(poison), **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,156 @@
+"""Structured error taxonomy of the fault-tolerant campaign layer.
+
+Campaign execution used to flow every failure through bare ``Exception``:
+a worker segfault, a hung batch and a typo'd scenario name all surfaced (or
+didn't) the same way, and the only caller strategy was "catch everything".
+This module gives each failure mode its own type so supervisors, the CLI
+and tests can react per mode:
+
+:class:`CellError`
+    Base of the taxonomy: executing one or more campaign cells failed.
+    Carries the affected ``cell_ids``, the attempt count, the worker pid
+    and -- when the failure happened in a worker process -- the *original*
+    exception type name and formatted traceback, so nothing is lost at the
+    process boundary.
+:class:`WorkerCrash`
+    The worker process died (``os._exit``, segfault, OOM kill, lost
+    heartbeat).  Transient by assumption, hence retryable.
+:class:`TaskTimeout`
+    A task exceeded its deadline and its worker was killed.  Retryable.
+:class:`ChaosInjectedError`
+    Raised *inside workers* by the deterministic fault injector
+    (:mod:`repro.resilience.chaos`); retryable unless the cell is poisoned.
+:class:`RetryExhausted`
+    A task failed ``max_retries + 1`` times; raised (fail-fast mode) or
+    recorded in the quarantine sidecar (quarantine mode).
+:class:`SessionStateError`
+    A :class:`~repro.api.session.Session` was used in a state that cannot
+    run (subclasses :class:`ValueError` for backwards compatibility).
+
+The module is dependency-free (it imports nothing from :mod:`repro`), so
+any layer -- including :mod:`repro.api.session` -- can raise these without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "CellError",
+    "ChaosInjectedError",
+    "RetryExhausted",
+    "SessionStateError",
+    "TaskTimeout",
+    "WorkerCrash",
+]
+
+
+class CellError(RuntimeError):
+    """Execution of one or more campaign cells failed.
+
+    The base class of the campaign error taxonomy.  ``retryable`` encodes
+    whether a supervisor should re-dispatch the task: environmental
+    failures (crashes, timeouts) are, deterministic task exceptions are
+    not -- re-running the same code on the same cell reproduces the same
+    error.
+    """
+
+    #: Default retry classification of this error type.
+    default_retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cell_ids: Sequence[str] = (),
+        attempts: int = 0,
+        worker_pid: Optional[int] = None,
+        error_type: Optional[str] = None,
+        worker_traceback: Optional[str] = None,
+        retryable: Optional[bool] = None,
+    ) -> None:
+        super().__init__(message)
+        #: Ids of the affected cells (one entry after batch isolation).
+        self.cell_ids: Tuple[str, ...] = tuple(cell_ids)
+        #: Number of executions attempted when the error was raised.
+        self.attempts = int(attempts)
+        #: Pid of the worker the failure happened in (None in-process).
+        self.worker_pid = worker_pid
+        #: Type name of the original exception (worker-side failures).
+        self.error_type = error_type or type(self).__name__
+        #: Formatted traceback captured where the exception happened.
+        self.worker_traceback = worker_traceback
+        #: Whether a supervisor should re-dispatch the task.
+        self.retryable = (
+            self.default_retryable if retryable is None else bool(retryable)
+        )
+
+    def describe(self) -> str:
+        """One-line description including the original error, if any."""
+        parts = [str(self)]
+        if self.cell_ids:
+            parts.append(f"cells: {', '.join(self.cell_ids)}")
+        if self.attempts:
+            parts.append(f"attempts: {self.attempts}")
+        return " | ".join(parts)
+
+
+class WorkerCrash(CellError):
+    """A worker process died while executing a task.
+
+    Raised by the supervisor when an in-flight worker's process is no
+    longer alive (``os._exit``, segfault, OOM kill) or when its heartbeat
+    went stale while the process looks alive (frozen / stopped).  The
+    failure is environmental, so the lost batch is re-dispatched.
+    """
+
+    default_retryable = True
+
+
+class TaskTimeout(CellError):
+    """A task exceeded its deadline and its worker was killed.
+
+    Raised by the supervisor when an in-flight task ran past
+    ``task_timeout`` seconds; the worker is terminated (a hung worker
+    cannot be interrupted any other way) and the batch re-dispatched.
+    """
+
+    default_retryable = True
+
+
+class ChaosInjectedError(CellError):
+    """A deterministic fault injected by :mod:`repro.resilience.chaos`.
+
+    Raised inside worker processes when the chaos configuration selects
+    the ``error`` fault for a cell (transient, hence retryable) or when
+    the cell is poisoned (fails on every attempt, hence not retryable --
+    the supervisor isolates and quarantines it instead).
+    """
+
+    default_retryable = True
+
+    def __init__(self, message: str, *, kind: str = "error", **kwargs) -> None:
+        kwargs.setdefault("retryable", kind != "poison")
+        super().__init__(message, **kwargs)
+        #: Chaos fault kind that produced this error (``error``/``poison``).
+        self.kind = kind
+
+
+class RetryExhausted(CellError):
+    """A task kept failing after ``max_retries`` re-dispatches.
+
+    Carries the *last* underlying failure (type name + traceback) and the
+    total attempt count.  In quarantine mode the supervisor records the
+    cell instead of raising this.
+    """
+
+    default_retryable = False
+
+
+class SessionStateError(ValueError):
+    """A session was asked to run in a state that cannot execute.
+
+    Subclasses :class:`ValueError` so existing callers catching the old
+    bare ``ValueError`` flows keep working.
+    """

@@ -1,0 +1,210 @@
+"""Poison-cell quarantine: the append-only sidecar of a supervised campaign.
+
+A cell that keeps failing after isolation and bounded retries must not abort
+the other thousands of cells of a grid -- and must not silently vanish
+either.  The supervisor therefore writes one :class:`QuarantineEntry` per
+such cell to a ``*.quarantine.jsonl`` sidecar next to the campaign's result
+log.  An entry carries everything needed to reproduce the failure offline:
+the exception type and message, the worker-side traceback, the attempt
+count, an environment stamp and the cell's exact
+:class:`~repro.api.config.RunConfig` JSON (replay with
+``Session.from_config(RunConfig.from_dict(entry.run_config)).run()``).
+
+The sidecar is append-only with newest-wins semantics, mirroring the result
+log: re-running a quarantined cell with ``--retry-quarantined`` appends a
+``resolved`` marker on success, which removes the id from
+:meth:`QuarantineLog.load` so later resumes execute the cell normally
+again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+__all__ = [
+    "QuarantineEntry",
+    "QuarantineLog",
+    "validate_quarantine",
+]
+
+#: Keys every persisted (non-resolution) entry must carry.
+_REQUIRED_KEYS = (
+    "cell_id",
+    "error_type",
+    "message",
+    "traceback",
+    "attempts",
+    "run_config",
+    "env",
+    "quarantined_at",
+)
+
+
+def _env_stamp() -> Dict[str, object]:
+    """Environment fingerprint attached to every quarantine entry."""
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "pid": os.getpid(),
+    }
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One quarantined cell: the failure plus everything needed to replay it."""
+
+    #: Campaign cell id (the resume key).
+    cell_id: str
+    #: Taxonomy type name of the final failure (e.g. ``"RetryExhausted"``).
+    error_type: str
+    #: Message of the final failure.
+    message: str
+    #: Traceback captured where the failure happened (worker or in-process).
+    traceback: str
+    #: Total number of execution attempts before quarantining.
+    attempts: int
+    #: Exact ``RunConfig.to_dict()`` of the cell, for offline replay.
+    run_config: Dict[str, object]
+    #: Environment stamp (python/numpy/platform/pid) at quarantine time.
+    env: Dict[str, object] = field(default_factory=_env_stamp)
+    #: UTC ISO-8601 timestamp of the quarantine decision.
+    quarantined_at: str = field(
+        default_factory=lambda: datetime.now(timezone.utc).isoformat()
+    )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-serialisable form (one sidecar line)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "QuarantineEntry":
+        """Rebuild an entry from a parsed sidecar line."""
+        missing = [key for key in _REQUIRED_KEYS if key not in data]
+        if missing:
+            raise ValueError(f"quarantine entry is missing key(s) {missing}")
+        return cls(**{key: data[key] for key in _REQUIRED_KEYS})  # type: ignore[arg-type]
+
+
+class QuarantineLog:
+    """Append-only JSONL sidecar recording quarantined cells.
+
+    Mirrors the result log's conventions: one JSON object per line, flushed
+    per append so progress survives interruption, torn trailing lines
+    ignored on load, newest entry per ``cell_id`` wins.  A *resolution*
+    line (``{"cell_id": ..., "resolved": true}``) retracts earlier entries
+    for that cell.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def append(self, entry: QuarantineEntry) -> None:
+        """Append one quarantined cell (parents created, flushed)."""
+        self._append_record(entry.to_dict())
+
+    def resolve(self, cell_id: str) -> None:
+        """Record that ``cell_id`` later completed successfully."""
+        self._append_record(
+            {
+                "cell_id": cell_id,
+                "resolved": True,
+                "resolved_at": datetime.now(timezone.utc).isoformat(),
+            }
+        )
+
+    def _append_record(self, record: Dict[str, object]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+
+    def load(self) -> Dict[str, QuarantineEntry]:
+        """Active quarantine entries by cell id (newest wins, resolved drop).
+
+        Missing file means an empty quarantine.  Malformed lines (torn tail
+        of a killed run) are skipped, exactly like
+        :func:`repro.campaign.runner.load_results` does for rows.
+        """
+        if not self.path.exists():
+            return {}
+        active: Dict[str, QuarantineEntry] = {}
+        for record in self._records():
+            cell_id = str(record.get("cell_id", ""))
+            if not cell_id:
+                continue
+            if record.get("resolved"):
+                active.pop(cell_id, None)
+                continue
+            try:
+                active[cell_id] = QuarantineEntry.from_dict(record)
+            except (TypeError, ValueError):
+                continue
+        return active
+
+    def _records(self) -> List[Dict[str, object]]:
+        records: List[Dict[str, object]] = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+        return records
+
+
+def validate_quarantine(path: Union[str, Path]) -> List[str]:
+    """Structurally validate a quarantine sidecar file.
+
+    Returns a list of human-readable problems -- empty means valid (the CI
+    chaos lane asserts exactly that).  A missing file is valid (nothing was
+    quarantined); every line must be a JSON object that is either a
+    resolution marker or a full entry with a replayable ``run_config``.
+    """
+    path = Path(path)
+    problems: List[str] = []
+    if not path.exists():
+        return problems
+    for index, line in enumerate(path.read_text(encoding="utf-8").splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            problems.append(f"line {index}: not valid JSON")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {index}: not a JSON object")
+            continue
+        if not record.get("cell_id"):
+            problems.append(f"line {index}: missing cell_id")
+            continue
+        if record.get("resolved"):
+            continue
+        missing = [key for key in _REQUIRED_KEYS if key not in record]
+        if missing:
+            problems.append(f"line {index}: missing key(s) {missing}")
+            continue
+        if not isinstance(record["run_config"], dict):
+            problems.append(f"line {index}: run_config is not an object")
+        if not isinstance(record["attempts"], int) or record["attempts"] < 1:
+            problems.append(f"line {index}: attempts must be a positive integer")
+    return problems

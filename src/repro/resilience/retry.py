@@ -1,0 +1,58 @@
+"""Retry policy of the supervised pool: bounded, backed off, fully jittered.
+
+A lost batch is re-dispatched at most ``max_retries`` times.  Waiting a
+fixed interval between attempts synchronizes retries across workers (every
+re-dispatch lands at once -- the classic thundering herd); the policy
+therefore uses *exponential backoff with full jitter*: the delay before
+attempt ``k`` is drawn uniformly from ``[0, min(cap, base * 2**(k-1))]``.
+The draw is seeded from ``(jitter_seed, task key, attempt)``, so a given
+campaign retries at reproducible instants while distinct tasks still
+de-correlate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_non_negative_int
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how fast failed tasks are re-dispatched.
+
+    ``max_retries`` bounds *re*-dispatches: a task runs at most
+    ``max_retries + 1`` times before it is declared
+    :class:`~repro.resilience.errors.RetryExhausted`.
+    """
+
+    #: Re-dispatches after the first failure (0 disables retrying).
+    max_retries: int = 2
+    #: Backoff base: the attempt-1 delay ceiling (seconds).
+    backoff_base: float = 0.05
+    #: Upper bound of the exponential delay ceiling (seconds).
+    backoff_cap: float = 2.0
+    #: Seed of the jitter draw (None draws from the process-global RNG).
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.max_retries, "max_retries")
+        check_non_negative(self.backoff_base, "backoff_base")
+        check_non_negative(self.backoff_cap, "backoff_cap")
+
+    def delay(self, attempt: int, key: int = 0) -> float:
+        """Full-jitter delay before re-dispatch number ``attempt`` (>= 1).
+
+        Deterministic in ``(jitter_seed, key, attempt)``: the same campaign
+        re-run produces the same retry schedule.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        ceiling = min(self.backoff_cap, self.backoff_base * 2.0 ** (attempt - 1))
+        if ceiling <= 0.0:
+            return 0.0
+        rng = random.Random(f"{self.jitter_seed}|{int(key)}|{int(attempt)}")
+        return rng.uniform(0.0, ceiling)

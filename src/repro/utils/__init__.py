@@ -3,6 +3,7 @@
 This package hosts small, dependency-free helpers used across the whole
 library:
 
+* :mod:`repro.utils.io` -- atomic artifact writes (temp file + rename).
 * :mod:`repro.utils.rng` -- reproducible random-number-generator management.
 * :mod:`repro.utils.stats` -- statistical helpers (z-scores, robust medians,
   box-plot summaries, histogram binning) shared by the load-balancing
@@ -11,6 +12,7 @@ library:
   uniform, descriptive errors.
 """
 
+from repro.utils.io import atomic_write_json, atomic_write_text
 from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
 from repro.utils.stats import (
     BoxPlotSummary,
@@ -32,6 +34,8 @@ from repro.utils.validation import (
 __all__ = [
     "BoxPlotSummary",
     "HistogramSummary",
+    "atomic_write_json",
+    "atomic_write_text",
     "box_plot_summary",
     "check_fraction",
     "check_in_range",

@@ -36,6 +36,7 @@ EXECUTABLE_PAGES = [
     DOCS / "campaigns.md",
     DOCS / "batch-engine.md",
     DOCS / "observability.md",
+    DOCS / "resilience.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -1,0 +1,124 @@
+"""Tests of the deterministic fault injector (:mod:`repro.resilience.chaos`).
+
+The injector's two contracts are pinned here: *determinism* (decisions are
+a pure function of seed, cell id and attempt) and *convergence* (rate-based
+faults stop firing after ``max_faults_per_cell`` attempts, so a supervisor
+with a bigger retry budget always completes; only poisoned cells fail
+forever).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import ChaosConfig, ChaosInjectedError, parse_chaos
+
+
+class TestDecide:
+    def test_decisions_are_deterministic(self):
+        a = ChaosConfig(crash=0.3, error=0.2, seed=7)
+        b = ChaosConfig(crash=0.3, error=0.2, seed=7)
+        cells = [f"scenario|policy|seed{i}" for i in range(50)]
+        for attempt in range(3):
+            assert [a.decide(c, attempt) for c in cells] == [
+                b.decide(c, attempt) for c in cells
+            ]
+
+    def test_seed_changes_decisions(self):
+        cells = [f"cell{i}" for i in range(200)]
+        a = [ChaosConfig(crash=0.5, seed=1).decide(c, 0) for c in cells]
+        b = [ChaosConfig(crash=0.5, seed=2).decide(c, 0) for c in cells]
+        assert a != b
+
+    def test_rates_are_roughly_respected(self):
+        chaos = ChaosConfig(crash=0.5, seed=3)
+        hits = sum(
+            chaos.decide(f"cell{i}", 0) == "crash" for i in range(400)
+        )
+        assert 150 <= hits <= 250  # ±5 sigma around the binomial mean of 200
+
+    def test_fault_cap_guarantees_convergence(self):
+        chaos = ChaosConfig(crash=1.0, hang=1.0, error=1.0, max_faults_per_cell=2)
+        assert chaos.decide("cell", 0) is not None
+        assert chaos.decide("cell", 1) is not None
+        assert chaos.decide("cell", 2) is None
+        assert chaos.decide("cell", 99) is None
+
+    def test_poison_fires_on_every_attempt(self):
+        chaos = ChaosConfig(poison=("bad|cell",), max_faults_per_cell=1)
+        for attempt in range(10):
+            assert chaos.decide("prefix|bad|cell|suffix", attempt) == "poison"
+        assert chaos.decide("good|cell", 0) is None
+
+    def test_zero_config_is_disabled(self):
+        chaos = ChaosConfig()
+        assert not chaos.any_enabled
+        assert chaos.decide("anything", 0) is None
+        chaos.inject(["anything"], 0)  # no-op
+
+
+class TestInject:
+    def test_error_injection_is_retryable(self):
+        chaos = ChaosConfig(error=1.0)
+        with pytest.raises(ChaosInjectedError) as excinfo:
+            chaos.inject(["cell-a"], 0)
+        assert excinfo.value.retryable
+        assert "cell-a" in str(excinfo.value)
+
+    def test_poison_injection_is_not_retryable(self):
+        chaos = ChaosConfig(poison=("cell-a",))
+        with pytest.raises(ChaosInjectedError) as excinfo:
+            chaos.inject(["cell-a", "cell-b"], 5)
+        assert not excinfo.value.retryable
+        assert excinfo.value.kind == "poison"
+        assert excinfo.value.cell_ids == ("cell-a",)
+
+    def test_in_process_crash_raises_instead_of_exiting(self):
+        # Killing the caller's interpreter is never acceptable: in the
+        # parent process an injected crash degrades to a retryable raise.
+        chaos = ChaosConfig(crash=1.0)
+        with pytest.raises(ChaosInjectedError) as excinfo:
+            chaos.inject(["cell-a"], 0)
+        assert excinfo.value.retryable
+
+    def test_slow_injection_returns_normally(self):
+        chaos = ChaosConfig(slow=1.0, slow_seconds=0.01)
+        chaos.inject(["cell-a"], 0)  # sleeps briefly, no exception
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(crash=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(hang_seconds=-1.0)
+        with pytest.raises(ValueError):
+            ChaosConfig(max_faults_per_cell=-1)
+
+
+class TestParse:
+    def test_parse_rates_and_knobs(self):
+        chaos = parse_chaos("crash=0.2,hang=0.1,seed=7,hang_seconds=2,max_faults=3")
+        assert chaos.crash == 0.2
+        assert chaos.hang == 0.1
+        assert chaos.seed == 7
+        assert chaos.hang_seconds == 2.0
+        assert chaos.max_faults_per_cell == 3
+
+    def test_raise_is_an_alias_of_error(self):
+        assert parse_chaos("raise=0.25").error == 0.25
+
+    def test_poison_passes_through(self):
+        chaos = parse_chaos("crash=0.1", poison=("bursty|ulba",))
+        assert chaos.poison == ("bursty|ulba",)
+        assert chaos.is_poisoned("bursty|ulba(a=0.40)|seed0")
+
+    def test_empty_spec_with_poison_only(self):
+        chaos = parse_chaos("", poison=("x",))
+        assert chaos.any_enabled
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos key"):
+            parse_chaos("explode=0.5")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_chaos("crash")

@@ -1,0 +1,111 @@
+"""Tests of the quarantine sidecar (:mod:`repro.resilience.quarantine`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.resilience import QuarantineEntry, QuarantineLog, validate_quarantine
+
+
+def entry(cell_id="cell-a", **overrides):
+    base = dict(
+        cell_id=cell_id,
+        error_type="RetryExhausted",
+        message="worker died 3 times",
+        traceback="Traceback ...",
+        attempts=3,
+        run_config={"scenario": {"name": "bursty"}},
+    )
+    base.update(overrides)
+    return QuarantineEntry(**base)
+
+
+class TestLog:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        log = QuarantineLog(tmp_path / "q.jsonl")
+        log.append(entry("cell-a"))
+        log.append(entry("cell-b", attempts=1))
+        active = log.load()
+        assert set(active) == {"cell-a", "cell-b"}
+        assert active["cell-a"].attempts == 3
+        assert active["cell-a"].run_config == {"scenario": {"name": "bursty"}}
+        assert active["cell-a"].env["python"]
+        assert active["cell-a"].quarantined_at
+
+    def test_newest_entry_wins(self, tmp_path):
+        log = QuarantineLog(tmp_path / "q.jsonl")
+        log.append(entry("cell-a", message="first"))
+        log.append(entry("cell-a", message="second"))
+        assert log.load()["cell-a"].message == "second"
+
+    def test_resolution_retracts(self, tmp_path):
+        log = QuarantineLog(tmp_path / "q.jsonl")
+        log.append(entry("cell-a"))
+        log.append(entry("cell-b"))
+        log.resolve("cell-a")
+        assert set(log.load()) == {"cell-b"}
+
+    def test_requarantine_after_resolution(self, tmp_path):
+        log = QuarantineLog(tmp_path / "q.jsonl")
+        log.append(entry("cell-a"))
+        log.resolve("cell-a")
+        log.append(entry("cell-a", message="again"))
+        assert log.load()["cell-a"].message == "again"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert QuarantineLog(tmp_path / "missing.jsonl").load() == {}
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        log = QuarantineLog(path)
+        log.append(entry("cell-a"))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"cell_id": "cell-b", "error_ty')  # killed mid-write
+        assert set(log.load()) == {"cell-a"}
+
+    def test_creates_parent_directories(self, tmp_path):
+        log = QuarantineLog(tmp_path / "deep" / "dir" / "q.jsonl")
+        log.append(entry())
+        assert log.load()
+
+
+class TestValidate:
+    def test_missing_file_is_valid(self, tmp_path):
+        assert validate_quarantine(tmp_path / "none.jsonl") == []
+
+    def test_real_sidecar_is_valid(self, tmp_path):
+        log = QuarantineLog(tmp_path / "q.jsonl")
+        log.append(entry("cell-a"))
+        log.resolve("cell-a")
+        log.append(entry("cell-b"))
+        assert validate_quarantine(log.path) == []
+
+    def test_problems_are_reported(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        lines = [
+            "not json at all",
+            json.dumps(["not", "an", "object"]),
+            json.dumps({"error_type": "X"}),  # no cell_id
+            json.dumps({"cell_id": "c", "error_type": "X"}),  # missing keys
+            json.dumps(
+                {
+                    "cell_id": "c",
+                    "error_type": "X",
+                    "message": "m",
+                    "traceback": "t",
+                    "attempts": 0,  # must be >= 1
+                    "run_config": "not a dict",
+                    "env": {},
+                    "quarantined_at": "now",
+                }
+            ),
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        problems = validate_quarantine(path)
+        assert len(problems) == 6  # the last line has two problems
+        assert any("not valid JSON" in p for p in problems)
+        assert any("not a JSON object" in p for p in problems)
+        assert any("missing cell_id" in p for p in problems)
+        assert any("missing key" in p for p in problems)
+        assert any("run_config" in p for p in problems)
+        assert any("attempts" in p for p in problems)

@@ -46,6 +46,12 @@ PUBLIC_MODULES = [
     "repro.optim",
     "repro.particles",
     "repro.partitioning",
+    "repro.resilience",
+    "repro.resilience.chaos",
+    "repro.resilience.errors",
+    "repro.resilience.pool",
+    "repro.resilience.quarantine",
+    "repro.resilience.retry",
     "repro.runtime",
     "repro.scenarios",
     "repro.scenarios.base",
@@ -55,6 +61,7 @@ PUBLIC_MODULES = [
     "repro.scenarios.registry",
     "repro.simcluster",
     "repro.utils",
+    "repro.utils.io",
     "repro.viz",
 ]
 
