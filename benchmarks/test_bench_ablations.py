@@ -9,7 +9,6 @@ pieces show up as a measurable shift in these tables.
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.experiments.ablations import (

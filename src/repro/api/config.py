@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field, fields
 from types import MappingProxyType
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
 
 from repro.lb.base import TriggerPolicy, WorkloadPolicy
 from repro.lb.registry import make_policy_pair
@@ -66,7 +66,10 @@ DEFAULT_BANDWIDTH: float = 2.0e9
 DEFAULT_BYTES_PER_LOAD_UNIT: float = 1200.0
 
 
-def _from_mapping(cls, data, *, context: str):
+_S = TypeVar("_S", bound="_ConfigSection")
+
+
+def _from_mapping(cls: Type[_S], data: Mapping[str, Any], *, context: str) -> _S:
     """Build ``cls(**data)`` after rejecting non-mappings and unknown keys."""
     if not isinstance(data, Mapping):
         raise TypeError(f"{context} must be built from a mapping, got {type(data).__name__}")
@@ -107,7 +110,7 @@ class _ConfigSection:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]):
+    def from_dict(cls: Type[_S], data: Mapping[str, Any]) -> _S:
         """Rebuild from a plain mapping, rejecting unknown keys."""
         return _from_mapping(cls, data, context=cls.__name__)
 
@@ -229,7 +232,7 @@ class PolicyConfig(_ConfigSection):
         # JSON form is a stable stand-in (keeps RunConfig hashable too).
         return hash((self.name, json.dumps(dict(self.params), sort_keys=True)))
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, Tuple[str, Dict[str, Any]]]:
         # The read-only params proxy is not picklable; rebuild through the
         # constructor instead (re-validating on the way in), which also
         # keeps RunConfig picklable/deep-copyable for worker fan-out.

@@ -45,6 +45,13 @@ from repro.lb.centralized import LBStepReport
 
 __all__ = [
     "EVENT_TYPES",
+    "EV_BATCH_CHUNK",
+    "EV_CAMPAIGN_CELL",
+    "EV_CAMPAIGN_FAULT",
+    "EV_ITERATION",
+    "EV_LB_STEP",
+    "EV_PHASE",
+    "EV_WORKER_HEARTBEAT",
     "BatchChunkEvent",
     "CampaignCellEvent",
     "CampaignFaultEvent",
@@ -55,15 +62,26 @@ __all__ = [
     "WorkerHeartbeatEvent",
 ]
 
+# Event-name constants.  Emit call sites must reference these rather than
+# string literals (enforced by lint rule API001), so every emitted name is
+# statically checkable against the catalog below.
+EV_PHASE = "phase"
+EV_ITERATION = "iteration"
+EV_LB_STEP = "lb_step"
+EV_BATCH_CHUNK = "batch_chunk"
+EV_CAMPAIGN_CELL = "campaign_cell"
+EV_CAMPAIGN_FAULT = "campaign_fault"
+EV_WORKER_HEARTBEAT = "worker_heartbeat"
+
 #: Event names a session emits (plus the ``"*"`` wildcard accepted by ``on``).
 EVENT_TYPES: Tuple[str, ...] = (
-    "phase",
-    "iteration",
-    "lb_step",
-    "batch_chunk",
-    "campaign_cell",
-    "campaign_fault",
-    "worker_heartbeat",
+    EV_PHASE,
+    EV_ITERATION,
+    EV_LB_STEP,
+    EV_BATCH_CHUNK,
+    EV_CAMPAIGN_CELL,
+    EV_CAMPAIGN_FAULT,
+    EV_WORKER_HEARTBEAT,
 )
 
 

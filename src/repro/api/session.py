@@ -26,7 +26,6 @@ runner internals, and :meth:`run` returns a structured
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
@@ -35,6 +34,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.api.config import ObsConfig, RunConfig, RunnerConfig, TopologyConfig
 from repro.api.events import (
+    EV_BATCH_CHUNK,
+    EV_ITERATION,
+    EV_LB_STEP,
+    EV_PHASE,
     BatchChunkEvent,
     EventBus,
     IterationEvent,
@@ -43,8 +46,9 @@ from repro.api.events import (
 )
 from repro.lb.base import TriggerPolicy, WorkloadPolicy
 from repro.lb.centralized import LBStepReport
+from repro.obs.clock import wall_clock, wall_clock_ns
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.profiler import StageProfiler
+from repro.obs.profiler import StageProfile, StageProfiler
 from repro.obs.trace import TraceWriter
 from repro.resilience.errors import SessionStateError
 from repro.runtime.skeleton import IterativeRunner, RunResult, StripedApplication
@@ -78,7 +82,7 @@ class SessionResult:
 
     # ------------------------------------------------------------------
     @property
-    def profile(self):
+    def profile(self) -> "Optional[StageProfile]":
         """Stage profile of the run (None unless ``obs.profile`` was on)."""
         return self.run.profile
 
@@ -278,32 +282,34 @@ class Session:
         return self.events.on(event, callback)
 
     def _emit_iteration(self, iteration: int, elapsed: float) -> None:
-        if self.events.has_listeners("iteration"):
-            self.events.emit("iteration", IterationEvent(iteration=iteration, elapsed=elapsed))
+        if self.events.has_listeners(EV_ITERATION):
+            self.events.emit(EV_ITERATION, IterationEvent(iteration=iteration, elapsed=elapsed))
 
     def _emit_lb_step(self, iteration: int, report: LBStepReport) -> None:
-        if self.events.has_listeners("lb_step"):
-            self.events.emit("lb_step", LBStepEvent(iteration=iteration, report=report))
+        if self.events.has_listeners(EV_LB_STEP):
+            self.events.emit(EV_LB_STEP, LBStepEvent(iteration=iteration, report=report))
 
     # ------------------------------------------------------------------
     def _subscribe_trace(self, writer: TraceWriter) -> None:
         """Mirror bus events into the Chrome trace as instant marks."""
 
         def _on_phase(event: object) -> None:
+            assert isinstance(event, PhaseEvent)
             writer.instant(
-                f"phase:{event.name}", time.perf_counter_ns(), cat="phase"
+                f"phase:{event.name}", wall_clock_ns(), cat="phase"
             )
 
         def _on_lb_step(event: object) -> None:
+            assert isinstance(event, LBStepEvent)
             writer.instant(
                 "lb_step",
-                time.perf_counter_ns(),
+                wall_clock_ns(),
                 cat="lb",
                 args={"iteration": event.iteration},
             )
 
-        self.events.on("phase", _on_phase)
-        self.events.on("lb_step", _on_lb_step)
+        self.events.on(EV_PHASE, _on_phase)
+        self.events.on(EV_LB_STEP, _on_lb_step)
 
     def _record_run_metrics(self, result: RunResult, iterations: int) -> None:
         """Fold one solo run's outcome into the metrics registry."""
@@ -439,9 +445,9 @@ class Session:
         #: Kept for callers that need the per-replica scenario instances
         #: (e.g. the campaign rows' analytical model fields).
         self.batch_instances = instances
-        self.events.emit("phase", PhaseEvent("run_batch"))
+        self.events.emit(EV_PHASE, PhaseEvent("run_batch"))
         result = runner.run(n)
-        self.events.emit("phase", PhaseEvent("done"))
+        self.events.emit(EV_PHASE, PhaseEvent("done"))
         self._record_batch_metrics(result, n)
         return result
 
@@ -450,7 +456,7 @@ class Session:
         return (
             self.trace_writer is not None
             or self.metrics is not None
-            or self.events.has_listeners("batch_chunk")
+            or self.events.has_listeners(EV_BATCH_CHUNK)
         )
 
     def _on_batch_chunk(
@@ -461,7 +467,7 @@ class Session:
             dur_ns = int(wall_time * 1e9)
             self.trace_writer.complete(
                 f"batch_chunk[{chunk}]",
-                time.perf_counter_ns() - dur_ns,
+                wall_clock_ns() - dur_ns,
                 dur_ns,
                 cat="chunk",
                 args={
@@ -473,9 +479,9 @@ class Session:
         if self.metrics is not None:
             self.metrics.inc("batch/chunks")
             self.metrics.inc("batch/chunk_wall_s", wall_time)
-        if self.events.has_listeners("batch_chunk"):
+        if self.events.has_listeners(EV_BATCH_CHUNK):
             self.events.emit(
-                "batch_chunk",
+                EV_BATCH_CHUNK,
                 BatchChunkEvent(
                     chunk=chunk,
                     num_chunks=num_chunks,
@@ -508,11 +514,11 @@ class Session:
                 "the session from a RunConfig (whose scenario section sets it)"
             )
         check_positive_int(n, "iterations")
-        started = time.perf_counter()
-        self.events.emit("phase", PhaseEvent("run"))
+        started = wall_clock()
+        self.events.emit(EV_PHASE, PhaseEvent("run"))
         result = self.runner.run(n)
-        wall_time = time.perf_counter() - started
-        self.events.emit("phase", PhaseEvent("done"))
+        wall_time = wall_clock() - started
+        self.events.emit(EV_PHASE, PhaseEvent("done"))
         self._record_run_metrics(result, n)
         return SessionResult(
             run=result,

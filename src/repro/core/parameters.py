@@ -28,8 +28,8 @@ for the Monte-Carlo studies of Figures 2 and 3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 

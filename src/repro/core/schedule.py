@@ -22,9 +22,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
-import numpy as np
 
 from repro.core.intervals import interval_bounds, menon_tau
 from repro.core.parameters import ApplicationParameters

@@ -16,7 +16,7 @@ the scaled-down analogue of the paper's experimental setup (Section IV-B):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

@@ -16,8 +16,7 @@ component consumes is the per-column fluid workload
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

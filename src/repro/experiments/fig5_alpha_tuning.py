@@ -20,7 +20,6 @@ import argparse
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.experiments.common import ExperimentSeeds, format_percentage, format_table
 from repro.experiments.fig4_erosion import (

@@ -17,7 +17,7 @@ from typing import Optional
 
 from repro.lb.base import LBContext, TriggerPolicy
 from repro.lb.wir import LazyWIRViews, OverloadDetector
-from repro.utils.validation import check_fraction, check_non_negative, check_positive_int
+from repro.utils.validation import check_fraction, check_positive_int
 
 __all__ = [
     "NeverTrigger",

@@ -29,7 +29,6 @@ import numpy as np
 
 from repro.simcluster.gossip import (
     BatchGossipBoard,
-    GossipBoard,
     GossipConfig,
     SparseGossipBoard,
     make_gossip_board,

@@ -34,6 +34,7 @@ execution layers then skip the instrumentation entirely (golden seeded runs
 stay bit-identical; the core bench holds the off-overhead to <= 2 %).
 """
 
+from repro.obs.clock import epoch_ns, utc_timestamp, wall_clock, wall_clock_ns
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import StageProfile, StageProfiler, merge_stage_snapshots
 from repro.obs.progress import CampaignProgress, render_progress_line
@@ -45,7 +46,11 @@ __all__ = [
     "StageProfile",
     "StageProfiler",
     "TraceWriter",
+    "epoch_ns",
     "merge_stage_snapshots",
+    "utc_timestamp",
+    "wall_clock",
+    "wall_clock_ns",
     "render_progress_line",
     "validate_trace",
 ]

@@ -1,0 +1,43 @@
+"""The project's clock facade: every sanctioned wall-clock read.
+
+Simulated results must never depend on host timing, so the determinism
+linter (rule ``DET004``/``DET005`` in :mod:`repro.analysis`) rejects direct
+``time.*`` and ``datetime.now`` calls outside ``repro/obs`` and
+``repro/resilience``.  Code that legitimately measures elapsed wall time --
+duration fields on events, campaign telemetry, trace stamps -- imports
+these helpers instead.  Funnelling every read through one module keeps the
+exemption surface auditable and gives tests a single place to monkeypatch
+when they need a frozen clock.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+
+__all__ = ["epoch_ns", "utc_timestamp", "wall_clock", "wall_clock_ns"]
+
+
+def wall_clock() -> float:
+    """Monotonic elapsed-time reading in seconds (``time.perf_counter``)."""
+    return time.perf_counter()
+
+
+def wall_clock_ns() -> int:
+    """Monotonic elapsed-time reading in ns (``time.perf_counter_ns``)."""
+    return time.perf_counter_ns()
+
+
+def epoch_ns() -> int:
+    """Unix epoch in nanoseconds -- for trace stamps that must correlate
+    across processes (``perf_counter`` origins differ per process)."""
+    return time.time_ns()
+
+
+def utc_timestamp() -> str:
+    """ISO-8601 UTC timestamp for audit fields (quarantine records etc.).
+
+    Always UTC: local-timezone stamps make artifacts differ across hosts.
+    """
+    # repro: noqa[DET005] -- this is the one sanctioned datetime.now call: it pins UTC and exists so nothing else needs one
+    return datetime.now(timezone.utc).isoformat()

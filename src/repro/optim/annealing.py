@@ -24,7 +24,7 @@ from __future__ import annotations
 import copy
 import math
 from dataclasses import dataclass, field
-from typing import Any, Generic, List, Optional, Tuple, TypeVar
+from typing import Generic, List, Optional, Tuple, TypeVar
 
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive, check_positive_int

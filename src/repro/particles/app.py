@@ -16,7 +16,6 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.particles.system import ParticleSystem
-from repro.utils.rng import SeedLike
 from repro.utils.validation import check_non_negative, check_positive, check_positive_int
 
 __all__ = ["ParticleConfig", "ParticleApplication"]

@@ -15,13 +15,12 @@ that matter for load balancing:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+from repro.utils.validation import check_non_negative, check_positive_int
 
 __all__ = ["ParticleSystem"]
 

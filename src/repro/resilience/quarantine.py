@@ -23,9 +23,10 @@ import json
 import os
 import platform
 from dataclasses import asdict, dataclass, field
-from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Union
+
+from repro.obs.clock import utc_timestamp
 
 __all__ = [
     "QuarantineEntry",
@@ -81,9 +82,7 @@ class QuarantineEntry:
     #: Environment stamp (python/numpy/platform/pid) at quarantine time.
     env: Dict[str, object] = field(default_factory=_env_stamp)
     #: UTC ISO-8601 timestamp of the quarantine decision.
-    quarantined_at: str = field(
-        default_factory=lambda: datetime.now(timezone.utc).isoformat()
-    )
+    quarantined_at: str = field(default_factory=utc_timestamp)
 
     def to_dict(self) -> Dict[str, object]:
         """Plain JSON-serialisable form (one sidecar line)."""
@@ -121,7 +120,7 @@ class QuarantineLog:
             {
                 "cell_id": cell_id,
                 "resolved": True,
-                "resolved_at": datetime.now(timezone.utc).isoformat(),
+                "resolved_at": utc_timestamp(),
             }
         )
 

@@ -253,10 +253,12 @@ class IterativeRunner:
             if column_loads is None
             else column_loads
         )
+        # repro: noqa[HOT003] -- boundary tuple to array once per call; partitions are small (P+1 ints)
         bounds = np.asarray(self.partition.partition.boundaries)
         starts = bounds[:-1]
         if (bounds[1:] > starts).all():
             return np.add.reduceat(cols, starts)
+        # repro: noqa[HOT003] -- degenerate-partition fallback: reached only when a stripe is empty, never on the steady-state path
         prefix = np.concatenate(([0.0], np.cumsum(cols)))
         return prefix[bounds[1:]] - prefix[starts]
 
@@ -270,6 +272,7 @@ class IterativeRunner:
         workloads = stripe_loads * self.application.flop_per_load_unit
         return LBContext(
             iteration=iteration,
+            # repro: noqa[HOT002] -- LBContext's contract is a tuple of Python floats; built once per LB decision, not per iteration
             pe_workloads=tuple(workloads.tolist()),
             wir_views=self.wir_db.views(),
             last_lb_iteration=self._last_lb_iteration,

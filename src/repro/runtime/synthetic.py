@@ -12,7 +12,6 @@ quickstart example and by micro-benchmarks; the erosion application of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np

@@ -12,7 +12,7 @@ tables (total time, number of LB calls, mean utilization).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -58,7 +58,6 @@ def derive_rng(rng: np.random.Generator, *keys: int) -> np.random.Generator:
     """
     if not keys:
         raise ValueError("derive_rng requires at least one integer key")
-    seed_material = [int(rng.integers(0, 2**32 - 1))] if False else []
     # Use the parent bit generator's seed sequence when available so that the
     # parent stream itself is left untouched.
     parent_ss = getattr(rng.bit_generator, "seed_seq", None)
@@ -68,7 +67,6 @@ def derive_rng(rng: np.random.Generator, *keys: int) -> np.random.Generator:
         entropy=parent_ss.entropy,
         spawn_key=tuple(parent_ss.spawn_key) + tuple(int(k) for k in keys),
     )
-    del seed_material
     return np.random.default_rng(child)
 
 

@@ -85,7 +85,7 @@ def bar_chart(
     values = np.asarray([float(v) for _, v in pairs])
     if np.any(values < 0):
         raise ValueError("bar_chart only renders non-negative values")
-    label_width = max(len(l) for l in labels)
+    label_width = max(len(label) for label in labels)
     peak = values.max() if values.max() > 0 else 1.0
     minimum = values.min()
     lines = []

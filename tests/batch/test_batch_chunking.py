@@ -105,7 +105,7 @@ class TestSparseBatchVsSolo:
     """Sparse-gossip batch replicas stay bit-identical to solo sparse runs."""
 
     def test_replicas_match_solo_sparse_runners(self):
-        from repro.runtime.skeleton import IterativeRunner, initial_lb_cost_prior
+        from repro.runtime.skeleton import IterativeRunner
         from repro.simcluster.cluster import VirtualCluster
 
         gossip_config = GossipConfig(mode="sparse", view_size=6)

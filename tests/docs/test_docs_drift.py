@@ -37,6 +37,7 @@ EXECUTABLE_PAGES = [
     DOCS / "batch-engine.md",
     DOCS / "observability.md",
     DOCS / "resilience.md",
+    DOCS / "static-analysis.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.erosion.domain import CellType, ErosionDomain
+from repro.erosion.domain import ErosionDomain
 
 
 def disc(domain, cx, cy, r):

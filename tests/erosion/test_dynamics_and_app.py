@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.erosion.app import ErosionApplication, ErosionConfig
 from repro.erosion.domain import ErosionDomain
 from repro.erosion.dynamics import ErosionDynamics, ErosionStepStats
-from repro.erosion.rocks import place_rocks
 
 
 def rocky_domain(width=20, height=20, probability=0.4):

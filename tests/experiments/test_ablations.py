@@ -50,10 +50,10 @@ class TestTriggerAblation:
     def test_all_variants_present(self, result):
         labels = [c.label for c in result.cases]
         assert len(labels) == 4
-        assert any("never" in l for l in labels)
-        assert any("periodic" in l for l in labels)
-        assert any("menon" in l for l in labels)
-        assert any("degradation" in l for l in labels)
+        assert any("never" in label for label in labels)
+        assert any("periodic" in label for label in labels)
+        assert any("menon" in label for label in labels)
+        assert any("degradation" in label for label in labels)
 
     def test_static_baseline_has_no_lb_calls(self, result):
         assert result.baseline is not None

@@ -70,7 +70,7 @@ class TestFormatTable:
         table = format_table(rows)
         lines = table.splitlines()
         # Header, separator and the two rows share the same width.
-        assert len({len(l) for l in lines}) == 1
+        assert len({len(line) for line in lines}) == 1
 
     def test_empty_rows(self):
         assert "(no data)" in format_table([])

@@ -7,7 +7,6 @@ ULBA-specific behavioural checks use 16 PEs.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments.fig4_erosion import (

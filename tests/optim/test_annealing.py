@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.optim.annealing import Annealer, AnnealingResult, AnnealingSchedule

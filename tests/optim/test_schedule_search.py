@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.parameters import ApplicationParameters, TableIISampler
 from repro.core.schedule import LBSchedule, evaluate_schedule, sigma_plus_schedule
-from repro.optim.annealing import AnnealingSchedule
 from repro.optim.schedule_search import (
     ScheduleAnnealer,
     ScheduleSearchResult,

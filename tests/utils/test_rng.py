@@ -86,6 +86,19 @@ class TestDeriveRng:
         with pytest.raises(ValueError):
             derive_rng(ensure_rng(0))
 
+    def test_derivation_is_state_independent(self):
+        # Regression: derive_rng once carried a dead draw from the parent
+        # stream behind an ``if False`` guard.  Deriving a child must depend
+        # only on the parent's seed sequence, so the child is identical
+        # whether or not the parent stream has been consumed first.
+        fresh = ensure_rng(13)
+        consumed = ensure_rng(13)
+        consumed.integers(0, 1_000_000, size=100)
+        assert np.array_equal(
+            derive_rng(fresh, 4).integers(0, 1_000_000, 5),
+            derive_rng(consumed, 4).integers(0, 1_000_000, 5),
+        )
+
     @given(seed=st.integers(0, 2**31 - 1), key=st.integers(0, 1_000))
     def test_property_determinism(self, seed, key):
         a = derive_rng(ensure_rng(seed), key).integers(0, 2**31 - 1)

@@ -10,8 +10,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.utils.stats import (
-    BoxPlotSummary,
-    HistogramSummary,
     box_plot_summary,
     histogram_summary,
     mean_confidence_interval,
