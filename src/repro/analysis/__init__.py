@@ -12,7 +12,12 @@ invariants the reproduction depends on:
 * **API hygiene** (API001-API002) -- EventBus names via ``EV_*`` constants,
   frozen configs written only in ``__init__``/``__post_init__``;
 * **suppression hygiene** (SUP001-SUP002) -- every ``# repro: noqa[...]``
-  must name a real rule and carry a justification.
+  must name a real rule and carry a justification;
+* **interprocedural dataflow** (FLOW-RNG, FLOW-HOT, FLOW-PKL, FLOW-MUT) --
+  the same invariants enforced *across* call boundaries by the
+  :mod:`repro.analysis.flow` layer: entropy-seeded generators laundered
+  through helpers, allocating callees of hot stages, unpicklable pool
+  payloads behind wrappers, worker-reachable module-global writes.
 
 Run it as ``python -m repro lint`` (see ``docs/static-analysis.md``), or
 programmatically::
@@ -32,10 +37,15 @@ self-lint test.
 from repro.analysis import (
     rules_api,  # noqa: F401
     rules_determinism,  # noqa: F401
+    rules_flow_hot,  # noqa: F401
+    rules_flow_mut,  # noqa: F401
+    rules_flow_pkl,  # noqa: F401
+    rules_flow_rng,  # noqa: F401
     rules_hotloop,  # noqa: F401
     rules_spawn,  # noqa: F401
 )
 from repro.analysis.findings import SEVERITIES, Finding
+from repro.analysis.flow import FlowProject, cache_counters
 from repro.analysis.framework import (
     FileContext,
     LintRule,
@@ -43,6 +53,7 @@ from repro.analysis.framework import (
     all_rules,
     apply_baseline,
     baseline_payload,
+    collect_files,
     get_rules,
     lint_file,
     lint_paths,
@@ -51,6 +62,7 @@ from repro.analysis.framework import (
     parse_suppressions,
     register_rule,
     rule_ids,
+    stale_fingerprints,
 )
 from repro.analysis.report import (
     render,
@@ -64,11 +76,14 @@ __all__ = [
     "SEVERITIES",
     "FileContext",
     "Finding",
+    "FlowProject",
     "LintRule",
     "Suppression",
     "all_rules",
     "apply_baseline",
     "baseline_payload",
+    "cache_counters",
+    "collect_files",
     "get_rules",
     "lint_file",
     "lint_paths",
@@ -81,5 +96,6 @@ __all__ = [
     "render_sarif",
     "render_text",
     "rule_ids",
+    "stale_fingerprints",
     "summarize",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "all_rules",
     "apply_baseline",
     "baseline_payload",
+    "collect_files",
     "get_rules",
     "lint_file",
     "lint_paths",
@@ -51,6 +52,7 @@ __all__ = [
     "parse_suppressions",
     "register_rule",
     "rule_ids",
+    "stale_fingerprints",
 ]
 
 #: Rule id of the syntax-error pseudo-finding (a file the parser rejects).
@@ -61,7 +63,7 @@ MISSING_JUSTIFICATION_RULE = "SUP001"
 UNKNOWN_SUPPRESSION_RULE = "SUP002"
 
 _NOQA = re.compile(
-    r"#\s*repro:\s*noqa\[(?P<rules>[A-Za-z0-9_,\s]*)\]\s*(?:--|:)?\s*(?P<why>.*)$"
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Za-z0-9_,\s-]*)\]\s*(?:--|:)?\s*(?P<why>.*)$"
 )
 
 
@@ -204,6 +206,13 @@ class FileContext:
     module_path: str
     #: Findings deposited by rules (the driver owns post-processing).
     findings: List[Finding] = field(default_factory=list)
+    #: Whole-program view for the interprocedural (FLOW-*) rules: a
+    #: :class:`repro.analysis.flow.symbols.FlowProject` covering every file
+    #: of the run when linting via :func:`lint_paths`, ``None`` for
+    #: single-file entry points (flow rules then fall back to a
+    #: single-file project).  Typed loosely to keep the framework free of
+    #: an import cycle with the flow layer.
+    project: Optional[object] = None
 
     _active_rule: Optional[LintRule] = None
 
@@ -367,11 +376,14 @@ def lint_source(
     path: Union[str, Path] = "<string>",
     *,
     rules: Optional[Sequence[LintRule]] = None,
+    project: Optional[object] = None,
 ) -> List[Finding]:
     """Lint one source string; returns every finding (suppressed included).
 
     The workhorse behind :func:`lint_file` and the fixture tests: parse,
     run each rule, apply suppressions, append suppression-hygiene findings.
+    ``project`` carries the whole-program view for the FLOW-* rules when
+    the caller linted more than this one file.
     """
     display = str(path)
     try:
@@ -392,6 +404,7 @@ def lint_source(
         source=source,
         tree=tree,
         module_path=_module_relpath(path),
+        project=project,
     )
     for rule in rules if rules is not None else all_rules():
         ctx._active_rule = rule
@@ -401,19 +414,18 @@ def lint_source(
 
 
 def lint_file(
-    path: Union[str, Path], *, rules: Optional[Sequence[LintRule]] = None
+    path: Union[str, Path],
+    *,
+    rules: Optional[Sequence[LintRule]] = None,
+    project: Optional[object] = None,
 ) -> List[Finding]:
     """Lint one file on disk."""
     text = Path(path).read_text(encoding="utf-8")
-    return lint_source(text, path, rules=rules)
+    return lint_source(text, path, rules=rules, project=project)
 
 
-def lint_paths(
-    paths: Sequence[Union[str, Path]],
-    *,
-    rules: Optional[Sequence[LintRule]] = None,
-) -> List[Finding]:
-    """Lint files and directory trees (``*.py``, sorted, deterministic)."""
+def collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files and directory trees to a sorted, deterministic file list."""
     files: List[Path] = []
     for entry in paths:
         entry = Path(entry)
@@ -423,9 +435,40 @@ def lint_paths(
             files.append(entry)
         else:
             raise FileNotFoundError(f"no such file or directory: {entry}")
-    findings: List[Finding] = []
+    return files
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    rules: Optional[Sequence[LintRule]] = None,
+    build_project: bool = True,
+) -> List[Finding]:
+    """Lint files and directory trees (``*.py``, sorted, deterministic).
+
+    All files of the run form one :class:`~repro.analysis.flow.symbols.FlowProject`
+    shared by every per-file rule invocation, so the FLOW-* families see
+    taint that crosses module boundaries.  ``build_project=False`` skips
+    the whole-program pass (the CLI's ``--no-flow``).
+    """
+    files = collect_files(paths)
+    sources: List[Tuple[str, str]] = []
     for file in files:
-        findings.extend(lint_file(file, rules=rules))
+        try:
+            sources.append((str(file), file.read_text(encoding="utf-8")))
+        except OSError:
+            continue
+    project: Optional[object] = None
+    if build_project:
+        # Imported here: the flow layer builds on this framework module.
+        from repro.analysis.flow.symbols import FlowProject
+
+        project = FlowProject(sources)
+    findings: List[Finding] = []
+    for path, source in sources:
+        findings.extend(
+            lint_source(source, path, rules=rules, project=project)
+        )
     return findings
 
 
@@ -473,3 +516,23 @@ def apply_baseline(
             continue
         kept.append(finding)
     return kept
+
+
+def stale_fingerprints(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> Dict[str, int]:
+    """Baseline slots no current finding consumes (drift detection).
+
+    Returns ``fingerprint -> unused count`` for every baseline entry whose
+    grandfathered finding has since been fixed (or whose message changed).
+    A drifting baseline silently over-grants budget, so CI fails on it and
+    asks for a ``--write-baseline`` refresh.
+    """
+    budget = dict(baseline)
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        key = finding.fingerprint()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+    return {key: count for key, count in sorted(budget.items()) if count > 0}

@@ -1,0 +1,90 @@
+"""Transitive hot-loop purity rule (FLOW-HOT).
+
+HOT001-003 police the profiled stages' *own* bodies; a stage that calls
+an allocating helper in another file passes them clean.  This rule closes
+the loophole: every call site inside a hot region is checked against the
+transitive purity of its callee closure.  Locally suppressed impurities
+(justified ``noqa[HOT00x]``) stay waived, and functions decorated
+``@hot_path`` (:func:`repro.utils.markers.hot_path`) are trusted leaves,
+so the per-function allowlist replaces file-scoped special cases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Set
+
+from repro.analysis.flow.callgraph import build_callgraph
+from repro.analysis.flow.engine import run_purity
+from repro.analysis.flow.summaries import PuritySummary
+from repro.analysis.flow.symbols import FlowProject
+from repro.analysis.framework import FileContext, LintRule, register_rule
+from repro.analysis.rules_hotloop import HOT_REGIONS, _outermost_for
+
+__all__ = ["TransitiveHotPurityRule"]
+
+
+def _purity(project: FlowProject) -> Dict[str, PuritySummary]:
+    graph = project.analysis("callgraph", build_callgraph)
+    return run_purity(graph)
+
+
+@register_rule
+class TransitiveHotPurityRule(LintRule):
+    rule_id = "FLOW-HOT"
+    name = "impure-callee-in-hot-stage"
+    severity = "warning"
+    rationale = (
+        "The profiled stages run once per iteration at campaign scale; "
+        "HOT001-003 keep allocations out of their own bodies but see "
+        "nothing past a call boundary. This rule computes transitive "
+        "allocation-freedom for every callee reachable from a hot region "
+        "and flags the call site whose closure allocates. Audited "
+        "functions opt out with `@hot_path`; once-per-LB-step call sites "
+        "can be suppressed with the cadence in the justification."
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        regions = HOT_REGIONS.get(ctx.module_path)
+        if not regions:
+            return
+        project = (
+            ctx.project
+            if isinstance(ctx.project, FlowProject)
+            else FlowProject.single(ctx.path, ctx.source)
+        )
+        graph = project.analysis("callgraph", build_callgraph)
+        purity = project.analysis("flow-purity", _purity)
+        module = project.by_path.get(ctx.path)
+        if module is None:
+            return
+        for qualname, mode in regions.items():
+            fn = module.functions.get(qualname)
+            if fn is None:
+                continue
+            if mode == "loop":
+                loop = _outermost_for(fn.node)
+                if loop is None:
+                    continue
+                roots = list(loop.body) + list(loop.orelse)
+            else:
+                roots = list(fn.node.body)
+            region: Set[int] = {
+                id(node) for root in roots for node in ast.walk(root)
+            }
+            for site in graph.sites_of(fn):
+                if id(site.node) not in region:
+                    continue
+                callee = site.callee
+                if callee is None or callee.is_hot_path_allowlisted:
+                    continue
+                summary = purity.get(callee.ref)
+                if summary is None or summary.pure:
+                    continue
+                ctx.report(
+                    site.node,
+                    f"hot-path call to `{callee.display}`, which "
+                    f"{summary.impurity}; hoist it out of the stage, make "
+                    "the callee allocation-free, or mark it `@hot_path` "
+                    "after auditing",
+                )

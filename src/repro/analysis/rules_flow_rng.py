@@ -1,0 +1,145 @@
+"""Interprocedural seed-flow rule (FLOW-RNG).
+
+DET002 catches ``np.random.default_rng()`` with no seed *in the file that
+calls it*.  This rule follows the value: a generator born from OS entropy
+anywhere in the project -- ``ensure_rng()`` with no seed, a bare
+``default_rng()``/``SeedSequence()`` -- is tainted, taint survives
+laundering through helper returns, wrappers and parameter forwarding, and
+a finding fires where the tainted value finally enters the simulation
+core (``repro/runtime``, ``repro/simcluster``, ``repro/batch``,
+``repro/lb``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.analysis.flow.callgraph import CallSite, build_callgraph
+from repro.analysis.flow.engine import TaintResult, TaintSpec, run_taint
+from repro.analysis.flow.symbols import FlowProject, ModuleInfo
+from repro.analysis.framework import FileContext, LintRule, register_rule
+
+__all__ = ["SeedFlowRule"]
+
+#: Package-relative prefixes of the simulation core (the sink).
+_SINK_PREFIXES = (
+    "repro/runtime/",
+    "repro/simcluster/",
+    "repro/batch/",
+    "repro/lb/",
+)
+
+#: Keyword names that carry randomness into an unresolved call.
+_SEED_KEYWORDS = frozenset({"rng", "seed"})
+
+#: External callables through which generator/seed taint flows.
+_PASSTHROUGH = frozenset(
+    {"getattr", "int", "tuple", "default_rng", "SeedSequence", "Generator"}
+)
+
+
+def _no_explicit_seed(node: ast.Call) -> bool:
+    """True for ``f()`` and ``f(None)`` / ``f(seed=None)``."""
+    if not node.args and not node.keywords:
+        return True
+    values = [arg for arg in node.args if not isinstance(arg, ast.Starred)]
+    values += [kw.value for kw in node.keywords if kw.arg is not None]
+    if len(values) != len(node.args) + len(node.keywords):
+        return False  # *args / **kwargs may carry a real seed
+    return all(
+        isinstance(value, ast.Constant) and value.value is None
+        for value in values
+    )
+
+
+def _sink_module_path(site: CallSite) -> Optional[str]:
+    """Package-relative path of the resolved callee's module, if any."""
+    if site.target is not None:
+        return site.target.module_path
+    callee = site.callee
+    if callee is not None:
+        return callee.module_path
+    return None
+
+
+class _SeedFlowSpec(TaintSpec):
+    family = "FLOW-RNG"
+
+    def call_source(self, site: CallSite) -> Optional[str]:
+        if site.target is not None and site.target.node.name == "ensure_rng":
+            if _no_explicit_seed(site.node):
+                return "`ensure_rng()` seeded from OS entropy"
+            return None
+        if site.external is not None:
+            terminal = site.external.split(".")[-1]
+            if terminal == "default_rng" and _no_explicit_seed(site.node):
+                return "`default_rng()` seeded from OS entropy"
+            if terminal == "SeedSequence" and _no_explicit_seed(site.node):
+                return "`SeedSequence()` seeded from OS entropy"
+        return None
+
+    def passthrough_external(self, external: str) -> bool:
+        return external.split(".")[-1] in _PASSTHROUGH
+
+    def sink_crossings(
+        self, site: CallSite, module: ModuleInfo
+    ) -> List[Tuple[str, ast.expr]]:
+        node = site.node
+        module_path = _sink_module_path(site)
+        if module_path is not None:
+            if any(module_path.startswith(p) for p in _SINK_PREFIXES):
+                label = site.callee_display
+                out: List[Tuple[str, ast.expr]] = []
+                for arg in node.args:
+                    target = arg.value if isinstance(arg, ast.Starred) else arg
+                    out.append((label, target))
+                for keyword in node.keywords:
+                    out.append((label, keyword.value))
+                return out
+            return []
+        if site.target is None and site.target_class is None:
+            # Unresolved/external call: only seed-named keywords count.
+            return [
+                (site.callee_display, keyword.value)
+                for keyword in node.keywords
+                if keyword.arg in _SEED_KEYWORDS
+            ]
+        return []
+
+
+def _compute(project: FlowProject) -> TaintResult:
+    graph = project.analysis("callgraph", build_callgraph)
+    return run_taint(graph, _SeedFlowSpec())
+
+
+@register_rule
+class SeedFlowRule(LintRule):
+    rule_id = "FLOW-RNG"
+    name = "entropy-seeded-generator-reaches-core"
+    severity = "error"
+    rationale = (
+        "Bit-identical reproduction requires every Generator inside the "
+        "simulation core to descend from a validated RunConfig seed via "
+        "`utils.rng.derive_rng`/`spawn_rngs`. DET002 only sees an unseeded "
+        "`default_rng()` in the file that calls it; this rule tracks the "
+        "value interprocedurally, so entropy laundered through a helper "
+        "return or a wrapper still gets caught where it enters the core."
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        project = (
+            ctx.project
+            if isinstance(ctx.project, FlowProject)
+            else FlowProject.single(ctx.path, ctx.source)
+        )
+        result = project.analysis("flow-rng", _compute)
+        for event in result.events_for(ctx.path):
+            ctx.report(
+                ctx.tree,
+                f"seed-flow: {event.origin} reaches the simulation core "
+                f"via `{event.sink}`; derive generators from a validated "
+                "config seed with `derive_rng`/`spawn_rngs`",
+                line=event.line,
+                col=event.col,
+            )

@@ -473,8 +473,8 @@ class BatchRunner:
         )
         lb_reports[r].append(report)
         self.partitions[r] = report.partition
-        self._stripe_starts[r] = self._starts_of(report.partition)
-        self._refresh_concat_starts()
+        self._stripe_starts[r] = self._starts_of(report.partition)  # repro: noqa[FLOW-HOT] -- O(P) starts vector rebuilt once per LB step, not per iteration
+        self._refresh_concat_starts()  # repro: noqa[FLOW-HOT] -- concatenated starts cache rebuilt once per LB step, not per iteration
         self._last_lb_iteration[r] = iteration + 1
         self._last_lb_arr[r] = iteration + 1
         if self._trigger_fast_mode is not None:
@@ -665,7 +665,7 @@ class BatchRunner:
                 # repro: noqa[HOT001] -- iterates only replicas whose trigger fired; LB steps are rare by design (degradation-gated)
                 for r in fired:
                     t0 = prof.start() if prof is not None else 0
-                    self._execute_lb_step(
+                    self._execute_lb_step(  # repro: noqa[FLOW-HOT] -- LB-step cadence: reached only for replicas whose degradation trigger fired
                         r, iteration, new_stripe_loads, stripe_loads, lb_reports
                     )
                     if prof is not None:
@@ -682,7 +682,7 @@ class BatchRunner:
                         prof.stop("lb_decide", t0)
                     if fire:
                         t0 = prof.start() if prof is not None else 0
-                        self._execute_lb_step(
+                        self._execute_lb_step(  # repro: noqa[FLOW-HOT] -- LB-step cadence: reached only when the replica's trigger fired
                             r,
                             iteration,
                             new_stripe_loads,

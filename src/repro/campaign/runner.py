@@ -432,7 +432,7 @@ def _init_worker(scenarios: Sequence[object]) -> None:
     from repro.scenarios.registry import register
 
     for scenario in scenarios:
-        register(scenario, replace=True)
+        register(scenario, replace=True)  # repro: noqa[FLOW-MUT] -- intentional worker-side rehydration: spawn workers start with an empty registry and must repopulate their own copy from the shipped scenarios
 
 
 def _pool_context(mp_start_method: Optional[str]) -> multiprocessing.context.BaseContext:

@@ -33,6 +33,7 @@ from repro.simcluster.gossip import (
     SparseGossipBoard,
     make_gossip_board,
 )
+from repro.utils.markers import hot_path
 from repro.utils.rng import SeedLike
 from repro.utils.stats import zscore
 from repro.utils.validation import check_fraction, check_positive, check_positive_int
@@ -171,6 +172,10 @@ class WIREstimateArray:
         self._num_observations = np.zeros(shape, dtype=np.int64)
 
     # ------------------------------------------------------------------
+    # Audited for FLOW-HOT: the runners pass float64 ndarrays, on which the
+    # defensive `np.asarray` below is a no-op view; every update is a
+    # vectorized in-place/elementwise operation.
+    @hot_path
     def observe(self, workloads: np.ndarray) -> np.ndarray:
         """Record every PE's workload at the current iteration.
 
@@ -195,6 +200,7 @@ class WIREstimateArray:
         self._num_observations += 1
         return self._rates
 
+    @hot_path  # audited: defensive asarray is a no-op on the runner's float64 input
     def reset_after_migration(self, workloads: np.ndarray) -> None:
         """Re-anchor every estimator after a LB step moved work around.
 
@@ -211,6 +217,7 @@ class WIREstimateArray:
             raise ValueError("workloads must all be >= 0")
         np.copyto(self._last_workloads, w)
 
+    @hot_path  # audited: defensive asarray is a no-op on the runner's float64 input
     def reset_replica_after_migration(
         self, replica: int, workloads: np.ndarray
     ) -> None:
@@ -361,6 +368,9 @@ class WIRDatabase:
             self._instant_values[rank] = float(wir)
             self._instant_known[rank] = True
 
+    # Audited for FLOW-HOT: asarray is a no-op on the runner's float64 rates
+    # array and both branches are vectorized writes into preallocated state.
+    @hot_path
     def publish_all(self, wirs: np.ndarray) -> None:
         """Every rank publishes its WIR in one vectorized update.
 

@@ -312,7 +312,7 @@ class IterativeRunner:
 
             # Line 10: data movements and computation of the step.
             t0 = prof.start() if prof is not None else 0
-            step = self.cluster.compute_step(flop_per_pe, iteration=iteration)
+            step = self.cluster.compute_step(flop_per_pe, iteration=iteration)  # repro: noqa[FLOW-HOT] -- the solo reference runner materializes per-PE times into the StepResult tuple (O(P) tolist); the replica-batched runner is the vectorized path
             if prof is not None:
                 prof.stop("compute_step", t0)
                 t0 = prof.start()
@@ -351,7 +351,7 @@ class IterativeRunner:
                 prof.stop("lb_decide", t0)
             if fire:
                 t0 = prof.start() if prof is not None else 0
-                report = self.load_balancer.execute(
+                report = self.load_balancer.execute(  # repro: noqa[FLOW-HOT] -- LB-step cadence: runs only when the trigger fires, not per iteration
                     context,
                     column_loads,
                     current_partition=self.partition,

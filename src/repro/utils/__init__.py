@@ -4,6 +4,8 @@ This package hosts small, dependency-free helpers used across the whole
 library:
 
 * :mod:`repro.utils.io` -- atomic artifact writes (temp file + rename).
+* :mod:`repro.utils.markers` -- inert source markers recognised by the
+  static analyses (``@hot_path``).
 * :mod:`repro.utils.rng` -- reproducible random-number-generator management.
 * :mod:`repro.utils.stats` -- statistical helpers (z-scores, robust medians,
   box-plot summaries, histogram binning) shared by the load-balancing
@@ -13,6 +15,7 @@ library:
 """
 
 from repro.utils.io import atomic_write_json, atomic_write_text
+from repro.utils.markers import hot_path
 from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
 from repro.utils.stats import (
     BoxPlotSummary,
@@ -44,6 +47,7 @@ __all__ = [
     "derive_rng",
     "ensure_rng",
     "histogram_summary",
+    "hot_path",
     "relative_gain",
     "rolling_median",
     "spawn_rngs",

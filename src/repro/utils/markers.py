@@ -1,0 +1,26 @@
+"""Source-level markers the static analyses recognise.
+
+Markers are deliberately inert at runtime -- they exist so invariants can
+be declared where the code lives and checked by ``repro lint`` instead of
+by convention.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["hot_path"]
+
+F = TypeVar("F", bound=Callable[..., object])
+
+
+def hot_path(fn: F) -> F:
+    """Declare ``fn`` audited allocation-free for hot-loop purposes.
+
+    The transitive purity analysis behind ``FLOW-HOT`` treats a decorated
+    function as a trusted leaf: its body and callees are not descended
+    into.  Apply it only after profiling or reading the body -- the
+    decorator is an assertion, not a request.
+    """
+    setattr(fn, "__repro_hot_path__", True)
+    return fn

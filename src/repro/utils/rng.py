@@ -11,7 +11,7 @@ a reproducible SPMD simulation.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
@@ -19,6 +19,8 @@ __all__ = ["SeedLike", "ensure_rng", "derive_rng", "spawn_rngs"]
 
 #: Accepted ways of specifying a source of randomness.
 SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+T = TypeVar("T")
 
 
 def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -79,8 +81,8 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
 
 
 def sample_from(
-    rng: np.random.Generator, values: Sequence, size: Optional[int] = None
-):
+    rng: np.random.Generator, values: Sequence[T], size: Optional[int] = None
+) -> Union[T, List[T]]:
     """Uniformly sample from a finite sequence of ``values``.
 
     Thin wrapper around :meth:`numpy.random.Generator.choice` that accepts

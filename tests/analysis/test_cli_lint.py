@@ -115,3 +115,105 @@ def test_suppressed_findings_hidden_unless_requested(tmp_path, capsys):
     assert "DET001" not in capsys.readouterr().out
     assert main(["lint", str(path), "--show-suppressed"]) == 0
     assert "(suppressed)" in capsys.readouterr().out
+
+
+def test_clean_baseline_round_trip_exits_zero(clean_file, tmp_path, capsys):
+    # Regression pin: writing a baseline from a clean tree and immediately
+    # linting against it must be a clean exit, strict mode included.
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(clean_file), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(clean_file), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "lint",
+                str(clean_file),
+                "--baseline",
+                str(baseline),
+                "--strict-baseline",
+            ]
+        )
+        == 0
+    )
+
+
+def test_missing_baseline_file_is_usage_error(clean_file, tmp_path, capsys):
+    code = main(["lint", str(clean_file), "--baseline", str(tmp_path / "no.json")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "does not exist" in err and "--write-baseline" in err
+
+
+def test_unwritable_baseline_is_usage_error(bad_file, tmp_path, capsys):
+    target = tmp_path / "no-such-dir" / "baseline.json"
+    assert main(["lint", str(bad_file), "--write-baseline", str(target)]) == 2
+    assert "cannot write baseline" in capsys.readouterr().err
+
+
+def test_strict_baseline_requires_baseline(clean_file, capsys):
+    assert main(["lint", str(clean_file), "--strict-baseline"]) == 2
+    assert "--strict-baseline requires --baseline" in capsys.readouterr().err
+
+
+def test_strict_baseline_fails_on_drift(bad_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(bad_file), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    # Fix the grandfathered finding: the baseline entry is now stale.
+    bad_file.write_text(_CLEAN)
+    assert main(["lint", str(bad_file), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    code = main(
+        ["lint", str(bad_file), "--baseline", str(baseline), "--strict-baseline"]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "baseline drift" in err and "stale" in err
+
+
+def test_no_flow_skips_flow_rules(tmp_path, capsys):
+    # A cross-module FLOW-RNG violation: found by default, gone with --no-flow.
+    (tmp_path / "repro").mkdir()
+    (tmp_path / "repro" / "helpers.py").write_text(
+        "from numpy.random import default_rng\n"
+        "def fresh():\n"
+        "    return default_rng(1)\n"
+    )
+    (tmp_path / "repro" / "simcluster").mkdir()
+    (tmp_path / "repro" / "simcluster" / "engine.py").write_text(
+        "def simulate(rng):\n    return rng\n"
+    )
+    (tmp_path / "repro" / "driver.py").write_text(
+        "from repro.helpers import fresh\n"
+        "from repro.simcluster.engine import simulate\n"
+        "from numpy.random import default_rng\n"
+        "def main():\n"
+        "    return simulate(default_rng())\n"
+    )
+    assert main(["lint", str(tmp_path / "repro")]) == 1
+    assert "FLOW-RNG" in capsys.readouterr().out
+    assert main(["lint", str(tmp_path / "repro"), "--no-flow"]) == 1
+    out = capsys.readouterr().out
+    assert "FLOW-RNG" not in out and "DET002" in out
+
+
+def test_callgraph_out_dumps_project_graph(tmp_path, capsys):
+    (tmp_path / "repro").mkdir()
+    (tmp_path / "repro" / "mod.py").write_text(
+        "def helper():\n    return 1\n\ndef main():\n    return helper()\n"
+    )
+    graph_file = tmp_path / "callgraph.json"
+    code = main(
+        [
+            "lint",
+            str(tmp_path / "repro"),
+            "--callgraph-out",
+            str(graph_file),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(graph_file.read_text())
+    assert payload["version"] == 1
+    assert ["repro.mod.main", "repro.mod.helper"] in payload["edges"]

@@ -1,0 +1,126 @@
+"""Call-graph resolution golden test and the content-hash module cache."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.flow.callgraph import build_callgraph
+from repro.analysis.flow.symbols import (
+    FlowProject,
+    cache_counters,
+    reset_cache,
+)
+
+_FILES = {
+    "repro/core.py": (
+        "class Engine:\n"
+        "    def __init__(self, width: int):\n"
+        "        self.width = width\n"
+        "\n"
+        "    def step(self):\n"
+        "        return self._advance()\n"
+        "\n"
+        "    def _advance(self):\n"
+        "        return self.width\n"
+        "\n"
+        "def run(engine: Engine):\n"
+        "    return engine.step()\n"
+    ),
+    "repro/app.py": (
+        "import numpy as np\n"
+        "from repro.core import Engine, run\n"
+        "\n"
+        "def main():\n"
+        "    engine = Engine(4)\n"
+        "    buffer = np.zeros(4)\n"
+        "    return run(engine), buffer\n"
+    ),
+}
+
+
+def _write(tmp_path, files: Dict[str, str]):
+    out = []
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        out.append(path)
+    return sorted(out)
+
+
+def test_callgraph_golden_payload(tmp_path):
+    project = FlowProject.from_paths(_write(tmp_path, _FILES))
+    payload = build_callgraph(project).to_payload()
+    assert payload["version"] == 1
+    assert payload["functions"] == [
+        "repro.app.main",
+        "repro.core.Engine.__init__",
+        "repro.core.Engine._advance",
+        "repro.core.Engine.step",
+        "repro.core.run",
+    ]
+    assert payload["edges"] == [
+        # main -> Engine() resolves to the constructor's __init__ ...
+        ["repro.app.main", "repro.core.Engine.__init__"],
+        # ... and main -> run via the imported member.
+        ["repro.app.main", "repro.core.run"],
+        # self-method resolution inside the class ...
+        ["repro.core.Engine.step", "repro.core.Engine._advance"],
+        # ... and annotated-parameter resolution for engine.step().
+        ["repro.core.run", "repro.core.Engine.step"],
+    ]
+    assert payload["external_calls"] == {"numpy.zeros": 1}
+    assert payload["unresolved_calls"] == {}
+
+
+def test_fallback_never_resolves_builtin_container_methods(tmp_path):
+    files = {
+        "repro/log.py": (
+            "class EventLog:\n"
+            "    def __init__(self):\n"
+            "        self._events = []\n"
+            "\n"
+            "    def append(self, event):\n"
+            "        self._events.append(event)\n"
+        ),
+        "repro/user.py": (
+            "def collect(events):\n"
+            "    out = []\n"
+            "    for event in events:\n"
+            "        out.append(event)\n"
+            "    return out\n"
+        ),
+    }
+    project = FlowProject.from_paths(_write(tmp_path, files))
+    payload = build_callgraph(project).to_payload()
+    # `out.append(...)` must NOT resolve to EventLog.append, even though it
+    # is the unique project function with that bare name.
+    assert ["repro.user.collect", "repro.log.EventLog.append"] not in (
+        payload["edges"]
+    )
+
+
+def test_module_cache_rebuilds_only_the_edited_file(tmp_path):
+    paths = _write(tmp_path, _FILES)
+    reset_cache()
+    FlowProject.from_paths(paths)
+    first = cache_counters()
+    assert first["builds"] == len(_FILES)
+    assert first["hits"] == 0
+
+    # Unchanged sources: every module comes from the cache.
+    FlowProject.from_paths(paths)
+    second = cache_counters()
+    assert second["builds"] == first["builds"]
+    assert second["hits"] == first["hits"] + len(_FILES)
+
+    # Edit exactly one file: exactly one summary recomputes.
+    app = tmp_path / "repro/app.py"
+    app.write_text(
+        _FILES["repro/app.py"] + "\n\ndef extra():\n    return 1\n",
+        encoding="utf-8",
+    )
+    FlowProject.from_paths(paths)
+    third = cache_counters()
+    assert third["builds"] == second["builds"] + 1
+    assert third["hits"] == second["hits"] + len(_FILES) - 1

@@ -34,6 +34,10 @@ EXPECTED_RULES = {
     "API002",
     "SUP001",
     "SUP002",
+    "FLOW-RNG",
+    "FLOW-HOT",
+    "FLOW-PKL",
+    "FLOW-MUT",
 }
 
 
@@ -80,3 +84,18 @@ def test_suppressions_name_only_known_rules():
                 if rule not in known:
                     unknown.append(f"{path}:{suppression.line}: {rule}")
     assert unknown == []
+
+
+def test_flow_rules_are_active_on_the_shipped_tree():
+    """The FLOW-* gate: the whole-program pass runs by default and the
+    tree is clean under it *because of* justified suppressions, not
+    because the pass silently skipped -- the suppressed findings prove
+    the rules actually fired on the real sources."""
+    findings = lint_paths([SRC])
+    flow = [f for f in findings if f.rule.startswith("FLOW-")]
+    assert flow, "the FLOW-* pass produced no findings at all on src/repro"
+    assert all(f.suppressed for f in flow), [
+        f"{f.location}: {f.rule} {f.message}" for f in flow if not f.suppressed
+    ]
+    # The known, deliberately-suppressed instances.
+    assert {f.rule for f in flow} >= {"FLOW-HOT", "FLOW-MUT"}

@@ -122,6 +122,28 @@ def test_generated_catalog_page_is_current():
     )
 
 
+def test_generated_rules_page_is_current():
+    sys.path.insert(0, str(REPO / "scripts"))
+    try:
+        import gen_rule_docs
+    finally:
+        sys.path.pop(0)
+    expected = gen_rule_docs.render()
+    current = (DOCS / "reference" / "rules.md").read_text(encoding="utf-8")
+    assert current == expected, (
+        "docs/reference/rules.md is stale; regenerate with "
+        "PYTHONPATH=src python scripts/gen_rule_docs.py"
+    )
+
+
+def test_rules_page_covers_every_registered_rule():
+    from repro.analysis import rule_ids
+
+    text = (DOCS / "reference" / "rules.md").read_text(encoding="utf-8")
+    for rule_id in rule_ids():
+        assert f"`{rule_id}`" in text, f"rules.md is missing {rule_id}"
+
+
 def test_mkdocs_nav_pages_exist():
     text = (REPO / "mkdocs.yml").read_text(encoding="utf-8")
     pages = re.findall(r":\s*([\w./-]+\.md)\s*$", text, re.MULTILINE)
